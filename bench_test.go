@@ -1,0 +1,224 @@
+package deep_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus micro-benchmarks for the core substrates. Each
+// table/figure bench regenerates the corresponding experiment end to end;
+// run with:
+//
+//	go test -bench=. -benchmem
+//
+// The printed rows/series (via -v or cmd/deepbench) mirror the paper's.
+
+import (
+	"testing"
+
+	"deep"
+	"deep/internal/bench"
+	"deep/internal/game"
+	"deep/internal/registry"
+	"deep/internal/sched"
+	"deep/internal/sim"
+	"deep/internal/workload"
+)
+
+// BenchmarkTable1Catalog regenerates Table I (the image catalog).
+func BenchmarkTable1Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1()
+		if len(rows) != 12 {
+			b.Fatal("catalog incomplete")
+		}
+	}
+}
+
+// BenchmarkTable2Microservices regenerates Table II: every microservice
+// benchmarked from both registries on both devices over jittered trials.
+func BenchmarkTable2Microservices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatal("table incomplete")
+		}
+	}
+}
+
+// BenchmarkTable3Placement regenerates Table III: the DEEP Nash scheduler's
+// deployment distribution on both case studies.
+func BenchmarkTable3Placement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.MatchesPaper {
+				b.Fatalf("%s deviates from the paper", r.App)
+			}
+		}
+	}
+}
+
+// BenchmarkFig3aEnergyPerMicroservice regenerates Figure 3a.
+func BenchmarkFig3aEnergyPerMicroservice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig3a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatal("figure incomplete")
+		}
+	}
+}
+
+// BenchmarkFig3bMethods regenerates Figure 3b: DEEP vs the two exclusive
+// deployment methods on both applications.
+func BenchmarkFig3bMethods(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig3b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.DeltaVsDEEP < 0 {
+				b.Fatalf("%s/%s beat DEEP", r.App, r.Method)
+			}
+		}
+	}
+}
+
+// Benchmark_AblationSchedulers compares every scheduling method.
+func Benchmark_AblationSchedulers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.SchedulerComparison(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark_AblationBandwidthSweep sweeps the regional registry bandwidth.
+func Benchmark_AblationBandwidthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.BandwidthSweep("text", []float64{0.5, 1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark_AblationLayerCache measures warm-vs-cold deployments.
+func Benchmark_AblationLayerCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.CacheAblation("video", 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmark_AblationContention measures the value of congestion-aware
+// registry selection.
+func Benchmark_AblationContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.ContentionAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks -----------------------------------------
+
+// BenchmarkNashSchedulerVideo times one full Nash scheduling pass.
+func BenchmarkNashSchedulerVideo(b *testing.B) {
+	cluster := workload.Testbed()
+	app := workload.VideoProcessing()
+	s := sched.NewDEEP()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(app, cluster); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorRun times one dataflow-processing simulation.
+func BenchmarkSimulatorRun(b *testing.B) {
+	cluster := workload.Testbed()
+	app := workload.TextProcessing()
+	p := workload.PaperPlacement("text")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(app, cluster, p, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLemkeHowson4x4 times the Lemke-Howson pivot on the pair games
+// DEEP solves per stage.
+func BenchmarkLemkeHowson4x4(b *testing.B) {
+	a := game.NewMatrix(4, 4)
+	bb := game.NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, float64((i*7+j*3)%11))
+			bb.Set(i, j, float64((i*5+j*11)%13))
+		}
+	}
+	g := game.New(a, bb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.LemkeHowsonAny(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSupportEnumeration4x4 times exhaustive equilibrium enumeration.
+func BenchmarkSupportEnumeration4x4(b *testing.B) {
+	a := game.NewMatrix(4, 4)
+	bb := game.NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, float64((i*7+j*3)%11))
+			bb.Set(i, j, float64((i*5+j*11)%13))
+		}
+	}
+	g := game.New(a, bb)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eqs := g.SupportEnumeration(); len(eqs) == 0 {
+			b.Fatal("no equilibria")
+		}
+	}
+}
+
+// BenchmarkRegistryPushPull times an in-memory V2 push+pull round trip.
+func BenchmarkRegistryPushPull(b *testing.B) {
+	reg := registry.New(registry.NewMemDriver())
+	layer := make([]byte, 64<<10)
+	d := registry.DigestOf(layer)
+	b.SetBytes(int64(len(layer)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.PutBlob(d, layer); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reg.GetBlob(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullPipeline times the complete Figure 1 pipeline (analysis,
+// scheduling, simulation) for the text application.
+func BenchmarkFullPipeline(b *testing.B) {
+	cluster := deep.Testbed()
+	for i := 0; i < b.N; i++ {
+		sys := deep.NewSystem(cluster)
+		if _, err := sys.Deploy(deep.TextProcessing()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

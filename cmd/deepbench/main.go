@@ -1,0 +1,95 @@
+// Command deepbench regenerates every table and figure of the paper's
+// evaluation section, plus the ablation studies.
+//
+// Usage:
+//
+//	deepbench -experiment all
+//	deepbench -experiment table2 -trials 10
+//	deepbench -experiment fig3b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deep/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: table1|table2|table3|fig3a|fig3b|ablations|all")
+	trials := flag.Int("trials", 10, "jittered trials per Table II configuration")
+	flag.Parse()
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			fmt.Println(bench.FormatTable1(bench.Table1()))
+		case "table2":
+			rows, err := bench.Table2(*trials)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.FormatTable2(rows))
+		case "table3":
+			rows, err := bench.Table3()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.FormatTable3(rows))
+		case "fig3a":
+			rows, err := bench.Fig3a()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.FormatFig3a(rows))
+		case "fig3b":
+			rows, err := bench.Fig3b()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.FormatFig3b(rows))
+		case "ablations":
+			sc, err := bench.SchedulerComparison(1)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.FormatSchedulerComparison(sc))
+			bw, err := bench.BandwidthSweep("text", []float64{0.25, 0.5, 1, 2, 4})
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.FormatBandwidthSweep(bw))
+			ca, err := bench.CacheAblation("video", 3)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.FormatCacheAblation(ca))
+			co, err := bench.ContentionAblation()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.FormatContentionAblation(co))
+			sw, err := bench.ScaleSweep([]int{6, 12, 24, 48}, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.FormatScaleSweep(sw))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"table1", "table2", "table3", "fig3a", "fig3b", "ablations"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "deepbench:", err)
+			os.Exit(1)
+		}
+	}
+}

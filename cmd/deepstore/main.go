@@ -1,0 +1,55 @@
+// Command deepstore serves the MinIO-like S3-compatible object store on its
+// own endpoint, as the paper's lab deployed MinIO at dcloud2.itec.aau.at.
+//
+// Usage:
+//
+//	deepstore -addr :9000 -quota 107374182400
+//	deepstore -addr :9000 -erasure 4
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+
+	"deep/internal/objectstore"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9000", "listen address")
+	quota := flag.Int64("quota", 100<<30, "byte quota (0 = unlimited)")
+	erasure := flag.Int("erasure", 0, "stripe objects over N data drives + parity (0 = plain store)")
+	buckets := flag.String("buckets", "registry", "comma-separated buckets to create on startup")
+	flag.Parse()
+
+	var store objectstore.Store
+	if *erasure > 0 {
+		es, err := objectstore.NewErasureStore(*erasure)
+		if err != nil {
+			log.Fatalf("deepstore: %v", err)
+		}
+		store = es
+	} else {
+		store = objectstore.NewMemStore(*quota)
+	}
+
+	start := 0
+	for i := 0; i <= len(*buckets); i++ {
+		if i == len(*buckets) || (*buckets)[i] == ',' {
+			if name := (*buckets)[start:i]; name != "" {
+				if err := store.MakeBucket(name); err != nil {
+					log.Printf("deepstore: bucket %q: %v", name, err)
+				}
+			}
+			start = i + 1
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("deepstore: %v", err)
+	}
+	log.Printf("object store listening on %s (buckets: %s)", ln.Addr(), *buckets)
+	log.Fatal(http.Serve(ln, objectstore.NewServer(store)))
+}

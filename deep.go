@@ -1,0 +1,124 @@
+// Package deep is the public API of the DEEP reproduction: edge-based
+// dataflow processing with hybrid Docker Hub and regional registries
+// (Mehran et al., IPDPS Workshops 2025).
+//
+// The package re-exports the pieces a downstream user composes:
+//
+//   - Application modeling: NewApp / Microservice / Dataflow (package dag).
+//   - The calibrated two-device testbed and the paper's two case-study
+//     applications: Testbed, VideoProcessing, TextProcessing.
+//   - Scheduling: the Nash-game DEEP scheduler and every baseline.
+//   - Dataflow processing: Run simulates a placed application and returns
+//     per-microservice completion times and energy.
+//   - The Figure 1 pipeline: NewSystem(...).Deploy(app).
+//
+// Quickstart:
+//
+//	sys := deep.NewSystem(deep.Testbed())
+//	dep, err := sys.Deploy(deep.TextProcessing())
+//	if err != nil { ... }
+//	fmt.Println(dep.Result.TotalEnergy)
+package deep
+
+import (
+	"deep/internal/core"
+	"deep/internal/dag"
+	"deep/internal/sched"
+	"deep/internal/sim"
+	"deep/internal/units"
+	"deep/internal/workload"
+)
+
+// Re-exported model types.
+type (
+	// App is a dataflow application DAG.
+	App = dag.App
+	// Microservice is one containerized vertex of an App.
+	Microservice = dag.Microservice
+	// Dataflow is one edge of an App.
+	Dataflow = dag.Dataflow
+	// Requirements is the resource-requirement tuple req(m_i).
+	Requirements = dag.Requirements
+	// Arch is a CPU architecture tag.
+	Arch = dag.Arch
+
+	// Cluster is the infrastructure a simulation runs against.
+	Cluster = sim.Cluster
+	// Placement assigns each microservice a device and registry.
+	Placement = sim.Placement
+	// Assignment is one (device, registry) pair.
+	Assignment = sim.Assignment
+	// Result is a simulated application run.
+	Result = sim.Result
+	// MicroserviceResult is one row of a Result.
+	MicroserviceResult = sim.MicroserviceResult
+	// Options tune a simulation run.
+	Options = sim.Options
+	// RegistryInfo describes one registry in a Cluster.
+	RegistryInfo = sim.RegistryInfo
+
+	// Scheduler produces placements.
+	Scheduler = sched.Scheduler
+	// System is the Figure 1 pipeline.
+	System = core.System
+	// Deployment is a completed pipeline run.
+	Deployment = core.Deployment
+	// MethodResult pairs a scheduler with its outcome.
+	MethodResult = core.MethodResult
+
+	// Bytes is a size in bytes.
+	Bytes = units.Bytes
+	// Joules is energy.
+	Joules = units.Joules
+)
+
+// Architectures supported by the testbed.
+const (
+	AMD64 = dag.AMD64
+	ARM64 = dag.ARM64
+)
+
+// Size units.
+const (
+	KB = units.KB
+	MB = units.MB
+	GB = units.GB
+)
+
+// NewApp returns an empty application.
+func NewApp(name string) *App { return dag.NewApp(name) }
+
+// Testbed builds the paper's calibrated two-device cluster: the medium
+// Intel i7-7700 device, the small Raspberry Pi 4 device, Docker Hub, and
+// the MinIO-backed regional registry.
+func Testbed() *Cluster { return workload.Testbed() }
+
+// VideoProcessing builds the paper's video case-study application.
+func VideoProcessing() *App { return workload.VideoProcessing() }
+
+// TextProcessing builds the paper's text case-study application.
+func TextProcessing() *App { return workload.TextProcessing() }
+
+// NewSystem returns a DEEP system (Nash scheduler) bound to a cluster.
+func NewSystem(cluster *Cluster) *System { return core.NewSystem(cluster) }
+
+// NewDEEPScheduler returns the paper's Nash-game scheduler.
+func NewDEEPScheduler() Scheduler { return sched.NewDEEP() }
+
+// NewExclusiveScheduler pins every deployment to one registry ("hub" or
+// "regional"), the paper's two baseline methods.
+func NewExclusiveScheduler(registry string) Scheduler { return sched.NewExclusive(registry) }
+
+// AllSchedulers returns DEEP plus every baseline, seeding the randomized
+// one.
+func AllSchedulers(seed int64) []Scheduler { return sched.All(seed) }
+
+// Run simulates a placed application on a cluster.
+func Run(app *App, cluster *Cluster, placement Placement, opts Options) (*Result, error) {
+	return sim.Run(app, cluster, placement, opts)
+}
+
+// Schedule computes a placement with the given scheduler.
+func Schedule(s Scheduler, app *App, cluster *Cluster) (Placement, error) {
+	return s.Schedule(app, cluster)
+}

@@ -1,0 +1,126 @@
+// Customapp shows how a downstream user brings their own dataflow
+// application and infrastructure: a five-stage IoT analytics pipeline on a
+// three-device cluster, swept across regional-registry bandwidths to find
+// where the hybrid strategy stops mattering.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deep"
+	"deep/internal/device"
+	"deep/internal/energy"
+	"deep/internal/netsim"
+	"deep/internal/units"
+)
+
+func buildApp() *deep.App {
+	app := deep.NewApp("iot-analytics")
+	stages := []struct {
+		name  string
+		image deep.Bytes
+		cpu   float64 // MI
+		input deep.Bytes
+	}{
+		{"ingest", 120 * deep.MB, 300000, 900 * deep.MB},
+		{"clean", 350 * deep.MB, 600000, 0},
+		{"features", 900 * deep.MB, 1500000, 0},
+		{"model", 2200 * deep.MB, 4200000, 0},
+		{"publish", 150 * deep.MB, 150000, 0},
+	}
+	for _, s := range stages {
+		m := &deep.Microservice{
+			Name:      s.name,
+			ImageSize: s.image,
+			Req: deep.Requirements{
+				Cores: 1, CPU: units.MI(s.cpu), Memory: deep.GB,
+			},
+			Arches:        []deep.Arch{deep.AMD64, deep.ARM64},
+			ExternalInput: s.input,
+		}
+		if err := app.AddMicroservice(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	edges := [][2]string{{"ingest", "clean"}, {"clean", "features"}, {"features", "model"}, {"model", "publish"}}
+	for _, e := range edges {
+		if err := app.AddDataflow(e[0], e[1], 400*deep.MB); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return app
+}
+
+func buildCluster(regionalBW units.Bandwidth) *deep.Cluster {
+	pmBig := energy.LinearModel{StaticW: 2, PullW: 1, ReceiveW: 1, ProcessingW: 35}
+	pmMid := energy.LinearModel{StaticW: 1, PullW: 1, ReceiveW: 1, ProcessingW: 12}
+	pmPi := energy.LinearModel{StaticW: 0.9, PullW: 1.1, ReceiveW: 1.1, ProcessingW: 4}
+
+	big := device.New("gateway", deep.AMD64, 16, 60000, 32*deep.GB, 256*deep.GB, pmBig)
+	mid := device.New("cabinet", deep.AMD64, 8, 25000, 16*deep.GB, 128*deep.GB, pmMid)
+	pi := device.New("sensor-hub", deep.ARM64, 4, 8000, 8*deep.GB, 32*deep.GB, pmPi)
+
+	topo := netsim.NewTopology()
+	for _, n := range []string{"hub", "regional", "gateway", "cabinet", "sensor-hub", "source"} {
+		topo.AddNode(n)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, dev := range []string{"gateway", "cabinet", "sensor-hub"} {
+		must(topo.AddLink(netsim.Link{From: "hub", To: dev, BW: 30 * units.MBps, RTT: 1.2}))
+		must(topo.AddLink(netsim.Link{From: "regional", To: dev, BW: regionalBW, RTT: 0.1, SharedCapacity: true}))
+		must(topo.AddLink(netsim.Link{From: "source", To: dev, BW: 15 * units.MBps}))
+	}
+	must(topo.AddDuplex("gateway", "cabinet", 40*units.MBps))
+	must(topo.AddDuplex("cabinet", "sensor-hub", 15*units.MBps))
+	must(topo.AddDuplex("gateway", "sensor-hub", 15*units.MBps))
+
+	return &deep.Cluster{
+		Devices: []*device.Device{big, mid, pi},
+		Registries: []deep.RegistryInfo{
+			{Name: "hub", Node: "hub"},
+			{Name: "regional", Node: "regional", Shared: true},
+		},
+		Topology:   topo,
+		SourceNode: "source",
+	}
+}
+
+func main() {
+	app := buildApp()
+	fmt.Println("Sweep: regional registry bandwidth vs deployment method energy")
+	fmt.Printf("%-14s %12s %14s %12s %s\n", "regional BW", "DEEP [kJ]", "regional [kJ]", "hub [kJ]", "DEEP placement uses")
+	for _, bw := range []units.Bandwidth{5 * units.MBps, 15 * units.MBps, 30 * units.MBps, 60 * units.MBps} {
+		cluster := buildCluster(bw)
+		sys := deep.NewSystem(cluster)
+		results, err := sys.Compare(app, []deep.Scheduler{
+			deep.NewDEEPScheduler(),
+			deep.NewExclusiveScheduler("regional"),
+			deep.NewExclusiveScheduler("hub"),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var deepKJ, regKJ, hubKJ float64
+		usage := map[string]int{}
+		for _, r := range results {
+			switch r.Method {
+			case "deep":
+				deepKJ = r.Result.TotalEnergy.Kilojoules()
+				for _, a := range r.Placement {
+					usage[a.Registry]++
+				}
+			case "exclusive-regional":
+				regKJ = r.Result.TotalEnergy.Kilojoules()
+			case "exclusive-hub":
+				hubKJ = r.Result.TotalEnergy.Kilojoules()
+			}
+		}
+		fmt.Printf("%-14s %12.3f %14.3f %12.3f hub=%d regional=%d\n",
+			bw, deepKJ, regKJ, hubKJ, usage["hub"], usage["regional"])
+	}
+}

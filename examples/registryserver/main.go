@@ -1,0 +1,136 @@
+// Registryserver runs the full emulation stack end to end over real HTTP:
+// it starts the MinIO-like object store, layers the regional Docker
+// registry on top of it, starts a Docker Hub simulator, seeds both with the
+// paper's Table I catalog (scaled), then rolls the text-processing
+// application out onto two emulated edge nodes through the orchestrator,
+// pulling every image through the V2 protocol with digest verification and
+// layer-cache reuse.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"deep/internal/dag"
+	"deep/internal/device"
+	"deep/internal/energy"
+	"deep/internal/hub"
+	"deep/internal/objectstore"
+	"deep/internal/orchestrator"
+	"deep/internal/registry"
+	"deep/internal/sched"
+	"deep/internal/units"
+	"deep/internal/workload"
+)
+
+func main() {
+	const scale = 1_000_000 // shrink multi-GB images to a few KB
+
+	// 1. Object store (MinIO stand-in), erasure-striped across 4 drives.
+	store, err := objectstore.NewErasureStore(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	storeSrv := httptest.NewServer(objectstore.NewServer(store))
+	defer storeSrv.Close()
+	fmt.Println("object store:     ", storeSrv.URL)
+
+	// 2. Regional registry over the object store.
+	driver, err := registry.NewObjectStoreDriver(store, "registry")
+	if err != nil {
+		log.Fatal(err)
+	}
+	regionalReg := registry.New(driver)
+	regionalSrv := httptest.NewServer(registry.NewServer(regionalReg))
+	defer regionalSrv.Close()
+	fmt.Println("regional registry:", regionalSrv.URL)
+
+	// 3. Docker Hub simulator with two CDN PoPs and the anonymous pull
+	// limit.
+	h := hub.New(registry.New(registry.NewMemDriver()), hub.Config{
+		PoPs: []hub.PoP{
+			{Name: "eu-west", Bandwidth: 500 * units.MBps},
+			{Name: "us-east", Bandwidth: 400 * units.MBps},
+		},
+		RateLimit: 100,
+		Window:    6 * time.Hour,
+	})
+	hubSrvs := map[string]*httptest.Server{}
+	for _, node := range []string{"medium", "small"} {
+		srv := httptest.NewServer(h.Server(node))
+		defer srv.Close()
+		hubSrvs[node] = srv
+	}
+	fmt.Println("hub (medium PoP): ", hubSrvs["medium"].URL, "->", h.AssignPoP("medium").Name)
+	fmt.Println("hub (small PoP):  ", hubSrvs["small"].URL, "->", h.AssignPoP("small").Name)
+
+	// 4. Seed both registries with the Table I catalog.
+	seedStart := time.Now()
+	hubSeed := registry.NewClient(hubSrvs["medium"].URL, nil)
+	hubRefs, err := workload.SeedCatalog(hubSeed, "hub", scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regionalSeed := registry.NewClient(regionalSrv.URL, nil)
+	regionalRefs, err := workload.SeedCatalog(regionalSeed, "regional", scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seeded %d images into each registry in %v\n", len(hubRefs), time.Since(seedStart).Round(time.Millisecond))
+
+	// 5. An orchestrator over two emulated nodes.
+	cluster := orchestrator.New(func(node, regName string) (*registry.Client, error) {
+		switch regName {
+		case "hub":
+			return registry.NewClient(hubSrvs[node].URL, nil), nil
+		case "regional":
+			return registry.NewClient(regionalSrv.URL, nil), nil
+		}
+		return nil, fmt.Errorf("unknown registry %q", regName)
+	})
+	pmMed := energy.LinearModel{StaticW: 0.25, ProcessingW: 20}
+	pmSmall := energy.LinearModel{StaticW: 0.9, ProcessingW: 5}
+	medium := device.New("medium", dag.AMD64, 8, 30000, 16*units.GB, 64*units.GB, pmMed)
+	small := device.New("small", dag.ARM64, 4, 10000, 8*units.GB, 32*units.GB, pmSmall)
+	for _, n := range []*orchestrator.Node{
+		{Name: "medium", Arch: dag.AMD64, Device: medium},
+		{Name: "small", Arch: dag.ARM64, Device: small},
+	} {
+		if err := cluster.AddNode(n); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 6. Schedule with the Nash game and roll out over real HTTP pulls.
+	app := workload.TextProcessing()
+	placement, err := sched.NewDEEP().Schedule(app, workload.Testbed())
+	if err != nil {
+		log.Fatal(err)
+	}
+	images := map[string]map[string]registry.Reference{}
+	for _, m := range app.Microservices {
+		images[m.Name] = map[string]registry.Reference{
+			"hub":      hubRefs[m.Name],
+			"regional": regionalRefs[m.Name],
+		}
+	}
+	rolloutStart := time.Now()
+	pods, err := cluster.Rollout(app, placement, images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrollout finished in %v:\n", time.Since(rolloutStart).Round(time.Millisecond))
+	for _, p := range pods {
+		fmt.Printf("  %-22s %-9s node=%-7s registry=%-9s pulled=%s\n",
+			p.Name, p.Phase, p.Node, p.Registry, units.Bytes(p.BytesPulled))
+	}
+
+	m := cluster.Metrics()
+	fmt.Printf("\npulls: %.0f  cache hits: %.0f\n", m.Counter("pulls_total"), m.Counter("cache_hits_total"))
+	fmt.Printf("bytes from hub: %s, from regional: %s\n",
+		units.Bytes(m.Counter("bytes_pulled_hub")), units.Bytes(m.Counter("bytes_pulled_regional")))
+	fmt.Printf("medium cache: %d layers (%s); small cache: %d layers (%s)\n",
+		medium.Cache().Len(), medium.Cache().Used(), small.Cache().Len(), small.Cache().Used())
+}

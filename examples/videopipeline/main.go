@@ -1,0 +1,60 @@
+// Videopipeline compares the three deployment methods of the paper's
+// Figure 3b — DEEP (hybrid), exclusively regional, exclusively Docker Hub —
+// on the video-processing application, printing per-method totals and the
+// per-microservice energy breakdown under DEEP (Figure 3a's video half).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"deep"
+)
+
+func main() {
+	cluster := deep.Testbed()
+	app := deep.VideoProcessing()
+	sys := deep.NewSystem(cluster)
+
+	methods := []deep.Scheduler{
+		deep.NewDEEPScheduler(),
+		deep.NewExclusiveScheduler("regional"),
+		deep.NewExclusiveScheduler("hub"),
+	}
+	results, err := sys.Compare(app, methods)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Energy by deployment method (video processing):")
+	var deepEnergy float64
+	for _, r := range results {
+		if r.Method == "deep" {
+			deepEnergy = float64(r.Result.TotalEnergy)
+		}
+	}
+	for _, r := range results {
+		delta := float64(r.Result.TotalEnergy) - deepEnergy
+		fmt.Printf("  %-20s %10.3f kJ   (+%.1f J vs DEEP)\n",
+			r.Method, r.Result.TotalEnergy.Kilojoules(), delta)
+	}
+
+	// The Figure 3a view: which microservices dominate.
+	fmt.Println("\nPer-microservice energy under DEEP:")
+	for _, r := range results {
+		if r.Method != "deep" {
+			continue
+		}
+		var max float64
+		for _, m := range r.Result.Microservices {
+			if e := float64(m.TotalEnergy()); e > max {
+				max = e
+			}
+		}
+		for _, m := range r.Result.Microservices {
+			bar := int(30 * float64(m.TotalEnergy()) / max)
+			fmt.Printf("  %-18s %8.0f J |%s\n", m.Name, float64(m.TotalEnergy()), strings.Repeat("#", bar))
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteTable2CSV(t *testing.T) {
+	rows, err := Table2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTable2CSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 13 { // header + 12 rows
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0][0] != "app" || len(records[1]) != 15 {
+		t.Errorf("unexpected CSV shape: %v", records[0])
+	}
+}
+
+func TestWriteFig3bCSV(t *testing.T) {
+	rows, err := Fig3b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteFig3bCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 7 { // header + 6
+		t.Fatalf("records = %d", len(records))
+	}
+}
+
+func TestScaleSweep(t *testing.T) {
+	rows, err := ScaleSweep([]int{4, 8, 16}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DeepEnergy <= 0 || r.RandomEnergy <= 0 {
+			t.Errorf("n=%d: degenerate energies %+v", r.Microservices, r)
+		}
+		// DEEP must not lose to random placement.
+		if r.DeepEnergy > r.RandomEnergy*1.001 {
+			t.Errorf("n=%d: DEEP %.0f worse than random %.0f", r.Microservices, r.DeepEnergy, r.RandomEnergy)
+		}
+	}
+	if out := FormatScaleSweep(rows); !strings.Contains(out, "saving") {
+		t.Error("format broken")
+	}
+}

@@ -1,0 +1,359 @@
+// Package dag models DEEP's dataflow processing applications: directed
+// acyclic graphs of containerized microservices interconnected by dataflows,
+// following Section III-A of the paper. It provides validation, topological
+// ordering, synchronization-barrier stages, and critical-path analysis.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deep/internal/units"
+)
+
+// Arch identifies a CPU architecture an image is built for.
+type Arch string
+
+// Supported architectures, matching the paper's amd64/arm64 image tags.
+const (
+	AMD64 Arch = "amd64"
+	ARM64 Arch = "arm64"
+)
+
+// Requirements is the paper's req(m_i) tuple: the minimum cores, processing
+// load, memory, and storage a microservice needs.
+type Requirements struct {
+	Cores   int         // CORE(m_i): minimum number of cores
+	CPU     units.MI    // CPU(m_i): processing load in millions of instructions
+	Memory  units.Bytes // MEM(m_i)
+	Storage units.Bytes // STOR(m_i)
+}
+
+// Microservice is one vertex of the application DAG: a containerized
+// processing stage with an image of a given size available from one or more
+// registries.
+type Microservice struct {
+	Name string
+	// ImageSize is Size_{m_i}: the containerized image size.
+	ImageSize units.Bytes
+	// Images maps a registry name to the image reference there, e.g.
+	// "hub" -> "sina88/vp-transcode:amd64".
+	Images map[string]string
+	// Req is the paper's resource-requirement tuple.
+	Req Requirements
+	// Arches lists the architectures the image is published for. Empty
+	// means all architectures.
+	Arches []Arch
+	// ExternalInput is data the microservice ingests from outside the
+	// application DAG — the camera feed of the video pipeline or the AWS S3
+	// dataset of the text pipeline. It is transferred from the cluster's
+	// source node before processing.
+	ExternalInput units.Bytes
+}
+
+// SupportsArch reports whether the microservice has an image for the
+// architecture.
+func (m *Microservice) SupportsArch(a Arch) bool {
+	if len(m.Arches) == 0 {
+		return true
+	}
+	for _, x := range m.Arches {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Dataflow is one edge of the DAG: df_{ui} transferring Size bytes from the
+// upstage microservice From to the downstage microservice To.
+type Dataflow struct {
+	From, To string
+	Size     units.Bytes
+}
+
+// App is a dataflow processing application A = (M, E).
+type App struct {
+	Name          string
+	Microservices []*Microservice
+	Dataflows     []Dataflow
+
+	byName map[string]*Microservice
+}
+
+// NewApp constructs an empty application.
+func NewApp(name string) *App {
+	return &App{Name: name, byName: make(map[string]*Microservice)}
+}
+
+// AddMicroservice appends a microservice. It returns an error when the name
+// is empty or already taken.
+func (a *App) AddMicroservice(m *Microservice) error {
+	if m.Name == "" {
+		return fmt.Errorf("dag: %s: microservice with empty name", a.Name)
+	}
+	if _, dup := a.byName[m.Name]; dup {
+		return fmt.Errorf("dag: %s: duplicate microservice %q", a.Name, m.Name)
+	}
+	if m.ImageSize < 0 {
+		return fmt.Errorf("dag: %s: microservice %q has negative image size", a.Name, m.Name)
+	}
+	a.Microservices = append(a.Microservices, m)
+	a.byName[m.Name] = m
+	return nil
+}
+
+// AddDataflow appends an edge. Both endpoints must already exist.
+func (a *App) AddDataflow(from, to string, size units.Bytes) error {
+	if _, ok := a.byName[from]; !ok {
+		return fmt.Errorf("dag: %s: dataflow from unknown microservice %q", a.Name, from)
+	}
+	if _, ok := a.byName[to]; !ok {
+		return fmt.Errorf("dag: %s: dataflow to unknown microservice %q", a.Name, to)
+	}
+	if from == to {
+		return fmt.Errorf("dag: %s: self-loop on %q", a.Name, from)
+	}
+	if size < 0 {
+		return fmt.Errorf("dag: %s: negative dataflow size %s->%s", a.Name, from, to)
+	}
+	a.Dataflows = append(a.Dataflows, Dataflow{From: from, To: to, Size: size})
+	return nil
+}
+
+// Microservice returns the named microservice, or nil.
+func (a *App) Microservice(name string) *Microservice { return a.byName[name] }
+
+// Inputs returns the dataflows entering the named microservice.
+func (a *App) Inputs(name string) []Dataflow {
+	var in []Dataflow
+	for _, e := range a.Dataflows {
+		if e.To == name {
+			in = append(in, e)
+		}
+	}
+	return in
+}
+
+// Outputs returns the dataflows leaving the named microservice.
+func (a *App) Outputs(name string) []Dataflow {
+	var out []Dataflow
+	for _, e := range a.Dataflows {
+		if e.From == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: at least one microservice, no
+// duplicate edges, acyclicity, and (for multi-vertex apps) weak
+// connectivity.
+func (a *App) Validate() error {
+	if len(a.Microservices) == 0 {
+		return fmt.Errorf("dag: %s: no microservices", a.Name)
+	}
+	seen := make(map[[2]string]bool)
+	for _, e := range a.Dataflows {
+		k := [2]string{e.From, e.To}
+		if seen[k] {
+			return fmt.Errorf("dag: %s: duplicate dataflow %s->%s", a.Name, e.From, e.To)
+		}
+		seen[k] = true
+	}
+	if _, err := a.TopoOrder(); err != nil {
+		return err
+	}
+	if len(a.Microservices) > 1 && !a.weaklyConnected() {
+		return fmt.Errorf("dag: %s: application graph is not connected", a.Name)
+	}
+	return nil
+}
+
+func (a *App) weaklyConnected() bool {
+	adj := make(map[string][]string)
+	for _, e := range a.Dataflows {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	visited := make(map[string]bool)
+	var stack []string
+	stack = append(stack, a.Microservices[0].Name)
+	visited[a.Microservices[0].Name] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range adj[n] {
+			if !visited[next] {
+				visited[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return len(visited) == len(a.Microservices)
+}
+
+// TopoOrder returns a deterministic topological order of the microservice
+// names (Kahn's algorithm with lexicographic tie-breaking), or an error when
+// the graph has a cycle.
+func (a *App) TopoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(a.Microservices))
+	for _, m := range a.Microservices {
+		indeg[m.Name] = 0
+	}
+	for _, e := range a.Dataflows {
+		indeg[e.To]++
+	}
+	var ready []string
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Strings(ready)
+	var order []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		var unlocked []string
+		for _, e := range a.Dataflows {
+			if e.From != n {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				unlocked = append(unlocked, e.To)
+			}
+		}
+		sort.Strings(unlocked)
+		ready = mergeSorted(ready, unlocked)
+	}
+	if len(order) != len(a.Microservices) {
+		return nil, fmt.Errorf("dag: %s: cycle detected", a.Name)
+	}
+	return order, nil
+}
+
+func mergeSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Stages groups the microservices into synchronization-barrier levels: stage
+// k contains every microservice whose longest path from a source has length
+// k. All microservices in a stage may only start after every microservice in
+// the previous stage finished — the paper's "synchronization barriers".
+func (a *App) Stages() ([][]string, error) {
+	order, err := a.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	level := make(map[string]int, len(order))
+	maxLevel := 0
+	for _, n := range order {
+		l := 0
+		for _, e := range a.Inputs(n) {
+			if level[e.From]+1 > l {
+				l = level[e.From] + 1
+			}
+		}
+		level[n] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	stages := make([][]string, maxLevel+1)
+	for _, n := range order {
+		stages[level[n]] = append(stages[level[n]], n)
+	}
+	for _, s := range stages {
+		sort.Strings(s)
+	}
+	return stages, nil
+}
+
+// CriticalPath returns the path through the DAG maximizing the sum of the
+// given per-microservice weights, along with that sum. Dataflow sizes do not
+// contribute; callers fold transfer costs into the weights if desired.
+func (a *App) CriticalPath(weight func(*Microservice) float64) ([]string, float64, error) {
+	order, err := a.TopoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	dist := make(map[string]float64, len(order))
+	prev := make(map[string]string, len(order))
+	for _, n := range order {
+		best := 0.0
+		bestPrev := ""
+		for _, e := range a.Inputs(n) {
+			if dist[e.From] > best || (dist[e.From] == best && bestPrev == "") {
+				best = dist[e.From]
+				bestPrev = e.From
+			}
+		}
+		dist[n] = best + weight(a.byName[n])
+		prev[n] = bestPrev
+	}
+	// Find the sink with maximum distance.
+	endName, endDist := "", -1.0
+	for _, n := range order {
+		if dist[n] > endDist {
+			endName, endDist = n, dist[n]
+		}
+	}
+	var path []string
+	for n := endName; n != ""; n = prev[n] {
+		path = append(path, n)
+	}
+	// Reverse.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, endDist, nil
+}
+
+// TotalImageSize returns the sum of all image sizes.
+func (a *App) TotalImageSize() units.Bytes {
+	var total units.Bytes
+	for _, m := range a.Microservices {
+		total += m.ImageSize
+	}
+	return total
+}
+
+// TotalDataflow returns the sum of all dataflow sizes.
+func (a *App) TotalDataflow() units.Bytes {
+	var total units.Bytes
+	for _, e := range a.Dataflows {
+		total += e.Size
+	}
+	return total
+}
+
+// DOT renders the application in Graphviz DOT format for documentation.
+func (a *App) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", a.Name)
+	for _, m := range a.Microservices {
+		fmt.Fprintf(&b, "  %q [label=\"%s\\n%s\"];\n", m.Name, m.Name, m.ImageSize)
+	}
+	for _, e := range a.Dataflows {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"];\n", e.From, e.To, e.Size)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

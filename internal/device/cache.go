@@ -1,0 +1,170 @@
+package device
+
+import (
+	"container/list"
+	"sync"
+
+	"deep/internal/units"
+)
+
+// LayerCache is an LRU cache of container image layers keyed by digest, with
+// byte-budget eviction and pinning for layers belonging to running
+// containers. A warm cache is what makes repeated deployments cheap — one of
+// the effects the registry-caching literature in the paper's related work
+// targets.
+type LayerCache struct {
+	mu       sync.Mutex
+	capacity units.Bytes
+	used     units.Bytes
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	digest string
+	size   units.Bytes
+	pins   int
+}
+
+// NewLayerCache returns a cache with the given byte capacity.
+func NewLayerCache(capacity units.Bytes) *LayerCache {
+	return &LayerCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Has reports whether the digest is cached, updating recency and hit/miss
+// statistics.
+func (c *LayerCache) Has(digest string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[digest]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Contains reports presence without touching recency or statistics.
+func (c *LayerCache) Contains(digest string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[digest]
+	return ok
+}
+
+// Put inserts a layer, evicting least-recently-used unpinned layers as
+// needed. Layers larger than the whole capacity are not cached; Put then
+// returns false. Re-putting an existing digest refreshes recency.
+func (c *LayerCache) Put(digest string, size units.Bytes) bool {
+	if size < 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[digest]; ok {
+		c.lru.MoveToFront(el)
+		return true
+	}
+	if size > c.capacity {
+		return false
+	}
+	for c.used+size > c.capacity {
+		if !c.evictOne() {
+			return false // everything left is pinned
+		}
+	}
+	el := c.lru.PushFront(&cacheEntry{digest: digest, size: size})
+	c.entries[digest] = el
+	c.used += size
+	return true
+}
+
+// evictOne removes the least recently used unpinned entry; the caller holds
+// the lock.
+func (c *LayerCache) evictOne() bool {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if e.pins > 0 {
+			continue
+		}
+		c.lru.Remove(el)
+		delete(c.entries, e.digest)
+		c.used -= e.size
+		return true
+	}
+	return false
+}
+
+// Pin marks a cached layer as in use so it cannot be evicted. It reports
+// whether the digest was present.
+func (c *LayerCache) Pin(digest string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[digest]
+	if !ok {
+		return false
+	}
+	el.Value.(*cacheEntry).pins++
+	return true
+}
+
+// Unpin releases one pin on the layer.
+func (c *LayerCache) Unpin(digest string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[digest]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.pins > 0 {
+			e.pins--
+		}
+	}
+}
+
+// Used returns the bytes currently cached.
+func (c *LayerCache) Used() units.Bytes {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Capacity returns the configured byte budget.
+func (c *LayerCache) Capacity() units.Bytes { return c.capacity }
+
+// Len returns the number of cached layers.
+func (c *LayerCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative (hits, misses) from Has lookups.
+func (c *LayerCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (c *LayerCache) HitRatio() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Flush empties the cache, including pinned entries.
+func (c *LayerCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.used = 0
+}

@@ -1,0 +1,132 @@
+// Package device models the heterogeneous capacity-constrained edge devices
+// of the paper's Section III-B: cores, processing speed in MI/s, memory,
+// storage, an architecture, a power model, and a local image-layer cache.
+package device
+
+import (
+	"fmt"
+	"sync"
+
+	"deep/internal/dag"
+	"deep/internal/energy"
+	"deep/internal/units"
+)
+
+// Device is one physical edge device d_j.
+type Device struct {
+	Name    string
+	Arch    dag.Arch
+	Cores   int
+	Speed   units.MIPS  // CPU_j: effective millions of instructions per second
+	Memory  units.Bytes // MEM_j
+	Storage units.Bytes // STOR_j
+	Power   energy.PowerModel
+
+	mu        sync.Mutex
+	usedMem   units.Bytes
+	usedStore units.Bytes
+	cache     *LayerCache
+}
+
+// New constructs a device with a layer cache sized to its storage.
+func New(name string, arch dag.Arch, cores int, speed units.MIPS, mem, store units.Bytes, pm energy.PowerModel) *Device {
+	return &Device{
+		Name: name, Arch: arch, Cores: cores, Speed: speed,
+		Memory: mem, Storage: store, Power: pm,
+		cache: NewLayerCache(store),
+	}
+}
+
+// Cache returns the device's image layer cache.
+func (d *Device) Cache() *LayerCache { return d.cache }
+
+// CanRun reports whether the device satisfies the microservice's
+// architecture and static resource requirements.
+func (d *Device) CanRun(m *dag.Microservice) error {
+	if !m.SupportsArch(d.Arch) {
+		return fmt.Errorf("device %s: %s has no %s image", d.Name, m.Name, d.Arch)
+	}
+	if m.Req.Cores > d.Cores {
+		return fmt.Errorf("device %s: %s needs %d cores, have %d", d.Name, m.Name, m.Req.Cores, d.Cores)
+	}
+	if m.Req.Memory > d.Memory {
+		return fmt.Errorf("device %s: %s needs %s memory, have %s", d.Name, m.Name, m.Req.Memory, d.Memory)
+	}
+	need := m.Req.Storage + m.ImageSize
+	if need > d.Storage {
+		return fmt.Errorf("device %s: %s needs %s storage, have %s", d.Name, m.Name, need, d.Storage)
+	}
+	return nil
+}
+
+// Reserve admits a microservice's memory and storage, or errors when the
+// remaining capacity is insufficient.
+func (d *Device) Reserve(m *dag.Microservice) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.usedMem+m.Req.Memory > d.Memory {
+		return fmt.Errorf("device %s: out of memory for %s (%s used of %s)", d.Name, m.Name, d.usedMem, d.Memory)
+	}
+	store := m.Req.Storage + m.ImageSize
+	if d.usedStore+store > d.Storage {
+		return fmt.Errorf("device %s: out of storage for %s (%s used of %s)", d.Name, m.Name, d.usedStore, d.Storage)
+	}
+	d.usedMem += m.Req.Memory
+	d.usedStore += store
+	return nil
+}
+
+// Release returns a microservice's reservation.
+func (d *Device) Release(m *dag.Microservice) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.usedMem -= m.Req.Memory
+	d.usedStore -= m.Req.Storage + m.ImageSize
+	if d.usedMem < 0 {
+		d.usedMem = 0
+	}
+	if d.usedStore < 0 {
+		d.usedStore = 0
+	}
+}
+
+// UsedMemory returns the memory currently reserved.
+func (d *Device) UsedMemory() units.Bytes {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.usedMem
+}
+
+// UsedStorage returns the storage currently reserved.
+func (d *Device) UsedStorage() units.Bytes {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.usedStore
+}
+
+// ProcessingTime returns T_p for the given load on this device.
+func (d *Device) ProcessingTime(load units.MI) float64 {
+	return d.Speed.Seconds(load)
+}
+
+// String renders the device spec.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s(%s, %d cores, %.0f MI/s, %s mem, %s storage)",
+		d.Name, d.Arch, d.Cores, float64(d.Speed), d.Memory, d.Storage)
+}
+
+// Calibrated testbed devices. Speeds and power are calibrated so the
+// simulator lands inside the paper's Table II ranges (see
+// internal/workload/calibration.go for the derivation).
+
+// MediumIntelSpec describes the paper's medium device: an 8-core Intel
+// i7-7700 with 16 GB memory and 64 GB storage.
+func MediumIntelSpec(pm energy.PowerModel) *Device {
+	return New("medium", dag.AMD64, 8, 30000, 16*units.GB, 64*units.GB, pm)
+}
+
+// SmallARMSpec describes the paper's small device: a 4-core Raspberry Pi 4
+// with 8 GB memory and 32 GB storage.
+func SmallARMSpec(pm energy.PowerModel) *Device {
+	return New("small", dag.ARM64, 4, 10000, 8*units.GB, 32*units.GB, pm)
+}

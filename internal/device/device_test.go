@@ -1,0 +1,193 @@
+package device
+
+import (
+	"testing"
+
+	"deep/internal/dag"
+	"deep/internal/energy"
+	"deep/internal/units"
+)
+
+func testDevice() *Device {
+	return New("d0", dag.AMD64, 4, 1000, 8*units.GB, 32*units.GB, energy.LinearModel{StaticW: 2})
+}
+
+func TestCanRun(t *testing.T) {
+	d := testDevice()
+	ok := &dag.Microservice{Name: "m", ImageSize: units.GB, Req: dag.Requirements{Cores: 2, Memory: units.GB, Storage: units.GB}}
+	if err := d.CanRun(ok); err != nil {
+		t.Errorf("CanRun(ok): %v", err)
+	}
+	cases := []*dag.Microservice{
+		{Name: "arch", Arches: []dag.Arch{dag.ARM64}},
+		{Name: "cores", Req: dag.Requirements{Cores: 8}},
+		{Name: "mem", Req: dag.Requirements{Memory: 16 * units.GB}},
+		{Name: "store", ImageSize: 20 * units.GB, Req: dag.Requirements{Storage: 20 * units.GB}},
+	}
+	for _, m := range cases {
+		if err := d.CanRun(m); err == nil {
+			t.Errorf("CanRun(%s) should fail", m.Name)
+		}
+	}
+}
+
+func TestReserveRelease(t *testing.T) {
+	d := testDevice()
+	m := &dag.Microservice{Name: "m", ImageSize: 2 * units.GB, Req: dag.Requirements{Memory: 4 * units.GB, Storage: units.GB}}
+	if err := d.Reserve(m); err != nil {
+		t.Fatal(err)
+	}
+	if d.UsedMemory() != 4*units.GB {
+		t.Errorf("used memory = %v", d.UsedMemory())
+	}
+	if d.UsedStorage() != 3*units.GB {
+		t.Errorf("used storage = %v", d.UsedStorage())
+	}
+	// A second large reservation should fail on memory.
+	m2 := &dag.Microservice{Name: "m2", Req: dag.Requirements{Memory: 6 * units.GB}}
+	if err := d.Reserve(m2); err == nil {
+		t.Error("over-reservation should fail")
+	}
+	d.Release(m)
+	if d.UsedMemory() != 0 || d.UsedStorage() != 0 {
+		t.Error("release did not restore capacity")
+	}
+	// Double release must not go negative.
+	d.Release(m)
+	if d.UsedMemory() != 0 {
+		t.Error("double release went negative")
+	}
+}
+
+func TestProcessingTime(t *testing.T) {
+	d := testDevice() // 1000 MI/s
+	if got := d.ProcessingTime(5000); got != 5 {
+		t.Errorf("ProcessingTime = %v, want 5", got)
+	}
+}
+
+func TestSpecConstructors(t *testing.T) {
+	pm := energy.LinearModel{StaticW: 1}
+	med := MediumIntelSpec(pm)
+	if med.Arch != dag.AMD64 || med.Cores != 8 || med.Memory != 16*units.GB {
+		t.Errorf("medium spec wrong: %v", med)
+	}
+	small := SmallARMSpec(pm)
+	if small.Arch != dag.ARM64 || small.Cores != 4 || small.Storage != 32*units.GB {
+		t.Errorf("small spec wrong: %v", small)
+	}
+	if small.Speed >= med.Speed {
+		t.Error("small device should be slower than medium")
+	}
+}
+
+func TestLayerCacheBasics(t *testing.T) {
+	c := NewLayerCache(100)
+	if c.Has("a") {
+		t.Error("empty cache should miss")
+	}
+	if !c.Put("a", 40) {
+		t.Fatal("put failed")
+	}
+	if !c.Has("a") {
+		t.Error("should hit after put")
+	}
+	if c.Used() != 40 || c.Len() != 1 {
+		t.Errorf("used=%v len=%v", c.Used(), c.Len())
+	}
+	h, m := c.Stats()
+	if h != 1 || m != 1 {
+		t.Errorf("stats = %d/%d", h, m)
+	}
+	if r := c.HitRatio(); r != 0.5 {
+		t.Errorf("hit ratio = %v", r)
+	}
+}
+
+func TestLayerCacheEviction(t *testing.T) {
+	c := NewLayerCache(100)
+	c.Put("a", 40)
+	c.Put("b", 40)
+	c.Has("a") // make a most-recent
+	if !c.Put("c", 40) {
+		t.Fatal("put c failed")
+	}
+	// b was LRU and must have been evicted.
+	if c.Contains("b") {
+		t.Error("b should be evicted")
+	}
+	if !c.Contains("a") || !c.Contains("c") {
+		t.Error("a and c should remain")
+	}
+	if c.Used() > c.Capacity() {
+		t.Errorf("used %v exceeds capacity %v", c.Used(), c.Capacity())
+	}
+}
+
+func TestLayerCacheOversized(t *testing.T) {
+	c := NewLayerCache(10)
+	if c.Put("big", 11) {
+		t.Error("oversized layer should not cache")
+	}
+	if c.Put("neg", -1) {
+		t.Error("negative size should not cache")
+	}
+}
+
+func TestLayerCachePinning(t *testing.T) {
+	c := NewLayerCache(100)
+	c.Put("a", 60)
+	if !c.Pin("a") {
+		t.Fatal("pin failed")
+	}
+	// a is pinned; inserting b (60) cannot evict it.
+	if c.Put("b", 60) {
+		t.Error("put should fail when only pinned entries could be evicted")
+	}
+	c.Unpin("a")
+	if !c.Put("b", 60) {
+		t.Error("put should succeed after unpin")
+	}
+	if c.Contains("a") {
+		t.Error("a should be evicted after unpin")
+	}
+	if c.Pin("missing") {
+		t.Error("pinning a missing digest should report false")
+	}
+	c.Unpin("missing") // must not panic
+}
+
+func TestLayerCacheRePutRefreshes(t *testing.T) {
+	c := NewLayerCache(100)
+	c.Put("a", 50)
+	c.Put("b", 50)
+	c.Put("a", 50) // refresh recency; no size change
+	if c.Used() != 100 {
+		t.Errorf("used = %v", c.Used())
+	}
+	c.Put("c", 50) // should evict b, not a
+	if !c.Contains("a") || c.Contains("b") {
+		t.Error("refresh did not update recency")
+	}
+}
+
+func TestLayerCacheFlush(t *testing.T) {
+	c := NewLayerCache(100)
+	c.Put("a", 10)
+	c.Pin("a")
+	c.Flush()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Error("flush did not clear")
+	}
+}
+
+func TestLayerCacheInvariantNeverOverCapacity(t *testing.T) {
+	c := NewLayerCache(1000)
+	for i := 0; i < 500; i++ {
+		d := string(rune('a'+i%26)) + string(rune('0'+i%10))
+		c.Put(d, units.Bytes(50+i%200))
+		if c.Used() > c.Capacity() {
+			t.Fatalf("iteration %d: used %v > capacity %v", i, c.Used(), c.Capacity())
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package game
+
+// Learning dynamics: best-response iteration and fictitious play. DEEP's
+// scheduler uses best-response dynamics over congestion-style payoffs, which
+// converge for finite potential games.
+
+// BestResponseDynamics iterates simultaneous pure best responses from the
+// given pure starting profile (rowIdx, colIdx) until a fixed point (a pure
+// Nash equilibrium) or the iteration budget is exhausted. It reports whether
+// it converged.
+func (g *Game) BestResponseDynamics(rowIdx, colIdx, maxIters int) (row, col int, converged bool) {
+	rows, cols := g.Shape()
+	if rowIdx < 0 || rowIdx >= rows || colIdx < 0 || colIdx >= cols {
+		panic("game: starting profile out of range")
+	}
+	r, c := rowIdx, colIdx
+	for iter := 0; iter < maxIters; iter++ {
+		br := g.BestResponsesRow(Pure(cols, c))
+		nr := preferStable(br, r)
+		bc := g.BestResponsesCol(Pure(rows, nr))
+		nc := preferStable(bc, c)
+		if nr == r && nc == c {
+			return r, c, true
+		}
+		r, c = nr, nc
+	}
+	return r, c, false
+}
+
+// preferStable keeps the current index when it is among the best responses,
+// which makes the dynamics settle instead of oscillating between ties.
+func preferStable(best []int, current int) int {
+	for _, b := range best {
+		if b == current {
+			return current
+		}
+	}
+	return best[0]
+}
+
+// FictitiousPlay runs the classic fictitious-play learning process for the
+// given number of rounds, starting from the provided pure actions, and
+// returns the empirical mixed strategies. For zero-sum games these converge
+// to equilibrium strategies.
+func (g *Game) FictitiousPlay(rowStart, colStart, rounds int) (rowEmp, colEmp []float64) {
+	rows, cols := g.Shape()
+	rowCount := make([]float64, rows)
+	colCount := make([]float64, cols)
+	rowCount[rowStart]++
+	colCount[colStart]++
+	for t := 1; t < rounds; t++ {
+		// Each player best-responds to the opponent's empirical mixture.
+		colEmp := normalized(colCount)
+		rowBR := g.BestResponsesRow(colEmp)[0]
+		rowEmpV := normalized(rowCount)
+		colBR := g.BestResponsesCol(rowEmpV)[0]
+		rowCount[rowBR]++
+		colCount[colBR]++
+	}
+	return normalized(rowCount), normalized(colCount)
+}
+
+func normalized(v []float64) []float64 {
+	out := make([]float64, len(v))
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / s
+	}
+	return out
+}
+
+// Regret returns the maximum payoff either player forgoes at (x, y) relative
+// to its best response — zero exactly at Nash equilibria.
+func (g *Game) Regret(x, y []float64) float64 {
+	rowU := g.A.MulVec(y)
+	colU := g.B.VecMul(x)
+	curRow, curCol := g.Payoffs(x, y)
+	worst := 0.0
+	for _, u := range rowU {
+		if d := u - curRow; d > worst {
+			worst = d
+		}
+	}
+	for _, u := range colU {
+		if d := u - curCol; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,192 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// Game is a two-player bimatrix game in normal form. A holds the row
+// player's payoffs and B the column player's; both are Rows×Cols. Payoffs
+// are utilities: each player prefers larger values.
+type Game struct {
+	A, B *Matrix
+	// RowLabels and ColLabels optionally name the strategies for reporting.
+	RowLabels, ColLabels []string
+}
+
+// New constructs a bimatrix game from the two payoff matrices. The matrices
+// must have identical shape.
+func New(a, b *Matrix) *Game {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("game: payoff shape mismatch: %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	return &Game{A: a, B: b}
+}
+
+// NewZeroSum constructs the zero-sum game with row payoffs a and column
+// payoffs -a.
+func NewZeroSum(a *Matrix) *Game {
+	b := a.Clone().Scale(-1)
+	return New(a, b)
+}
+
+// Shape returns the number of row and column strategies.
+func (g *Game) Shape() (rows, cols int) { return g.A.Rows, g.A.Cols }
+
+// Payoffs returns the expected payoffs (row, column) when the row player
+// plays mixed strategy x and the column player plays y.
+func (g *Game) Payoffs(x, y []float64) (rowPayoff, colPayoff float64) {
+	return g.A.Quad(x, y), g.B.Quad(x, y)
+}
+
+// Profile is a pair of (possibly mixed) strategies, one per player. Pure
+// strategies are probability vectors with a single 1.
+type Profile struct {
+	Row, Col []float64
+}
+
+// RowSupport returns the indices of row strategies played with probability
+// greater than tol.
+func (p Profile) RowSupport() []int { return support(p.Row, supportTol) }
+
+// ColSupport returns the indices of column strategies played with
+// probability greater than tol.
+func (p Profile) ColSupport() []int { return support(p.Col, supportTol) }
+
+const supportTol = 1e-9
+
+func support(v []float64, tol float64) []int {
+	var s []int
+	for i, p := range v {
+		if p > tol {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// Pure returns a pure strategy vector of length n with probability 1 on i.
+func Pure(n, i int) []float64 {
+	v := make([]float64, n)
+	v[i] = 1
+	return v
+}
+
+// Uniform returns the uniform mixed strategy of length n.
+func Uniform(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	return v
+}
+
+// BestResponsesRow returns the row indices that maximize the row player's
+// expected payoff against the column strategy y.
+func (g *Game) BestResponsesRow(y []float64) []int {
+	u := g.A.MulVec(y)
+	return argmaxAll(u)
+}
+
+// BestResponsesCol returns the column indices that maximize the column
+// player's expected payoff against the row strategy x.
+func (g *Game) BestResponsesCol(x []float64) []int {
+	u := g.B.VecMul(x)
+	return argmaxAll(u)
+}
+
+func argmaxAll(u []float64) []int {
+	if len(u) == 0 {
+		return nil
+	}
+	best := u[0]
+	for _, v := range u[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	var idx []int
+	for i, v := range u {
+		if v >= best-1e-9 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// IsNash reports whether the profile (x, y) is a Nash equilibrium to within
+// tolerance tol: no pure-strategy deviation improves either player's payoff
+// by more than tol.
+func (g *Game) IsNash(x, y []float64, tol float64) bool {
+	rowU := g.A.MulVec(y) // payoff of each pure row strategy vs y
+	colU := g.B.VecMul(x) // payoff of each pure col strategy vs x
+	curRow, curCol := g.Payoffs(x, y)
+	for _, u := range rowU {
+		if u > curRow+tol {
+			return false
+		}
+	}
+	for _, u := range colU {
+		if u > curCol+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// PureNash enumerates all pure-strategy Nash equilibria.
+func (g *Game) PureNash() []Profile {
+	rows, cols := g.Shape()
+	var out []Profile
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if g.isPureNash(i, j) {
+				out = append(out, Profile{Row: Pure(rows, i), Col: Pure(cols, j)})
+			}
+		}
+	}
+	return out
+}
+
+func (g *Game) isPureNash(i, j int) bool {
+	aij := g.A.At(i, j)
+	for r := 0; r < g.A.Rows; r++ {
+		if g.A.At(r, j) > aij+1e-12 {
+			return false
+		}
+	}
+	bij := g.B.At(i, j)
+	for c := 0; c < g.B.Cols; c++ {
+		if g.B.At(i, c) > bij+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// SocialWelfare returns the sum of both players' payoffs at (x, y).
+func (g *Game) SocialWelfare(x, y []float64) float64 {
+	r, c := g.Payoffs(x, y)
+	return r + c
+}
+
+// SelectEquilibrium picks, among the provided equilibria, the one that
+// maximizes social welfare; ties are broken toward the row player's payoff
+// and then toward the lexicographically smallest support. It returns false
+// when the slice is empty.
+func (g *Game) SelectEquilibrium(eqs []Profile) (Profile, bool) {
+	if len(eqs) == 0 {
+		return Profile{}, false
+	}
+	best := eqs[0]
+	bestW := g.SocialWelfare(best.Row, best.Col)
+	bestR, _ := g.Payoffs(best.Row, best.Col)
+	for _, e := range eqs[1:] {
+		w := g.SocialWelfare(e.Row, e.Col)
+		r, _ := g.Payoffs(e.Row, e.Col)
+		if w > bestW+1e-12 || (math.Abs(w-bestW) <= 1e-12 && r > bestR+1e-12) {
+			best, bestW, bestR = e, w, r
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,245 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Lemke-Howson computes a single Nash equilibrium of a bimatrix game by
+// complementary pivoting on a pair of tableaux, as in nashpy's
+// lemke_howson. Payoff matrices are first shifted to be strictly positive,
+// which leaves the equilibrium set unchanged.
+
+// ErrCycling is returned when Lemke-Howson fails to terminate within the
+// pivot budget, which indicates a degenerate game for the chosen label.
+var ErrCycling = errors.New("game: lemke-howson cycled (degenerate game)")
+
+// LemkeHowson runs the Lemke-Howson algorithm with the given initial
+// dropped label in [0, rows+cols). Labels 0..rows-1 belong to row
+// strategies, rows..rows+cols-1 to column strategies. It returns one Nash
+// equilibrium.
+func (g *Game) LemkeHowson(initialLabel int) (Profile, error) {
+	rows, cols := g.Shape()
+	if initialLabel < 0 || initialLabel >= rows+cols {
+		return Profile{}, fmt.Errorf("game: label %d out of range [0,%d)", initialLabel, rows+cols)
+	}
+
+	// Shift payoffs strictly positive; this preserves the equilibrium set.
+	shift := 0.0
+	if mn := g.A.Min(); mn <= 0 && -mn+1 > shift {
+		shift = -mn + 1
+	}
+	if mn := g.B.Min(); mn <= 0 && -mn+1 > shift {
+		shift = -mn + 1
+	}
+	a := g.A.Clone().Shift(shift)
+	b := g.B.Clone().Shift(shift)
+
+	// Column tableau: rows indexed by row-strategy slack labels 0..rows-1,
+	// z variables are the row-player strategy variables? Standard LH setup:
+	//   Tableau 1 (for the column player's polytope): Bᵀ, slacks labeled by
+	//   column strategies, z variables labeled by row strategies → holds x.
+	//   Tableau 2 (row player's polytope): A, slacks labeled by row
+	//   strategies, z variables labeled by column strategies → holds y.
+	// We follow nashpy: row_tableau built from A (basis: row slack labels
+	// 0..rows-1 — wait, nashpy labels slacks of the *col* tableau with row
+	// labels). Concretely:
+	//   colTab: matrix Bᵀ (cols×rows): basic slack labels rows..rows+cols-1,
+	//           z labels 0..rows-1. Basic solutions give x (row strategy).
+	//   rowTab: matrix A (rows×cols): basic slack labels 0..rows-1,
+	//           z labels rows..rows+cols-1. Basic solutions give y.
+	colTab := newTableau(b.Transpose(), rows, cols, 0, rows)
+	rowTab := newTableau(a, 0, rows, rows, cols)
+
+	label := initialLabel
+	// The tableau to pivot is the one where `label` is currently basic
+	// (as a slack); initially all slacks are basic in their own tableau.
+	var cur *tableau
+	if colTab.hasBasic(label) {
+		cur = colTab
+	} else {
+		cur = rowTab
+	}
+	other := func(t *tableau) *tableau {
+		if t == colTab {
+			return rowTab
+		}
+		return colTab
+	}
+	// First pivot: bring `label`'s complementary variable in? The classic
+	// statement: drop label k; in the polytope where k was basic, pivot in
+	// the variable with label k is *leaving*... Following nashpy: start by
+	// entering `label` into the tableau where it is NOT basic.
+	cur = other(cur)
+
+	budget := 16 * (rows + cols) * (rows + cols)
+	if budget < 512 {
+		budget = 512
+	}
+	enter := label
+	for iter := 0; ; iter++ {
+		if iter > budget {
+			return Profile{}, ErrCycling
+		}
+		dropped, ok := cur.pivot(enter)
+		if !ok {
+			return Profile{}, ErrCycling
+		}
+		if dropped == initialLabel {
+			break
+		}
+		enter = dropped
+		cur = other(cur)
+	}
+
+	x := colTab.extract(0, rows)
+	y := rowTab.extract(rows, cols)
+	if !normalize(x) || !normalize(y) {
+		return Profile{}, ErrCycling
+	}
+	return Profile{Row: x, Col: y}, nil
+}
+
+// LemkeHowsonAny tries each label in turn and returns the first equilibrium
+// verified by IsNash. It falls back to support enumeration when every label
+// cycles (degenerate games).
+func (g *Game) LemkeHowsonAny() (Profile, error) {
+	rows, cols := g.Shape()
+	for label := 0; label < rows+cols; label++ {
+		p, err := g.LemkeHowson(label)
+		if err != nil {
+			continue
+		}
+		if g.IsNash(p.Row, p.Col, 1e-6) {
+			return p, nil
+		}
+	}
+	eqs := g.SupportEnumeration()
+	if p, ok := g.SelectEquilibrium(eqs); ok {
+		return p, nil
+	}
+	return Profile{}, ErrCycling
+}
+
+// tableau is a dictionary-form tableau for complementary pivoting. Each row
+// corresponds to one basic variable; columns cover every label plus a
+// constant column.
+type tableau struct {
+	nVars  int
+	labels []int       // basic variable label per tableau row
+	colMap []int       // label -> column index
+	rows   [][]float64 // each of length nVars+1; last entry is the constant
+}
+
+// newTableau builds the tableau for the system s + M·z = 1. Slack variables
+// carry labels [slackBase, slackBase+nSlacks) — one per matrix row — and the
+// z variables carry labels [zBase, zBase+nZ) — one per matrix column.
+func newTableau(m *Matrix, slackBase, nSlacks, zBase, nZ int) *tableau {
+	if m.Rows != nSlacks || m.Cols != nZ {
+		panic("game: tableau shape mismatch")
+	}
+	nVars := nSlacks + nZ
+	t := &tableau{
+		nVars:  nVars,
+		labels: make([]int, nSlacks),
+		colMap: make([]int, nVars),
+		rows:   make([][]float64, nSlacks),
+	}
+	for i := 0; i < nSlacks; i++ {
+		t.colMap[slackBase+i] = i
+	}
+	for j := 0; j < nZ; j++ {
+		t.colMap[zBase+j] = nSlacks + j
+	}
+	for i := 0; i < nSlacks; i++ {
+		row := make([]float64, nVars+1)
+		row[i] = 1 // slack coefficient
+		for j := 0; j < nZ; j++ {
+			row[nSlacks+j] = m.At(i, j)
+		}
+		row[nVars] = 1
+		t.rows[i] = row
+		t.labels[i] = slackBase + i
+	}
+	return t
+}
+
+// hasBasic reports whether the label is currently basic.
+func (t *tableau) hasBasic(label int) bool {
+	for _, l := range t.labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot brings the variable with the given label into the basis using a
+// minimum-ratio test and returns the label of the variable that left.
+func (t *tableau) pivot(enter int) (dropped int, ok bool) {
+	col := t.colMap[enter]
+	bestRow := -1
+	bestRatio := 0.0
+	for i, row := range t.rows {
+		c := row[col]
+		if c > 1e-12 {
+			ratio := row[t.nVars] / c
+			if bestRow == -1 || ratio < bestRatio-1e-12 {
+				bestRow, bestRatio = i, ratio
+			}
+		}
+	}
+	if bestRow == -1 {
+		return 0, false
+	}
+	prow := t.rows[bestRow]
+	pv := prow[col]
+	for j := range prow {
+		prow[j] /= pv
+	}
+	for i, row := range t.rows {
+		if i == bestRow {
+			continue
+		}
+		f := row[col]
+		if f == 0 {
+			continue
+		}
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+	}
+	dropped = t.labels[bestRow]
+	t.labels[bestRow] = enter
+	return dropped, true
+}
+
+// extract returns the values of the variables carrying labels [base,
+// base+n), taking value 0 when non-basic.
+func (t *tableau) extract(base, n int) []float64 {
+	out := make([]float64, n)
+	for i, l := range t.labels {
+		if l >= base && l < base+n {
+			v := t.rows[i][t.nVars]
+			if v < 0 {
+				v = 0
+			}
+			out[l-base] = v
+		}
+	}
+	return out
+}
+
+func normalize(v []float64) bool {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s <= 1e-12 {
+		return false
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return true
+}

@@ -1,0 +1,249 @@
+// Package game implements the two-player game-theoretic machinery DEEP uses
+// for scheduling: bimatrix games, pure and mixed Nash equilibria (support
+// enumeration and Lemke-Howson), iterated elimination of strictly dominated
+// strategies, and best-response dynamics. It is a from-scratch replacement
+// for the Nashpy library the paper used.
+package game
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64 payoffs.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("game: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFrom builds a matrix from a slice of rows. All rows must have equal
+// length.
+func MatrixFrom(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("game: ragged matrix: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.Cols)
+	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Transpose returns a new transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Scale multiplies every element by f in place and returns the receiver.
+func (m *Matrix) Scale(f float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= f
+	}
+	return m
+}
+
+// Shift adds f to every element in place and returns the receiver.
+func (m *Matrix) Shift(f float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] += f
+	}
+	return m
+}
+
+// Min returns the smallest element. It panics on an empty matrix.
+func (m *Matrix) Min() float64 {
+	if len(m.Data) == 0 {
+		panic("game: Min of empty matrix")
+	}
+	min := m.Data[0]
+	for _, v := range m.Data[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the largest element. It panics on an empty matrix.
+func (m *Matrix) Max() float64 {
+	if len(m.Data) == 0 {
+		panic("game: Max of empty matrix")
+	}
+	max := m.Data[0]
+	for _, v := range m.Data[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MulVec returns m · x (length must equal Cols).
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("game: MulVec dim mismatch: %d vs %d", len(x), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMul returns xᵀ · m (length must equal Rows).
+func (m *Matrix) VecMul(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("game: VecMul dim mismatch: %d vs %d", len(x), m.Rows))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// Quad returns xᵀ · m · y.
+func (m *Matrix) Quad(x, y []float64) float64 {
+	my := m.MulVec(y)
+	s := 0.0
+	for i, v := range x {
+		s += v * my[i]
+	}
+	return s
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteByte('[')
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// SolveLinear solves the square system A·x = b by Gaussian elimination with
+// partial pivoting. It returns false when A is singular (to within a small
+// pivot tolerance).
+func SolveLinear(a *Matrix, b []float64) ([]float64, bool) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("game: SolveLinear requires a square system")
+	}
+	// Work on augmented copies.
+	m := a.Clone()
+	rhs := make([]float64, n)
+	copy(rhs, b)
+
+	const tol = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < tol {
+			return nil, false
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				vp, vc := m.At(pivot, j), m.At(col, j)
+				m.Set(pivot, j, vc)
+				m.Set(col, j, vp)
+			}
+			rhs[pivot], rhs[col] = rhs[col], rhs[pivot]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Set(r, j, m.At(r, j)-f*m.At(col, j))
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := rhs[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, true
+}

@@ -1,0 +1,177 @@
+package game
+
+// Support enumeration computes all Nash equilibria of a nondegenerate
+// bimatrix game by testing every pair of equal-size supports, mirroring
+// nashpy's support_enumeration. For each candidate support pair (I, J) with
+// |I| = |J| = k it solves the indifference conditions: a mixed strategy y on
+// J making every row in I indifferent (and no row outside I better), and a
+// mixed strategy x on I making every column in J indifferent (and no column
+// outside J better).
+
+// SupportEnumeration returns all Nash equilibria found by support
+// enumeration. For degenerate games the result may omit equilibria with
+// mismatched support sizes, as is standard for this method.
+func (g *Game) SupportEnumeration() []Profile {
+	rows, cols := g.Shape()
+	var out []Profile
+	maxK := rows
+	if cols < maxK {
+		maxK = cols
+	}
+	for k := 1; k <= maxK; k++ {
+		rowSupports := combinations(rows, k)
+		colSupports := combinations(cols, k)
+		for _, I := range rowSupports {
+			for _, J := range colSupports {
+				if p, ok := g.trySupportPair(I, J); ok {
+					if !containsProfile(out, p) {
+						out = append(out, p)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// trySupportPair attempts to construct an equilibrium with row support I and
+// column support J.
+func (g *Game) trySupportPair(I, J []int) (Profile, bool) {
+	rows, cols := g.Shape()
+	k := len(I)
+
+	// Solve for y (column strategy over J): rows in I indifferent under A.
+	// Unknowns: y_j for j in J plus the common payoff v. Equations:
+	// sum_j A[i][j] y_j - v = 0 for i in I, and sum_j y_j = 1.
+	y, vRow, ok := solveIndifference(g.A, I, J)
+	if !ok {
+		return Profile{}, false
+	}
+	// Solve for x (row strategy over I): columns in J indifferent under B.
+	x, vCol, ok := solveIndifference(g.B.Transpose(), J, I)
+	if !ok {
+		return Profile{}, false
+	}
+
+	// Expand into full-length vectors.
+	fullY := make([]float64, cols)
+	for idx, j := range J {
+		if y[idx] < -1e-9 {
+			return Profile{}, false
+		}
+		if y[idx] < 0 {
+			y[idx] = 0
+		}
+		fullY[j] = y[idx]
+	}
+	fullX := make([]float64, rows)
+	for idx, i := range I {
+		if x[idx] < -1e-9 {
+			return Profile{}, false
+		}
+		if x[idx] < 0 {
+			x[idx] = 0
+		}
+		fullX[i] = x[idx]
+	}
+
+	// Best-response conditions: no strategy outside the support may earn
+	// strictly more than the support payoff.
+	rowU := g.A.MulVec(fullY)
+	for i := 0; i < rows; i++ {
+		if rowU[i] > vRow+1e-9 {
+			return Profile{}, false
+		}
+	}
+	colU := g.B.VecMul(fullX)
+	for j := 0; j < cols; j++ {
+		if colU[j] > vCol+1e-9 {
+			return Profile{}, false
+		}
+	}
+	_ = k
+	return Profile{Row: fullX, Col: fullY}, true
+}
+
+// solveIndifference solves for a mixed strategy over support J of the
+// column player making every row in I indifferent under payoff matrix A.
+// It returns the strategy restricted to J and the common payoff.
+func solveIndifference(a *Matrix, I, J []int) (strategy []float64, payoff float64, ok bool) {
+	k := len(I)
+	if len(J) != k {
+		return nil, 0, false
+	}
+	// System of k+1 unknowns: y_0..y_{k-1}, v.
+	n := k + 1
+	m := NewMatrix(n, n)
+	b := make([]float64, n)
+	for r, i := range I {
+		for c, j := range J {
+			m.Set(r, c, a.At(i, j))
+		}
+		m.Set(r, k, -1) // -v
+		b[r] = 0
+	}
+	for c := 0; c < k; c++ {
+		m.Set(k, c, 1)
+	}
+	b[k] = 1
+	sol, solved := SolveLinear(m, b)
+	if !solved {
+		return nil, 0, false
+	}
+	return sol[:k], sol[k], true
+}
+
+// combinations enumerates all k-element subsets of {0..n-1} in
+// lexicographic order.
+func combinations(n, k int) [][]int {
+	if k > n || k <= 0 {
+		return nil
+	}
+	var out [][]int
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		c := make([]int, k)
+		copy(c, idx)
+		out = append(out, c)
+		// Advance.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return out
+}
+
+func containsProfile(list []Profile, p Profile) bool {
+	for _, q := range list {
+		if vecClose(q.Row, p.Row, 1e-6) && vecClose(q.Col, p.Col, 1e-6) {
+			return true
+		}
+	}
+	return false
+}
+
+func vecClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		d := a[i] - b[i]
+		if d > tol || d < -tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+// Package hub simulates Docker Hub: a V2-protocol registry fronted by a
+// content delivery network with geographically assigned points of presence,
+// per-PoP bandwidth, and anonymous pull rate limiting — the observable
+// behaviours of the real service that matter to DEEP's deployment-time
+// model.
+package hub
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"deep/internal/netsim"
+	"deep/internal/registry"
+	"deep/internal/units"
+)
+
+// PoP is one CDN point of presence.
+type PoP struct {
+	Name string
+	// Bandwidth served to clients assigned here.
+	Bandwidth units.Bandwidth
+}
+
+// Config tunes the simulator.
+type Config struct {
+	// PoPs is the CDN footprint; clients hash onto one. Empty means a
+	// single unlimited PoP.
+	PoPs []PoP
+	// RateLimit caps pulls per client within Window; 0 disables limiting.
+	// (Docker Hub's anonymous limit is 100 pulls / 6 h.)
+	RateLimit int
+	Window    time.Duration
+	// SetupDelay models the fixed per-pull overhead (auth, manifest
+	// round-trips) in seconds; exposed for reports, not enforced in
+	// wall-clock time.
+	SetupDelay float64
+}
+
+// Hub wraps a registry with the CDN/rate-limit front end.
+type Hub struct {
+	cfg Config
+	reg *registry.Registry
+
+	mu    sync.Mutex
+	now   func() time.Time
+	pulls map[string][]time.Time // client -> pull timestamps in window
+}
+
+// New returns a hub over the given backing registry.
+func New(reg *registry.Registry, cfg Config) *Hub {
+	if len(cfg.PoPs) == 0 {
+		cfg.PoPs = []PoP{{Name: "global", Bandwidth: 0}}
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 6 * time.Hour
+	}
+	return &Hub{cfg: cfg, reg: reg, now: time.Now, pulls: make(map[string][]time.Time)}
+}
+
+// Registry exposes the backing registry (for seeding).
+func (h *Hub) Registry() *registry.Registry { return h.reg }
+
+// SetClock injects a deterministic clock for tests.
+func (h *Hub) SetClock(f func() time.Time) { h.now = f }
+
+// AssignPoP deterministically maps a client to a CDN point of presence,
+// emulating geo-DNS: the same client always lands on the same PoP.
+func (h *Hub) AssignPoP(client string) PoP {
+	hash := fnv.New32a()
+	_, _ = io.WriteString(hash, client)
+	return h.cfg.PoPs[int(hash.Sum32())%len(h.cfg.PoPs)]
+}
+
+// RecordPull applies the rate limit for one client pull. It returns
+// ErrRateLimited when the client exhausted its window budget.
+func (h *Hub) RecordPull(client string) error {
+	if h.cfg.RateLimit <= 0 {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.now()
+	cutoff := now.Add(-h.cfg.Window)
+	kept := h.pulls[client][:0]
+	for _, t := range h.pulls[client] {
+		if t.After(cutoff) {
+			kept = append(kept, t)
+		}
+	}
+	if len(kept) >= h.cfg.RateLimit {
+		h.pulls[client] = kept
+		return fmt.Errorf("%w: client %s exceeded %d pulls per %s",
+			registry.ErrRateLimited, client, h.cfg.RateLimit, h.cfg.Window)
+	}
+	h.pulls[client] = append(kept, now)
+	return nil
+}
+
+// RemainingPulls returns the client's unused budget in the current window
+// (or RateLimit when limiting is disabled).
+func (h *Hub) RemainingPulls(client string) int {
+	if h.cfg.RateLimit <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cutoff := h.now().Add(-h.cfg.Window)
+	n := 0
+	for _, t := range h.pulls[client] {
+		if t.After(cutoff) {
+			n++
+		}
+	}
+	return h.cfg.RateLimit - n
+}
+
+// Server builds an HTTP server for the hub whose blob responses are
+// throttled to the client's PoP bandwidth and gated by the rate limiter.
+// client identifies the caller for PoP assignment and limiting (a real CDN
+// keys on the source address; our emulation keys on a name).
+func (h *Hub) Server(client string) *registry.Server {
+	srv := registry.NewServer(h.reg)
+	pop := h.AssignPoP(client)
+	if pop.Bandwidth > 0 {
+		srv.Throttle = func(_ string, r io.Reader) io.Reader {
+			return netsim.NewRateLimitedReader(r, pop.Bandwidth)
+		}
+	}
+	srv.PullGate = func(string) error { return h.RecordPull(client) }
+	return srv
+}
+
+// DeployTime returns the modeled pull latency for size bytes by a client:
+// the fixed setup delay plus the transfer at the assigned PoP's bandwidth.
+func (h *Hub) DeployTime(client string, size units.Bytes) float64 {
+	pop := h.AssignPoP(client)
+	if pop.Bandwidth <= 0 {
+		return h.cfg.SetupDelay
+	}
+	return h.cfg.SetupDelay + pop.Bandwidth.Seconds(size)
+}
+
+// PoPNames lists the configured PoPs, sorted.
+func (h *Hub) PoPNames() []string {
+	names := make([]string, 0, len(h.cfg.PoPs))
+	for _, p := range h.cfg.PoPs {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,118 @@
+package hub
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"deep/internal/registry"
+	"deep/internal/units"
+)
+
+func newHub(cfg Config) *Hub {
+	return New(registry.New(registry.NewMemDriver()), cfg)
+}
+
+func TestAssignPoPDeterministic(t *testing.T) {
+	h := newHub(Config{PoPs: []PoP{
+		{Name: "eu-west", Bandwidth: 25 * units.MBps},
+		{Name: "us-east", Bandwidth: 30 * units.MBps},
+	}})
+	first := h.AssignPoP("medium")
+	for i := 0; i < 10; i++ {
+		if h.AssignPoP("medium") != first {
+			t.Fatal("PoP assignment not sticky")
+		}
+	}
+}
+
+func TestDefaultPoP(t *testing.T) {
+	h := newHub(Config{})
+	if got := h.PoPNames(); len(got) != 1 || got[0] != "global" {
+		t.Errorf("default PoPs = %v", got)
+	}
+}
+
+func TestRateLimitWindow(t *testing.T) {
+	h := newHub(Config{RateLimit: 2, Window: time.Hour})
+	now := time.Unix(0, 0)
+	h.SetClock(func() time.Time { return now })
+
+	if err := h.RecordPull("pi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RecordPull("pi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RecordPull("pi"); !errors.Is(err, registry.ErrRateLimited) {
+		t.Fatalf("third pull should be limited: %v", err)
+	}
+	if got := h.RemainingPulls("pi"); got != 0 {
+		t.Errorf("remaining = %d", got)
+	}
+	// Another client is unaffected.
+	if err := h.RecordPull("other"); err != nil {
+		t.Errorf("independent client limited: %v", err)
+	}
+	// The window slides: an hour later the budget refills.
+	now = now.Add(61 * time.Minute)
+	if err := h.RecordPull("pi"); err != nil {
+		t.Errorf("budget should refill: %v", err)
+	}
+}
+
+func TestRateLimitDisabled(t *testing.T) {
+	h := newHub(Config{})
+	for i := 0; i < 1000; i++ {
+		if err := h.RecordPull("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeployTime(t *testing.T) {
+	h := newHub(Config{
+		PoPs:       []PoP{{Name: "only", Bandwidth: 10 * units.MBps}},
+		SetupDelay: 2,
+	})
+	got := h.DeployTime("client", 100*units.MB)
+	if got != 12 {
+		t.Errorf("deploy time = %v, want 12", got)
+	}
+}
+
+func TestServerIntegration(t *testing.T) {
+	h := newHub(Config{RateLimit: 1, Window: time.Hour})
+	now := time.Unix(0, 0)
+	h.SetClock(func() time.Time { return now })
+
+	// Seed an image directly into the backing registry.
+	cfgBlob := []byte("{}")
+	layer := []byte("layer-bytes")
+	reg := h.Registry()
+	if err := reg.PutBlob(registry.DigestOf(cfgBlob), cfgBlob); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.PutBlob(registry.DigestOf(layer), layer); err != nil {
+		t.Fatal(err)
+	}
+	m := registry.Manifest{SchemaVersion: 2, MediaType: registry.MediaTypeManifest,
+		Config: registry.Descriptor{MediaType: registry.MediaTypeConfig, Size: 2, Digest: registry.DigestOf(cfgBlob)},
+		Layers: []registry.Descriptor{{MediaType: registry.MediaTypeLayer, Size: int64(len(layer)), Digest: registry.DigestOf(layer)}}}
+	raw, _ := registry.MarshalCanonical(m)
+	if _, err := reg.PutManifest("sina88/vp-transcode", "amd64", registry.MediaTypeManifest, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := h.Server("medium")
+	if srv == nil {
+		t.Fatal("no server")
+	}
+	// First manifest GET consumes the pull budget; the next is limited.
+	if err := h.RecordPull("medium"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RecordPull("medium"); !errors.Is(err, registry.ErrRateLimited) {
+		t.Errorf("expected rate limit: %v", err)
+	}
+}

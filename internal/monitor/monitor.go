@@ -1,0 +1,235 @@
+// Package monitor is DEEP's monitoring subsystem (the logging box of the
+// paper's Figure 1): a metrics registry of counters, gauges, and histograms,
+// an event log, and JSON export for offline analysis.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Metrics is a registry of named instruments. The zero value is not usable;
+// call NewMetrics.
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]float64
+	gauges     map[string]float64
+	histograms map[string]*histogram
+	events     []Event
+}
+
+// Event is one log entry with virtual timestamp and labeled fields.
+type Event struct {
+	At     float64           `json:"at"`
+	Kind   string            `json:"kind"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+type histogram struct {
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+	// fixed log-scaled buckets: bucket i counts values < 10^(i-6).
+	buckets [14]int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   make(map[string]float64),
+		gauges:     make(map[string]float64),
+		histograms: make(map[string]*histogram),
+	}
+}
+
+// Inc adds delta to a counter.
+func (m *Metrics) Inc(name string, delta float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counters[name] += delta
+}
+
+// Counter reads a counter (0 when unset).
+func (m *Metrics) Counter(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// SetGauge sets a gauge to a value.
+func (m *Metrics) SetGauge(name string, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges[name] = v
+}
+
+// Gauge reads a gauge and whether it was ever set.
+func (m *Metrics) Gauge(name string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.gauges[name]
+	return v, ok
+}
+
+// Observe records a value into a histogram.
+func (m *Metrics) Observe(name string, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.histograms[name]
+	if !ok {
+		h = &histogram{min: math.Inf(1), max: math.Inf(-1)}
+		m.histograms[name] = h
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	idx := 0
+	if v > 0 {
+		idx = int(math.Floor(math.Log10(v))) + 7
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+}
+
+// HistogramStats summarizes a histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// Histogram returns a histogram's summary and whether it exists.
+func (m *Metrics) Histogram(name string) (HistogramStats, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.histograms[name]
+	if !ok {
+		return HistogramStats{}, false
+	}
+	return HistogramStats{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		Mean: h.sum / float64(h.count),
+	}, true
+}
+
+// Log appends an event.
+func (m *Metrics) Log(at float64, kind string, fields map[string]string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var copied map[string]string
+	if len(fields) > 0 {
+		copied = make(map[string]string, len(fields))
+		for k, v := range fields {
+			copied[k] = v
+		}
+	}
+	m.events = append(m.events, Event{At: at, Kind: kind, Fields: copied})
+}
+
+// Events returns a copy of the event log in insertion order.
+func (m *Metrics) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// EventsOfKind filters the event log.
+func (m *Metrics) EventsOfKind(kind string) []Event {
+	var out []Event
+	for _, e := range m.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// snapshot is the JSON export document.
+type snapshot struct {
+	Counters   map[string]float64        `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+	Events     []Event                   `json:"events,omitempty"`
+}
+
+// ExportJSON serializes the full registry deterministically.
+func (m *Metrics) ExportJSON() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := snapshot{
+		Counters: make(map[string]float64, len(m.counters)),
+		Gauges:   make(map[string]float64, len(m.gauges)),
+		Events:   m.events,
+	}
+	for k, v := range m.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range m.gauges {
+		s.Gauges[k] = v
+	}
+	if len(m.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramStats, len(m.histograms))
+		for k, h := range m.histograms {
+			s.Histograms[k] = HistogramStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Mean: h.sum / float64(h.count)}
+		}
+	}
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Summary renders a stable human-readable dump.
+func (m *Metrics) Summary() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for k := range m.counters {
+		names = append(names, "counter "+k)
+	}
+	for k := range m.gauges {
+		names = append(names, "gauge "+k)
+	}
+	for k := range m.histograms {
+		names = append(names, "histogram "+k)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		kind, key, _ := cut(n, " ")
+		switch kind {
+		case "counter":
+			out += fmt.Sprintf("%s = %g\n", n, m.counters[key])
+		case "gauge":
+			out += fmt.Sprintf("%s = %g\n", n, m.gauges[key])
+		case "histogram":
+			h := m.histograms[key]
+			out += fmt.Sprintf("%s: n=%d mean=%.3g min=%.3g max=%.3g\n", n, h.count, h.sum/float64(h.count), h.min, h.max)
+		}
+	}
+	return out
+}
+
+func cut(s, sep string) (before, after string, found bool) {
+	for i := 0; i+len(sep) <= len(s); i++ {
+		if s[i:i+len(sep)] == sep {
+			return s[:i], s[i+len(sep):], true
+		}
+	}
+	return s, "", false
+}

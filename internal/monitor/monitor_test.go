@@ -1,0 +1,149 @@
+package monitor
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("pulls", 1)
+	m.Inc("pulls", 2)
+	if got := m.Counter("pulls"); got != 3 {
+		t.Errorf("counter = %v", got)
+	}
+	if got := m.Counter("unset"); got != 0 {
+		t.Errorf("unset counter = %v", got)
+	}
+}
+
+func TestGauges(t *testing.T) {
+	m := NewMetrics()
+	if _, ok := m.Gauge("x"); ok {
+		t.Error("unset gauge should report !ok")
+	}
+	m.SetGauge("x", 42)
+	if v, ok := m.Gauge("x"); !ok || v != 42 {
+		t.Errorf("gauge = %v %v", v, ok)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	m := NewMetrics()
+	for _, v := range []float64{1, 2, 3, 4} {
+		m.Observe("ct", v)
+	}
+	h, ok := m.Histogram("ct")
+	if !ok {
+		t.Fatal("missing histogram")
+	}
+	if h.Count != 4 || h.Sum != 10 || h.Min != 1 || h.Max != 4 || h.Mean != 2.5 {
+		t.Errorf("stats = %+v", h)
+	}
+	if _, ok := m.Histogram("nope"); ok {
+		t.Error("missing histogram reported ok")
+	}
+}
+
+func TestHistogramExtremeValues(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("h", 0)
+	m.Observe("h", 1e12)
+	m.Observe("h", 1e-12)
+	h, _ := m.Histogram("h")
+	if h.Count != 3 {
+		t.Errorf("count = %d", h.Count)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	m := NewMetrics()
+	m.Log(1, "deploy", map[string]string{"ms": "transcode"})
+	m.Log(2, "process", nil)
+	m.Log(3, "deploy", map[string]string{"ms": "frame"})
+	all := m.Events()
+	if len(all) != 3 {
+		t.Fatalf("events = %d", len(all))
+	}
+	deploys := m.EventsOfKind("deploy")
+	if len(deploys) != 2 || deploys[1].Fields["ms"] != "frame" {
+		t.Errorf("deploys = %+v", deploys)
+	}
+}
+
+func TestEventFieldsCopied(t *testing.T) {
+	m := NewMetrics()
+	fields := map[string]string{"k": "v"}
+	m.Log(0, "e", fields)
+	fields["k"] = "mutated"
+	if m.Events()[0].Fields["k"] != "v" {
+		t.Error("event fields alias caller map")
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("c", 1)
+	m.SetGauge("g", 2)
+	m.Observe("h", 3)
+	m.Log(0, "e", nil)
+	data, err := m.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"counters", "gauges", "histograms", "events"} {
+		if _, ok := round[key]; !ok {
+			t.Errorf("export missing %q", key)
+		}
+	}
+}
+
+func TestSummaryStable(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("b", 1)
+	m.Inc("a", 1)
+	m.SetGauge("z", 9)
+	s1 := m.Summary()
+	s2 := m.Summary()
+	if s1 != s2 {
+		t.Error("summary not deterministic")
+	}
+	if !strings.Contains(s1, "counter a") || !strings.Contains(s1, "gauge z") {
+		t.Errorf("summary = %q", s1)
+	}
+	ia := strings.Index(s1, "counter a")
+	ib := strings.Index(s1, "counter b")
+	if ia > ib {
+		t.Error("summary not sorted")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Inc("c", 1)
+			m.Observe("h", float64(i))
+			m.Log(float64(i), "e", nil)
+		}(i)
+	}
+	wg.Wait()
+	if got := m.Counter("c"); got != 32 {
+		t.Errorf("counter = %v", got)
+	}
+	if h, _ := m.Histogram("h"); h.Count != 32 {
+		t.Errorf("histogram count = %d", h.Count)
+	}
+	if len(m.Events()) != 32 {
+		t.Errorf("events = %d", len(m.Events()))
+	}
+}

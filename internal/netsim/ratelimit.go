@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"io"
+	"time"
+
+	"deep/internal/units"
+)
+
+// RateLimitedReader throttles an io.Reader to a target bandwidth using a
+// token bucket. It is used by the HTTP emulation path (the real registry and
+// object-store servers) so that wall-clock pull times reflect the modeled
+// link speeds.
+type RateLimitedReader struct {
+	r      io.Reader
+	bw     units.Bandwidth
+	bucket float64 // available bytes
+	last   time.Time
+	burst  float64
+	// now and sleep are injectable for tests.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+// NewRateLimitedReader wraps r, limiting throughput to bw. A non-positive
+// bandwidth means unlimited.
+func NewRateLimitedReader(r io.Reader, bw units.Bandwidth) *RateLimitedReader {
+	rl := &RateLimitedReader{
+		r:     r,
+		bw:    bw,
+		burst: float64(64 * units.KiB),
+		now:   time.Now,
+		sleep: time.Sleep,
+	}
+	rl.bucket = rl.burst
+	return rl
+}
+
+// Read implements io.Reader with throttling.
+func (rl *RateLimitedReader) Read(p []byte) (int, error) {
+	if rl.bw <= 0 {
+		return rl.r.Read(p)
+	}
+	if rl.last.IsZero() {
+		rl.last = rl.now()
+	}
+	// Refill.
+	t := rl.now()
+	rl.bucket += t.Sub(rl.last).Seconds() * float64(rl.bw)
+	if rl.bucket > rl.burst {
+		rl.bucket = rl.burst
+	}
+	rl.last = t
+
+	if rl.bucket < 1 {
+		// Sleep until at least one chunk of tokens is available.
+		need := (1 - rl.bucket) / float64(rl.bw)
+		rl.sleep(time.Duration(need * float64(time.Second)))
+		t = rl.now()
+		rl.bucket += t.Sub(rl.last).Seconds() * float64(rl.bw)
+		rl.last = t
+	}
+	max := int(rl.bucket)
+	if max < 1 {
+		max = 1
+	}
+	if len(p) > max {
+		p = p[:max]
+	}
+	n, err := rl.r.Read(p)
+	rl.bucket -= float64(n)
+	return n, err
+}

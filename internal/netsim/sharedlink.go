@@ -1,0 +1,146 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+
+	"deep/internal/units"
+)
+
+// SharedLinkScheduler computes exact completion times for a set of transfers
+// that start at given times and fairly share one capacity (processor-sharing
+// / TCP-fair model). It replays the piecewise-constant rate allocation:
+// whenever the set of active transfers changes, the per-transfer rate is
+// capacity / active.
+//
+// This is the reference model for the regional registry's uplink; the
+// coarse FairShareTime approximation assumes all transfers overlap fully,
+// while this scheduler handles arbitrary start times.
+type SharedLinkScheduler struct {
+	Capacity units.Bandwidth
+}
+
+// Transfer is one demand on the shared link.
+type Transfer struct {
+	ID    string
+	Start float64 // seconds
+	Size  units.Bytes
+}
+
+// Completion holds the computed finish time of one transfer.
+type Completion struct {
+	ID     string
+	Start  float64
+	Finish float64
+}
+
+// Schedule returns the completion time of every transfer under fair
+// sharing. The result is sorted by finish time (ties by ID).
+func (s SharedLinkScheduler) Schedule(transfers []Transfer) []Completion {
+	if s.Capacity <= 0 {
+		out := make([]Completion, len(transfers))
+		for i, tr := range transfers {
+			out[i] = Completion{ID: tr.ID, Start: tr.Start, Finish: math.Inf(1)}
+		}
+		return out
+	}
+	type active struct {
+		id        string
+		start     float64
+		remaining float64 // bytes
+	}
+	// Event-driven replay: events are transfer arrivals and completions.
+	pending := make([]Transfer, len(transfers))
+	copy(pending, transfers)
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].Start != pending[j].Start {
+			return pending[i].Start < pending[j].Start
+		}
+		return pending[i].ID < pending[j].ID
+	})
+
+	var actives []*active
+	var done []Completion
+	now := 0.0
+	if len(pending) > 0 {
+		now = pending[0].Start
+	}
+	for len(pending) > 0 || len(actives) > 0 {
+		// Next arrival time, if any.
+		nextArrival := math.Inf(1)
+		if len(pending) > 0 {
+			nextArrival = pending[0].Start
+		}
+		if len(actives) == 0 {
+			// Jump to the next arrival.
+			now = nextArrival
+			for len(pending) > 0 && pending[0].Start <= now {
+				tr := pending[0]
+				pending = pending[1:]
+				actives = append(actives, &active{id: tr.ID, start: tr.Start, remaining: float64(tr.Size)})
+			}
+			continue
+		}
+		rate := float64(s.Capacity) / float64(len(actives))
+		// Time until the first active completes at the current rate.
+		minFinish := math.Inf(1)
+		for _, a := range actives {
+			f := a.remaining / rate
+			if f < minFinish {
+				minFinish = f
+			}
+		}
+		horizon := now + minFinish
+		if nextArrival < horizon {
+			// Advance to the arrival, draining proportionally.
+			dt := nextArrival - now
+			for _, a := range actives {
+				a.remaining -= rate * dt
+				if a.remaining < 0 {
+					a.remaining = 0
+				}
+			}
+			now = nextArrival
+			for len(pending) > 0 && pending[0].Start <= now {
+				tr := pending[0]
+				pending = pending[1:]
+				actives = append(actives, &active{id: tr.ID, start: tr.Start, remaining: float64(tr.Size)})
+			}
+			continue
+		}
+		// Advance to the first completion(s).
+		dt := minFinish
+		for _, a := range actives {
+			a.remaining -= rate * dt
+		}
+		now = horizon
+		var still []*active
+		for _, a := range actives {
+			if a.remaining <= 1e-9 {
+				done = append(done, Completion{ID: a.id, Start: a.start, Finish: now})
+			} else {
+				still = append(still, a)
+			}
+		}
+		actives = still
+	}
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Finish != done[j].Finish {
+			return done[i].Finish < done[j].Finish
+		}
+		return done[i].ID < done[j].ID
+	})
+	return done
+}
+
+// MakespanOf returns the latest finish time among the completions, or 0 for
+// an empty slice.
+func MakespanOf(cs []Completion) float64 {
+	m := 0.0
+	for _, c := range cs {
+		if c.Finish > m {
+			m = c.Finish
+		}
+	}
+	return m
+}

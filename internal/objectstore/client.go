@@ -1,0 +1,196 @@
+package objectstore
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client talks to an objectstore.Server (or any S3-subset endpoint) over
+// HTTP, mirroring the MinIO Go client's core surface.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the endpoint (e.g. "http://127.0.0.1:9000").
+func NewClient(endpoint string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(endpoint, "/"), http: hc}
+}
+
+// MakeBucket creates a bucket.
+func (c *Client) MakeBucket(bucket string) error {
+	return c.simple(http.MethodPut, "/"+bucket, nil, http.StatusOK)
+}
+
+// RemoveBucket deletes an empty bucket.
+func (c *Client) RemoveBucket(bucket string) error {
+	return c.simple(http.MethodDelete, "/"+bucket, nil, http.StatusNoContent)
+}
+
+// BucketExists probes a bucket with a HEAD request.
+func (c *Client) BucketExists(bucket string) (bool, error) {
+	resp, err := c.do(http.MethodHead, "/"+bucket, nil, "")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+// PutObject uploads data under bucket/key and returns its ETag.
+func (c *Client) PutObject(bucket, key string, data []byte, contentType string) (string, error) {
+	resp, err := c.do(http.MethodPut, "/"+bucket+"/"+key, bytes.NewReader(data), contentType)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	return strings.Trim(resp.Header.Get("ETag"), `"`), nil
+}
+
+// GetObject downloads bucket/key.
+func (c *Client) GetObject(bucket, key string) ([]byte, ObjectInfo, error) {
+	resp, err := c.do(http.MethodGet, "/"+bucket+"/"+key, nil, "")
+	if err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, ObjectInfo{}, decodeError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	return data, infoFromHeaders(bucket, key, resp), nil
+}
+
+// StatObject returns object metadata without the body.
+func (c *Client) StatObject(bucket, key string) (ObjectInfo, error) {
+	resp, err := c.do(http.MethodHead, "/"+bucket+"/"+key, nil, "")
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ObjectInfo{}, fmt.Errorf("objectstore: stat %s/%s: HTTP %d", bucket, key, resp.StatusCode)
+	}
+	return infoFromHeaders(bucket, key, resp), nil
+}
+
+// RemoveObject deletes bucket/key.
+func (c *Client) RemoveObject(bucket, key string) error {
+	return c.simple(http.MethodDelete, "/"+bucket+"/"+key, nil, http.StatusNoContent)
+}
+
+// ListObjects lists keys under a prefix.
+func (c *Client) ListObjects(bucket, prefix string) ([]ObjectInfo, error) {
+	path := "/" + bucket
+	if prefix != "" {
+		path += "?prefix=" + url.QueryEscape(prefix)
+	}
+	resp, err := c.do(http.MethodGet, path, nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var lr xmlListResult
+	if err := xml.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return nil, fmt.Errorf("objectstore: decode list: %w", err)
+	}
+	out := make([]ObjectInfo, 0, len(lr.Contents))
+	for _, c := range lr.Contents {
+		out = append(out, ObjectInfo{
+			Bucket: bucket, Key: c.Key, Size: c.Size,
+			ETag: strings.Trim(c.ETag, `"`),
+		})
+	}
+	return out, nil
+}
+
+// ListBuckets lists all buckets.
+func (c *Client) ListBuckets() ([]string, error) {
+	resp, err := c.do(http.MethodGet, "/", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var lb xmlBuckets
+	if err := xml.NewDecoder(resp.Body).Decode(&lb); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, b := range lb.Buckets {
+		out = append(out, b.Name)
+	}
+	return out, nil
+}
+
+func (c *Client) simple(method, path string, body io.Reader, wantStatus int) error {
+	resp, err := c.do(method, path, body, "")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+func (c *Client) do(method, path string, body io.Reader, contentType string) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return c.http.Do(req)
+}
+
+func infoFromHeaders(bucket, key string, resp *http.Response) ObjectInfo {
+	info := ObjectInfo{
+		Bucket: bucket, Key: key,
+		ETag:        strings.Trim(resp.Header.Get("ETag"), `"`),
+		ContentType: resp.Header.Get("Content-Type"),
+		Size:        resp.ContentLength,
+	}
+	meta := map[string]string{}
+	for h, vs := range resp.Header {
+		lower := strings.ToLower(h)
+		if strings.HasPrefix(lower, "x-amz-meta-") && len(vs) > 0 {
+			meta[strings.TrimPrefix(lower, "x-amz-meta-")] = vs[0]
+		}
+	}
+	if len(meta) > 0 {
+		info.Metadata = meta
+	}
+	return info
+}
+
+func decodeError(resp *http.Response) error {
+	var e xmlError
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err := xml.Unmarshal(data, &e); err == nil && e.Code != "" {
+		return fmt.Errorf("objectstore: %s: %s (HTTP %d)", e.Code, e.Message, resp.StatusCode)
+	}
+	return fmt.Errorf("objectstore: HTTP %d", resp.StatusCode)
+}

@@ -1,0 +1,356 @@
+package objectstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErasureStore stripes every object across N data drives plus one XOR
+// parity drive, MinIO-style (simplified to single-parity). It tolerates the
+// loss of any single drive: reads reconstruct the missing stripe from
+// parity, and Heal rewrites a replaced drive's shards.
+type ErasureStore struct {
+	mu     sync.RWMutex
+	drives []*drive
+	// index maps bucket -> key -> object metadata; shard payloads live on
+	// the drives.
+	index map[string]map[string]ObjectInfo
+	clock func() time.Time
+}
+
+// drive is one failure domain.
+type drive struct {
+	failed bool
+	shards map[string][]byte // object id -> shard payload
+}
+
+// ErrTooManyFailures is returned when more drives have failed than the
+// parity can compensate for.
+var ErrTooManyFailures = errors.New("objectstore: too many failed drives")
+
+// NewErasureStore returns a store striped over dataDrives+1 drives.
+// dataDrives must be at least 2.
+func NewErasureStore(dataDrives int) (*ErasureStore, error) {
+	if dataDrives < 2 {
+		return nil, fmt.Errorf("objectstore: need at least 2 data drives, got %d", dataDrives)
+	}
+	drives := make([]*drive, dataDrives+1)
+	for i := range drives {
+		drives[i] = &drive{shards: make(map[string][]byte)}
+	}
+	return &ErasureStore{
+		drives: drives,
+		index:  make(map[string]map[string]ObjectInfo),
+		clock:  time.Now,
+	}, nil
+}
+
+// DataDrives returns the number of data drives (excluding parity).
+func (s *ErasureStore) DataDrives() int { return len(s.drives) - 1 }
+
+// FailDrive simulates the loss of drive i: all its shards are dropped.
+func (s *ErasureStore) FailDrive(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.drives) {
+		return fmt.Errorf("objectstore: no drive %d", i)
+	}
+	s.drives[i].failed = true
+	s.drives[i].shards = make(map[string][]byte)
+	return nil
+}
+
+// FailedDrives returns the indices of failed drives.
+func (s *ErasureStore) FailedDrives() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []int
+	for i, d := range s.drives {
+		if d.failed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Heal reconstructs the shards of every failed drive from the surviving
+// drives and marks it healthy again. It fails when two or more drives are
+// down.
+func (s *ErasureStore) Heal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var failed []int
+	for i, d := range s.drives {
+		if d.failed {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	if len(failed) > 1 {
+		return ErrTooManyFailures
+	}
+	dead := failed[0]
+	// Rebuild every object's missing shard by XORing the others.
+	for bucket, keys := range s.index {
+		for key := range keys {
+			id := bucket + "/" + key
+			var rebuilt []byte
+			for i, d := range s.drives {
+				if i == dead {
+					continue
+				}
+				shard := d.shards[id]
+				if rebuilt == nil {
+					rebuilt = append([]byte(nil), shard...)
+					continue
+				}
+				rebuilt = xorPad(rebuilt, shard)
+			}
+			s.drives[dead].shards[id] = rebuilt
+		}
+	}
+	s.drives[dead].failed = false
+	return nil
+}
+
+// shardSplit cuts data into n equal-length shards (zero-padded) plus a
+// parity shard.
+func shardSplit(data []byte, n int) [][]byte {
+	shardLen := (len(data) + n - 1) / n
+	if shardLen == 0 {
+		shardLen = 1
+	}
+	shards := make([][]byte, n+1)
+	for i := 0; i < n; i++ {
+		shards[i] = make([]byte, shardLen)
+		start := i * shardLen
+		if start < len(data) {
+			end := start + shardLen
+			if end > len(data) {
+				end = len(data)
+			}
+			copy(shards[i], data[start:end])
+		}
+	}
+	parity := make([]byte, shardLen)
+	for i := 0; i < n; i++ {
+		for j, b := range shards[i] {
+			parity[j] ^= b
+		}
+	}
+	shards[n] = parity
+	return shards
+}
+
+func xorPad(a, b []byte) []byte {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := append([]byte(nil), a...)
+	for i, x := range b {
+		out[i] ^= x
+	}
+	return out
+}
+
+// MakeBucket implements Store.
+func (s *ErasureStore) MakeBucket(name string) error {
+	if !ValidBucketName(name) {
+		return ErrInvalidBucket
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[name]; ok {
+		return ErrBucketExists
+	}
+	s.index[name] = make(map[string]ObjectInfo)
+	return nil
+}
+
+// RemoveBucket implements Store.
+func (s *ErasureStore) RemoveBucket(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.index[name]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	if len(b) > 0 {
+		return ErrBucketNotEmpty
+	}
+	delete(s.index, name)
+	return nil
+}
+
+// ListBuckets implements Store.
+func (s *ErasureStore) ListBuckets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.index))
+	for b := range s.index {
+		out = append(out, b)
+	}
+	sortStrings(out)
+	return out
+}
+
+// BucketExists implements Store.
+func (s *ErasureStore) BucketExists(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[name]
+	return ok
+}
+
+// Put implements Store.
+func (s *ErasureStore) Put(bucket, key string, r io.Reader, contentType string, meta map[string]string) (ObjectInfo, error) {
+	if !ValidKey(key) {
+		return ObjectInfo{}, ErrInvalidKey
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	info := ObjectInfo{
+		Bucket: bucket, Key: key,
+		Size: int64(len(data)), ETag: etagOf(data),
+		ContentType:  contentType,
+		LastModified: s.clock(),
+		Metadata:     copyMeta(meta),
+	}
+
+	n := s.DataDrives()
+	shards := shardSplit(data, n)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.index[bucket]
+	if !ok {
+		return ObjectInfo{}, ErrNoSuchBucket
+	}
+	id := bucket + "/" + key
+	for i, d := range s.drives {
+		if d.failed {
+			continue // shard lost until Heal
+		}
+		d.shards[id] = shards[i]
+	}
+	b[key] = info
+	return info, nil
+}
+
+// Get implements Store, reconstructing from parity when one drive is down.
+func (s *ErasureStore) Get(bucket, key string) (*Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.index[bucket]
+	if !ok {
+		return nil, ErrNoSuchBucket
+	}
+	info, ok := b[key]
+	if !ok {
+		return nil, ErrNoSuchKey
+	}
+	id := bucket + "/" + key
+	n := s.DataDrives()
+
+	var failed []int
+	for i, d := range s.drives {
+		if d.failed {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) > 1 {
+		return nil, ErrTooManyFailures
+	}
+
+	shards := make([][]byte, len(s.drives))
+	for i, d := range s.drives {
+		if !d.failed {
+			shards[i] = d.shards[id]
+		}
+	}
+	if len(failed) == 1 {
+		dead := failed[0]
+		var rebuilt []byte
+		for i, sh := range shards {
+			if i == dead {
+				continue
+			}
+			if rebuilt == nil {
+				rebuilt = append([]byte(nil), sh...)
+				continue
+			}
+			rebuilt = xorPad(rebuilt, sh)
+		}
+		shards[dead] = rebuilt
+	}
+	data := make([]byte, 0, info.Size)
+	for i := 0; i < n; i++ {
+		data = append(data, shards[i]...)
+	}
+	data = data[:info.Size]
+	return &Object{ObjectInfo: info, Body: io.NopCloser(bytes.NewReader(data))}, nil
+}
+
+// Stat implements Store.
+func (s *ErasureStore) Stat(bucket, key string) (ObjectInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.index[bucket]
+	if !ok {
+		return ObjectInfo{}, ErrNoSuchBucket
+	}
+	info, ok := b[key]
+	if !ok {
+		return ObjectInfo{}, ErrNoSuchKey
+	}
+	return info, nil
+}
+
+// Delete implements Store.
+func (s *ErasureStore) Delete(bucket, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.index[bucket]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	if _, ok := b[key]; ok {
+		id := bucket + "/" + key
+		for _, d := range s.drives {
+			delete(d.shards, id)
+		}
+		delete(b, key)
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *ErasureStore) List(bucket, prefix string) ([]ObjectInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.index[bucket]
+	if !ok {
+		return nil, ErrNoSuchBucket
+	}
+	var out []ObjectInfo
+	for k, info := range b {
+		if hasPrefix(k, prefix) {
+			out = append(out, info)
+		}
+	}
+	sortObjects(out)
+	return out, nil
+}
+
+func etagOf(data []byte) string {
+	sum := md5sum(data)
+	return sum
+}

@@ -1,0 +1,220 @@
+package objectstore
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Server exposes a Store over an S3-compatible HTTP API subset:
+//
+//	GET    /                    list buckets (XML)
+//	PUT    /{bucket}            create bucket
+//	DELETE /{bucket}            remove bucket
+//	GET    /{bucket}?prefix=p   list objects (XML)
+//	PUT    /{bucket}/{key}      put object
+//	GET    /{bucket}/{key}      get object
+//	HEAD   /{bucket}/{key}      stat object
+//	DELETE /{bucket}/{key}      delete object
+type Server struct {
+	store Store
+}
+
+// NewServer wraps a store.
+func NewServer(store Store) *Server { return &Server{store: store} }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	if path == "" {
+		if r.Method != http.MethodGet {
+			writeS3Error(w, http.StatusMethodNotAllowed, "MethodNotAllowed", "unsupported method")
+			return
+		}
+		s.listBuckets(w)
+		return
+	}
+	bucket, key, hasKey := strings.Cut(path, "/")
+	if !hasKey || key == "" {
+		s.bucketOp(w, r, bucket)
+		return
+	}
+	s.objectOp(w, r, bucket, key)
+}
+
+// xml payloads, mirroring the S3 wire format.
+type xmlBuckets struct {
+	XMLName xml.Name    `xml:"ListAllMyBucketsResult"`
+	Buckets []xmlBucket `xml:"Buckets>Bucket"`
+}
+type xmlBucket struct {
+	Name string `xml:"Name"`
+}
+type xmlListResult struct {
+	XMLName  xml.Name     `xml:"ListBucketResult"`
+	Name     string       `xml:"Name"`
+	Prefix   string       `xml:"Prefix"`
+	Contents []xmlContent `xml:"Contents"`
+}
+type xmlContent struct {
+	Key          string `xml:"Key"`
+	Size         int64  `xml:"Size"`
+	ETag         string `xml:"ETag"`
+	LastModified string `xml:"LastModified"`
+}
+type xmlError struct {
+	XMLName xml.Name `xml:"Error"`
+	Code    string   `xml:"Code"`
+	Message string   `xml:"Message"`
+}
+
+func (s *Server) listBuckets(w http.ResponseWriter) {
+	var out xmlBuckets
+	for _, b := range s.store.ListBuckets() {
+		out.Buckets = append(out.Buckets, xmlBucket{Name: b})
+	}
+	writeXML(w, http.StatusOK, out)
+}
+
+func (s *Server) bucketOp(w http.ResponseWriter, r *http.Request, bucket string) {
+	switch r.Method {
+	case http.MethodPut:
+		switch err := s.store.MakeBucket(bucket); {
+		case err == nil:
+			w.WriteHeader(http.StatusOK)
+		case errors.Is(err, ErrBucketExists):
+			writeS3Error(w, http.StatusConflict, "BucketAlreadyExists", err.Error())
+		case errors.Is(err, ErrInvalidBucket):
+			writeS3Error(w, http.StatusBadRequest, "InvalidBucketName", err.Error())
+		default:
+			writeS3Error(w, http.StatusInternalServerError, "InternalError", err.Error())
+		}
+	case http.MethodDelete:
+		switch err := s.store.RemoveBucket(bucket); {
+		case err == nil:
+			w.WriteHeader(http.StatusNoContent)
+		case errors.Is(err, ErrNoSuchBucket):
+			writeS3Error(w, http.StatusNotFound, "NoSuchBucket", err.Error())
+		case errors.Is(err, ErrBucketNotEmpty):
+			writeS3Error(w, http.StatusConflict, "BucketNotEmpty", err.Error())
+		default:
+			writeS3Error(w, http.StatusInternalServerError, "InternalError", err.Error())
+		}
+	case http.MethodGet:
+		prefix := r.URL.Query().Get("prefix")
+		objs, err := s.store.List(bucket, prefix)
+		if errors.Is(err, ErrNoSuchBucket) {
+			writeS3Error(w, http.StatusNotFound, "NoSuchBucket", err.Error())
+			return
+		}
+		if err != nil {
+			writeS3Error(w, http.StatusInternalServerError, "InternalError", err.Error())
+			return
+		}
+		out := xmlListResult{Name: bucket, Prefix: prefix}
+		for _, o := range objs {
+			out.Contents = append(out.Contents, xmlContent{
+				Key: o.Key, Size: o.Size, ETag: `"` + o.ETag + `"`,
+				LastModified: o.LastModified.UTC().Format(time.RFC3339),
+			})
+		}
+		writeXML(w, http.StatusOK, out)
+	case http.MethodHead:
+		if s.store.BucketExists(bucket) {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusNotFound)
+		}
+	default:
+		writeS3Error(w, http.StatusMethodNotAllowed, "MethodNotAllowed", "unsupported method")
+	}
+}
+
+func (s *Server) objectOp(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	switch r.Method {
+	case http.MethodPut:
+		meta := map[string]string{}
+		for h, vs := range r.Header {
+			lower := strings.ToLower(h)
+			if strings.HasPrefix(lower, "x-amz-meta-") && len(vs) > 0 {
+				meta[strings.TrimPrefix(lower, "x-amz-meta-")] = vs[0]
+			}
+		}
+		info, err := s.store.Put(bucket, key, r.Body, r.Header.Get("Content-Type"), meta)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		w.Header().Set("ETag", `"`+info.ETag+`"`)
+		w.WriteHeader(http.StatusOK)
+	case http.MethodGet:
+		obj, err := s.store.Get(bucket, key)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		defer obj.Body.Close()
+		setObjectHeaders(w, obj.ObjectInfo)
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.Copy(w, obj.Body)
+	case http.MethodHead:
+		info, err := s.store.Stat(bucket, key)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		setObjectHeaders(w, info)
+		w.WriteHeader(http.StatusOK)
+	case http.MethodDelete:
+		if err := s.store.Delete(bucket, key); err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeS3Error(w, http.StatusMethodNotAllowed, "MethodNotAllowed", "unsupported method")
+	}
+}
+
+func setObjectHeaders(w http.ResponseWriter, info ObjectInfo) {
+	w.Header().Set("ETag", `"`+info.ETag+`"`)
+	w.Header().Set("Content-Length", fmt.Sprint(info.Size))
+	if info.ContentType != "" {
+		w.Header().Set("Content-Type", info.ContentType)
+	}
+	w.Header().Set("Last-Modified", info.LastModified.UTC().Format(http.TimeFormat))
+	for k, v := range info.Metadata {
+		w.Header().Set("x-amz-meta-"+k, v)
+	}
+}
+
+func writeStoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNoSuchBucket):
+		writeS3Error(w, http.StatusNotFound, "NoSuchBucket", err.Error())
+	case errors.Is(err, ErrNoSuchKey):
+		writeS3Error(w, http.StatusNotFound, "NoSuchKey", err.Error())
+	case errors.Is(err, ErrInvalidKey):
+		writeS3Error(w, http.StatusBadRequest, "InvalidKey", err.Error())
+	case errors.Is(err, ErrQuotaExceeded):
+		writeS3Error(w, http.StatusInsufficientStorage, "QuotaExceeded", err.Error())
+	default:
+		writeS3Error(w, http.StatusInternalServerError, "InternalError", err.Error())
+	}
+}
+
+func writeS3Error(w http.ResponseWriter, status int, code, msg string) {
+	writeXML(w, status, xmlError{Code: code, Message: msg})
+}
+
+func writeXML(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(xml.Header))
+	enc := xml.NewEncoder(w)
+	_ = enc.Encode(v)
+}

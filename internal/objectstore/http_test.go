@@ -1,0 +1,168 @@
+package objectstore
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Client, *MemStore) {
+	t.Helper()
+	store := NewMemStore(0)
+	srv := httptest.NewServer(NewServer(store))
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL, srv.Client()), store
+}
+
+func TestHTTPBucketLifecycle(t *testing.T) {
+	c, _ := newTestServer(t)
+	if err := c.MakeBucket("images"); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.BucketExists("images")
+	if err != nil || !ok {
+		t.Fatalf("exists = %v, %v", ok, err)
+	}
+	buckets, err := c.ListBuckets()
+	if err != nil || len(buckets) != 1 || buckets[0] != "images" {
+		t.Fatalf("buckets = %v, %v", buckets, err)
+	}
+	if err := c.MakeBucket("images"); err == nil {
+		t.Error("duplicate bucket should error over HTTP")
+	}
+	if err := c.RemoveBucket("images"); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ = c.BucketExists("images")
+	if ok {
+		t.Error("bucket should be gone")
+	}
+}
+
+func TestHTTPObjectRoundTrip(t *testing.T) {
+	c, _ := newTestServer(t)
+	if err := c.MakeBucket("registry"); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("layer-data "), 1000)
+	etag, err := c.PutObject("registry", "blobs/sha256/abc", payload, "application/octet-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag == "" {
+		t.Error("empty etag")
+	}
+	data, info, err := c.GetObject("registry", "blobs/sha256/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Error("payload corrupted over HTTP")
+	}
+	if info.ETag != etag {
+		t.Errorf("etag mismatch: %q vs %q", info.ETag, etag)
+	}
+	if info.ContentType != "application/octet-stream" {
+		t.Errorf("content type = %q", info.ContentType)
+	}
+	stat, err := c.StatObject("registry", "blobs/sha256/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Size != int64(len(payload)) {
+		t.Errorf("stat size = %d, want %d", stat.Size, len(payload))
+	}
+}
+
+func TestHTTPListWithPrefix(t *testing.T) {
+	c, _ := newTestServer(t)
+	_ = c.MakeBucket("reg")
+	for _, k := range []string{"blobs/a", "blobs/c", "manifests/m"} {
+		if _, err := c.PutObject("reg", k, []byte("x"), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	objs, err := c.ListObjects("reg", "blobs/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].Key != "blobs/a" {
+		t.Errorf("list = %+v", objs)
+	}
+	all, _ := c.ListObjects("reg", "")
+	if len(all) != 3 {
+		t.Errorf("all = %d", len(all))
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	c, _ := newTestServer(t)
+	if _, _, err := c.GetObject("nobucket", "k"); err == nil || !strings.Contains(err.Error(), "NoSuchBucket") {
+		t.Errorf("missing bucket error = %v", err)
+	}
+	_ = c.MakeBucket("bkt")
+	if _, _, err := c.GetObject("bkt", "missing"); err == nil || !strings.Contains(err.Error(), "NoSuchKey") {
+		t.Errorf("missing key error = %v", err)
+	}
+	if err := c.RemoveBucket("ghost"); err == nil {
+		t.Error("removing ghost bucket should error")
+	}
+}
+
+func TestHTTPDelete(t *testing.T) {
+	c, _ := newTestServer(t)
+	_ = c.MakeBucket("bkt")
+	_, _ = c.PutObject("bkt", "k", []byte("x"), "")
+	if err := c.RemoveObject("bkt", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetObject("bkt", "k"); err == nil {
+		t.Error("object should be deleted")
+	}
+	// Idempotent, as S3.
+	if err := c.RemoveObject("bkt", "k"); err != nil {
+		t.Errorf("second delete: %v", err)
+	}
+}
+
+func TestHTTPMetadataRoundTrip(t *testing.T) {
+	store := NewMemStore(0)
+	srv := httptest.NewServer(NewServer(store))
+	defer srv.Close()
+	_ = store.MakeBucket("bkt")
+	_, err := store.Put("bkt", "k", strings.NewReader("v"), "text/plain", map[string]string{"digest": "sha256:abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv.URL, srv.Client())
+	_, info, err := c.GetObject("bkt", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Metadata["digest"] != "sha256:abc" {
+		t.Errorf("metadata = %v", info.Metadata)
+	}
+}
+
+func TestHTTPServerAgainstErasureStore(t *testing.T) {
+	store, _ := NewErasureStore(3)
+	srv := httptest.NewServer(NewServer(store))
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+	if err := c.MakeBucket("bkt"); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("shard"), 500)
+	if _, err := c.PutObject("bkt", "obj", payload, ""); err != nil {
+		t.Fatal(err)
+	}
+	_ = store.FailDrive(1)
+	data, _, err := c.GetObject("bkt", "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Error("erasure-backed HTTP read corrupted")
+	}
+}

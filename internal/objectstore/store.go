@@ -1,0 +1,276 @@
+// Package objectstore implements a MinIO-flavored, S3-compatible object
+// storage service: buckets and objects with MD5 ETags and metadata, an
+// erasure-striped multi-drive backend with parity healing, and an HTTP
+// server plus client speaking an S3 API subset (XML list responses,
+// PUT/GET/HEAD/DELETE objects). The paper's regional Docker registry stores
+// its blobs in exactly such a service.
+package objectstore
+
+import (
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Well-known errors.
+var (
+	ErrNoSuchBucket     = errors.New("objectstore: no such bucket")
+	ErrNoSuchKey        = errors.New("objectstore: no such key")
+	ErrBucketExists     = errors.New("objectstore: bucket already exists")
+	ErrBucketNotEmpty   = errors.New("objectstore: bucket not empty")
+	ErrInvalidBucket    = errors.New("objectstore: invalid bucket name")
+	ErrInvalidKey       = errors.New("objectstore: invalid object key")
+	ErrQuotaExceeded    = errors.New("objectstore: storage quota exceeded")
+	ErrPreconditionETag = errors.New("objectstore: etag precondition failed")
+)
+
+// ObjectInfo describes a stored object.
+type ObjectInfo struct {
+	Bucket       string
+	Key          string
+	Size         int64
+	ETag         string // hex MD5 of the content, as S3 does for simple puts
+	ContentType  string
+	LastModified time.Time
+	Metadata     map[string]string
+}
+
+// Object couples object info with a reader over its content.
+type Object struct {
+	ObjectInfo
+	Body io.ReadCloser
+}
+
+// Store is the object storage API used by the registry and the HTTP server.
+type Store interface {
+	MakeBucket(name string) error
+	RemoveBucket(name string) error
+	ListBuckets() []string
+	BucketExists(name string) bool
+
+	Put(bucket, key string, r io.Reader, contentType string, meta map[string]string) (ObjectInfo, error)
+	Get(bucket, key string) (*Object, error)
+	Stat(bucket, key string) (ObjectInfo, error)
+	Delete(bucket, key string) error
+	// List returns objects whose keys start with prefix, sorted by key.
+	List(bucket, prefix string) ([]ObjectInfo, error)
+}
+
+// bucketNameRE follows the S3 naming rules closely enough for our use.
+var bucketNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9.-]{1,61}[a-z0-9]$`)
+
+// ValidBucketName reports whether the name satisfies the S3 naming rules.
+func ValidBucketName(name string) bool { return bucketNameRE.MatchString(name) }
+
+// ValidKey reports whether the object key is acceptable.
+func ValidKey(key string) bool {
+	return key != "" && len(key) <= 1024 && !strings.HasPrefix(key, "/")
+}
+
+// MemStore is an in-memory Store with an optional byte quota. It is safe
+// for concurrent use.
+type MemStore struct {
+	mu      sync.RWMutex
+	buckets map[string]map[string]*memObject
+	used    int64
+	quota   int64 // 0 = unlimited
+	clock   func() time.Time
+}
+
+type memObject struct {
+	info ObjectInfo
+	data []byte
+}
+
+// NewMemStore returns an empty in-memory store. quota of 0 means unlimited.
+func NewMemStore(quota int64) *MemStore {
+	return &MemStore{
+		buckets: make(map[string]map[string]*memObject),
+		quota:   quota,
+		clock:   time.Now,
+	}
+}
+
+// SetClock injects a deterministic clock for tests.
+func (s *MemStore) SetClock(f func() time.Time) { s.clock = f }
+
+// Used returns the bytes currently stored.
+func (s *MemStore) Used() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.used
+}
+
+// MakeBucket implements Store.
+func (s *MemStore) MakeBucket(name string) error {
+	if !ValidBucketName(name) {
+		return ErrInvalidBucket
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[name]; ok {
+		return ErrBucketExists
+	}
+	s.buckets[name] = make(map[string]*memObject)
+	return nil
+}
+
+// RemoveBucket implements Store; the bucket must be empty.
+func (s *MemStore) RemoveBucket(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[name]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	if len(b) > 0 {
+		return ErrBucketNotEmpty
+	}
+	delete(s.buckets, name)
+	return nil
+}
+
+// ListBuckets implements Store.
+func (s *MemStore) ListBuckets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.buckets))
+	for b := range s.buckets {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BucketExists implements Store.
+func (s *MemStore) BucketExists(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.buckets[name]
+	return ok
+}
+
+// Put implements Store.
+func (s *MemStore) Put(bucket, key string, r io.Reader, contentType string, meta map[string]string) (ObjectInfo, error) {
+	if !ValidKey(key) {
+		return ObjectInfo{}, ErrInvalidKey
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return ObjectInfo{}, fmt.Errorf("objectstore: read body: %w", err)
+	}
+	sum := md5.Sum(data)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		return ObjectInfo{}, ErrNoSuchBucket
+	}
+	var prev int64
+	if old, ok := b[key]; ok {
+		prev = old.info.Size
+	}
+	if s.quota > 0 && s.used-prev+int64(len(data)) > s.quota {
+		return ObjectInfo{}, ErrQuotaExceeded
+	}
+	info := ObjectInfo{
+		Bucket: bucket, Key: key,
+		Size: int64(len(data)), ETag: hex.EncodeToString(sum[:]),
+		ContentType:  contentType,
+		LastModified: s.clock(),
+		Metadata:     copyMeta(meta),
+	}
+	b[key] = &memObject{info: info, data: data}
+	s.used += int64(len(data)) - prev
+	return info, nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(bucket, key string) (*Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		return nil, ErrNoSuchBucket
+	}
+	o, ok := b[key]
+	if !ok {
+		return nil, ErrNoSuchKey
+	}
+	// Copy so later overwrites do not race readers.
+	data := make([]byte, len(o.data))
+	copy(data, o.data)
+	return &Object{
+		ObjectInfo: o.info,
+		Body:       io.NopCloser(bytes.NewReader(data)),
+	}, nil
+}
+
+// Stat implements Store.
+func (s *MemStore) Stat(bucket, key string) (ObjectInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		return ObjectInfo{}, ErrNoSuchBucket
+	}
+	o, ok := b[key]
+	if !ok {
+		return ObjectInfo{}, ErrNoSuchKey
+	}
+	return o.info, nil
+}
+
+// Delete implements Store. Deleting a missing key is not an error, matching
+// S3 semantics.
+func (s *MemStore) Delete(bucket, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		return ErrNoSuchBucket
+	}
+	if o, ok := b[key]; ok {
+		s.used -= o.info.Size
+		delete(b, key)
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List(bucket, prefix string) ([]ObjectInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		return nil, ErrNoSuchBucket
+	}
+	var out []ObjectInfo
+	for k, o := range b {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, o.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+func copyMeta(m map[string]string) map[string]string {
+	if len(m) == 0 {
+		return nil
+	}
+	c := make(map[string]string, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

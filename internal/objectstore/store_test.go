@@ -1,0 +1,317 @@
+package objectstore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemStoreBucketLifecycle(t *testing.T) {
+	s := NewMemStore(0)
+	if err := s.MakeBucket("images"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MakeBucket("images"); !errors.Is(err, ErrBucketExists) {
+		t.Errorf("duplicate bucket: %v", err)
+	}
+	if err := s.MakeBucket("BAD NAME"); !errors.Is(err, ErrInvalidBucket) {
+		t.Errorf("invalid name: %v", err)
+	}
+	if !s.BucketExists("images") {
+		t.Error("bucket should exist")
+	}
+	if got := s.ListBuckets(); len(got) != 1 || got[0] != "images" {
+		t.Errorf("buckets = %v", got)
+	}
+	if err := s.RemoveBucket("images"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveBucket("images"); !errors.Is(err, ErrNoSuchBucket) {
+		t.Errorf("remove missing: %v", err)
+	}
+}
+
+func TestMemStorePutGet(t *testing.T) {
+	s := NewMemStore(0)
+	_ = s.MakeBucket("bkt")
+	info, err := s.Put("bkt", "k/1", strings.NewReader("hello"), "text/plain", map[string]string{"who": "me"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 5 || info.ETag == "" {
+		t.Errorf("info = %+v", info)
+	}
+	obj, err := s.Get("bkt", "k/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(obj.Body)
+	obj.Body.Close()
+	if string(data) != "hello" {
+		t.Errorf("data = %q", data)
+	}
+	if obj.Metadata["who"] != "me" || obj.ContentType != "text/plain" {
+		t.Errorf("metadata lost: %+v", obj.ObjectInfo)
+	}
+	if _, err := s.Get("bkt", "missing"); !errors.Is(err, ErrNoSuchKey) {
+		t.Errorf("missing key: %v", err)
+	}
+	if _, err := s.Get("nope", "k"); !errors.Is(err, ErrNoSuchBucket) {
+		t.Errorf("missing bucket: %v", err)
+	}
+}
+
+func TestMemStoreOverwriteAccounting(t *testing.T) {
+	s := NewMemStore(0)
+	_ = s.MakeBucket("bkt")
+	_, _ = s.Put("bkt", "k", strings.NewReader("12345"), "", nil)
+	if s.Used() != 5 {
+		t.Errorf("used = %d", s.Used())
+	}
+	_, _ = s.Put("bkt", "k", strings.NewReader("123"), "", nil)
+	if s.Used() != 3 {
+		t.Errorf("used after overwrite = %d", s.Used())
+	}
+	_ = s.Delete("bkt", "k")
+	if s.Used() != 0 {
+		t.Errorf("used after delete = %d", s.Used())
+	}
+}
+
+func TestMemStoreQuota(t *testing.T) {
+	s := NewMemStore(10)
+	_ = s.MakeBucket("bkt")
+	if _, err := s.Put("bkt", "a", strings.NewReader("123456"), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("bkt", "c", strings.NewReader("123456"), "", nil); !errors.Is(err, ErrQuotaExceeded) {
+		t.Errorf("quota: %v", err)
+	}
+	// Overwriting within quota is fine.
+	if _, err := s.Put("bkt", "a", strings.NewReader("1234567890"), "", nil); err != nil {
+		t.Errorf("overwrite within quota: %v", err)
+	}
+}
+
+func TestMemStoreList(t *testing.T) {
+	s := NewMemStore(0)
+	_ = s.MakeBucket("bkt")
+	for _, k := range []string{"blobs/a", "blobs/b", "manifests/x"} {
+		_, _ = s.Put("bkt", k, strings.NewReader("x"), "", nil)
+	}
+	objs, err := s.List("bkt", "blobs/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].Key != "blobs/a" || objs[1].Key != "blobs/b" {
+		t.Errorf("list = %+v", objs)
+	}
+	all, _ := s.List("bkt", "")
+	if len(all) != 3 {
+		t.Errorf("all = %d", len(all))
+	}
+}
+
+func TestMemStoreDeleteIdempotent(t *testing.T) {
+	s := NewMemStore(0)
+	_ = s.MakeBucket("bkt")
+	if err := s.Delete("bkt", "never-existed"); err != nil {
+		t.Errorf("S3 delete semantics: %v", err)
+	}
+}
+
+func TestRemoveNonEmptyBucket(t *testing.T) {
+	s := NewMemStore(0)
+	_ = s.MakeBucket("bkt")
+	_, _ = s.Put("bkt", "k", strings.NewReader("x"), "", nil)
+	if err := s.RemoveBucket("bkt"); !errors.Is(err, ErrBucketNotEmpty) {
+		t.Errorf("non-empty removal: %v", err)
+	}
+}
+
+func TestValidNames(t *testing.T) {
+	valid := []string{"images", "my-bucket", "a.b.c", "abc"}
+	for _, n := range valid {
+		if !ValidBucketName(n) {
+			t.Errorf("%q should be valid", n)
+		}
+	}
+	invalid := []string{"", "A", "ab", "UPPER", "-lead", "trail-", strings.Repeat("x", 64)}
+	for _, n := range invalid {
+		if ValidBucketName(n) {
+			t.Errorf("%q should be invalid", n)
+		}
+	}
+	if ValidKey("") || ValidKey("/lead") || ValidKey(strings.Repeat("k", 1025)) {
+		t.Error("invalid keys accepted")
+	}
+	if !ValidKey("a/b/c.txt") {
+		t.Error("normal key rejected")
+	}
+}
+
+func TestPutGetRoundTripProperty(t *testing.T) {
+	s := NewMemStore(0)
+	_ = s.MakeBucket("bkt")
+	f := func(data []byte) bool {
+		_, err := s.Put("bkt", "k", bytes.NewReader(data), "", nil)
+		if err != nil {
+			return false
+		}
+		obj, err := s.Get("bkt", "k")
+		if err != nil {
+			return false
+		}
+		got, _ := io.ReadAll(obj.Body)
+		obj.Body.Close()
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErasureRoundTrip(t *testing.T) {
+	s, err := NewErasureStore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.MakeBucket("bkt")
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	if _, err := s.Put("bkt", "k", bytes.NewReader(data), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := s.Get("bkt", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(obj.Body)
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip: %q", got)
+	}
+}
+
+func TestErasureSingleDriveFailure(t *testing.T) {
+	s, _ := NewErasureStore(3)
+	_ = s.MakeBucket("bkt")
+	data := bytes.Repeat([]byte("0123456789"), 100)
+	_, _ = s.Put("bkt", "k", bytes.NewReader(data), "", nil)
+
+	for dead := 0; dead < 4; dead++ {
+		s2, _ := NewErasureStore(3)
+		_ = s2.MakeBucket("bkt")
+		_, _ = s2.Put("bkt", "k", bytes.NewReader(data), "", nil)
+		if err := s2.FailDrive(dead); err != nil {
+			t.Fatal(err)
+		}
+		obj, err := s2.Get("bkt", "k")
+		if err != nil {
+			t.Fatalf("drive %d failed: read: %v", dead, err)
+		}
+		got, _ := io.ReadAll(obj.Body)
+		if !bytes.Equal(got, data) {
+			t.Errorf("drive %d failed: data corrupted", dead)
+		}
+	}
+}
+
+func TestErasureHeal(t *testing.T) {
+	s, _ := NewErasureStore(2)
+	_ = s.MakeBucket("bkt")
+	data := []byte("important blob payload")
+	_, _ = s.Put("bkt", "k", bytes.NewReader(data), "", nil)
+	_ = s.FailDrive(1)
+	if got := s.FailedDrives(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("failed drives = %v", got)
+	}
+	if err := s.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.FailedDrives(); len(got) != 0 {
+		t.Fatalf("drives not healed: %v", got)
+	}
+	// Fail a different drive: the healed drive must carry valid data.
+	_ = s.FailDrive(0)
+	obj, err := s.Get("bkt", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(obj.Body)
+	if !bytes.Equal(got, data) {
+		t.Error("healed shard is wrong")
+	}
+}
+
+func TestErasureTwoFailuresFatal(t *testing.T) {
+	s, _ := NewErasureStore(3)
+	_ = s.MakeBucket("bkt")
+	_, _ = s.Put("bkt", "k", strings.NewReader("x"), "", nil)
+	_ = s.FailDrive(0)
+	_ = s.FailDrive(1)
+	if _, err := s.Get("bkt", "k"); !errors.Is(err, ErrTooManyFailures) {
+		t.Errorf("double failure: %v", err)
+	}
+	if err := s.Heal(); !errors.Is(err, ErrTooManyFailures) {
+		t.Errorf("heal with two failures: %v", err)
+	}
+}
+
+func TestErasureWriteDuringFailureThenHeal(t *testing.T) {
+	s, _ := NewErasureStore(2)
+	_ = s.MakeBucket("bkt")
+	_ = s.FailDrive(2) // parity drive down
+	data := []byte("written while degraded")
+	if _, err := s.Put("bkt", "k", bytes.NewReader(data), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	// Now lose a data drive; parity must reconstruct.
+	_ = s.FailDrive(0)
+	obj, err := s.Get("bkt", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(obj.Body)
+	if !bytes.Equal(got, data) {
+		t.Error("degraded write not recoverable after heal")
+	}
+}
+
+func TestErasureRandomizedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		s, _ := NewErasureStore(n)
+		_ = s.MakeBucket("bkt")
+		data := make([]byte, 1+rng.Intn(5000))
+		rng.Read(data)
+		_, _ = s.Put("bkt", "k", bytes.NewReader(data), "", nil)
+		dead := rng.Intn(n + 1)
+		_ = s.FailDrive(dead)
+		obj, err := s.Get("bkt", "k")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, _ := io.ReadAll(obj.Body)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: corruption with drive %d dead (n=%d, len=%d)", trial, dead, n, len(data))
+		}
+	}
+}
+
+func TestErasureMinDrives(t *testing.T) {
+	if _, err := NewErasureStore(1); err == nil {
+		t.Error("1 data drive should be rejected")
+	}
+}
+
+func TestErasureStoreInterface(t *testing.T) {
+	var _ Store = (*MemStore)(nil)
+	var _ Store = (*ErasureStore)(nil)
+}

@@ -1,0 +1,21 @@
+package objectstore
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"sort"
+	"strings"
+)
+
+func md5sum(data []byte) string {
+	sum := md5.Sum(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+func hasPrefix(s, prefix string) bool { return strings.HasPrefix(s, prefix) }
+
+func sortObjects(objs []ObjectInfo) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Key < objs[j].Key })
+}

@@ -1,0 +1,272 @@
+// Package orchestrator emulates the container orchestrator of the paper's
+// architecture (Figure 1 couples DEEP loosely to Kubernetes): nodes wrap
+// edge devices with layer caches, pods progress through a
+// Pending→Pulling→Running→Succeeded lifecycle, and an application rollout
+// deploys stage by stage between synchronization barriers, pulling images
+// over real registry clients with digest verification and cache reuse.
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"deep/internal/dag"
+	"deep/internal/device"
+	"deep/internal/monitor"
+	"deep/internal/registry"
+	"deep/internal/sim"
+	"deep/internal/units"
+)
+
+// PodPhase is the lifecycle state of a pod.
+type PodPhase string
+
+// Pod lifecycle phases.
+const (
+	PodPending   PodPhase = "Pending"
+	PodPulling   PodPhase = "Pulling"
+	PodRunning   PodPhase = "Running"
+	PodSucceeded PodPhase = "Succeeded"
+	PodFailed    PodPhase = "Failed"
+)
+
+// Pod is one scheduled microservice instance.
+type Pod struct {
+	Name     string
+	Image    registry.Reference
+	Registry string
+	Node     string
+	Phase    PodPhase
+	// BytesPulled counts the layer bytes actually downloaded (cache
+	// misses only).
+	BytesPulled int64
+	Err         error
+}
+
+// Node is one cluster member backed by a device model.
+type Node struct {
+	Name   string
+	Arch   dag.Arch
+	Device *device.Device
+}
+
+// Clients resolves a registry client for pulls issued by a node; the hub
+// simulator returns per-client throttled endpoints, so resolution depends
+// on both names.
+type Clients func(node, registryName string) (*registry.Client, error)
+
+// Cluster is the emulated orchestration domain.
+type Cluster struct {
+	mu      sync.Mutex
+	nodes   map[string]*Node
+	clients Clients
+	pods    map[string]*Pod
+	metrics *monitor.Metrics
+}
+
+// New returns a cluster resolving registry clients through the callback.
+func New(clients Clients) *Cluster {
+	return &Cluster{
+		nodes:   make(map[string]*Node),
+		clients: clients,
+		pods:    make(map[string]*Pod),
+		metrics: monitor.NewMetrics(),
+	}
+}
+
+// Metrics exposes the cluster's monitoring registry.
+func (c *Cluster) Metrics() *monitor.Metrics { return c.metrics }
+
+// AddNode registers a node.
+func (c *Cluster) AddNode(n *Node) error {
+	if n.Name == "" || n.Device == nil {
+		return fmt.Errorf("orchestrator: invalid node")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.nodes[n.Name]; dup {
+		return fmt.Errorf("orchestrator: duplicate node %q", n.Name)
+	}
+	c.nodes[n.Name] = n
+	return nil
+}
+
+// Nodes lists node names, sorted.
+func (c *Cluster) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pod returns a copy of the named pod.
+func (c *Cluster) Pod(name string) (Pod, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pods[name]
+	if !ok {
+		return Pod{}, false
+	}
+	return *p, true
+}
+
+// Pods lists all pods sorted by name.
+func (c *Cluster) Pods() []Pod {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Pod, 0, len(c.pods))
+	for _, p := range c.pods {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Rollout deploys an application stage by stage: every pod of a stage is
+// pulled and run before the next stage starts (the synchronization
+// barriers). images maps microservice names to their registry references
+// per registry name. It returns the pods in deployment order.
+func (c *Cluster) Rollout(app *dag.App, placement sim.Placement, images map[string]map[string]registry.Reference) ([]Pod, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	stages, err := app.Stages()
+	if err != nil {
+		return nil, err
+	}
+	var order []string
+	for _, stage := range stages {
+		names := append([]string(nil), stage...)
+		sort.Strings(names)
+
+		// Launch the stage: every pod pulls (possibly concurrently), then
+		// runs; the barrier is the join at the end of the stage.
+		var wg sync.WaitGroup
+		errs := make([]error, len(names))
+		for i, name := range names {
+			pod, err := c.createPod(app, name, placement, images)
+			if err != nil {
+				return nil, err
+			}
+			order = append(order, pod.Name)
+			wg.Add(1)
+			go func(i int, podName string) {
+				defer wg.Done()
+				errs[i] = c.runPod(podName)
+			}(i, pod.Name)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return c.Pods(), err
+			}
+		}
+	}
+	out := make([]Pod, 0, len(order))
+	for _, name := range order {
+		p, _ := c.Pod(name)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func (c *Cluster) createPod(app *dag.App, msName string, placement sim.Placement, images map[string]map[string]registry.Reference) (*Pod, error) {
+	a, ok := placement[msName]
+	if !ok {
+		return nil, fmt.Errorf("orchestrator: no placement for %q", msName)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	node, ok := c.nodes[a.Device]
+	if !ok {
+		return nil, fmt.Errorf("orchestrator: unknown node %q", a.Device)
+	}
+	m := app.Microservice(msName)
+	if m == nil {
+		return nil, fmt.Errorf("orchestrator: unknown microservice %q", msName)
+	}
+	if !m.SupportsArch(node.Arch) {
+		return nil, fmt.Errorf("orchestrator: %s has no %s image for node %s", msName, node.Arch, node.Name)
+	}
+	refs, ok := images[msName]
+	if !ok {
+		return nil, fmt.Errorf("orchestrator: no image references for %q", msName)
+	}
+	ref, ok := refs[a.Registry]
+	if !ok {
+		return nil, fmt.Errorf("orchestrator: %q has no image on registry %q", msName, a.Registry)
+	}
+	pod := &Pod{
+		Name:     "pod-" + msName,
+		Image:    ref,
+		Registry: a.Registry,
+		Node:     a.Device,
+		Phase:    PodPending,
+	}
+	if _, dup := c.pods[pod.Name]; dup {
+		return nil, fmt.Errorf("orchestrator: pod %q already exists", pod.Name)
+	}
+	c.pods[pod.Name] = pod
+	return pod, nil
+}
+
+// runPod advances one pod through its lifecycle synchronously.
+func (c *Cluster) runPod(name string) error {
+	c.mu.Lock()
+	pod := c.pods[name]
+	node := c.nodes[pod.Node]
+	pod.Phase = PodPulling
+	c.mu.Unlock()
+	c.metrics.Log(0, "pull-start", map[string]string{"pod": name, "node": pod.Node, "registry": pod.Registry})
+
+	client, err := c.clients(pod.Node, pod.Registry)
+	if err != nil {
+		return c.fail(name, err)
+	}
+	cache := node.Device.Cache()
+	img, err := client.Pull(pod.Image, string(node.Arch), func(d registry.Digest) bool {
+		return cache.Has(string(d))
+	})
+	if err != nil {
+		return c.fail(name, err)
+	}
+	var pulled int64
+	for d, data := range img.Layers {
+		cache.Put(string(d), units.Bytes(len(data)))
+		pulled += int64(len(data))
+	}
+	c.metrics.Inc("bytes_pulled_"+pod.Registry, float64(pulled))
+	c.metrics.Inc("pulls_total", 1)
+	if pulled == 0 {
+		c.metrics.Inc("cache_hits_total", 1)
+	}
+
+	c.mu.Lock()
+	pod.BytesPulled = pulled
+	pod.Phase = PodRunning
+	c.mu.Unlock()
+	c.metrics.Log(0, "running", map[string]string{"pod": name})
+
+	// Processing is modeled by the simulator; the orchestrator records
+	// completion.
+	c.mu.Lock()
+	pod.Phase = PodSucceeded
+	c.mu.Unlock()
+	c.metrics.Log(0, "succeeded", map[string]string{"pod": name})
+	return nil
+}
+
+func (c *Cluster) fail(name string, err error) error {
+	c.mu.Lock()
+	pod := c.pods[name]
+	pod.Phase = PodFailed
+	pod.Err = err
+	c.mu.Unlock()
+	c.metrics.Log(0, "failed", map[string]string{"pod": name, "error": err.Error()})
+	return fmt.Errorf("orchestrator: pod %s: %w", name, err)
+}

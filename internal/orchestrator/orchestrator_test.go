@@ -1,0 +1,181 @@
+package orchestrator
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"deep/internal/dag"
+	"deep/internal/device"
+	"deep/internal/energy"
+	"deep/internal/registry"
+	"deep/internal/sim"
+	"deep/internal/units"
+)
+
+// fixture builds two in-process registries (hub + regional) seeded with a
+// two-microservice app's images, and an orchestrator cluster over two nodes.
+func fixture(t *testing.T) (*Cluster, *dag.App, sim.Placement, map[string]map[string]registry.Reference) {
+	t.Helper()
+
+	endpoints := map[string]string{}
+	for _, name := range []string{"hub", "regional"} {
+		reg := registry.New(registry.NewMemDriver())
+		ts := httptest.NewServer(registry.NewServer(reg))
+		t.Cleanup(ts.Close)
+		endpoints[name] = ts.URL
+	}
+
+	app := dag.NewApp("mini")
+	mustAdd := func(m *dag.Microservice) {
+		if err := app.AddMicroservice(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(&dag.Microservice{Name: "front", ImageSize: 4096})
+	mustAdd(&dag.Microservice{Name: "back", ImageSize: 8192})
+	if err := app.AddDataflow("front", "back", 1024); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed both registries with both images (shared base layer).
+	images := map[string]map[string]registry.Reference{}
+	base := bytes.Repeat([]byte("base"), 512)
+	for _, ms := range []string{"front", "back"} {
+		images[ms] = map[string]registry.Reference{}
+		for regName, url := range endpoints {
+			c := registry.NewClient(url, nil)
+			repo := "test/" + ms
+			top := bytes.Repeat([]byte(ms), 256)
+			if _, err := c.Push(repo, "latest", []byte("{}"), [][]byte{base, top}); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := registry.ParseReference(repo + ":latest")
+			if err != nil {
+				t.Fatal(err)
+			}
+			images[ms][regName] = ref
+		}
+	}
+
+	cluster := New(func(node, regName string) (*registry.Client, error) {
+		url, ok := endpoints[regName]
+		if !ok {
+			return nil, fmt.Errorf("no registry %q", regName)
+		}
+		return registry.NewClient(url, nil), nil
+	})
+	pm := energy.LinearModel{StaticW: 1}
+	for _, n := range []string{"alpha", "beta"} {
+		dev := device.New(n, dag.AMD64, 4, 1000, units.GB, units.GB, pm)
+		if err := cluster.AddNode(&Node{Name: n, Arch: dag.AMD64, Device: dev}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	placement := sim.Placement{
+		"front": {Device: "alpha", Registry: "hub"},
+		"back":  {Device: "alpha", Registry: "regional"},
+	}
+	return cluster, app, placement, images
+}
+
+func TestRolloutSucceeds(t *testing.T) {
+	cluster, app, placement, images := fixture(t)
+	pods, err := cluster.Rollout(app, placement, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pods) != 2 {
+		t.Fatalf("pods = %d", len(pods))
+	}
+	for _, p := range pods {
+		if p.Phase != PodSucceeded {
+			t.Errorf("%s phase = %s (%v)", p.Name, p.Phase, p.Err)
+		}
+	}
+	// front deployed first (topological order).
+	if pods[0].Name != "pod-front" || pods[1].Name != "pod-back" {
+		t.Errorf("order = %v, %v", pods[0].Name, pods[1].Name)
+	}
+}
+
+func TestRolloutSharedLayerCached(t *testing.T) {
+	cluster, app, placement, images := fixture(t)
+	pods, err := cluster.Rollout(app, placement, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both pods land on alpha and share a 2048-byte base layer: the second
+	// pull must skip it.
+	if pods[0].BytesPulled <= pods[1].BytesPulled {
+		t.Errorf("second pod should pull less: %d vs %d", pods[0].BytesPulled, pods[1].BytesPulled)
+	}
+	if pods[1].BytesPulled != int64(256*len("back")) {
+		t.Logf("note: back pulled %d bytes", pods[1].BytesPulled)
+	}
+	m := cluster.Metrics()
+	if m.Counter("pulls_total") != 2 {
+		t.Errorf("pulls_total = %v", m.Counter("pulls_total"))
+	}
+	if m.Counter("bytes_pulled_hub") <= 0 || m.Counter("bytes_pulled_regional") <= 0 {
+		t.Error("per-registry byte counters missing")
+	}
+}
+
+func TestRolloutUnknownRegistryFails(t *testing.T) {
+	cluster, app, placement, images := fixture(t)
+	placement["back"] = sim.Assignment{Device: "alpha", Registry: "ghost"}
+	if _, err := cluster.Rollout(app, placement, images); err == nil {
+		t.Fatal("expected failure for unknown registry")
+	}
+}
+
+func TestRolloutMissingPlacement(t *testing.T) {
+	cluster, app, _, images := fixture(t)
+	if _, err := cluster.Rollout(app, sim.Placement{}, images); err == nil || !strings.Contains(err.Error(), "no placement") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRolloutArchMismatch(t *testing.T) {
+	cluster, app, placement, images := fixture(t)
+	app.Microservice("front").Arches = []dag.Arch{dag.ARM64}
+	if _, err := cluster.Rollout(app, placement, images); err == nil {
+		t.Fatal("amd64 node must reject arm64-only image")
+	}
+}
+
+func TestPodLookup(t *testing.T) {
+	cluster, app, placement, images := fixture(t)
+	if _, ok := cluster.Pod("pod-front"); ok {
+		t.Error("pod should not exist before rollout")
+	}
+	if _, err := cluster.Rollout(app, placement, images); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := cluster.Pod("pod-front")
+	if !ok || p.Phase != PodSucceeded {
+		t.Errorf("pod = %+v %v", p, ok)
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	c := New(func(string, string) (*registry.Client, error) { return nil, nil })
+	if err := c.AddNode(&Node{}); err == nil {
+		t.Error("empty node accepted")
+	}
+	pm := energy.LinearModel{}
+	dev := device.New("n", dag.AMD64, 1, 1, 1, 1, pm)
+	if err := c.AddNode(&Node{Name: "n", Arch: dag.AMD64, Device: dev}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNode(&Node{Name: "n", Arch: dag.AMD64, Device: dev}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if got := c.Nodes(); len(got) != 1 || got[0] != "n" {
+		t.Errorf("nodes = %v", got)
+	}
+}

@@ -1,0 +1,356 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client pulls and pushes images against a V2 registry endpoint with full
+// digest verification, retrying on 429 rate limits with the server's
+// Retry-After hint (capped), as Docker clients do against Docker Hub.
+type Client struct {
+	base string
+	http *http.Client
+	// MaxRetries bounds 429 retries per request (default 3).
+	MaxRetries int
+	// Backoff overrides the retry sleep for tests.
+	Backoff func(attempt int)
+}
+
+// NewClient returns a client for an endpoint like "http://127.0.0.1:5000".
+func NewClient(endpoint string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &Client{base: strings.TrimRight(endpoint, "/"), http: hc, MaxRetries: 3}
+}
+
+// Ping checks the /v2/ endpoint.
+func (c *Client) Ping() error {
+	resp, err := c.http.Get(c.base + "/v2/")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("registry: ping: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Image is a fully materialized image: manifest plus blob payloads.
+type Image struct {
+	Manifest       Manifest
+	ManifestDigest Digest
+	Config         []byte
+	Layers         map[Digest][]byte
+}
+
+// TotalLayerBytes returns the pulled payload size.
+func (i *Image) TotalLayerBytes() int64 {
+	var n int64
+	for _, l := range i.Layers {
+		n += int64(len(l))
+	}
+	return n
+}
+
+// Pull fetches an image for an architecture: manifest (following manifest
+// lists), config, and every layer, verifying all digests. have reports
+// layers the caller already caches; they are skipped and absent from the
+// result. Pass nil to pull everything.
+func (c *Client) Pull(ref Reference, arch string, have func(Digest) bool) (*Image, error) {
+	mt, raw, d, err := c.getManifest(ref.Repository, ref.referenceString())
+	if err != nil {
+		return nil, err
+	}
+	if mt == MediaTypeManifestList {
+		var list ManifestList
+		if err := json.Unmarshal(raw, &list); err != nil {
+			return nil, fmt.Errorf("registry: decode manifest list: %w", err)
+		}
+		pm, ok := list.ForArch(arch)
+		if !ok {
+			return nil, fmt.Errorf("%w: no %s entry in %s", ErrManifestNotFound, arch, ref)
+		}
+		mt, raw, d, err = c.getManifest(ref.Repository, string(pm.Digest))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if mt != MediaTypeManifest {
+		return nil, fmt.Errorf("registry: unexpected media type %q", mt)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("registry: decode manifest: %w", err)
+	}
+	img := &Image{Manifest: m, ManifestDigest: d, Layers: make(map[Digest][]byte)}
+
+	img.Config, err = c.PullBlob(ref.Repository, m.Config.Digest)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range m.Layers {
+		if have != nil && have(l.Digest) {
+			continue
+		}
+		data, err := c.PullBlob(ref.Repository, l.Digest)
+		if err != nil {
+			return nil, err
+		}
+		img.Layers[l.Digest] = data
+	}
+	return img, nil
+}
+
+func (r Reference) referenceString() string {
+	if r.Digest != "" {
+		return string(r.Digest)
+	}
+	if r.Tag != "" {
+		return r.Tag
+	}
+	return "latest"
+}
+
+// PullBlob downloads and verifies one blob.
+func (c *Client) PullBlob(repo string, d Digest) ([]byte, error) {
+	resp, err := c.doRetry(http.MethodGet, "/v2/"+repo+"/blobs/"+string(d), nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeRegError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if got := DigestOf(data); got != d {
+		return nil, fmt.Errorf("%w: pulled %s, got %s", ErrDigestMismatch, d, got)
+	}
+	return data, nil
+}
+
+// HasBlob probes a blob with HEAD.
+func (c *Client) HasBlob(repo string, d Digest) (bool, error) {
+	resp, err := c.doRetry(http.MethodHead, "/v2/"+repo+"/blobs/"+string(d), nil, "")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+// PushBlob uploads one blob through the chunked upload session flow.
+func (c *Client) PushBlob(repo string, data []byte) (Digest, error) {
+	d := DigestOf(data)
+	// Skip when present.
+	if ok, err := c.HasBlob(repo, d); err == nil && ok {
+		return d, nil
+	}
+	resp, err := c.doRetry(http.MethodPost, "/v2/"+repo+"/blobs/uploads/", nil, "")
+	if err != nil {
+		return "", err
+	}
+	loc := resp.Header.Get("Location")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || loc == "" {
+		return "", fmt.Errorf("registry: start upload: HTTP %d", resp.StatusCode)
+	}
+	// Upload in two chunks to exercise the PATCH path for larger payloads.
+	if len(data) > 1<<20 {
+		half := len(data) / 2
+		resp, err = c.doRetry(http.MethodPatch, loc, bytes.NewReader(data[:half]), "application/octet-stream")
+		if err != nil {
+			return "", err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return "", fmt.Errorf("registry: patch upload: HTTP %d", resp.StatusCode)
+		}
+		data = data[half:]
+	}
+	sep := "?"
+	if strings.Contains(loc, "?") {
+		sep = "&"
+	}
+	resp, err = c.doRetry(http.MethodPut, loc+sep+"digest="+string(d), bytes.NewReader(data), "application/octet-stream")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", decodeRegError(resp)
+	}
+	return d, nil
+}
+
+// PushManifest uploads manifest JSON under a tag or digest reference.
+func (c *Client) PushManifest(repo, reference, mediaType string, raw []byte) (Digest, error) {
+	resp, err := c.doRetry(http.MethodPut, "/v2/"+repo+"/manifests/"+reference, bytes.NewReader(raw), mediaType)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", decodeRegError(resp)
+	}
+	return Digest(resp.Header.Get("Docker-Content-Digest")), nil
+}
+
+// Push uploads a complete image (config, layers, manifest) under a tag.
+func (c *Client) Push(repo, tag string, config []byte, layers [][]byte) (Digest, error) {
+	cfgD, err := c.PushBlob(repo, config)
+	if err != nil {
+		return "", fmt.Errorf("registry: push config: %w", err)
+	}
+	m := Manifest{
+		SchemaVersion: 2,
+		MediaType:     MediaTypeManifest,
+		Config:        Descriptor{MediaType: MediaTypeConfig, Size: int64(len(config)), Digest: cfgD},
+	}
+	for _, l := range layers {
+		d, err := c.PushBlob(repo, l)
+		if err != nil {
+			return "", fmt.Errorf("registry: push layer: %w", err)
+		}
+		m.Layers = append(m.Layers, Descriptor{MediaType: MediaTypeLayer, Size: int64(len(l)), Digest: d})
+	}
+	raw, err := MarshalCanonical(m)
+	if err != nil {
+		return "", err
+	}
+	return c.PushManifest(repo, tag, MediaTypeManifest, raw)
+}
+
+// Tags lists a repository's tags.
+func (c *Client) Tags(repo string) ([]string, error) {
+	resp, err := c.doRetry(http.MethodGet, "/v2/"+repo+"/tags/list", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeRegError(resp)
+	}
+	var body struct {
+		Tags []string `json:"tags"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Tags, nil
+}
+
+// Catalog lists all repositories.
+func (c *Client) Catalog() ([]string, error) {
+	resp, err := c.doRetry(http.MethodGet, "/v2/_catalog", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeRegError(resp)
+	}
+	var body struct {
+		Repositories []string `json:"repositories"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Repositories, nil
+}
+
+func (c *Client) getManifest(repo, reference string) (string, []byte, Digest, error) {
+	resp, err := c.doRetry(http.MethodGet, "/v2/"+repo+"/manifests/"+reference, nil, "")
+	if err != nil {
+		return "", nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", nil, "", decodeRegError(resp)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", nil, "", err
+	}
+	d := Digest(resp.Header.Get("Docker-Content-Digest"))
+	if d != "" && DigestOf(raw) != d {
+		return "", nil, "", fmt.Errorf("%w: manifest %s", ErrDigestMismatch, reference)
+	}
+	return resp.Header.Get("Content-Type"), raw, d, nil
+}
+
+// doRetry issues a request, retrying on 429 (the body must be re-readable;
+// we buffer it once).
+func (c *Client) doRetry(method, path string, body io.Reader, contentType string) (*http.Response, error) {
+	var buf []byte
+	if body != nil {
+		var err error
+		buf, err = io.ReadAll(body)
+		if err != nil {
+			return nil, err
+		}
+	}
+	max := c.MaxRetries
+	if max < 0 {
+		max = 0
+	}
+	for attempt := 0; ; attempt++ {
+		var rdr io.Reader
+		if buf != nil {
+			rdr = bytes.NewReader(buf)
+		}
+		req, err := http.NewRequest(method, c.base+path, rdr)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= max {
+			return resp, nil
+		}
+		resp.Body.Close()
+		if c.Backoff != nil {
+			c.Backoff(attempt)
+		} else {
+			time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+		}
+	}
+}
+
+func decodeRegError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var body regErrorBody
+	if err := json.Unmarshal(data, &body); err == nil && len(body.Errors) > 0 {
+		e := body.Errors[0]
+		base := fmt.Errorf("registry: %s: %s (HTTP %d)", e.Code, e.Message, resp.StatusCode)
+		switch e.Code {
+		case "BLOB_UNKNOWN":
+			return fmt.Errorf("%w: %v", ErrBlobNotFound, base)
+		case "MANIFEST_UNKNOWN":
+			return fmt.Errorf("%w: %v", ErrManifestNotFound, base)
+		case "TOOMANYREQUESTS":
+			return fmt.Errorf("%w: %v", ErrRateLimited, base)
+		}
+		return base
+	}
+	return fmt.Errorf("registry: HTTP %d", resp.StatusCode)
+}
+
+// Unwrap support for errors.Is on wrapped sentinel errors.
+var _ = errors.Is

@@ -1,0 +1,247 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"deep/internal/objectstore"
+)
+
+// BlobStore is the storage driver interface the registry core writes
+// through: content-addressed blob payloads plus small metadata documents
+// (manifest links and tag pointers).
+type BlobStore interface {
+	// PutBlob stores content under its digest. Re-putting an existing
+	// digest is a cheap no-op.
+	PutBlob(d Digest, r io.Reader) error
+	// GetBlob opens a blob for reading.
+	GetBlob(d Digest) (io.ReadCloser, int64, error)
+	// StatBlob returns the blob size.
+	StatBlob(d Digest) (int64, error)
+	// DeleteBlob removes a blob.
+	DeleteBlob(d Digest) error
+
+	// PutMeta stores a small metadata document at a hierarchical key.
+	PutMeta(key string, data []byte) error
+	// GetMeta loads a metadata document.
+	GetMeta(key string) ([]byte, error)
+	// ListMeta lists metadata keys under a prefix, sorted.
+	ListMeta(prefix string) ([]string, error)
+	// DeleteMeta removes a metadata document.
+	DeleteMeta(key string) error
+}
+
+// MemDriver is an in-memory BlobStore.
+type MemDriver struct {
+	mu    sync.RWMutex
+	blobs map[Digest][]byte
+	meta  map[string][]byte
+}
+
+// NewMemDriver returns an empty in-memory driver.
+func NewMemDriver() *MemDriver {
+	return &MemDriver{blobs: make(map[Digest][]byte), meta: make(map[string][]byte)}
+}
+
+// PutBlob implements BlobStore.
+func (m *MemDriver) PutBlob(d Digest, r io.Reader) error {
+	m.mu.RLock()
+	_, exists := m.blobs[d]
+	m.mu.RUnlock()
+	if exists {
+		_, err := io.Copy(io.Discard, r)
+		return err
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blobs[d] = data
+	return nil
+}
+
+// GetBlob implements BlobStore.
+func (m *MemDriver) GetBlob(d Digest) (io.ReadCloser, int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.blobs[d]
+	if !ok {
+		return nil, 0, ErrBlobNotFound
+	}
+	return io.NopCloser(bytes.NewReader(data)), int64(len(data)), nil
+}
+
+// StatBlob implements BlobStore.
+func (m *MemDriver) StatBlob(d Digest) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.blobs[d]
+	if !ok {
+		return 0, ErrBlobNotFound
+	}
+	return int64(len(data)), nil
+}
+
+// DeleteBlob implements BlobStore.
+func (m *MemDriver) DeleteBlob(d Digest) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[d]; !ok {
+		return ErrBlobNotFound
+	}
+	delete(m.blobs, d)
+	return nil
+}
+
+// PutMeta implements BlobStore.
+func (m *MemDriver) PutMeta(key string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.meta[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// GetMeta implements BlobStore.
+func (m *MemDriver) GetMeta(key string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.meta[key]
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// ListMeta implements BlobStore.
+func (m *MemDriver) ListMeta(prefix string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for k := range m.meta {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k)
+		}
+	}
+	sortStrings(out)
+	return out, nil
+}
+
+// DeleteMeta implements BlobStore.
+func (m *MemDriver) DeleteMeta(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.meta, key)
+	return nil
+}
+
+// ObjectStoreDriver stores registry state in a MinIO-like object store — the
+// paper's regional-registry layering (Docker registry over S3-compatible
+// storage). Blobs go under "blobs/sha256/<hex>", metadata under "meta/...".
+type ObjectStoreDriver struct {
+	store  objectstore.Store
+	bucket string
+}
+
+// NewObjectStoreDriver binds the driver to a bucket, creating it if needed.
+func NewObjectStoreDriver(store objectstore.Store, bucket string) (*ObjectStoreDriver, error) {
+	if !store.BucketExists(bucket) {
+		if err := store.MakeBucket(bucket); err != nil && !errors.Is(err, objectstore.ErrBucketExists) {
+			return nil, fmt.Errorf("registry: create bucket: %w", err)
+		}
+	}
+	return &ObjectStoreDriver{store: store, bucket: bucket}, nil
+}
+
+func blobKey(d Digest) string { return "blobs/sha256/" + d.Hex() }
+
+// PutBlob implements BlobStore.
+func (o *ObjectStoreDriver) PutBlob(d Digest, r io.Reader) error {
+	if _, err := o.store.Stat(o.bucket, blobKey(d)); err == nil {
+		_, err := io.Copy(io.Discard, r)
+		return err
+	}
+	_, err := o.store.Put(o.bucket, blobKey(d), r, "application/octet-stream", map[string]string{"digest": string(d)})
+	return err
+}
+
+// GetBlob implements BlobStore.
+func (o *ObjectStoreDriver) GetBlob(d Digest) (io.ReadCloser, int64, error) {
+	obj, err := o.store.Get(o.bucket, blobKey(d))
+	if errors.Is(err, objectstore.ErrNoSuchKey) {
+		return nil, 0, ErrBlobNotFound
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return obj.Body, obj.Size, nil
+}
+
+// StatBlob implements BlobStore.
+func (o *ObjectStoreDriver) StatBlob(d Digest) (int64, error) {
+	info, err := o.store.Stat(o.bucket, blobKey(d))
+	if errors.Is(err, objectstore.ErrNoSuchKey) {
+		return 0, ErrBlobNotFound
+	}
+	if err != nil {
+		return 0, err
+	}
+	return info.Size, nil
+}
+
+// DeleteBlob implements BlobStore.
+func (o *ObjectStoreDriver) DeleteBlob(d Digest) error {
+	if _, err := o.store.Stat(o.bucket, blobKey(d)); errors.Is(err, objectstore.ErrNoSuchKey) {
+		return ErrBlobNotFound
+	}
+	return o.store.Delete(o.bucket, blobKey(d))
+}
+
+// PutMeta implements BlobStore.
+func (o *ObjectStoreDriver) PutMeta(key string, data []byte) error {
+	_, err := o.store.Put(o.bucket, "meta/"+key, bytes.NewReader(data), "application/json", nil)
+	return err
+}
+
+// GetMeta implements BlobStore.
+func (o *ObjectStoreDriver) GetMeta(key string) ([]byte, error) {
+	obj, err := o.store.Get(o.bucket, "meta/"+key)
+	if errors.Is(err, objectstore.ErrNoSuchKey) {
+		return nil, ErrBlobNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer obj.Body.Close()
+	return io.ReadAll(obj.Body)
+}
+
+// ListMeta implements BlobStore.
+func (o *ObjectStoreDriver) ListMeta(prefix string) ([]string, error) {
+	objs, err := o.store.List(o.bucket, "meta/"+prefix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(objs))
+	for _, obj := range objs {
+		out = append(out, obj.Key[len("meta/"):])
+	}
+	return out, nil
+}
+
+// DeleteMeta implements BlobStore.
+func (o *ObjectStoreDriver) DeleteMeta(key string) error {
+	return o.store.Delete(o.bucket, "meta/"+key)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

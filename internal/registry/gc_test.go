@@ -1,0 +1,103 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGCKeepsReferencedBlobs(t *testing.T) {
+	r := New(NewMemDriver())
+	pushTestImage(t, r, "repo/live", "latest", []byte("live-layer"))
+	res, err := r.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlobsDeleted != 0 {
+		t.Errorf("GC deleted %d referenced blobs", res.BlobsDeleted)
+	}
+	if _, ok := r.HasBlob(DigestOf([]byte("live-layer"))); !ok {
+		t.Error("referenced layer removed")
+	}
+}
+
+func TestGCDeletesOrphans(t *testing.T) {
+	r := New(NewMemDriver())
+	pushTestImage(t, r, "repo/live", "latest", []byte("live-layer"))
+	orphan := []byte("orphaned upload")
+	if err := r.PutBlob(DigestOf(orphan), orphan); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlobsDeleted != 1 {
+		t.Fatalf("deleted = %d, want 1", res.BlobsDeleted)
+	}
+	if res.BytesFreed != int64(len(orphan)) {
+		t.Errorf("freed = %d", res.BytesFreed)
+	}
+	if _, ok := r.HasBlob(DigestOf(orphan)); ok {
+		t.Error("orphan survived GC")
+	}
+	if _, ok := r.HasBlob(DigestOf([]byte("live-layer"))); !ok {
+		t.Error("live layer collected")
+	}
+}
+
+func TestGCAfterManifestDelete(t *testing.T) {
+	r := New(NewMemDriver())
+	d := pushTestImage(t, r, "repo/x", "latest", []byte("layer-a"), []byte("layer-b"))
+	if err := r.DeleteManifest("repo/x", d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Config + two layers become unreferenced.
+	if res.BlobsDeleted != 3 {
+		t.Errorf("deleted = %d, want 3", res.BlobsDeleted)
+	}
+	if _, err := r.GetBlob(DigestOf([]byte("layer-a"))); !errors.Is(err, ErrBlobNotFound) {
+		t.Errorf("layer-a should be gone: %v", err)
+	}
+}
+
+func TestGCSharedLayerSurvivesPartialDelete(t *testing.T) {
+	r := New(NewMemDriver())
+	shared := []byte("shared-base")
+	d1 := pushTestImage(t, r, "repo/a", "latest", shared, []byte("a-top"))
+	pushTestImage(t, r, "repo/b", "latest", shared, []byte("b-top"))
+	if err := r.DeleteManifest("repo/a", d1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GC(); err != nil {
+		t.Fatal(err)
+	}
+	// The shared base is still referenced by repo/b.
+	if _, ok := r.HasBlob(DigestOf(shared)); !ok {
+		t.Error("shared base collected while still referenced")
+	}
+	// a-top is gone.
+	if _, ok := r.HasBlob(DigestOf([]byte("a-top"))); ok {
+		t.Error("a-top survived")
+	}
+}
+
+func TestGCIdempotent(t *testing.T) {
+	r := New(NewMemDriver())
+	pushTestImage(t, r, "repo/x", "latest", []byte("l"))
+	orphan := []byte("o")
+	_ = r.PutBlob(DigestOf(orphan), orphan)
+	if _, err := r.GC(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlobsDeleted != 0 {
+		t.Errorf("second GC deleted %d blobs", res.BlobsDeleted)
+	}
+}

@@ -1,0 +1,143 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Proxy is a pull-through cache registry: misses are fetched from an
+// upstream registry (Docker Hub, in the paper's setting) and persisted
+// locally, so subsequent pulls are served from the edge. This is the
+// behaviour of the edge-driven registry caches in the paper's related work
+// (Makris et al.; Dragonfly/Kraken-style mirrors) and the operational mode
+// `registry serve` calls a pull-through cache.
+type Proxy struct {
+	local    *Registry
+	upstream *Client
+
+	mu     sync.Mutex
+	hits   int64
+	misses int64
+}
+
+// NewProxy returns a pull-through cache over the local registry, backed by
+// the upstream client.
+func NewProxy(local *Registry, upstream *Client) *Proxy {
+	return &Proxy{local: local, upstream: upstream}
+}
+
+// Stats returns cumulative (hits, misses) over blobs and manifests.
+func (p *Proxy) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+func (p *Proxy) hit()  { p.mu.Lock(); p.hits++; p.mu.Unlock() }
+func (p *Proxy) miss() { p.mu.Lock(); p.misses++; p.mu.Unlock() }
+
+// GetBlob serves a blob, fetching and caching it from upstream on a miss.
+func (p *Proxy) GetBlob(repo string, d Digest) ([]byte, error) {
+	if data, err := p.local.GetBlob(d); err == nil {
+		p.hit()
+		return data, nil
+	}
+	p.miss()
+	data, err := p.upstream.PullBlob(repo, d)
+	if err != nil {
+		return nil, fmt.Errorf("registry: proxy upstream: %w", err)
+	}
+	if err := p.local.PutBlob(d, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// GetManifest serves a manifest by tag or digest, populating the local
+// registry (including all referenced blobs) on a miss so later pulls are
+// fully local.
+func (p *Proxy) GetManifest(repo, reference string) (mediaType string, raw []byte, d Digest, err error) {
+	mt, raw, dig, err := p.local.GetManifest(repo, reference)
+	if err == nil {
+		p.hit()
+		return mt, raw, dig, nil
+	}
+	if !errors.Is(err, ErrManifestNotFound) {
+		return "", nil, "", err
+	}
+	p.miss()
+
+	ref := Reference{Repository: repo, Tag: reference}
+	if Digest(reference).Valid() {
+		ref = Reference{Repository: repo, Digest: Digest(reference)}
+	}
+	// Pull through for both architectures present upstream; cache whatever
+	// exists. We fetch the raw manifest first to preserve media type.
+	mt, raw, dig, err = p.upstream.getManifest(repo, ref.referenceString())
+	if err != nil {
+		return "", nil, "", fmt.Errorf("registry: proxy upstream: %w", err)
+	}
+	switch mt {
+	case MediaTypeManifest:
+		if err := p.cacheImage(repo, raw); err != nil {
+			return "", nil, "", err
+		}
+	case MediaTypeManifestList:
+		var list ManifestList
+		if err := unmarshal(raw, &list); err != nil {
+			return "", nil, "", err
+		}
+		for _, pm := range list.Manifests {
+			_, childRaw, _, err := p.upstream.getManifest(repo, string(pm.Digest))
+			if err != nil {
+				return "", nil, "", fmt.Errorf("registry: proxy child %s: %w", pm.Digest, err)
+			}
+			if err := p.cacheImage(repo, childRaw); err != nil {
+				return "", nil, "", err
+			}
+		}
+	default:
+		return "", nil, "", fmt.Errorf("registry: proxy: unsupported media type %q", mt)
+	}
+	tag := ""
+	if ref.Digest == "" {
+		tag = ref.Tag
+	}
+	if _, err := p.local.PutManifest(repo, tag, mt, raw); err != nil {
+		return "", nil, "", err
+	}
+	return mt, raw, dig, nil
+}
+
+// cacheImage stores a schema2 manifest's blobs and the manifest itself
+// locally (untagged).
+func (p *Proxy) cacheImage(repo string, raw []byte) error {
+	var m Manifest
+	if err := unmarshal(raw, &m); err != nil {
+		return err
+	}
+	for _, desc := range append([]Descriptor{m.Config}, m.Layers...) {
+		if _, ok := p.local.HasBlob(desc.Digest); ok {
+			continue
+		}
+		data, err := p.upstream.PullBlob(repo, desc.Digest)
+		if err != nil {
+			return fmt.Errorf("registry: proxy blob %s: %w", desc.Digest, err)
+		}
+		if err := p.local.PutBlob(desc.Digest, data); err != nil {
+			return err
+		}
+	}
+	_, err := p.local.PutManifest(repo, "", MediaTypeManifest, raw)
+	return err
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any request.
+func (p *Proxy) HitRatio() float64 {
+	h, m := p.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

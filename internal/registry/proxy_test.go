@@ -1,0 +1,141 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func unmarshalTestHelper(t *testing.T, raw []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newProxyFixture(t *testing.T) (*Proxy, *Client) {
+	t.Helper()
+	upstream := registryOverHTTP(t)
+	local := New(NewMemDriver())
+	return NewProxy(local, upstream), upstream
+}
+
+func registryOverHTTP(t *testing.T) *Client {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(New(NewMemDriver())))
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, ts.Client())
+}
+
+func TestProxyPullThroughManifest(t *testing.T) {
+	proxy, upstream := newProxyFixture(t)
+	layer := bytes.Repeat([]byte("payload"), 100)
+	if _, err := upstream.Push("lib/app", "v1", []byte("{}"), [][]byte{layer}); err != nil {
+		t.Fatal(err)
+	}
+
+	// First fetch: miss, populated from upstream.
+	mt, raw, _, err := proxy.GetManifest("lib/app", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != MediaTypeManifest || len(raw) == 0 {
+		t.Fatalf("mt=%q", mt)
+	}
+	_, misses := proxy.Stats()
+	if misses == 0 {
+		t.Error("first fetch should miss")
+	}
+
+	// Second fetch: served locally.
+	before, _ := proxy.Stats()
+	if _, _, _, err := proxy.GetManifest("lib/app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := proxy.Stats()
+	if after != before+1 {
+		t.Error("second fetch should hit the cache")
+	}
+
+	// The layer is now local too.
+	var m Manifest
+	unmarshalTestHelper(t, raw, &m)
+	if _, err := proxy.GetBlob("lib/app", m.Layers[0].Digest); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := proxy.Stats()
+	if h < 2 {
+		t.Errorf("blob should be cached: hits=%d", h)
+	}
+}
+
+func TestProxyBlobPullThrough(t *testing.T) {
+	proxy, upstream := newProxyFixture(t)
+	blob := []byte("standalone blob")
+	d, err := upstream.PushBlob("lib/app", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := proxy.GetBlob("lib/app", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Error("blob corrupted through proxy")
+	}
+	if r := proxy.HitRatio(); r != 0 {
+		t.Errorf("hit ratio after one miss = %v", r)
+	}
+	if _, err := proxy.GetBlob("lib/app", d); err != nil {
+		t.Fatal(err)
+	}
+	if r := proxy.HitRatio(); r != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", r)
+	}
+}
+
+func TestProxyManifestListPullThrough(t *testing.T) {
+	proxy, upstream := newProxyFixture(t)
+	amdD, err := upstream.Push("lib/multi", "amd", []byte(`{"a":1}`), [][]byte{[]byte("amd-l")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	armD, err := upstream.Push("lib/multi", "arm", []byte(`{"a":2}`), [][]byte{[]byte("arm-l")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := ManifestList{SchemaVersion: 2, MediaType: MediaTypeManifestList,
+		Manifests: []PlatformManifest{
+			{Descriptor: Descriptor{MediaType: MediaTypeManifest, Digest: amdD}, Platform: Platform{Architecture: "amd64"}},
+			{Descriptor: Descriptor{MediaType: MediaTypeManifest, Digest: armD}, Platform: Platform{Architecture: "arm64"}},
+		}}
+	raw, _ := MarshalCanonical(list)
+	if _, err := upstream.PushManifest("lib/multi", "latest", MediaTypeManifestList, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	mt, _, _, err := proxy.GetManifest("lib/multi", "latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != MediaTypeManifestList {
+		t.Errorf("mt = %q", mt)
+	}
+	// Both architectures' layers must now be local.
+	for _, l := range [][]byte{[]byte("amd-l"), []byte("arm-l")} {
+		if _, ok := proxy.local.HasBlob(DigestOf(l)); !ok {
+			t.Errorf("layer %q not cached", l)
+		}
+	}
+}
+
+func TestProxyUpstreamMissSurfaces(t *testing.T) {
+	proxy, _ := newProxyFixture(t)
+	if _, _, _, err := proxy.GetManifest("ghost/repo", "latest"); err == nil {
+		t.Error("missing upstream manifest should error")
+	}
+	if _, err := proxy.GetBlob("ghost/repo", DigestOf([]byte("x"))); err == nil {
+		t.Error("missing upstream blob should error")
+	}
+}

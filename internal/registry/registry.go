@@ -1,0 +1,258 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is the core V2 registry: repositories of manifests and tags over
+// a content-addressed blob store.
+type Registry struct {
+	driver BlobStore
+	mu     sync.Mutex // serializes tag/manifest link updates
+	// blobIndex tracks stored blob digests so GC can enumerate them.
+	blobIndex map[Digest]bool
+}
+
+// New returns a registry over the driver.
+func New(driver BlobStore) *Registry { return &Registry{driver: driver} }
+
+// PutBlob stores content after verifying it matches the digest.
+func (r *Registry) PutBlob(d Digest, data []byte) error {
+	if !d.Valid() {
+		return fmt.Errorf("%w: %q", ErrInvalidDigest, d)
+	}
+	if got := DigestOf(data); got != d {
+		return fmt.Errorf("%w: want %s, got %s", ErrDigestMismatch, d, got)
+	}
+	if err := r.driver.PutBlob(d, bytes.NewReader(data)); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.recordBlobLocked(d)
+	r.mu.Unlock()
+	return nil
+}
+
+// GetBlob reads a blob fully, verifying content addressability.
+func (r *Registry) GetBlob(d Digest) ([]byte, error) {
+	rc, _, err := r.driver.GetBlob(d)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, err
+	}
+	if got := DigestOf(data); got != d {
+		return nil, fmt.Errorf("%w: stored blob %s hashes to %s", ErrDigestMismatch, d, got)
+	}
+	return data, nil
+}
+
+// OpenBlob returns a streaming reader and the blob size without verifying
+// (the HTTP server streams and lets the client verify).
+func (r *Registry) OpenBlob(d Digest) (io.ReadCloser, int64, error) {
+	return r.driver.GetBlob(d)
+}
+
+// HasBlob reports whether a blob exists and its size.
+func (r *Registry) HasBlob(d Digest) (int64, bool) {
+	n, err := r.driver.StatBlob(d)
+	return n, err == nil
+}
+
+// DeleteBlob removes a blob.
+func (r *Registry) DeleteBlob(d Digest) error { return r.driver.DeleteBlob(d) }
+
+// PutManifest stores manifest JSON for repo, verifying every referenced
+// blob already exists, records the manifest link, and (when tag is
+// non-empty) points the tag at it. The manifest digest is returned.
+func (r *Registry) PutManifest(repo, tag string, mediaType string, raw []byte) (Digest, error) {
+	if !ValidRepoName(repo) {
+		return "", fmt.Errorf("%w: %q", ErrInvalidName, repo)
+	}
+	if tag != "" && !ValidTag(tag) {
+		return "", fmt.Errorf("registry: invalid tag %q", tag)
+	}
+	d := DigestOf(raw)
+
+	switch mediaType {
+	case MediaTypeManifest:
+		var m Manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return "", fmt.Errorf("registry: bad manifest: %w", err)
+		}
+		if _, ok := r.HasBlob(m.Config.Digest); !ok {
+			return "", fmt.Errorf("%w: config %s", ErrBlobNotFound, m.Config.Digest)
+		}
+		for _, l := range m.Layers {
+			if _, ok := r.HasBlob(l.Digest); !ok {
+				return "", fmt.Errorf("%w: layer %s", ErrBlobNotFound, l.Digest)
+			}
+		}
+	case MediaTypeManifestList:
+		var l ManifestList
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return "", fmt.Errorf("registry: bad manifest list: %w", err)
+		}
+		for _, pm := range l.Manifests {
+			if _, err := r.driver.GetMeta(manifestKey(repo, pm.Digest)); err != nil {
+				return "", fmt.Errorf("%w: child manifest %s", ErrManifestNotFound, pm.Digest)
+			}
+		}
+	default:
+		return "", fmt.Errorf("registry: unsupported media type %q", mediaType)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	doc, err := json.Marshal(storedManifest{MediaType: mediaType, Raw: raw})
+	if err != nil {
+		return "", err
+	}
+	if err := r.driver.PutMeta(manifestKey(repo, d), doc); err != nil {
+		return "", err
+	}
+	if tag != "" {
+		if err := r.driver.PutMeta(tagKey(repo, tag), []byte(d)); err != nil {
+			return "", err
+		}
+	}
+	return d, nil
+}
+
+// storedManifest wraps manifest bytes with their media type.
+type storedManifest struct {
+	MediaType string          `json:"mediaType"`
+	Raw       json.RawMessage `json:"raw"`
+}
+
+// GetManifest fetches manifest JSON by tag or digest, returning the media
+// type, the raw bytes, and the manifest digest.
+func (r *Registry) GetManifest(repo, reference string) (mediaType string, raw []byte, d Digest, err error) {
+	if !ValidRepoName(repo) {
+		return "", nil, "", fmt.Errorf("%w: %q", ErrInvalidName, repo)
+	}
+	if strings.HasPrefix(reference, "sha256:") {
+		d = Digest(reference)
+		if !d.Valid() {
+			return "", nil, "", fmt.Errorf("%w: %q", ErrInvalidDigest, reference)
+		}
+	} else {
+		data, err := r.driver.GetMeta(tagKey(repo, reference))
+		if err != nil {
+			return "", nil, "", fmt.Errorf("%w: %s:%s", ErrManifestNotFound, repo, reference)
+		}
+		d = Digest(data)
+	}
+	doc, err := r.driver.GetMeta(manifestKey(repo, d))
+	if err != nil {
+		return "", nil, "", fmt.Errorf("%w: %s@%s", ErrManifestNotFound, repo, d)
+	}
+	var sm storedManifest
+	if err := json.Unmarshal(doc, &sm); err != nil {
+		return "", nil, "", err
+	}
+	if got := DigestOf(sm.Raw); got != d {
+		return "", nil, "", fmt.Errorf("%w: manifest %s hashes to %s", ErrDigestMismatch, d, got)
+	}
+	return sm.MediaType, sm.Raw, d, nil
+}
+
+// DeleteManifest removes a manifest link (tags pointing at it dangle, as in
+// the distribution registry).
+func (r *Registry) DeleteManifest(repo string, d Digest) error {
+	if _, err := r.driver.GetMeta(manifestKey(repo, d)); err != nil {
+		return fmt.Errorf("%w: %s@%s", ErrManifestNotFound, repo, d)
+	}
+	return r.driver.DeleteMeta(manifestKey(repo, d))
+}
+
+// Tags lists a repository's tags, sorted.
+func (r *Registry) Tags(repo string) ([]string, error) {
+	if !ValidRepoName(repo) {
+		return nil, fmt.Errorf("%w: %q", ErrInvalidName, repo)
+	}
+	keys, err := r.driver.ListMeta(tagPrefix(repo))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, k := range keys {
+		out = append(out, k[len(tagPrefix(repo)):])
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		// Distinguish empty repo from unknown repo via manifests.
+		ms, err := r.driver.ListMeta(manifestPrefix(repo))
+		if err != nil || len(ms) == 0 {
+			return nil, fmt.Errorf("%w: %q", ErrRepoNotFound, repo)
+		}
+	}
+	return out, nil
+}
+
+// Repositories lists all repositories with at least one manifest, sorted.
+func (r *Registry) Repositories() ([]string, error) {
+	keys, err := r.driver.ListMeta("repos/")
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		rest := k[len("repos/"):]
+		// Keys look like "<repo>/manifests/<digest>" or "<repo>/tags/<tag>".
+		if i := strings.Index(rest, "/manifests/"); i > 0 {
+			seen[rest[:i]] = true
+		} else if i := strings.Index(rest, "/tags/"); i > 0 {
+			seen[rest[:i]] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for repo := range seen {
+		out = append(out, repo)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ResolveForArch resolves a reference to the concrete schema2 manifest for
+// an architecture, traversing a manifest list when present.
+func (r *Registry) ResolveForArch(repo, reference, arch string) (Manifest, Digest, error) {
+	mt, raw, d, err := r.GetManifest(repo, reference)
+	if err != nil {
+		return Manifest{}, "", err
+	}
+	switch mt {
+	case MediaTypeManifest:
+		var m Manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return Manifest{}, "", err
+		}
+		return m, d, nil
+	case MediaTypeManifestList:
+		var l ManifestList
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return Manifest{}, "", err
+		}
+		pm, ok := l.ForArch(arch)
+		if !ok {
+			return Manifest{}, "", fmt.Errorf("%w: no %s manifest in list %s", ErrManifestNotFound, arch, d)
+		}
+		return r.ResolveForArch(repo, string(pm.Digest), arch)
+	default:
+		return Manifest{}, "", fmt.Errorf("registry: unsupported media type %q", mt)
+	}
+}
+
+func manifestKey(repo string, d Digest) string { return "repos/" + repo + "/manifests/" + string(d) }
+func manifestPrefix(repo string) string        { return "repos/" + repo + "/manifests/" }
+func tagKey(repo, tag string) string           { return "repos/" + repo + "/tags/" + tag }
+func tagPrefix(repo string) string             { return "repos/" + repo + "/tags/" }

@@ -1,0 +1,285 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"deep/internal/objectstore"
+)
+
+func TestDigest(t *testing.T) {
+	d := DigestOf([]byte("hello"))
+	if !d.Valid() {
+		t.Errorf("digest %q invalid", d)
+	}
+	if d != DigestOf([]byte("hello")) {
+		t.Error("digest not deterministic")
+	}
+	if d == DigestOf([]byte("world")) {
+		t.Error("collision?!")
+	}
+	if Digest("sha256:xyz").Valid() {
+		t.Error("malformed digest accepted")
+	}
+	if d.Hex() == "" || len(d.Hex()) != 64 {
+		t.Errorf("hex = %q", d.Hex())
+	}
+}
+
+func TestParseReference(t *testing.T) {
+	cases := []struct {
+		in        string
+		repo, tag string
+		wantErr   bool
+	}{
+		{"sina88/vp-transcode:amd64", "sina88/vp-transcode", "amd64", false},
+		{"sina88/vp-transcode", "sina88/vp-transcode", "latest", false},
+		{"aau/tp-retrieve:arm64", "aau/tp-retrieve", "arm64", false},
+		{"UPPER/bad:tag", "", "", true},
+		{"", "", "", true},
+		{"repo:bad tag", "", "", true},
+	}
+	for _, c := range cases {
+		ref, err := ParseReference(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseReference(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseReference(%q): %v", c.in, err)
+			continue
+		}
+		if ref.Repository != c.repo || ref.Tag != c.tag {
+			t.Errorf("ParseReference(%q) = %+v", c.in, ref)
+		}
+	}
+	// Digest references.
+	d := DigestOf([]byte("x"))
+	ref, err := ParseReference("repo/name@" + string(d))
+	if err != nil || ref.Digest != d {
+		t.Errorf("digest ref: %+v, %v", ref, err)
+	}
+	if _, err := ParseReference("repo@sha256:short"); err == nil {
+		t.Error("bad digest accepted")
+	}
+}
+
+func TestBlobRoundTripBothDrivers(t *testing.T) {
+	store := objectstore.NewMemStore(0)
+	osd, err := NewObjectStoreDriver(store, "registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, driver := range map[string]BlobStore{"mem": NewMemDriver(), "objectstore": osd} {
+		r := New(driver)
+		data := []byte("layer payload")
+		d := DigestOf(data)
+		if err := r.PutBlob(d, data); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := r.GetBlob(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%s: corrupted", name)
+		}
+		if n, ok := r.HasBlob(d); !ok || n != int64(len(data)) {
+			t.Errorf("%s: HasBlob = %d,%v", name, n, ok)
+		}
+		if err := r.PutBlob(DigestOf([]byte("other")), data); !errors.Is(err, ErrDigestMismatch) {
+			t.Errorf("%s: digest mismatch not caught: %v", name, err)
+		}
+		if _, err := r.GetBlob(DigestOf([]byte("missing"))); !errors.Is(err, ErrBlobNotFound) {
+			t.Errorf("%s: missing blob: %v", name, err)
+		}
+		if err := r.DeleteBlob(d); err != nil {
+			t.Fatalf("%s: delete: %v", name, err)
+		}
+		if _, ok := r.HasBlob(d); ok {
+			t.Errorf("%s: blob survived delete", name)
+		}
+	}
+}
+
+func pushTestImage(t *testing.T, r *Registry, repo, tag string, layers ...[]byte) Digest {
+	t.Helper()
+	config := []byte(`{"architecture":"amd64"}`)
+	if err := r.PutBlob(DigestOf(config), config); err != nil {
+		t.Fatal(err)
+	}
+	m := Manifest{SchemaVersion: 2, MediaType: MediaTypeManifest,
+		Config: Descriptor{MediaType: MediaTypeConfig, Size: int64(len(config)), Digest: DigestOf(config)}}
+	for _, l := range layers {
+		if err := r.PutBlob(DigestOf(l), l); err != nil {
+			t.Fatal(err)
+		}
+		m.Layers = append(m.Layers, Descriptor{MediaType: MediaTypeLayer, Size: int64(len(l)), Digest: DigestOf(l)})
+	}
+	raw, err := MarshalCanonical(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.PutManifest(repo, tag, MediaTypeManifest, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestManifestLifecycle(t *testing.T) {
+	r := New(NewMemDriver())
+	d := pushTestImage(t, r, "sina88/vp-transcode", "amd64", []byte("l1"), []byte("l2"))
+
+	mt, raw, got, err := r.GetManifest("sina88/vp-transcode", "amd64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != MediaTypeManifest || got != d || len(raw) == 0 {
+		t.Errorf("GetManifest = %q %q", mt, got)
+	}
+	// By digest too.
+	_, _, got2, err := r.GetManifest("sina88/vp-transcode", string(d))
+	if err != nil || got2 != d {
+		t.Errorf("by digest: %v %v", got2, err)
+	}
+	tags, err := r.Tags("sina88/vp-transcode")
+	if err != nil || len(tags) != 1 || tags[0] != "amd64" {
+		t.Errorf("tags = %v, %v", tags, err)
+	}
+	repos, err := r.Repositories()
+	if err != nil || len(repos) != 1 || repos[0] != "sina88/vp-transcode" {
+		t.Errorf("repos = %v, %v", repos, err)
+	}
+	if err := r.DeleteManifest("sina88/vp-transcode", d); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := r.GetManifest("sina88/vp-transcode", string(d)); !errors.Is(err, ErrManifestNotFound) {
+		t.Errorf("deleted manifest still there: %v", err)
+	}
+}
+
+func TestPutManifestRejectsMissingBlobs(t *testing.T) {
+	r := New(NewMemDriver())
+	m := Manifest{SchemaVersion: 2, MediaType: MediaTypeManifest,
+		Config: Descriptor{MediaType: MediaTypeConfig, Size: 1, Digest: DigestOf([]byte("missing"))}}
+	raw, _ := MarshalCanonical(m)
+	if _, err := r.PutManifest("repo", "latest", MediaTypeManifest, raw); !errors.Is(err, ErrBlobNotFound) {
+		t.Errorf("missing config: %v", err)
+	}
+}
+
+func TestManifestListMultiArch(t *testing.T) {
+	r := New(NewMemDriver())
+	amd := pushTestImage(t, r, "repo", "", []byte("amd-layer"))
+	arm := pushTestImage(t, r, "repo", "", []byte("arm-layer"))
+	list := ManifestList{SchemaVersion: 2, MediaType: MediaTypeManifestList,
+		Manifests: []PlatformManifest{
+			{Descriptor: Descriptor{MediaType: MediaTypeManifest, Digest: amd}, Platform: Platform{Architecture: "amd64", OS: "linux"}},
+			{Descriptor: Descriptor{MediaType: MediaTypeManifest, Digest: arm}, Platform: Platform{Architecture: "arm64", OS: "linux"}},
+		}}
+	raw, _ := MarshalCanonical(list)
+	if _, err := r.PutManifest("repo", "latest", MediaTypeManifestList, raw); err != nil {
+		t.Fatal(err)
+	}
+	m, d, err := r.ResolveForArch("repo", "latest", "arm64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != arm {
+		t.Errorf("resolved %v, want %v", d, arm)
+	}
+	if len(m.Layers) != 1 || m.Layers[0].Digest != DigestOf([]byte("arm-layer")) {
+		t.Errorf("wrong layers: %+v", m)
+	}
+	if _, _, err := r.ResolveForArch("repo", "latest", "riscv"); !errors.Is(err, ErrManifestNotFound) {
+		t.Errorf("unknown arch: %v", err)
+	}
+}
+
+func TestManifestListRejectsMissingChildren(t *testing.T) {
+	r := New(NewMemDriver())
+	list := ManifestList{SchemaVersion: 2, MediaType: MediaTypeManifestList,
+		Manifests: []PlatformManifest{
+			{Descriptor: Descriptor{MediaType: MediaTypeManifest, Digest: DigestOf([]byte("ghost"))}, Platform: Platform{Architecture: "amd64"}},
+		}}
+	raw, _ := MarshalCanonical(list)
+	if _, err := r.PutManifest("repo", "latest", MediaTypeManifestList, raw); !errors.Is(err, ErrManifestNotFound) {
+		t.Errorf("missing child: %v", err)
+	}
+}
+
+func TestTagsUnknownRepo(t *testing.T) {
+	r := New(NewMemDriver())
+	if _, err := r.Tags("ghost/repo"); !errors.Is(err, ErrRepoNotFound) {
+		t.Errorf("unknown repo: %v", err)
+	}
+}
+
+func TestValidNames(t *testing.T) {
+	for _, good := range []string{"sina88/vp-transcode", "aau/tp-retrieve", "library/alpine", "a/b/c"} {
+		if !ValidRepoName(good) {
+			t.Errorf("%q should be valid", good)
+		}
+	}
+	for _, bad := range []string{"", "UPPER", "/lead", "trail/", "a//b"} {
+		if ValidRepoName(bad) {
+			t.Errorf("%q should be invalid", bad)
+		}
+	}
+	for _, good := range []string{"latest", "amd64", "v1.2.3", "_tmp"} {
+		if !ValidTag(good) {
+			t.Errorf("tag %q should be valid", good)
+		}
+	}
+	for _, bad := range []string{"", "-lead", "has space"} {
+		if ValidTag(bad) {
+			t.Errorf("tag %q should be invalid", bad)
+		}
+	}
+}
+
+func TestBlobContentAddressProperty(t *testing.T) {
+	r := New(NewMemDriver())
+	f := func(data []byte) bool {
+		d := DigestOf(data)
+		if err := r.PutBlob(d, data); err != nil {
+			return false
+		}
+		got, err := r.GetBlob(d)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectStoreDriverPersistsAcrossRegistryInstances(t *testing.T) {
+	store := objectstore.NewMemStore(0)
+	d1, err := NewObjectStoreDriver(store, "registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := New(d1)
+	manifestDigest := pushTestImage(t, r1, "aau/tp-retrieve", "arm64", []byte("layer"))
+
+	// A second registry instance over the same bucket sees everything —
+	// the object store is the source of truth, as with MinIO-backed
+	// distribution.
+	d2, err := NewObjectStoreDriver(store, "registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(d2)
+	_, _, got, err := r2.GetManifest("aau/tp-retrieve", "arm64")
+	if err != nil || got != manifestDigest {
+		t.Fatalf("manifest not persisted: %v %v", got, err)
+	}
+	if _, ok := r2.HasBlob(DigestOf([]byte("layer"))); !ok {
+		t.Error("blob not persisted")
+	}
+}

@@ -1,0 +1,309 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Server exposes a Registry over the Docker Registry HTTP API V2:
+//
+//	GET  /v2/                                   ping
+//	GET  /v2/_catalog                           repository list
+//	GET  /v2/{name}/tags/list                   tag list
+//	GET  /v2/{name}/manifests/{ref}             fetch manifest
+//	HEAD /v2/{name}/manifests/{ref}             probe manifest
+//	PUT  /v2/{name}/manifests/{ref}             push manifest
+//	GET  /v2/{name}/blobs/{digest}              fetch blob
+//	HEAD /v2/{name}/blobs/{digest}              probe blob
+//	POST /v2/{name}/blobs/uploads/              start upload session
+//	PATCH /v2/{name}/blobs/uploads/{uuid}       append chunk
+//	PUT  /v2/{name}/blobs/uploads/{uuid}?digest= complete upload
+type Server struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	uploads map[string][]byte
+	nextID  int
+
+	// Throttle optionally wraps blob response bodies (used by the hub
+	// simulator for bandwidth emulation). It receives the repository name.
+	Throttle func(repo string, r io.Reader) io.Reader
+	// PullGate optionally rejects a pull before serving it (rate limits);
+	// return a non-nil error to answer 429.
+	PullGate func(repo string) error
+}
+
+// NewServer wraps a registry.
+func NewServer(reg *Registry) *Server {
+	return &Server{reg: reg, uploads: make(map[string][]byte)}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if !strings.HasPrefix(path, "/v2/") {
+		writeRegError(w, http.StatusNotFound, "UNSUPPORTED", "registry API lives under /v2/")
+		return
+	}
+	rest := strings.TrimPrefix(path, "/v2/")
+	switch {
+	case rest == "":
+		w.Header().Set("Docker-Distribution-Api-Version", "registry/2.0")
+		w.WriteHeader(http.StatusOK)
+	case rest == "_catalog":
+		s.catalog(w)
+	case strings.HasSuffix(rest, "/tags/list"):
+		s.tags(w, strings.TrimSuffix(rest, "/tags/list"))
+	case strings.Contains(rest, "/manifests/"):
+		i := strings.LastIndex(rest, "/manifests/")
+		s.manifests(w, r, rest[:i], rest[i+len("/manifests/"):])
+	case strings.Contains(rest, "/blobs/uploads/"):
+		i := strings.LastIndex(rest, "/blobs/uploads/")
+		s.uploadsOp(w, r, rest[:i], rest[i+len("/blobs/uploads/"):])
+	case strings.Contains(rest, "/blobs/"):
+		i := strings.LastIndex(rest, "/blobs/")
+		s.blobs(w, r, rest[:i], rest[i+len("/blobs/"):])
+	default:
+		writeRegError(w, http.StatusNotFound, "UNSUPPORTED", "unknown route")
+	}
+}
+
+func (s *Server) catalog(w http.ResponseWriter) {
+	repos, err := s.reg.Repositories()
+	if err != nil {
+		writeRegError(w, http.StatusInternalServerError, "UNKNOWN", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"repositories": repos})
+}
+
+func (s *Server) tags(w http.ResponseWriter, repo string) {
+	tags, err := s.reg.Tags(repo)
+	if err != nil {
+		if errors.Is(err, ErrRepoNotFound) {
+			writeRegError(w, http.StatusNotFound, "NAME_UNKNOWN", err.Error())
+			return
+		}
+		writeRegError(w, http.StatusInternalServerError, "UNKNOWN", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": repo, "tags": tags})
+}
+
+func (s *Server) manifests(w http.ResponseWriter, r *http.Request, repo, ref string) {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		if err := s.gate(w, repo); err != nil {
+			return
+		}
+		mt, raw, d, err := s.reg.GetManifest(repo, ref)
+		if err != nil {
+			writeRegError(w, http.StatusNotFound, "MANIFEST_UNKNOWN", err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", mt)
+		w.Header().Set("Docker-Content-Digest", string(d))
+		w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+		w.WriteHeader(http.StatusOK)
+		if r.Method == http.MethodGet {
+			_, _ = w.Write(raw)
+		}
+	case http.MethodPut:
+		raw, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeRegError(w, http.StatusBadRequest, "MANIFEST_INVALID", err.Error())
+			return
+		}
+		mt := r.Header.Get("Content-Type")
+		tag := ""
+		if !strings.HasPrefix(ref, "sha256:") {
+			tag = ref
+		}
+		d, err := s.reg.PutManifest(repo, tag, mt, raw)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrBlobNotFound), errors.Is(err, ErrManifestNotFound):
+				writeRegError(w, http.StatusBadRequest, "MANIFEST_BLOB_UNKNOWN", err.Error())
+			case errors.Is(err, ErrInvalidName):
+				writeRegError(w, http.StatusBadRequest, "NAME_INVALID", err.Error())
+			default:
+				writeRegError(w, http.StatusBadRequest, "MANIFEST_INVALID", err.Error())
+			}
+			return
+		}
+		w.Header().Set("Docker-Content-Digest", string(d))
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodDelete:
+		d := Digest(ref)
+		if !d.Valid() {
+			writeRegError(w, http.StatusBadRequest, "DIGEST_INVALID", "manifest deletes require a digest reference")
+			return
+		}
+		if err := s.reg.DeleteManifest(repo, d); err != nil {
+			writeRegError(w, http.StatusNotFound, "MANIFEST_UNKNOWN", err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	default:
+		writeRegError(w, http.StatusMethodNotAllowed, "UNSUPPORTED", "unsupported method")
+	}
+}
+
+func (s *Server) blobs(w http.ResponseWriter, r *http.Request, repo, digest string) {
+	d := Digest(digest)
+	if !d.Valid() {
+		writeRegError(w, http.StatusBadRequest, "DIGEST_INVALID", "malformed digest")
+		return
+	}
+	switch r.Method {
+	case http.MethodHead:
+		n, ok := s.reg.HasBlob(d)
+		if !ok {
+			writeRegError(w, http.StatusNotFound, "BLOB_UNKNOWN", "blob unknown")
+			return
+		}
+		w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+		w.Header().Set("Docker-Content-Digest", string(d))
+		w.WriteHeader(http.StatusOK)
+	case http.MethodGet:
+		if err := s.gate(w, repo); err != nil {
+			return
+		}
+		rc, n, err := s.reg.OpenBlob(d)
+		if err != nil {
+			writeRegError(w, http.StatusNotFound, "BLOB_UNKNOWN", err.Error())
+			return
+		}
+		defer rc.Close()
+		w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Docker-Content-Digest", string(d))
+		w.WriteHeader(http.StatusOK)
+		var src io.Reader = rc
+		if s.Throttle != nil {
+			src = s.Throttle(repo, rc)
+		}
+		_, _ = io.Copy(w, src)
+	case http.MethodDelete:
+		if err := s.reg.DeleteBlob(d); err != nil {
+			writeRegError(w, http.StatusNotFound, "BLOB_UNKNOWN", err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	default:
+		writeRegError(w, http.StatusMethodNotAllowed, "UNSUPPORTED", "unsupported method")
+	}
+}
+
+func (s *Server) uploadsOp(w http.ResponseWriter, r *http.Request, repo, uuid string) {
+	switch {
+	case r.Method == http.MethodPost && uuid == "":
+		s.mu.Lock()
+		s.nextID++
+		id := fmt.Sprintf("upload-%d", s.nextID)
+		s.uploads[id] = nil
+		s.mu.Unlock()
+		w.Header().Set("Location", "/v2/"+repo+"/blobs/uploads/"+id)
+		w.Header().Set("Docker-Upload-UUID", id)
+		w.WriteHeader(http.StatusAccepted)
+	case r.Method == http.MethodPatch:
+		chunk, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeRegError(w, http.StatusBadRequest, "BLOB_UPLOAD_INVALID", err.Error())
+			return
+		}
+		s.mu.Lock()
+		buf, ok := s.uploads[uuid]
+		if ok {
+			s.uploads[uuid] = append(buf, chunk...)
+		}
+		size := len(s.uploads[uuid])
+		s.mu.Unlock()
+		if !ok {
+			writeRegError(w, http.StatusNotFound, "BLOB_UPLOAD_UNKNOWN", "unknown session")
+			return
+		}
+		w.Header().Set("Location", "/v2/"+repo+"/blobs/uploads/"+uuid)
+		w.Header().Set("Range", fmt.Sprintf("0-%d", size-1))
+		w.WriteHeader(http.StatusAccepted)
+	case r.Method == http.MethodPut:
+		digest := Digest(r.URL.Query().Get("digest"))
+		if !digest.Valid() {
+			writeRegError(w, http.StatusBadRequest, "DIGEST_INVALID", "missing or malformed digest parameter")
+			return
+		}
+		final, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeRegError(w, http.StatusBadRequest, "BLOB_UPLOAD_INVALID", err.Error())
+			return
+		}
+		s.mu.Lock()
+		buf, ok := s.uploads[uuid]
+		delete(s.uploads, uuid)
+		s.mu.Unlock()
+		if !ok {
+			writeRegError(w, http.StatusNotFound, "BLOB_UPLOAD_UNKNOWN", "unknown session")
+			return
+		}
+		data := append(buf, final...)
+		if err := s.reg.PutBlob(digest, data); err != nil {
+			if errors.Is(err, ErrDigestMismatch) {
+				writeRegError(w, http.StatusBadRequest, "DIGEST_INVALID", err.Error())
+				return
+			}
+			writeRegError(w, http.StatusInternalServerError, "UNKNOWN", err.Error())
+			return
+		}
+		w.Header().Set("Docker-Content-Digest", string(digest))
+		w.WriteHeader(http.StatusCreated)
+	case r.Method == http.MethodDelete:
+		s.mu.Lock()
+		delete(s.uploads, uuid)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeRegError(w, http.StatusMethodNotAllowed, "UNSUPPORTED", "unsupported method")
+	}
+}
+
+// gate applies the PullGate, answering 429 on rejection.
+func (s *Server) gate(w http.ResponseWriter, repo string) error {
+	if s.PullGate == nil {
+		return nil
+	}
+	if err := s.PullGate(repo); err != nil {
+		w.Header().Set("Retry-After", "60")
+		writeRegError(w, http.StatusTooManyRequests, "TOOMANYREQUESTS", err.Error())
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// regErrorBody follows the distribution error envelope.
+type regErrorBody struct {
+	Errors []struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"errors"`
+}
+
+func writeRegError(w http.ResponseWriter, status int, code, msg string) {
+	var body regErrorBody
+	body.Errors = append(body.Errors, struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}{Code: code, Message: msg})
+	writeJSON(w, status, body)
+}

@@ -1,0 +1,208 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"testing"
+
+	"deep/internal/netsim"
+	"deep/internal/units"
+)
+
+func newHTTPRegistry(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	srv := NewServer(New(NewMemDriver()))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, ts.Client()), srv
+}
+
+func TestHTTPPing(t *testing.T) {
+	c, _ := newHTTPRegistry(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPPushPullRoundTrip(t *testing.T) {
+	c, _ := newHTTPRegistry(t)
+	config := []byte(`{"arch":"amd64"}`)
+	layers := [][]byte{bytes.Repeat([]byte("base"), 1000), []byte("app-layer")}
+	d, err := c.Push("sina88/vp-frame", "amd64", config, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == "" {
+		t.Fatal("empty manifest digest")
+	}
+	ref, _ := ParseReference("sina88/vp-frame:amd64")
+	img, err := c.Pull(ref, "amd64", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img.Config, config) {
+		t.Error("config corrupted")
+	}
+	if len(img.Layers) != 2 {
+		t.Fatalf("layers = %d", len(img.Layers))
+	}
+	for _, l := range layers {
+		if got := img.Layers[DigestOf(l)]; !bytes.Equal(got, l) {
+			t.Error("layer corrupted")
+		}
+	}
+	if img.TotalLayerBytes() != int64(len(layers[0])+len(layers[1])) {
+		t.Errorf("total = %d", img.TotalLayerBytes())
+	}
+}
+
+func TestHTTPPullSkipsCachedLayers(t *testing.T) {
+	c, _ := newHTTPRegistry(t)
+	base := bytes.Repeat([]byte("base"), 500)
+	app := []byte("app")
+	if _, err := c.Push("repo/img", "latest", []byte("{}"), [][]byte{base, app}); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := ParseReference("repo/img:latest")
+	img, err := c.Pull(ref, "amd64", func(d Digest) bool { return d == DigestOf(base) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, pulled := img.Layers[DigestOf(base)]; pulled {
+		t.Error("cached layer was re-pulled")
+	}
+	if _, pulled := img.Layers[DigestOf(app)]; !pulled {
+		t.Error("uncached layer missing")
+	}
+}
+
+func TestHTTPMultiArchPull(t *testing.T) {
+	c, _ := newHTTPRegistry(t)
+	amdLayer := []byte("amd payload")
+	armLayer := []byte("arm payload")
+	amdD, err := c.Push("repo/multi", "amd64-only", []byte(`{"a":"amd"}`), [][]byte{amdLayer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	armD, err := c.Push("repo/multi", "arm64-only", []byte(`{"a":"arm"}`), [][]byte{armLayer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := ManifestList{SchemaVersion: 2, MediaType: MediaTypeManifestList,
+		Manifests: []PlatformManifest{
+			{Descriptor: Descriptor{MediaType: MediaTypeManifest, Digest: amdD}, Platform: Platform{Architecture: "amd64", OS: "linux"}},
+			{Descriptor: Descriptor{MediaType: MediaTypeManifest, Digest: armD}, Platform: Platform{Architecture: "arm64", OS: "linux"}},
+		}}
+	raw, _ := MarshalCanonical(list)
+	if _, err := c.PushManifest("repo/multi", "latest", MediaTypeManifestList, raw); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := ParseReference("repo/multi:latest")
+	img, err := c.Pull(ref, "arm64", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := img.Layers[DigestOf(armLayer)]; !ok {
+		t.Error("arm64 pull fetched wrong layers")
+	}
+}
+
+func TestHTTPCatalogAndTags(t *testing.T) {
+	c, _ := newHTTPRegistry(t)
+	for _, repo := range []string{"aau/tp-retrieve", "aau/tp-decompress"} {
+		for _, tag := range []string{"amd64", "arm64"} {
+			if _, err := c.Push(repo, tag, []byte("{}"), [][]byte{[]byte(repo + tag)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	repos, err := c.Catalog()
+	if err != nil || len(repos) != 2 {
+		t.Fatalf("catalog = %v, %v", repos, err)
+	}
+	tags, err := c.Tags("aau/tp-retrieve")
+	if err != nil || len(tags) != 2 {
+		t.Fatalf("tags = %v, %v", tags, err)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	c, _ := newHTTPRegistry(t)
+	ref, _ := ParseReference("ghost/repo:latest")
+	if _, err := c.Pull(ref, "amd64", nil); !errors.Is(err, ErrManifestNotFound) {
+		t.Errorf("pull missing: %v", err)
+	}
+	if _, err := c.PullBlob("ghost/repo", DigestOf([]byte("x"))); !errors.Is(err, ErrBlobNotFound) {
+		t.Errorf("blob missing: %v", err)
+	}
+	if _, err := c.Tags("ghost/repo"); err == nil {
+		t.Error("tags of missing repo should error")
+	}
+}
+
+func TestHTTPRateLimitRetry(t *testing.T) {
+	c, srv := newHTTPRegistry(t)
+	if _, err := c.Push("repo/x", "latest", []byte("{}"), [][]byte{[]byte("l")}); err != nil {
+		t.Fatal(err)
+	}
+	// Gate: fail the first two pull attempts, then allow.
+	var calls int
+	srv.PullGate = func(string) error {
+		calls++
+		if calls <= 2 {
+			return fmt.Errorf("anonymous pull limit")
+		}
+		return nil
+	}
+	var backoffs int
+	c.Backoff = func(int) { backoffs++ }
+	ref, _ := ParseReference("repo/x:latest")
+	if _, err := c.Pull(ref, "amd64", nil); err != nil {
+		t.Fatalf("pull should survive transient 429s: %v", err)
+	}
+	if backoffs == 0 {
+		t.Error("client never backed off")
+	}
+
+	// Permanent limiting surfaces ErrRateLimited.
+	calls = 0
+	srv.PullGate = func(string) error { return fmt.Errorf("hard limit") }
+	if _, err := c.Pull(ref, "amd64", nil); !errors.Is(err, ErrRateLimited) {
+		t.Errorf("hard limit: %v", err)
+	}
+}
+
+func TestHTTPThrottleBandwidth(t *testing.T) {
+	c, srv := newHTTPRegistry(t)
+	payload := bytes.Repeat([]byte("z"), 64<<10)
+	if _, err := c.Push("repo/throttled", "latest", []byte("{}"), [][]byte{payload}); err != nil {
+		t.Fatal(err)
+	}
+	// Wire the netsim rate limiter in as the hub simulator does; a huge
+	// bandwidth keeps the test fast while exercising the path.
+	srv.Throttle = func(repo string, r io.Reader) io.Reader {
+		return netsim.NewRateLimitedReader(r, 1000*units.MBps)
+	}
+	ref, _ := ParseReference("repo/throttled:latest")
+	img, err := c.Pull(ref, "amd64", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img.Layers[DigestOf(payload)], payload) {
+		t.Error("throttled payload corrupted")
+	}
+}
+
+func TestHTTPDigestMismatchRejectedOnUpload(t *testing.T) {
+	c, _ := newHTTPRegistry(t)
+	// PushManifest referencing blobs that do not exist must fail.
+	m := Manifest{SchemaVersion: 2, MediaType: MediaTypeManifest,
+		Config: Descriptor{MediaType: MediaTypeConfig, Size: 2, Digest: DigestOf([]byte("no"))}}
+	raw, _ := MarshalCanonical(m)
+	if _, err := c.PushManifest("repo/x", "latest", MediaTypeManifest, raw); err == nil {
+		t.Error("manifest with missing blobs accepted")
+	}
+}

@@ -1,0 +1,175 @@
+// Package registry implements a Docker Registry HTTP API V2 service:
+// content-addressed blobs, schema2 image manifests and multi-arch manifest
+// lists, tags, and a catalog, over pluggable storage drivers (in-memory or
+// the MinIO-like object store — the paper's regional registry layering). It
+// also provides the pull/push client used by the emulated edge devices.
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Media types, matching the Docker distribution spec.
+const (
+	MediaTypeManifest     = "application/vnd.docker.distribution.manifest.v2+json"
+	MediaTypeManifestList = "application/vnd.docker.distribution.manifest.list.v2+json"
+	MediaTypeConfig       = "application/vnd.docker.container.image.v1+json"
+	MediaTypeLayer        = "application/vnd.docker.image.rootfs.diff.tar.gzip"
+)
+
+// Digest is a content address of the form "sha256:<hex>".
+type Digest string
+
+// DigestOf computes the canonical sha256 digest of data.
+func DigestOf(data []byte) Digest {
+	sum := sha256.Sum256(data)
+	return Digest("sha256:" + hex.EncodeToString(sum[:]))
+}
+
+var digestRE = regexp.MustCompile(`^sha256:[a-f0-9]{64}$`)
+
+// Valid reports whether the digest is well-formed.
+func (d Digest) Valid() bool { return digestRE.MatchString(string(d)) }
+
+// Hex returns the hex portion of the digest.
+func (d Digest) Hex() string {
+	if i := strings.IndexByte(string(d), ':'); i >= 0 {
+		return string(d)[i+1:]
+	}
+	return string(d)
+}
+
+// Descriptor references a blob by digest, size, and media type.
+type Descriptor struct {
+	MediaType string `json:"mediaType"`
+	Size      int64  `json:"size"`
+	Digest    Digest `json:"digest"`
+}
+
+// Manifest is a schema2 image manifest: a config blob plus ordered layers.
+type Manifest struct {
+	SchemaVersion int          `json:"schemaVersion"`
+	MediaType     string       `json:"mediaType"`
+	Config        Descriptor   `json:"config"`
+	Layers        []Descriptor `json:"layers"`
+}
+
+// TotalSize returns the sum of the layer sizes (the pullable payload).
+func (m Manifest) TotalSize() int64 {
+	var n int64
+	for _, l := range m.Layers {
+		n += l.Size
+	}
+	return n
+}
+
+// Platform identifies an architecture/OS pair in a manifest list.
+type Platform struct {
+	Architecture string `json:"architecture"`
+	OS           string `json:"os"`
+}
+
+// PlatformManifest is one entry of a manifest list.
+type PlatformManifest struct {
+	Descriptor
+	Platform Platform `json:"platform"`
+}
+
+// ManifestList is a multi-arch image index.
+type ManifestList struct {
+	SchemaVersion int                `json:"schemaVersion"`
+	MediaType     string             `json:"mediaType"`
+	Manifests     []PlatformManifest `json:"manifests"`
+}
+
+// ForArch returns the child manifest descriptor for an architecture.
+func (l ManifestList) ForArch(arch string) (PlatformManifest, bool) {
+	for _, m := range l.Manifests {
+		if m.Platform.Architecture == arch {
+			return m, true
+		}
+	}
+	return PlatformManifest{}, false
+}
+
+// MarshalCanonical encodes a manifest deterministically so its digest is
+// stable.
+func MarshalCanonical(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// Well-known registry errors.
+var (
+	ErrBlobNotFound     = errors.New("registry: blob unknown")
+	ErrManifestNotFound = errors.New("registry: manifest unknown")
+	ErrTagNotFound      = errors.New("registry: tag unknown")
+	ErrRepoNotFound     = errors.New("registry: repository unknown")
+	ErrDigestMismatch   = errors.New("registry: digest verification failed")
+	ErrInvalidName      = errors.New("registry: invalid repository name")
+	ErrInvalidDigest    = errors.New("registry: invalid digest")
+	ErrUploadNotFound   = errors.New("registry: upload session unknown")
+	ErrRateLimited      = errors.New("registry: too many requests")
+)
+
+var repoNameRE = regexp.MustCompile(`^[a-z0-9]+(?:[._/-][a-z0-9]+)*$`)
+
+// ValidRepoName reports whether the repository name is acceptable (e.g.
+// "sina88/vp-transcode" or "aau/tp-retrieve").
+func ValidRepoName(name string) bool {
+	return name != "" && len(name) <= 255 && repoNameRE.MatchString(name)
+}
+
+var tagRE = regexp.MustCompile(`^[A-Za-z0-9_][A-Za-z0-9._-]{0,127}$`)
+
+// ValidTag reports whether the tag is acceptable (e.g. "amd64", "latest").
+func ValidTag(tag string) bool { return tagRE.MatchString(tag) }
+
+// Reference is a parsed "repo:tag" or "repo@sha256:..." image reference.
+type Reference struct {
+	Repository string
+	Tag        string
+	Digest     Digest
+}
+
+// ParseReference parses an image reference. A bare repository defaults to
+// tag "latest".
+func ParseReference(s string) (Reference, error) {
+	if i := strings.Index(s, "@"); i >= 0 {
+		repo, dig := s[:i], Digest(s[i+1:])
+		if !ValidRepoName(repo) {
+			return Reference{}, fmt.Errorf("%w: %q", ErrInvalidName, repo)
+		}
+		if !dig.Valid() {
+			return Reference{}, fmt.Errorf("%w: %q", ErrInvalidDigest, dig)
+		}
+		return Reference{Repository: repo, Digest: dig}, nil
+	}
+	repo, tag := s, "latest"
+	if i := strings.LastIndex(s, ":"); i >= 0 && !strings.Contains(s[i+1:], "/") {
+		repo, tag = s[:i], s[i+1:]
+	}
+	if !ValidRepoName(repo) {
+		return Reference{}, fmt.Errorf("%w: %q", ErrInvalidName, repo)
+	}
+	if !ValidTag(tag) {
+		return Reference{}, fmt.Errorf("registry: invalid tag %q", tag)
+	}
+	return Reference{Repository: repo, Tag: tag}, nil
+}
+
+// String renders the reference.
+func (r Reference) String() string {
+	if r.Digest != "" {
+		return r.Repository + "@" + string(r.Digest)
+	}
+	return r.Repository + ":" + r.Tag
+}
+
+// unmarshal decodes JSON, shared by the proxy.
+func unmarshal(raw []byte, v any) error { return json.Unmarshal(raw, v) }

@@ -1,0 +1,233 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+
+	"deep/internal/dag"
+	"deep/internal/sim"
+)
+
+// Exclusive restricts every deployment to a single registry (the paper's
+// "exclusively Docker Hub" and "exclusively regional registry" baselines);
+// devices are still chosen energy-optimally via the same game as DEEP.
+type Exclusive struct{ registry string }
+
+// NewExclusive returns an exclusive-registry scheduler.
+func NewExclusive(registry string) *Exclusive { return &Exclusive{registry: registry} }
+
+// Name implements Scheduler.
+func (s *Exclusive) Name() string { return "exclusive-" + s.registry }
+
+// Schedule implements Scheduler.
+func (s *Exclusive) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	stages, err := stagesOf(app)
+	if err != nil {
+		return nil, err
+	}
+	est := NewEstimator(app, cluster)
+	placement := make(sim.Placement, len(app.Microservices))
+	for _, stage := range stages {
+		names := append([]string(nil), stage...)
+		sort.Strings(names)
+		// Iterate to a fixed point of best responses with the registry
+		// pinned; within a stage co-assignments couple through contention.
+		cur := make(map[string]sim.Assignment, len(names))
+		optsOf := make(map[string][]sim.Assignment, len(names))
+		for _, n := range names {
+			m := app.Microservice(n)
+			var opts []sim.Assignment
+			for _, o := range est.Options(m) {
+				if o.Registry == s.registry {
+					opts = append(opts, o)
+				}
+			}
+			if len(opts) == 0 {
+				return nil, infeasibleError{ms: n}
+			}
+			optsOf[n] = opts
+			cur[n] = opts[0]
+		}
+		for iter := 0; iter < 100; iter++ {
+			changed := false
+			for _, n := range names {
+				m := app.Microservice(n)
+				best := cur[n]
+				bestC := float64(est.Energy(m, best, cur))
+				for _, o := range optsOf[n] {
+					trial := cloneAssignments(cur)
+					trial[n] = o
+					if c := float64(est.Energy(m, o, trial)); c < bestC-1e-9 {
+						best, bestC = o, c
+					}
+				}
+				if best != cur[n] {
+					cur[n] = best
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		for n, a := range cur {
+			placement[n] = a
+			est.Commit(n, a)
+		}
+	}
+	return placement, nil
+}
+
+// GreedyEnergy assigns each microservice, in topological order, the
+// (device, registry) pair minimizing its own estimated energy, ignoring
+// same-stage contention — the myopic baseline DEEP's game improves on.
+type GreedyEnergy struct{}
+
+// NewGreedyEnergy returns the greedy baseline.
+func NewGreedyEnergy() *GreedyEnergy { return &GreedyEnergy{} }
+
+// Name implements Scheduler.
+func (*GreedyEnergy) Name() string { return "greedy-energy" }
+
+// Schedule implements Scheduler.
+func (*GreedyEnergy) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	order, err := topoOrder(app)
+	if err != nil {
+		return nil, err
+	}
+	est := NewEstimator(app, cluster)
+	placement := make(sim.Placement, len(order))
+	for _, name := range order {
+		m := app.Microservice(name)
+		opts := est.Options(m)
+		if len(opts) == 0 {
+			return nil, infeasibleError{ms: name}
+		}
+		best := opts[0]
+		bestC := float64(est.Energy(m, best, nil))
+		for _, o := range opts[1:] {
+			if c := float64(est.Energy(m, o, nil)); c < bestC {
+				best, bestC = o, c
+			}
+		}
+		placement[name] = best
+		est.Commit(name, best)
+	}
+	return placement, nil
+}
+
+// MinCompletionTime is a HEFT-flavored baseline minimizing each
+// microservice's estimated completion time instead of energy.
+type MinCompletionTime struct{}
+
+// NewMinCompletionTime returns the completion-time baseline.
+func NewMinCompletionTime() *MinCompletionTime { return &MinCompletionTime{} }
+
+// Name implements Scheduler.
+func (*MinCompletionTime) Name() string { return "min-ct" }
+
+// Schedule implements Scheduler.
+func (*MinCompletionTime) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	order, err := topoOrder(app)
+	if err != nil {
+		return nil, err
+	}
+	est := NewEstimator(app, cluster)
+	placement := make(sim.Placement, len(order))
+	for _, name := range order {
+		m := app.Microservice(name)
+		opts := est.Options(m)
+		if len(opts) == 0 {
+			return nil, infeasibleError{ms: name}
+		}
+		best := opts[0]
+		bestC := est.CompletionTime(m, best, nil)
+		for _, o := range opts[1:] {
+			if c := est.CompletionTime(m, o, nil); c < bestC {
+				best, bestC = o, c
+			}
+		}
+		placement[name] = best
+		est.Commit(name, best)
+	}
+	return placement, nil
+}
+
+// RoundRobin cycles microservices across devices in topological order and
+// always deploys from the first registry — the naive load-spreading
+// baseline.
+type RoundRobin struct{}
+
+// NewRoundRobin returns the round-robin baseline.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Scheduler.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Schedule implements Scheduler.
+func (*RoundRobin) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	order, err := topoOrder(app)
+	if err != nil {
+		return nil, err
+	}
+	est := NewEstimator(app, cluster)
+	placement := make(sim.Placement, len(order))
+	next := 0
+	for _, name := range order {
+		m := app.Microservice(name)
+		opts := est.Options(m)
+		if len(opts) == 0 {
+			return nil, infeasibleError{ms: name}
+		}
+		// Group options by device, then rotate device choice.
+		devices, _ := axes(opts)
+		dev := devices[next%len(devices)]
+		next++
+		for _, o := range opts {
+			if o.Device == dev {
+				placement[name] = o
+				est.Commit(name, o)
+				break
+			}
+		}
+	}
+	return placement, nil
+}
+
+// Random picks uniformly among feasible assignments with a fixed seed.
+type Random struct{ seed int64 }
+
+// NewRandom returns the seeded random baseline.
+func NewRandom(seed int64) *Random { return &Random{seed: seed} }
+
+// Name implements Scheduler.
+func (*Random) Name() string { return "random" }
+
+// Schedule implements Scheduler.
+func (s *Random) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	order, err := topoOrder(app)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.seed))
+	est := NewEstimator(app, cluster)
+	placement := make(sim.Placement, len(order))
+	for _, name := range order {
+		m := app.Microservice(name)
+		opts := est.Options(m)
+		if len(opts) == 0 {
+			return nil, infeasibleError{ms: name}
+		}
+		o := opts[rng.Intn(len(opts))]
+		placement[name] = o
+		est.Commit(name, o)
+	}
+	return placement, nil
+}
+
+func topoOrder(app *dag.App) ([]string, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app.TopoOrder()
+}

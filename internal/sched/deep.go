@@ -1,0 +1,237 @@
+package sched
+
+import (
+	"sort"
+
+	"deep/internal/dag"
+	"deep/internal/game"
+	"deep/internal/sim"
+)
+
+// DEEP is the paper's Nash-game-based scheduler. The application is
+// processed stage by stage (between synchronization barriers). Within a
+// stage:
+//
+//   - A lone microservice plays a two-player cooperation game against the
+//     infrastructure: its strategies are the candidate devices, the
+//     infrastructure's are the candidate registries, and both players'
+//     payoff is the negated energy EC(m_i, r_g, d_j) — the
+//     prisoner's-dilemma-style framing of Section III-E where cooperation
+//     (joint energy minimization) is the desired equilibrium. The
+//     welfare-maximal Nash equilibrium is selected.
+//
+//   - A pair of microservices (the HA/LA train and infer/score stages)
+//     plays a bimatrix game whose strategies are full (device, registry)
+//     assignments; the payoff coupling captures shared-registry contention.
+//     All equilibria are found by support enumeration and the
+//     welfare-maximal pure equilibrium is chosen.
+//
+//   - Larger stages fall back to best-response dynamics, which converge for
+//     these congestion-style payoffs.
+type DEEP struct{}
+
+// NewDEEP returns the Nash scheduler.
+func NewDEEP() *DEEP { return &DEEP{} }
+
+// Name implements Scheduler.
+func (*DEEP) Name() string { return "deep" }
+
+// Schedule implements Scheduler.
+func (*DEEP) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	stages, err := stagesOf(app)
+	if err != nil {
+		return nil, err
+	}
+	est := NewEstimator(app, cluster)
+	placement := make(sim.Placement, len(app.Microservices))
+
+	for _, stage := range stages {
+		names := append([]string(nil), stage...)
+		sort.Strings(names)
+		var assigned map[string]sim.Assignment
+		switch len(names) {
+		case 1:
+			assigned, err = scheduleSolo(est, app.Microservice(names[0]))
+		case 2:
+			assigned, err = schedulePair(est, app.Microservice(names[0]), app.Microservice(names[1]))
+		default:
+			assigned, err = scheduleBestResponse(est, app, names)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for name, a := range assigned {
+			placement[name] = a
+			est.Commit(name, a)
+		}
+	}
+	return placement, nil
+}
+
+// scheduleSolo solves the one-microservice device×registry cooperation game.
+func scheduleSolo(est *Estimator, m *dag.Microservice) (map[string]sim.Assignment, error) {
+	opts := est.Options(m)
+	if len(opts) == 0 {
+		return nil, infeasibleError{ms: m.Name}
+	}
+	// Distinct devices become row strategies, registries column strategies.
+	devices, registries := axes(opts)
+	feasible := make(map[sim.Assignment]bool, len(opts))
+	for _, o := range opts {
+		feasible[o] = true
+	}
+	worst := 0.0
+	costs := make(map[sim.Assignment]float64, len(opts))
+	for _, o := range opts {
+		c := float64(est.Energy(m, o, nil))
+		costs[o] = c
+		if c > worst {
+			worst = c
+		}
+	}
+	a := game.NewMatrix(len(devices), len(registries))
+	b := game.NewMatrix(len(devices), len(registries))
+	for i, d := range devices {
+		for j, r := range registries {
+			o := sim.Assignment{Device: d, Registry: r}
+			c, ok := costs[o]
+			if !ok || !feasible[o] {
+				c = worst * 10 // heavily penalize infeasible combinations
+			}
+			a.Set(i, j, -c)
+			b.Set(i, j, -c)
+		}
+	}
+	g := game.New(a, b)
+	eqs := g.PureNash()
+	best, ok := g.SelectEquilibrium(eqs)
+	if !ok {
+		// A common-interest game always has a pure equilibrium at its
+		// argmax; reaching here means every entry was penalized.
+		return nil, infeasibleError{ms: m.Name}
+	}
+	i := best.RowSupport()[0]
+	j := best.ColSupport()[0]
+	choice := sim.Assignment{Device: devices[i], Registry: registries[j]}
+	if !feasible[choice] {
+		return nil, infeasibleError{ms: m.Name}
+	}
+	return map[string]sim.Assignment{m.Name: choice}, nil
+}
+
+// schedulePair solves the two-microservice bimatrix game over full
+// assignments.
+func schedulePair(est *Estimator, m1, m2 *dag.Microservice) (map[string]sim.Assignment, error) {
+	o1 := est.Options(m1)
+	o2 := est.Options(m2)
+	if len(o1) == 0 {
+		return nil, infeasibleError{ms: m1.Name}
+	}
+	if len(o2) == 0 {
+		return nil, infeasibleError{ms: m2.Name}
+	}
+	a := game.NewMatrix(len(o1), len(o2))
+	b := game.NewMatrix(len(o1), len(o2))
+	for i, x := range o1 {
+		for j, y := range o2 {
+			co := map[string]sim.Assignment{m1.Name: x, m2.Name: y}
+			a.Set(i, j, -float64(est.Energy(m1, x, co)))
+			b.Set(i, j, -float64(est.Energy(m2, y, co)))
+		}
+	}
+	g := game.New(a, b)
+	// Prefer pure equilibria (deployable directly); among them take the
+	// welfare-maximal one, i.e. minimum combined energy.
+	if best, ok := g.SelectEquilibrium(g.PureNash()); ok {
+		return map[string]sim.Assignment{
+			m1.Name: o1[best.RowSupport()[0]],
+			m2.Name: o2[best.ColSupport()[0]],
+		}, nil
+	}
+	// Degenerate case: take any equilibrium and round each player to the
+	// highest-probability strategy.
+	p, err := g.LemkeHowsonAny()
+	if err != nil {
+		return nil, err
+	}
+	return map[string]sim.Assignment{
+		m1.Name: o1[argmax(p.Row)],
+		m2.Name: o2[argmax(p.Col)],
+	}, nil
+}
+
+// scheduleBestResponse runs synchronous best-response dynamics over stages
+// with three or more microservices.
+func scheduleBestResponse(est *Estimator, app *dag.App, names []string) (map[string]sim.Assignment, error) {
+	cur := make(map[string]sim.Assignment, len(names))
+	optsOf := make(map[string][]sim.Assignment, len(names))
+	for _, n := range names {
+		m := app.Microservice(n)
+		opts := est.Options(m)
+		if len(opts) == 0 {
+			return nil, infeasibleError{ms: n}
+		}
+		optsOf[n] = opts
+		cur[n] = opts[0]
+	}
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for _, n := range names {
+			m := app.Microservice(n)
+			best := cur[n]
+			bestC := float64(est.Energy(m, best, cur))
+			for _, o := range optsOf[n] {
+				trial := cloneAssignments(cur)
+				trial[n] = o
+				if c := float64(est.Energy(m, o, trial)); c < bestC-1e-9 {
+					best, bestC = o, c
+				}
+			}
+			if best != cur[n] {
+				cur[n] = best
+				changed = true
+			}
+		}
+		if !changed {
+			return cur, nil
+		}
+	}
+	return cur, nil // best effort after the iteration budget
+}
+
+// axes extracts the sorted distinct devices and registries from options.
+func axes(opts []sim.Assignment) (devices, registries []string) {
+	dset := map[string]bool{}
+	rset := map[string]bool{}
+	for _, o := range opts {
+		dset[o.Device] = true
+		rset[o.Registry] = true
+	}
+	for d := range dset {
+		devices = append(devices, d)
+	}
+	for r := range rset {
+		registries = append(registries, r)
+	}
+	sort.Strings(devices)
+	sort.Strings(registries)
+	return devices, registries
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func cloneAssignments(m map[string]sim.Assignment) map[string]sim.Assignment {
+	c := make(map[string]sim.Assignment, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

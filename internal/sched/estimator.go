@@ -1,0 +1,127 @@
+// Package sched implements DEEP's scheduling layer: the Nash-game-based
+// scheduler of the paper's Section III-E, which jointly picks the executing
+// device sched(m_i) and the source registry regist(m_i) for every
+// microservice to minimize total energy, plus the baselines the evaluation
+// compares against (exclusively Docker Hub, exclusively regional, greedy,
+// HEFT-like, round-robin, random).
+package sched
+
+import (
+	"sort"
+
+	"deep/internal/dag"
+	"deep/internal/energy"
+	"deep/internal/sim"
+	"deep/internal/units"
+)
+
+// Estimator prices candidate assignments using the same models the
+// simulator executes: deployment time from the registry link (with setup
+// cost and shared-capacity contention), dataflow transfer from the upstream
+// devices, processing time from the device speed, and energy from the
+// device's power model.
+type Estimator struct {
+	App     *dag.App
+	Cluster *sim.Cluster
+	// Placed holds the assignments fixed so far (all earlier stages).
+	Placed sim.Placement
+}
+
+// NewEstimator returns an estimator with an empty partial placement.
+func NewEstimator(app *dag.App, cluster *sim.Cluster) *Estimator {
+	return &Estimator{App: app, Cluster: cluster, Placed: make(sim.Placement)}
+}
+
+// Options enumerates the feasible (device, registry) assignments for a
+// microservice, ordered deterministically (device name, then registry name).
+func (e *Estimator) Options(m *dag.Microservice) []sim.Assignment {
+	var out []sim.Assignment
+	for _, d := range e.Cluster.Devices {
+		if d.CanRun(m) != nil {
+			continue
+		}
+		for _, r := range e.Cluster.Registries {
+			if _, ok := e.Cluster.Topology.LinkBetween(r.Node, d.Name); !ok {
+				continue
+			}
+			out = append(out, sim.Assignment{Device: d.Name, Registry: r.Name})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Device != out[j].Device {
+			return out[i].Device < out[j].Device
+		}
+		return out[i].Registry < out[j].Registry
+	})
+	return out
+}
+
+// breakdown carries the phase estimates for one candidate assignment.
+type breakdown struct {
+	Td, Tc, Tp float64
+}
+
+// estimate computes the phase times for m under assignment a, with co
+// giving the same-stage assignments of the other microservices (used for
+// shared-registry contention).
+func (e *Estimator) estimate(m *dag.Microservice, a sim.Assignment, co map[string]sim.Assignment) breakdown {
+	reg, _ := e.Cluster.Registry(a.Registry)
+	dev := e.Cluster.Device(a.Device)
+
+	var b breakdown
+	link, ok := e.Cluster.Topology.LinkBetween(reg.Node, a.Device)
+	if ok {
+		bw := link.BW
+		if reg.Shared {
+			// Count the distinct devices pulling from this registry in the
+			// stage, including ourselves.
+			devs := map[string]bool{a.Device: true}
+			for other, oa := range co {
+				if other == m.Name {
+					continue
+				}
+				if oa.Registry == a.Registry {
+					devs[oa.Device] = true
+				}
+			}
+			if n := len(devs); n > 1 {
+				bw = link.BW / units.Bandwidth(n)
+			}
+		}
+		b.Td = link.RTT + bw.Seconds(m.ImageSize)
+	}
+
+	for _, in := range e.App.Inputs(m.Name) {
+		fromDev := a.Device // unplaced upstream defaults to co-location
+		if pa, ok := e.Placed[in.From]; ok {
+			fromDev = pa.Device
+		}
+		b.Tc += e.Cluster.Topology.TransferTime(fromDev, a.Device, in.Size)
+	}
+	if m.ExternalInput > 0 && e.Cluster.SourceNode != "" {
+		b.Tc += e.Cluster.Topology.TransferTime(e.Cluster.SourceNode, a.Device, m.ExternalInput)
+	}
+
+	b.Tp = dev.ProcessingTime(m.Req.CPU)
+	return b
+}
+
+// Energy estimates EC(m_i, r_g, d_j): the device's total draw across the
+// deployment, transfer, and processing phases.
+func (e *Estimator) Energy(m *dag.Microservice, a sim.Assignment, co map[string]sim.Assignment) units.Joules {
+	b := e.estimate(m, a, co)
+	dev := e.Cluster.Device(a.Device)
+	pullW := dev.Power.Power(energy.Pulling, m.Name)
+	recvW := dev.Power.Power(energy.Receiving, m.Name)
+	procW := dev.Power.Power(energy.Processing, m.Name)
+	return pullW.Over(b.Td) + recvW.Over(b.Tc) + procW.Over(b.Tp)
+}
+
+// CompletionTime estimates CT(m_i, r_g, d_j) = Td + Tc + Tp.
+func (e *Estimator) CompletionTime(m *dag.Microservice, a sim.Assignment, co map[string]sim.Assignment) float64 {
+	b := e.estimate(m, a, co)
+	return b.Td + b.Tc + b.Tp
+}
+
+// Commit fixes the assignment of a microservice for later stages.
+func (e *Estimator) Commit(name string, a sim.Assignment) { e.Placed[name] = a }

@@ -1,0 +1,49 @@
+package sched
+
+import (
+	"fmt"
+
+	"deep/internal/dag"
+	"deep/internal/sim"
+)
+
+// Scheduler produces a placement — a (device, registry) assignment per
+// microservice — for an application on a cluster.
+type Scheduler interface {
+	// Name identifies the scheduling method in reports.
+	Name() string
+	// Schedule computes the placement. Implementations must be
+	// deterministic for a fixed input (randomized baselines take a seed at
+	// construction).
+	Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error)
+}
+
+// ErrInfeasible is wrapped by schedulers when a microservice has no feasible
+// (device, registry) option.
+type infeasibleError struct{ ms string }
+
+func (e infeasibleError) Error() string {
+	return fmt.Sprintf("sched: no feasible assignment for microservice %q", e.ms)
+}
+
+// stagesOf returns the barrier stages, surfacing validation errors.
+func stagesOf(app *dag.App) ([][]string, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app.Stages()
+}
+
+// All returns every scheduler the benchmark harness compares, with the given
+// seed for the randomized baseline.
+func All(seed int64) []Scheduler {
+	return []Scheduler{
+		NewDEEP(),
+		NewExclusive("hub"),
+		NewExclusive("regional"),
+		NewGreedyEnergy(),
+		NewMinCompletionTime(),
+		NewRoundRobin(),
+		NewRandom(seed),
+	}
+}

@@ -1,0 +1,274 @@
+package sched
+
+import (
+	"testing"
+
+	"deep/internal/sim"
+	"deep/internal/workload"
+)
+
+func TestDEEPReproducesTableIII(t *testing.T) {
+	cluster := workload.Testbed()
+	s := NewDEEP()
+	for _, app := range workload.Apps() {
+		got, err := s.Schedule(app, cluster)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		want := workload.PaperPlacement(app.Name)
+		for name, w := range want {
+			g, ok := got[name]
+			if !ok {
+				t.Errorf("%s: %s unplaced", app.Name, name)
+				continue
+			}
+			if g != w {
+				t.Errorf("%s: %s placed on %s/%s, paper reports %s/%s",
+					app.Name, name, g.Device, g.Registry, w.Device, w.Registry)
+			}
+		}
+	}
+}
+
+func TestDEEPPlacementIsFeasible(t *testing.T) {
+	cluster := workload.Testbed()
+	s := NewDEEP()
+	for _, app := range workload.Apps() {
+		p, err := s.Schedule(app, cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.Validate(app, p); err != nil {
+			t.Errorf("%s: infeasible placement: %v", app.Name, err)
+		}
+	}
+}
+
+func TestAllSchedulersProduceFeasiblePlacements(t *testing.T) {
+	cluster := workload.Testbed()
+	for _, s := range All(1) {
+		for _, app := range workload.Apps() {
+			p, err := s.Schedule(app, cluster)
+			if err != nil {
+				t.Errorf("%s on %s: %v", s.Name(), app.Name, err)
+				continue
+			}
+			if err := cluster.Validate(app, p); err != nil {
+				t.Errorf("%s on %s: %v", s.Name(), app.Name, err)
+			}
+		}
+	}
+}
+
+func TestExclusivePinsRegistry(t *testing.T) {
+	cluster := workload.Testbed()
+	for _, reg := range []string{"hub", "regional"} {
+		s := NewExclusive(reg)
+		for _, app := range workload.Apps() {
+			p, err := s.Schedule(app, cluster)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, a := range p {
+				if a.Registry != reg {
+					t.Errorf("%s: %s deployed from %s, want %s", s.Name(), name, a.Registry, reg)
+				}
+			}
+		}
+	}
+}
+
+// DEEP must beat (or tie) both exclusive methods on simulated energy — the
+// Figure 3b ordering.
+func TestDEEPBeatsExclusiveMethods(t *testing.T) {
+	cluster := workload.Testbed()
+	for _, app := range workload.Apps() {
+		energies := map[string]float64{}
+		for _, s := range []Scheduler{NewDEEP(), NewExclusive("hub"), NewExclusive("regional")} {
+			p, err := s.Schedule(app, cluster)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(app, cluster, p, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			energies[s.Name()] = float64(res.TotalEnergy)
+		}
+		deep := energies["deep"]
+		for name, e := range energies {
+			if deep > e+1e-6 {
+				t.Errorf("%s: deep %.1fJ exceeds %s %.1fJ", app.Name, deep, name, e)
+			}
+		}
+		// The margins must be small (sub-2%%): the paper's core observation
+		// is that the regional registry is competitive.
+		for _, other := range []string{"exclusive-hub", "exclusive-regional"} {
+			margin := (energies[other] - deep) / energies[other]
+			if margin > 0.02 {
+				t.Errorf("%s: margin vs %s = %.2f%%, expected sub-2%% (registry competitive)",
+					app.Name, other, 100*margin)
+			}
+			if margin < 0 {
+				t.Errorf("%s: deep worse than %s", app.Name, other)
+			}
+		}
+	}
+}
+
+func TestDEEPBeatsOrMatchesGreedy(t *testing.T) {
+	cluster := workload.Testbed()
+	for _, app := range workload.Apps() {
+		var deepE, greedyE float64
+		for _, s := range []Scheduler{NewDEEP(), NewGreedyEnergy()} {
+			p, err := s.Schedule(app, cluster)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(app, cluster, p, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Name() == "deep" {
+				deepE = float64(res.TotalEnergy)
+			} else {
+				greedyE = float64(res.TotalEnergy)
+			}
+		}
+		if deepE > greedyE*1.001 {
+			t.Errorf("%s: deep %.1fJ worse than greedy %.1fJ", app.Name, deepE, greedyE)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	cluster := workload.Testbed()
+	app := workload.TextProcessing()
+	p1, err := NewRandom(7).Schedule(app, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewRandom(7).Schedule(workload.TextProcessing(), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range p1 {
+		if p2[k] != v {
+			t.Fatalf("seeded random differs at %s", k)
+		}
+	}
+}
+
+func TestRoundRobinSpreadsDevices(t *testing.T) {
+	cluster := workload.Testbed()
+	app := workload.VideoProcessing()
+	p, err := NewRoundRobin().Schedule(app, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[string]int{}
+	for _, a := range p {
+		used[a.Device]++
+	}
+	if len(used) < 2 {
+		t.Errorf("round robin used only %v", used)
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	want := map[string]bool{
+		"deep": true, "exclusive-hub": true, "exclusive-regional": true,
+		"greedy-energy": true, "min-ct": true, "round-robin": true, "random": true,
+	}
+	for _, s := range All(0) {
+		if !want[s.Name()] {
+			t.Errorf("unexpected scheduler %q", s.Name())
+		}
+		delete(want, s.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing schedulers: %v", want)
+	}
+}
+
+func TestEstimatorOptionsDeterministic(t *testing.T) {
+	cluster := workload.Testbed()
+	app := workload.VideoProcessing()
+	est := NewEstimator(app, cluster)
+	m := app.Microservice("video/transcode")
+	o1 := est.Options(m)
+	o2 := est.Options(m)
+	if len(o1) != 4 {
+		t.Fatalf("want 4 options (2 devices × 2 registries), got %d", len(o1))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("options not deterministic")
+		}
+	}
+}
+
+func TestEstimatorSharedContention(t *testing.T) {
+	cluster := workload.Testbed()
+	app := workload.VideoProcessing()
+	est := NewEstimator(app, cluster)
+	m := app.Microservice("video/ha-train")
+	solo := sim.Assignment{Device: "medium", Registry: "regional"}
+	alone := float64(est.Energy(m, solo, nil))
+	co := map[string]sim.Assignment{
+		"video/la-train": {Device: "small", Registry: "regional"},
+	}
+	contended := float64(est.Energy(m, solo, co))
+	if contended <= alone {
+		t.Errorf("cross-device shared pulls should cost more: %v vs %v", contended, alone)
+	}
+	// Same-device co-pull does not split the uplink (pulls serialize).
+	coSame := map[string]sim.Assignment{
+		"video/la-train": {Device: "medium", Registry: "regional"},
+	}
+	sameDev := float64(est.Energy(m, solo, coSame))
+	if sameDev != alone {
+		t.Errorf("same-device pulls should not split capacity: %v vs %v", sameDev, alone)
+	}
+}
+
+// The estimator's energy must track the simulator's within a small margin,
+// since the games are only as good as their payoffs.
+func TestEstimatorMatchesSimulator(t *testing.T) {
+	cluster := workload.Testbed()
+	for _, app := range workload.Apps() {
+		p := workload.PaperPlacement(app.Name)
+		res, err := sim.Run(app, cluster, p, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := NewEstimator(app, cluster)
+		stages, _ := app.Stages()
+		for _, stage := range stages {
+			co := map[string]sim.Assignment{}
+			for _, n := range stage {
+				co[n] = p[n]
+			}
+			for _, n := range stage {
+				m := app.Microservice(n)
+				predicted := float64(est.Energy(m, p[n], co))
+				simRow, _ := res.ByName(n)
+				actual := float64(simRow.TotalEnergy())
+				if diff := abs(predicted-actual) / actual; diff > 0.02 {
+					t.Errorf("%s/%s: estimator %.1fJ vs simulator %.1fJ (%.1f%%)",
+						app.Name, n, predicted, actual, 100*diff)
+				}
+			}
+			for _, n := range stage {
+				est.Commit(n, p[n])
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

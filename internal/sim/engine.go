@@ -1,0 +1,122 @@
+// Package sim contains DEEP's discrete-event simulation substrate: a
+// virtual-clock event engine and the dataflow executor that replays a placed
+// application (deploy → receive dataflows → process) against the device,
+// network, and energy models, producing the per-microservice completion-time
+// and energy figures of the paper's Section III-D.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled at a virtual time.
+type Event struct {
+	At  float64
+	Fn  func(*Engine)
+	seq int64 // FIFO tie-breaking
+	idx int
+}
+
+// Engine is a minimal discrete-event simulation kernel: a priority queue of
+// events and a virtual clock. It is deliberately single-threaded; all
+// concurrency in the simulated world is expressed through event ordering,
+// which keeps runs perfectly deterministic.
+type Engine struct {
+	now   float64
+	queue eventQueue
+	seq   int64
+	steps int64
+	// MaxSteps guards against runaway event loops; 0 means no limit.
+	MaxSteps int64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns how many events have executed.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Schedule enqueues fn to run at the given absolute virtual time. Scheduling
+// in the past panics — it would silently corrupt causality.
+func (e *Engine) Schedule(at float64, fn func(*Engine)) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &Event{At: at, Fn: fn, seq: e.seq})
+}
+
+// After enqueues fn to run delay seconds from now.
+func (e *Engine) After(delay float64, fn func(*Engine)) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.Schedule(e.now+delay, fn)
+}
+
+// Run executes events until the queue drains, returning the final clock.
+func (e *Engine) Run() float64 {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		e.now = ev.At
+		e.steps++
+		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
+			panic("sim: MaxSteps exceeded (runaway event loop?)")
+		}
+		ev.Fn(e)
+	}
+	return e.now
+}
+
+// RunUntil executes events with At <= deadline, leaving later events queued.
+// The clock is advanced to the deadline.
+func (e *Engine) RunUntil(deadline float64) {
+	for e.queue.Len() > 0 && e.queue[0].At <= deadline {
+		ev := heap.Pop(&e.queue).(*Event)
+		e.now = ev.At
+		e.steps++
+		if e.MaxSteps > 0 && e.steps > e.MaxSteps {
+			panic("sim: MaxSteps exceeded (runaway event loop?)")
+		}
+		ev.Fn(e)
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// eventQueue is a min-heap on (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func(*Engine) { got = append(got, at) })
+	}
+	end := e.Run()
+	if end != 5 {
+		t.Errorf("final clock = %v", end)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events out of order: %v", got)
+	}
+}
+
+func TestEngineFIFOTies(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func(*Engine) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterAndCascade(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.After(1, func(en *Engine) {
+		times = append(times, en.Now())
+		en.After(2, func(en2 *Engine) {
+			times = append(times, en2.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("cascade times = %v", times)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for past scheduling")
+			}
+		}()
+		en.Schedule(1, func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewEngine().After(-1, func(*Engine) {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.Schedule(at, func(*Engine) { fired = append(fired, at) })
+	}
+	e.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Errorf("fired %v, want first two", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Errorf("clock = %v, want 2.5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Errorf("remaining events did not run: %v", fired)
+	}
+}
+
+func TestEngineMaxSteps(t *testing.T) {
+	e := NewEngine()
+	e.MaxSteps = 10
+	var loop func(*Engine)
+	loop = func(en *Engine) { en.After(1, loop) }
+	e.After(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected runaway-loop panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestEngineStepsCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(float64(i), func(*Engine) {})
+	}
+	e.Run()
+	if e.Steps() != 7 {
+		t.Errorf("steps = %d", e.Steps())
+	}
+}
+
+func TestEngineRandomizedOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine()
+		n := 100
+		var got []float64
+		for i := 0; i < n; i++ {
+			at := rng.Float64() * 1000
+			e.Schedule(at, func(en *Engine) { got = append(got, en.Now()) })
+		}
+		e.Run()
+		if len(got) != n || !sort.Float64sAreSorted(got) {
+			t.Fatalf("trial %d: out of order", trial)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"deep/internal/dag"
+	"deep/internal/device"
+	"deep/internal/energy"
+	"deep/internal/netsim"
+	"deep/internal/units"
+)
+
+// testCluster builds a two-device, two-registry cluster with simple numbers:
+// hub link 10 MB/s, regional link 20 MB/s (shared), device interconnect
+// 5 MB/s, devices at 1000 and 500 MI/s.
+func testCluster() *Cluster {
+	pmA := energy.LinearModel{StaticW: 2, PullW: 3, ReceiveW: 1, ProcessingW: 18}
+	pmB := energy.LinearModel{StaticW: 1, PullW: 2, ReceiveW: 1, ProcessingW: 6}
+	devA := device.New("devA", dag.AMD64, 8, 1000, 16*units.GB, 64*units.GB, pmA)
+	devB := device.New("devB", dag.ARM64, 4, 500, 8*units.GB, 32*units.GB, pmB)
+
+	topo := netsim.NewTopology()
+	for _, n := range []string{"hubNode", "regNode", "devA", "devB"} {
+		topo.AddNode(n)
+	}
+	mustLink := func(l netsim.Link) {
+		if err := topo.AddLink(l); err != nil {
+			panic(err)
+		}
+	}
+	mustLink(netsim.Link{From: "hubNode", To: "devA", BW: 10 * units.MBps})
+	mustLink(netsim.Link{From: "hubNode", To: "devB", BW: 10 * units.MBps})
+	mustLink(netsim.Link{From: "regNode", To: "devA", BW: 20 * units.MBps, SharedCapacity: true})
+	mustLink(netsim.Link{From: "regNode", To: "devB", BW: 20 * units.MBps, SharedCapacity: true})
+	if err := topo.AddDuplex("devA", "devB", 5*units.MBps); err != nil {
+		panic(err)
+	}
+
+	return &Cluster{
+		Devices: []*device.Device{devA, devB},
+		Registries: []RegistryInfo{
+			{Name: "hub", Node: "hubNode"},
+			{Name: "regional", Node: "regNode", Shared: true},
+		},
+		Topology: topo,
+	}
+}
+
+// chainApp builds a -> b with the given sizes.
+func chainApp(t *testing.T) *dag.App {
+	t.Helper()
+	app := dag.NewApp("chain")
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(app.AddMicroservice(&dag.Microservice{
+		Name: "a", ImageSize: 100 * units.MB,
+		Req: dag.Requirements{CPU: 2000},
+	}))
+	must(app.AddMicroservice(&dag.Microservice{
+		Name: "b", ImageSize: 200 * units.MB,
+		Req: dag.Requirements{CPU: 1000},
+	}))
+	must(app.AddDataflow("a", "b", 50*units.MB))
+	return app
+}
+
+func TestRunChainTimings(t *testing.T) {
+	app := chainApp(t)
+	cluster := testCluster()
+	placement := Placement{
+		"a": {Device: "devA", Registry: "hub"},
+		"b": {Device: "devB", Registry: "regional"},
+	}
+	res, err := Run(app, cluster, placement, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := res.ByName("a")
+	// a: pull 100MB at 10MB/s = 10s; no inputs; 2000MI at 1000MI/s = 2s.
+	if math.Abs(ra.DeployTime-10) > 1e-9 || ra.TransferTime != 0 || math.Abs(ra.ProcessTime-2) > 1e-9 {
+		t.Errorf("a = %+v", ra)
+	}
+	if math.Abs(ra.CT-12) > 1e-9 {
+		t.Errorf("a.CT = %v", ra.CT)
+	}
+	rb, _ := res.ByName("b")
+	// b (stage 1, barrier at 12): pull 200MB at 20MB/s = 10s (alone on the
+	// shared link); dataflow 50MB from devA at 5MB/s = 10s; 1000MI at
+	// 500MI/s = 2s.
+	if math.Abs(rb.DeployTime-10) > 1e-9 || math.Abs(rb.TransferTime-10) > 1e-9 || math.Abs(rb.ProcessTime-2) > 1e-9 {
+		t.Errorf("b = %+v", rb)
+	}
+	if math.Abs(rb.Start-12) > 1e-9 {
+		t.Errorf("b.Start = %v, want barrier at 12", rb.Start)
+	}
+	if math.Abs(res.Makespan-34) > 1e-9 {
+		t.Errorf("makespan = %v, want 34", res.Makespan)
+	}
+}
+
+func TestRunEnergyAccounting(t *testing.T) {
+	app := chainApp(t)
+	cluster := testCluster()
+	placement := Placement{
+		"a": {Device: "devA", Registry: "hub"},
+		"b": {Device: "devB", Registry: "regional"},
+	}
+	res, err := Run(app, cluster, placement, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := res.ByName("a")
+	// a on devA: pull 10s at (2+3)W, process 2s at (2+18)W.
+	// active (above idle): 10*3 + 2*18 = 66 J; static: 12s * 2W = 24 J.
+	if math.Abs(float64(ra.Energy)-66) > 1e-6 {
+		t.Errorf("a active energy = %v, want 66", ra.Energy)
+	}
+	if math.Abs(float64(ra.StaticShare)-24) > 1e-6 {
+		t.Errorf("a static share = %v, want 24", ra.StaticShare)
+	}
+	if math.Abs(float64(ra.TotalEnergy())-90) > 1e-6 {
+		t.Errorf("a total = %v, want 90", ra.TotalEnergy())
+	}
+	// Device meter must agree with the per-microservice totals.
+	if math.Abs(float64(res.EnergyByDevice["devA"]-ra.TotalEnergy())) > 1e-6 {
+		t.Errorf("device meter %v != ms energy %v", res.EnergyByDevice["devA"], ra.TotalEnergy())
+	}
+	rb, _ := res.ByName("b")
+	wantTotal := ra.TotalEnergy() + rb.TotalEnergy()
+	if math.Abs(float64(res.TotalEnergy-wantTotal)) > 1e-6 {
+		t.Errorf("total = %v, want %v", res.TotalEnergy, wantTotal)
+	}
+}
+
+func TestRunSharedRegistryContention(t *testing.T) {
+	// Two microservices in the same stage pulling from the shared regional
+	// registry must split its capacity; from the hub they would not.
+	app := dag.NewApp("par")
+	for _, n := range []string{"src", "x", "y"} {
+		err := app.AddMicroservice(&dag.Microservice{Name: n, ImageSize: 100 * units.MB, Req: dag.Requirements{CPU: 500}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = app.AddDataflow("src", "x", 0)
+	_ = app.AddDataflow("src", "y", 0)
+
+	cluster := testCluster()
+	regional := Placement{
+		"src": {Device: "devA", Registry: "hub"},
+		"x":   {Device: "devA", Registry: "regional"},
+		"y":   {Device: "devB", Registry: "regional"},
+	}
+	res, err := Run(app, cluster, regional, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, _ := res.ByName("x")
+	ry, _ := res.ByName("y")
+	// Both pull 100MB concurrently over a 20MB/s shared uplink: 10s each.
+	if math.Abs(rx.DeployTime-10) > 1e-9 || math.Abs(ry.DeployTime-10) > 1e-9 {
+		t.Errorf("shared pulls: x=%v y=%v, want 10 each", rx.DeployTime, ry.DeployTime)
+	}
+
+	hub := Placement{
+		"src": {Device: "devA", Registry: "hub"},
+		"x":   {Device: "devA", Registry: "hub"},
+		"y":   {Device: "devB", Registry: "hub"},
+	}
+	res2, err := Run(app, cluster, hub, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hx, _ := res2.ByName("x")
+	hy, _ := res2.ByName("y")
+	// Hub links are independent CDN paths: 100MB at 10MB/s = 10s each too,
+	// but without contention scaling; compare against a single regional pull
+	// (5s at full 20MB/s) to see the game's tension.
+	if math.Abs(hx.DeployTime-10) > 1e-9 || math.Abs(hy.DeployTime-10) > 1e-9 {
+		t.Errorf("hub pulls: x=%v y=%v", hx.DeployTime, hy.DeployTime)
+	}
+	solo := Placement{
+		"src": {Device: "devA", Registry: "hub"},
+		"x":   {Device: "devA", Registry: "regional"},
+		"y":   {Device: "devB", Registry: "hub"},
+	}
+	res3, err := Run(app, cluster, solo, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, _ := res3.ByName("x")
+	if math.Abs(sx.DeployTime-5) > 1e-9 {
+		t.Errorf("solo regional pull = %v, want 5", sx.DeployTime)
+	}
+}
+
+func TestRunLayerCacheSkipsPull(t *testing.T) {
+	app := chainApp(t)
+	cluster := testCluster()
+	// Both microservices share a base layer.
+	cluster.Layers = map[string][]Layer{
+		"a": {{Digest: "base", Size: 80 * units.MB}, {Digest: "a-top", Size: 20 * units.MB}},
+		"b": {{Digest: "base", Size: 80 * units.MB}, {Digest: "b-top", Size: 120 * units.MB}},
+	}
+	placement := Placement{
+		"a": {Device: "devA", Registry: "hub"},
+		"b": {Device: "devA", Registry: "hub"},
+	}
+	res, err := Run(app, cluster, placement, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := res.ByName("b")
+	// b shares the 80MB base with a (same device): pulls only 120MB.
+	if rb.BytesPulled != 120*units.MB {
+		t.Errorf("b pulled %v, want 120MB", rb.BytesPulled)
+	}
+	if math.Abs(rb.DeployTime-12) > 1e-9 {
+		t.Errorf("b deploy = %v, want 12", rb.DeployTime)
+	}
+
+	// A second warm run should pull nothing at all.
+	res2, err := Run(app, cluster, placement, Options{WarmCaches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res2.Microservices {
+		if !r.CacheHit || r.BytesPulled != 0 || r.DeployTime != 0 {
+			t.Errorf("warm run should be fully cached: %+v", r)
+		}
+	}
+}
+
+func TestRunDeviceSerialization(t *testing.T) {
+	// Two same-stage microservices on one device execute one after another.
+	app := dag.NewApp("par")
+	for _, n := range []string{"x", "y"} {
+		err := app.AddMicroservice(&dag.Microservice{Name: n, ImageSize: 10 * units.MB, Req: dag.Requirements{CPU: 1000}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = app.AddDataflow("x", "y", 0) // chain to keep the graph connected
+	cluster := testCluster()
+	placement := Placement{
+		"x": {Device: "devA", Registry: "hub"},
+		"y": {Device: "devA", Registry: "hub"},
+	}
+	res, err := Run(app, cluster, placement, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, _ := res.ByName("x")
+	ry, _ := res.ByName("y")
+	if ry.Start < rx.Finish-1e-9 && ry.WaitTime == 0 {
+		t.Errorf("expected serialization between x and y: %+v %+v", rx, ry)
+	}
+	// WaitTime never counts into CT (the paper's CT is Td+Tc+Tp).
+	if math.Abs(ry.CT-(ry.DeployTime+ry.TransferTime+ry.ProcessTime)) > 1e-9 {
+		t.Errorf("CT must be Td+Tc+Tp: %+v", ry)
+	}
+}
+
+func TestRunValidatesPlacement(t *testing.T) {
+	app := chainApp(t)
+	cluster := testCluster()
+	cases := []Placement{
+		{"a": {Device: "devA", Registry: "hub"}}, // missing b
+		{"a": {Device: "nope", Registry: "hub"}, "b": {Device: "devB", Registry: "regional"}},
+		{"a": {Device: "devA", Registry: "nope"}, "b": {Device: "devB", Registry: "regional"}},
+	}
+	for i, p := range cases {
+		if _, err := Run(app, cluster, p, Options{}); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestRunArchConstraint(t *testing.T) {
+	app := dag.NewApp("archy")
+	err := app.AddMicroservice(&dag.Microservice{
+		Name: "amdonly", ImageSize: units.MB,
+		Arches: []dag.Arch{dag.AMD64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := testCluster()
+	p := Placement{"amdonly": {Device: "devB", Registry: "hub"}} // devB is arm64
+	if _, err := Run(app, cluster, p, Options{}); err == nil {
+		t.Error("arm64 device must reject amd64-only image")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	app := chainApp(t)
+	cluster := testCluster()
+	placement := Placement{
+		"a": {Device: "devA", Registry: "hub"},
+		"b": {Device: "devB", Registry: "regional"},
+	}
+	r1, err := Run(app, cluster, placement, Options{Seed: 42, Jitter: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(app, cluster, placement, Options{Seed: 42, Jitter: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalEnergy != r2.TotalEnergy || r1.Makespan != r2.Makespan {
+		t.Errorf("same seed must reproduce: %v/%v vs %v/%v", r1.TotalEnergy, r1.Makespan, r2.TotalEnergy, r2.Makespan)
+	}
+	r3, err := Run(app, cluster, placement, Options{Seed: 43, Jitter: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalEnergy == r3.TotalEnergy {
+		t.Error("different seeds should perturb results")
+	}
+}
+
+func TestRunJitterBounded(t *testing.T) {
+	app := chainApp(t)
+	cluster := testCluster()
+	placement := Placement{
+		"a": {Device: "devA", Registry: "hub"},
+		"b": {Device: "devB", Registry: "regional"},
+	}
+	base, err := Run(app, cluster, placement, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		r, err := Run(app, cluster, placement, Options{Seed: seed, Jitter: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range r.Microservices {
+			b := base.Microservices[i]
+			if m.ProcessTime < b.ProcessTime*0.98-1e-9 || m.ProcessTime > b.ProcessTime*1.02+1e-9 {
+				t.Errorf("seed %d: %s Tp %v outside ±2%% of %v", seed, m.Name, m.ProcessTime, b.ProcessTime)
+			}
+		}
+	}
+}
+
+func TestResultSortedAndLookup(t *testing.T) {
+	app := chainApp(t)
+	cluster := testCluster()
+	placement := Placement{
+		"a": {Device: "devA", Registry: "hub"},
+		"b": {Device: "devB", Registry: "regional"},
+	}
+	res, err := Run(app, cluster, placement, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sorted()
+	if s[0].Name != "a" || s[1].Name != "b" {
+		t.Errorf("sorted = %v", s)
+	}
+	if _, ok := res.ByName("nope"); ok {
+		t.Error("unknown lookup should fail")
+	}
+	if got := res.BytesFromRegistry["hub"]; got != 100*units.MB {
+		t.Errorf("hub bytes = %v", got)
+	}
+}
+
+func TestPlacementClone(t *testing.T) {
+	p := Placement{"a": {Device: "d", Registry: "r"}}
+	c := p.Clone()
+	c["a"] = Assignment{Device: "x", Registry: "y"}
+	if p["a"].Device != "d" {
+		t.Error("clone aliases original")
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"deep/internal/dag"
+	"deep/internal/device"
+	"deep/internal/energy"
+	"deep/internal/netsim"
+	"deep/internal/sim"
+	"deep/internal/units"
+)
+
+// Cloud-tier extension: the paper's conclusion plans to "extend this
+// energy-aware nash-based model to schedule the computation between cloud
+// and edge". CloudTestbed adds a data-center device to the calibrated edge
+// testbed: an order of magnitude faster and more compute-efficient per
+// instruction, co-located with Docker Hub's CDN, but separated from the
+// edge (and the data sources) by a WAN whose bandwidth the caller chooses.
+// The same Nash game then decides which stages to offload.
+
+// Cloud device constants.
+const (
+	CloudNode                = "cloud"
+	CloudSpeed   units.MIPS  = 100000
+	CloudHubBW               = 200 * units.MBps
+	CloudIdleW   units.Watts = 1.5
+	CloudTransfW units.Watts = 2.0
+	CloudProcW   units.Watts = 12.0
+)
+
+// CloudTestbed returns the calibrated testbed extended with a cloud device
+// reachable over a WAN of the given bandwidth. The cloud runs amd64 images
+// only, like a typical x86 data center.
+func CloudTestbed(wanBW units.Bandwidth) *sim.Cluster {
+	cluster := Testbed()
+
+	pm := energy.LinearModel{
+		StaticW:     CloudIdleW,
+		PullW:       CloudTransfW - CloudIdleW,
+		ReceiveW:    CloudTransfW - CloudIdleW,
+		ProcessingW: CloudProcW - CloudIdleW,
+	}
+	cloud := device.New(CloudNode, dag.AMD64, 32, CloudSpeed, 128*units.GB, 1000*units.GB, pm)
+	cluster.Devices = append(cluster.Devices, cloud)
+
+	topo := cluster.Topology
+	topo.AddNode(CloudNode)
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	// Docker Hub's CDN is effectively co-located with the cloud.
+	must(topo.AddLink(netsim.Link{From: HubNode, To: CloudNode, BW: CloudHubBW, RTT: 0.2}))
+	// The regional registry reaches the cloud over the same WAN.
+	must(topo.AddLink(netsim.Link{From: RegionalNode, To: CloudNode, BW: wanBW, RTT: RegionalSetupTime, SharedCapacity: true}))
+	// Edge <-> cloud dataflows cross the WAN.
+	must(topo.AddDuplex(MediumNode, CloudNode, wanBW))
+	must(topo.AddDuplex(SmallNode, CloudNode, wanBW))
+	// External sources (cameras, S3 buckets) feed the cloud over the WAN
+	// too.
+	must(topo.AddLink(netsim.Link{From: SourceNode, To: CloudNode, BW: wanBW}))
+
+	return cluster
+}

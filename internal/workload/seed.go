@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"deep/internal/registry"
+	"deep/internal/units"
+)
+
+// SeedCatalog pushes the full Table I image catalog into a registry through
+// its client, with image payloads scaled down by `scale` (e.g. 100_000 turns
+// a 5.78 GB image into ≈58 KB) so emulation runs stay fast while preserving
+// relative sizes. Each image is pushed for both architectures, with a
+// manifest list under the tag "latest", mirroring how the paper tags amd64
+// and arm64 variants. regName selects which repository path of Table I to
+// use ("hub" or "regional"). It returns the per-microservice references.
+func SeedCatalog(c *registry.Client, regName string, scale int64) (map[string]registry.Reference, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	refs := make(map[string]registry.Reference, len(TableI))
+	for _, entry := range TableI {
+		row, ok := Row(entry.App, entry.Name)
+		if !ok {
+			return nil, fmt.Errorf("workload: no Table II row for %s/%s", entry.App, entry.Name)
+		}
+		repo := entry.Hub
+		if regName == "regional" {
+			repo = "aau/" + shortName(entry.Regional)
+		}
+		size := int64(math.Round(row.SizeGB * float64(units.GB) / float64(scale)))
+		if size < 64 {
+			size = 64
+		}
+		// A shared synthetic "python:3.9-slim base" layer (10 % of the
+		// payload) plus a unique application layer, per architecture.
+		var childDigests []registry.PlatformManifest
+		for _, arch := range []string{"amd64", "arm64"} {
+			base := syntheticLayer("base-python39-"+arch, size/10)
+			app := syntheticLayer(entry.App+"/"+entry.Name+"/"+arch, size-size/10)
+			config := []byte(fmt.Sprintf(`{"architecture":%q,"os":"linux"}`, arch))
+			d, err := c.Push(repo, arch, config, [][]byte{base, app})
+			if err != nil {
+				return nil, fmt.Errorf("workload: seed %s (%s): %w", repo, arch, err)
+			}
+			childDigests = append(childDigests, registry.PlatformManifest{
+				Descriptor: registry.Descriptor{MediaType: registry.MediaTypeManifest, Digest: d},
+				Platform:   registry.Platform{Architecture: arch, OS: "linux"},
+			})
+		}
+		list := registry.ManifestList{
+			SchemaVersion: 2,
+			MediaType:     registry.MediaTypeManifestList,
+			Manifests:     childDigests,
+		}
+		raw, err := registry.MarshalCanonical(list)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.PushManifest(repo, "latest", registry.MediaTypeManifestList, raw); err != nil {
+			return nil, fmt.Errorf("workload: seed manifest list %s: %w", repo, err)
+		}
+		ref, err := registry.ParseReference(repo + ":latest")
+		if err != nil {
+			return nil, err
+		}
+		refs[entry.App+"/"+entry.Name] = ref
+	}
+	return refs, nil
+}
+
+// shortName extracts the repository basename from a Table I regional path
+// like "dcloud2.itec.aau.at/aau/vp-transcode".
+func shortName(path string) string {
+	last := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			last = path[i+1:]
+			break
+		}
+	}
+	return last
+}
+
+// syntheticLayer produces deterministic pseudo-random layer bytes seeded by
+// the label, so the same (label, size) always yields the same digest —
+// which is what makes base layers shareable across images and registries.
+func syntheticLayer(label string, size int64) []byte {
+	if size < 1 {
+		size = 1
+	}
+	out := make([]byte, size)
+	// xorshift64 seeded from the label.
+	var seed uint64 = 1469598103934665603
+	for _, c := range []byte(label) {
+		seed ^= uint64(c)
+		seed *= 1099511628211
+	}
+	x := seed
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = byte(x)
+	}
+	return out
+}

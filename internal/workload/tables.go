@@ -1,0 +1,134 @@
+// Package workload defines DEEP's two case-study applications (video and
+// text processing), the calibrated two-device testbed, and the Table I image
+// catalog. All synthetic model parameters — processing loads, dataflow
+// sizes, and per-microservice power draws — are derived from the ranges the
+// paper publishes in Table II, so the simulator reproduces those benchmarks
+// by construction and everything else (Table III, Figures 3a/3b) follows
+// from the model.
+package workload
+
+// BenchRow is one row of the paper's Table II: the published benchmark of a
+// microservice deployed from the registries and executed on the two edge
+// devices.
+type BenchRow struct {
+	App  string // "video" or "text"
+	Name string
+
+	SizeGB float64 // Size_{m_i} in GB
+
+	TpMin, TpMax float64 // processing time [s]
+	CTMin, CTMax float64 // completion time [s]
+
+	ECMedMin, ECMedMax     float64 // energy on the medium device [J]
+	ECSmallMin, ECSmallMax float64 // energy on the small device [J]
+}
+
+// TpMid returns the midpoint of the published processing-time range.
+func (r BenchRow) TpMid() float64 { return (r.TpMin + r.TpMax) / 2 }
+
+// CTMid returns the midpoint of the published completion-time range.
+func (r BenchRow) CTMid() float64 { return (r.CTMin + r.CTMax) / 2 }
+
+// ECMedMid returns the midpoint of the published medium-device energy.
+func (r BenchRow) ECMedMid() float64 { return (r.ECMedMin + r.ECMedMax) / 2 }
+
+// ECSmallMid returns the midpoint of the published small-device energy.
+func (r BenchRow) ECSmallMid() float64 { return (r.ECSmallMin + r.ECSmallMax) / 2 }
+
+// TableII is the paper's Table II verbatim.
+var TableII = []BenchRow{
+	// Video processing.
+	{App: "video", Name: "transcode", SizeGB: 0.17, TpMin: 17.5, TpMax: 19, CTMin: 82, CTMax: 85, ECMedMin: 856, ECMedMax: 859, ECSmallMin: 340, ECSmallMax: 355},
+	{App: "video", Name: "frame", SizeGB: 0.70, TpMin: 10, TpMax: 20, CTMin: 147, CTMax: 184, ECMedMin: 355, ECMedMax: 378, ECSmallMin: 557, ECSmallMax: 679},
+	{App: "video", Name: "ha-train", SizeGB: 5.78, TpMin: 121, TpMax: 124, CTMin: 1071, CTMax: 1421, ECMedMin: 3240, ECMedMax: 3288, ECSmallMin: 4654, ECSmallMax: 5472},
+	{App: "video", Name: "la-train", SizeGB: 5.78, TpMin: 87, TpMax: 97, CTMin: 1058, CTMax: 1297, ECMedMin: 1834, ECMedMax: 1849, ECSmallMin: 3995, ECSmallMax: 4700},
+	{App: "video", Name: "ha-infer", SizeGB: 3.53, TpMin: 38, TpMax: 41, CTMin: 356, CTMax: 435, ECMedMin: 849, ECMedMax: 850, ECSmallMin: 1423, ECSmallMax: 1602},
+	{App: "video", Name: "la-infer", SizeGB: 3.54, TpMin: 38, TpMax: 40, CTMin: 350, CTMax: 429, ECMedMin: 819, ECMedMax: 842, ECSmallMin: 1400, ECSmallMax: 1590},
+	// Text processing.
+	{App: "text", Name: "retrieve", SizeGB: 0.14, TpMin: 42, TpMax: 58, CTMin: 331, CTMax: 334, ECMedMin: 144, ECMedMax: 173, ECSmallMin: 1136, ECSmallMax: 1183},
+	{App: "text", Name: "decompress", SizeGB: 0.78, TpMin: 27, TpMax: 55, CTMin: 290, CTMax: 331, ECMedMin: 415, ECMedMax: 432, ECSmallMin: 1037, ECSmallMax: 1143},
+	{App: "text", Name: "ha-train", SizeGB: 2.36, TpMin: 139, TpMax: 144, CTMin: 427, CTMax: 507, ECMedMin: 3482, ECMedMax: 3728, ECSmallMin: 1638, ECSmallMax: 1903},
+	{App: "text", Name: "la-train", SizeGB: 2.36, TpMin: 87, TpMax: 89, CTMin: 288, CTMax: 363, ECMedMin: 1622, ECMedMax: 1642, ECSmallMin: 870, ECSmallMax: 985},
+	{App: "text", Name: "ha-score", SizeGB: 0.63, TpMin: 74, TpMax: 76, CTMin: 177, CTMax: 211, ECMedMin: 1228, ECMedMax: 1319, ECSmallMin: 675, ECSmallMax: 786},
+	{App: "text", Name: "la-score", SizeGB: 0.63, TpMin: 75, TpMax: 78, CTMin: 175, CTMax: 210, ECMedMin: 1295, ECMedMax: 1299, ECSmallMin: 670, ECSmallMax: 785},
+}
+
+// Row returns the Table II row for an (app, microservice) pair.
+func Row(app, name string) (BenchRow, bool) {
+	for _, r := range TableII {
+		if r.App == app && r.Name == name {
+			return r, true
+		}
+	}
+	return BenchRow{}, false
+}
+
+// Rows returns all Table II rows belonging to one application.
+func Rows(app string) []BenchRow {
+	var out []BenchRow
+	for _, r := range TableII {
+		if r.App == app {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ImageRef is one entry of the paper's Table I: the repository paths of one
+// microservice image on both registries.
+type ImageRef struct {
+	App      string
+	Name     string
+	Hub      string // Docker Hub repository
+	Regional string // AAU regional registry repository
+}
+
+// TableI is the paper's Table I image catalog (the duplicated vp-ha-infer
+// row of the paper is listed once).
+var TableI = []ImageRef{
+	{App: "video", Name: "transcode", Hub: "sina88/vp-transcode", Regional: "dcloud2.itec.aau.at/aau/vp-transcode"},
+	{App: "video", Name: "frame", Hub: "sina88/vp-frame", Regional: "dcloud2.itec.aau.at/aau/vp-frame"},
+	{App: "video", Name: "ha-train", Hub: "sina88/vp-ha-train", Regional: "dcloud2.itec.aau.at/aau/vp-ha-train"},
+	{App: "video", Name: "ha-infer", Hub: "sina88/vp-ha-infer", Regional: "dcloud2.itec.aau.at/aau/vp-ha-infer"},
+	{App: "video", Name: "la-train", Hub: "sina88/vp-la-train", Regional: "dcloud2.itec.aau.at/aau/vp-la-train"},
+	{App: "video", Name: "la-infer", Hub: "sina88/vp-la-infer", Regional: "dcloud2.itec.aau.at/aau/vp-la-infer"},
+	{App: "text", Name: "retrieve", Hub: "sina88/tp-retrieve", Regional: "dcloud2.itec.aau.at/aau/tp-retrieve"},
+	{App: "text", Name: "decompress", Hub: "sina88/tp-decompress", Regional: "dcloud2.itec.aau.at/aau/tp-decompress"},
+	{App: "text", Name: "ha-train", Hub: "sina88/tp-ha-train", Regional: "dcloud2.itec.aau.at/aau/tp-ha-train"},
+	{App: "text", Name: "la-train", Hub: "sina88/tp-la-train", Regional: "dcloud2.itec.aau.at/aau/tp-la-train"},
+	{App: "text", Name: "ha-score", Hub: "sina88/tp-ha-score", Regional: "dcloud2.itec.aau.at/aau/tp-ha-score"},
+	{App: "text", Name: "la-score", Hub: "sina88/tp-la-score", Regional: "dcloud2.itec.aau.at/aau/tp-la-score"},
+}
+
+// CatalogRef returns the Table I entry for an (app, microservice) pair.
+func CatalogRef(app, name string) (ImageRef, bool) {
+	for _, r := range TableI {
+		if r.App == app && r.Name == name {
+			return r, true
+		}
+	}
+	return ImageRef{}, false
+}
+
+// TableIII is the paper's reported DEEP deployment distribution, expressed
+// as the expected assignment of each microservice. Video: 5/6 on the medium
+// device from Docker Hub and 1/6 on the small device from the regional
+// registry; text: 1/6 medium/Hub, 1/6 medium/regional, 4/6 small/regional.
+var TableIII = map[string]map[string][2]string{
+	"video": {
+		"transcode": {"small", "regional"},
+		"frame":     {"medium", "hub"},
+		"ha-train":  {"medium", "hub"},
+		"la-train":  {"medium", "hub"},
+		"ha-infer":  {"medium", "hub"},
+		"la-infer":  {"medium", "hub"},
+	},
+	"text": {
+		"retrieve":   {"medium", "regional"},
+		"decompress": {"medium", "hub"},
+		"ha-train":   {"small", "regional"},
+		"la-train":   {"small", "regional"},
+		"ha-score":   {"small", "regional"},
+		"la-score":   {"small", "regional"},
+	},
+}
