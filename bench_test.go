@@ -10,6 +10,8 @@ package deep_test
 // The printed rows/series (via -v or cmd/deepbench) mirror the paper's.
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
 	"deep"
@@ -219,6 +221,59 @@ func BenchmarkFullPipeline(b *testing.B) {
 		sys := deep.NewSystem(cluster)
 		if _, err := sys.Deploy(deep.TextProcessing()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetThroughput measures sustained deployment throughput through
+// the fleet service across worker-pool sizes with the placement cache on
+// and off. Each iteration pushes one request through the closed feedback
+// loop: submit until the admission queue fills, then drain the oldest
+// in-flight response before retrying, so the queue stays saturated and the
+// pool is never idle. The req/s metric (and the BENCH_fleet.json baseline —
+// see README) comes from b.N over wall time.
+func BenchmarkFleetThroughput(b *testing.B) {
+	apps := []*deep.App{deep.VideoProcessing(), deep.TextProcessing()}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, cached := range []bool{false, true} {
+			cacheSize := -1
+			if cached {
+				cacheSize = 1024
+			}
+			name := fmt.Sprintf("workers=%d/cache=%v", workers, cached)
+			b.Run(name, func(b *testing.B) {
+				f := deep.NewFleet(deep.FleetConfig{
+					Workers:    workers,
+					QueueDepth: 256,
+					CacheSize:  cacheSize,
+				})
+				defer f.Close()
+				b.ResetTimer()
+				pending := make([]<-chan *deep.FleetResponse, 0, b.N)
+				for i := 0; i < b.N; i++ {
+					req := deep.FleetRequest{App: apps[i%len(apps)], Seed: int64(i)}
+					for {
+						ch, err := f.Submit(req)
+						if err == nil {
+							pending = append(pending, ch)
+							break
+						}
+						if !errors.Is(err, deep.ErrFleetQueueFull) {
+							b.Fatal(err)
+						}
+						if resp := <-pending[0]; resp.Err != nil {
+							b.Fatal(resp.Err)
+						}
+						pending = pending[1:]
+					}
+				}
+				for _, ch := range pending {
+					if resp := <-ch; resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			})
 		}
 	}
 }

@@ -1,0 +1,116 @@
+// Command deepfleet runs the multi-tenant deployment service under open-loop
+// load and prints a throughput/latency/cache report.
+//
+// Usage:
+//
+//	deepfleet -workers 8 -arrivals poisson -rate 200 -requests 2000
+//	deepfleet -workers 4 -arrivals bursty -rate 100 -duration 5s -mix synthetic -tenants 8
+//	deepfleet -workers 8 -arrivals diurnal -rate 150 -requests 1000 -cluster 4 -scheduler min-ct
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"time"
+
+	"deep"
+)
+
+func main() {
+	workers := flag.Int("workers", 4, "scheduler/simulator worker pool size")
+	queue := flag.Int("queue", 256, "admission queue depth")
+	cacheSize := flag.Int("cache", 1024, "placement cache entries (0 disables)")
+	arrivals := flag.String("arrivals", "poisson", "arrival process: poisson|bursty|diurnal")
+	rate := flag.Float64("rate", 100, "mean arrival rate in requests per second")
+	requests := flag.Int("requests", 1000, "stop after this many submission attempts (0 = unbounded)")
+	duration := flag.Duration("duration", 0, "stop after this wall time (0 = unbounded)")
+	speedup := flag.Float64("speedup", 1, "replay arrivals this many times faster than real time")
+	scheduler := flag.String("scheduler", "deep", "scheduling method: deep|exclusive-hub|exclusive-regional|greedy-energy|min-ct|round-robin|random")
+	clusterSize := flag.Int("cluster", 1, "testbed device pairs (1 = the paper's two-device testbed)")
+	mixKind := flag.String("mix", "casestudy", "application mix: casestudy|synthetic")
+	tenants := flag.Int("tenants", 4, "synthetic mix: number of tenants")
+	appsPer := flag.Int("apps-per-tenant", 2, "synthetic mix: distinct app shapes per tenant")
+	appSize := flag.Int("app-size", 6, "synthetic mix: microservices per app")
+	seed := flag.Int64("seed", 1, "randomness seed (arrivals, mix sampling, synthetic DAGs)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "deepfleet:", err)
+		os.Exit(1)
+	}
+
+	if *requests <= 0 && *duration <= 0 {
+		fail(fmt.Errorf("need -requests or -duration"))
+	}
+	if *cacheSize <= 0 {
+		// Config treats 0 as "use the default"; the flag promises 0
+		// disables.
+		*cacheSize = -1
+	}
+
+	schedulerByName := func() deep.Scheduler {
+		for _, s := range deep.AllSchedulers(*seed) {
+			if s.Name() == *scheduler {
+				return s
+			}
+		}
+		return nil
+	}
+	if schedulerByName() == nil {
+		fail(fmt.Errorf("unknown scheduler %q", *scheduler))
+	}
+
+	proc, err := deep.NewArrivals(*arrivals, *rate)
+	if err != nil {
+		fail(err)
+	}
+
+	var mix []deep.MixEntry
+	switch *mixKind {
+	case "casestudy":
+		mix = deep.CaseStudyMix()
+	case "synthetic":
+		mix, err = deep.SyntheticMix(*tenants, *appsPer, *appSize, *seed)
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown mix %q (want casestudy|synthetic)", *mixKind))
+	}
+
+	f := deep.NewFleet(deep.FleetConfig{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cacheSize,
+		NewScheduler: schedulerByName,
+		NewCluster:   func() *deep.Cluster { return deep.ScaledTestbed(*clusterSize) },
+	})
+	defer f.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cacheLabel := strconv.Itoa(*cacheSize)
+	if *cacheSize < 0 {
+		cacheLabel = "off"
+	}
+	fmt.Printf("deepfleet: workers=%d queue=%d cache=%s arrivals=%s cluster-pairs=%d scheduler=%s\n",
+		*workers, *queue, cacheLabel, *arrivals, *clusterSize, *scheduler)
+	start := time.Now()
+	report, err := deep.DriveFleet(ctx, f, deep.TrafficConfig{
+		Arrivals: proc,
+		Mix:      mix,
+		Requests: *requests,
+		Duration: *duration,
+		Speedup:  *speedup,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("drive finished in %s\n\n%s", time.Since(start).Round(time.Millisecond), report)
+}

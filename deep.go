@@ -11,6 +11,9 @@
 //   - Dataflow processing: Run simulates a placed application and returns
 //     per-microservice completion times and energy.
 //   - The Figure 1 pipeline: NewSystem(...).Deploy(app).
+//   - The multi-tenant deployment service: NewFleet(...) runs concurrent
+//     deployment requests through a scheduler worker pool with memoized
+//     placements, and DriveFleet generates open-loop load against it.
 //
 // Quickstart:
 //
@@ -21,8 +24,11 @@
 package deep
 
 import (
+	"context"
+
 	"deep/internal/core"
 	"deep/internal/dag"
+	"deep/internal/fleet"
 	"deep/internal/sched"
 	"deep/internal/sim"
 	"deep/internal/units"
@@ -70,6 +76,25 @@ type (
 	Bytes = units.Bytes
 	// Joules is energy.
 	Joules = units.Joules
+
+	// Fleet is the concurrent multi-tenant deployment service.
+	Fleet = fleet.Fleet
+	// FleetConfig tunes a Fleet (workers, queue depth, cache size, ...).
+	FleetConfig = fleet.Config
+	// FleetRequest is one tenant's deployment request.
+	FleetRequest = fleet.Request
+	// FleetResponse is the outcome of one deployment request.
+	FleetResponse = fleet.Response
+	// FleetStats snapshots the fleet's admission/cache counters.
+	FleetStats = fleet.Stats
+	// FleetReport aggregates one open-loop load-generation session.
+	FleetReport = fleet.Report
+	// ArrivalProcess generates open-loop inter-arrival gaps.
+	ArrivalProcess = fleet.ArrivalProcess
+	// MixEntry is one application population in a traffic mix.
+	MixEntry = fleet.MixEntry
+	// TrafficConfig drives an open-loop load-generation run.
+	TrafficConfig = fleet.TrafficConfig
 )
 
 // Architectures supported by the testbed.
@@ -122,3 +147,42 @@ func Run(app *App, cluster *Cluster, placement Placement, opts Options) (*Result
 func Schedule(s Scheduler, app *App, cluster *Cluster) (Placement, error) {
 	return s.Schedule(app, cluster)
 }
+
+// Fleet errors, re-exported for errors.Is checks against Submit results.
+var (
+	// ErrFleetQueueFull reports a rejected (not enqueued) request.
+	ErrFleetQueueFull = fleet.ErrQueueFull
+	// ErrFleetClosed reports a submission after Close.
+	ErrFleetClosed = fleet.ErrClosed
+)
+
+// NewFleet starts a multi-tenant deployment service: a bounded admission
+// queue feeding a pool of scheduler/simulator workers with an LRU of
+// memoized placements. Close it to drain.
+func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
+
+// DriveFleet generates open-loop traffic against a fleet and blocks until
+// every accepted request completed, returning the aggregated report.
+func DriveFleet(ctx context.Context, f *Fleet, cfg TrafficConfig) (*FleetReport, error) {
+	return fleet.Drive(ctx, f, cfg)
+}
+
+// NewArrivals builds an arrival process by name ("poisson", "bursty", or
+// "diurnal") at the given mean rate in requests per second.
+func NewArrivals(name string, rate float64) (ArrivalProcess, error) {
+	return fleet.NewArrivals(name, rate)
+}
+
+// CaseStudyMix returns the paper's two case studies as a two-tenant traffic
+// mix.
+func CaseStudyMix() []MixEntry { return fleet.CaseStudyMix() }
+
+// SyntheticMix generates a deterministic multi-tenant mix of random DAGs
+// sized `size`, `appsPerTenant` distinct shapes per tenant.
+func SyntheticMix(tenants, appsPerTenant, size int, seed int64) ([]MixEntry, error) {
+	return fleet.SyntheticMix(tenants, appsPerTenant, size, seed)
+}
+
+// ScaledTestbed replicates the calibrated testbed's device pair n times
+// behind the shared hub and regional registries.
+func ScaledTestbed(n int) *Cluster { return workload.ScaledTestbed(n) }

@@ -1,0 +1,3 @@
+module deep
+
+go 1.24

@@ -109,6 +109,13 @@ func (d *Device) ProcessingTime(load units.MI) float64 {
 	return d.Speed.Seconds(load)
 }
 
+// WithName renames the device in place and returns it, for building
+// clusters that replicate a spec under distinct names.
+func (d *Device) WithName(name string) *Device {
+	d.Name = name
+	return d
+}
+
 // String renders the device spec.
 func (d *Device) String() string {
 	return fmt.Sprintf("%s(%s, %d cores, %.0f MI/s, %s mem, %s storage)",

@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// ArrivalProcess generates inter-arrival gaps (in seconds) for the open-loop
+// traffic driver. Implementations may keep internal state (the diurnal
+// process tracks virtual time); the driver calls Next from a single
+// goroutine.
+type ArrivalProcess interface {
+	// Name identifies the process in reports.
+	Name() string
+	// Next returns the gap before the next arrival in seconds, drawing any
+	// randomness from rng.
+	Next(rng *rand.Rand) float64
+}
+
+// Poisson is a memoryless arrival process with exponential inter-arrival
+// gaps at a constant mean rate (requests per second) — the classic open-loop
+// load model.
+type Poisson struct {
+	Rate float64 // mean arrivals per second (> 0)
+}
+
+// NewPoisson returns a Poisson process at rate requests per second.
+func NewPoisson(rate float64) *Poisson { return &Poisson{Rate: rate} }
+
+// Name implements ArrivalProcess.
+func (p *Poisson) Name() string { return "poisson" }
+
+// Next implements ArrivalProcess.
+func (p *Poisson) Next(rng *rand.Rand) float64 {
+	if p.Rate <= 0 {
+		return math.Inf(1)
+	}
+	return rng.ExpFloat64() / p.Rate
+}
+
+// Bursty is an on/off arrival process: requests arrive in geometric bursts
+// (mean BurstSize back-to-back arrivals) separated by exponential idle gaps.
+// The idle gap is stretched so the long-run mean rate still equals Rate,
+// concentrating the same load into spikes that stress the admission queue.
+type Bursty struct {
+	Rate      float64 // long-run mean arrivals per second (> 0)
+	BurstSize float64 // mean arrivals per burst (>= 1; default 8)
+
+	remaining int // arrivals left in the current burst
+}
+
+// NewBursty returns a bursty process with the given long-run rate and mean
+// burst size.
+func NewBursty(rate, burstSize float64) *Bursty {
+	if burstSize < 1 {
+		burstSize = 8
+	}
+	return &Bursty{Rate: rate, BurstSize: burstSize}
+}
+
+// Name implements ArrivalProcess.
+func (b *Bursty) Name() string { return "bursty" }
+
+// Next implements ArrivalProcess. A BurstSize below 1 (including the zero
+// value of a literal &Bursty{...}) is treated as 1, i.e. plain Poisson.
+func (b *Bursty) Next(rng *rand.Rand) float64 {
+	if b.Rate <= 0 {
+		return math.Inf(1)
+	}
+	if b.remaining > 0 {
+		b.remaining--
+		return 0
+	}
+	burstSize := b.BurstSize
+	if burstSize < 1 {
+		burstSize = 1
+	}
+	// Draw the next burst's length: geometric with mean burstSize.
+	size := 1
+	for float64(size) < 1e6 && rng.Float64() > 1/burstSize {
+		size++
+	}
+	b.remaining = size - 1
+	// One exponential gap precedes the whole burst; its mean is scaled by
+	// the burst size so bursts of mean size k arriving every k/Rate seconds
+	// preserve the long-run rate.
+	return rng.ExpFloat64() * burstSize / b.Rate
+}
+
+// Diurnal modulates a Poisson process sinusoidally between a trough and a
+// peak rate over a fixed period, modeling the day/night cycle of a
+// user-facing service. Virtual time advances with the generated gaps, so a
+// long run sweeps through load valleys and rush hours regardless of how fast
+// wall-clock replay is.
+type Diurnal struct {
+	PeakRate   float64 // arrivals per second at the peak (> 0)
+	TroughRate float64 // arrivals per second at the trough (>= 0)
+	Period     float64 // seconds per full cycle (> 0; default 86400)
+
+	elapsed float64 // virtual seconds since the start of the run
+}
+
+// NewDiurnal returns a diurnal process cycling between troughRate and
+// peakRate over period seconds.
+func NewDiurnal(peakRate, troughRate, period float64) *Diurnal {
+	if period <= 0 {
+		period = 86400
+	}
+	return &Diurnal{PeakRate: peakRate, TroughRate: troughRate, Period: period}
+}
+
+// Name implements ArrivalProcess.
+func (d *Diurnal) Name() string { return "diurnal" }
+
+// Next implements ArrivalProcess. It uses thinning (Lewis & Shedler): draw
+// candidate gaps at the peak rate and accept each with probability
+// rate(t)/peak, which samples a non-homogeneous Poisson process exactly.
+func (d *Diurnal) Next(rng *rand.Rand) float64 {
+	if d.PeakRate <= 0 {
+		return math.Inf(1)
+	}
+	gap := 0.0
+	for {
+		step := rng.ExpFloat64() / d.PeakRate
+		gap += step
+		d.elapsed += step
+		mid := (d.PeakRate + d.TroughRate) / 2
+		amp := (d.PeakRate - d.TroughRate) / 2
+		rate := mid + amp*math.Sin(2*math.Pi*d.elapsed/d.Period)
+		if rng.Float64()*d.PeakRate <= rate {
+			return gap
+		}
+	}
+}
+
+// NewArrivals builds an arrival process by name: "poisson", "bursty", or
+// "diurnal". rate is the (long-run) mean arrivals per second. The bursty
+// process uses a mean burst of 8; the diurnal process swings ±75 % around
+// rate over a 60-second virtual day, so short driver runs still see both
+// rush hour and the overnight valley.
+func NewArrivals(name string, rate float64) (ArrivalProcess, error) {
+	switch strings.ToLower(name) {
+	case "poisson":
+		return NewPoisson(rate), nil
+	case "bursty":
+		return NewBursty(rate, 8), nil
+	case "diurnal":
+		return NewDiurnal(rate*1.75, rate*0.25, 60), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown arrival process %q (want poisson|bursty|diurnal)", name)
+	}
+}

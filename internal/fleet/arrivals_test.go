@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// meanRate empirically estimates arrivals per second over n draws.
+func meanRate(t *testing.T, p ArrivalProcess, n int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	total := 0.0
+	for i := 0; i < n; i++ {
+		gap := p.Next(rng)
+		if gap < 0 || math.IsNaN(gap) {
+			t.Fatalf("%s: bad gap %v", p.Name(), gap)
+		}
+		total += gap
+	}
+	return float64(n) / total
+}
+
+func TestPoissonRate(t *testing.T) {
+	got := meanRate(t, NewPoisson(100), 20000)
+	if got < 90 || got > 110 {
+		t.Fatalf("poisson(100) empirical rate %.1f", got)
+	}
+}
+
+func TestBurstyPreservesLongRunRate(t *testing.T) {
+	got := meanRate(t, NewBursty(100, 8), 50000)
+	if got < 80 || got > 125 {
+		t.Fatalf("bursty(100) empirical rate %.1f", got)
+	}
+	// Burstiness: a large share of gaps must be exactly zero.
+	rng := rand.New(rand.NewSource(2))
+	b := NewBursty(100, 8)
+	zeros := 0
+	for i := 0; i < 10000; i++ {
+		if b.Next(rng) == 0 {
+			zeros++
+		}
+	}
+	if zeros < 5000 {
+		t.Fatalf("only %d/10000 zero gaps; not bursty", zeros)
+	}
+}
+
+func TestDiurnalSweepsRates(t *testing.T) {
+	// Mean rate over full cycles approximates the midpoint of peak and
+	// trough.
+	got := meanRate(t, NewDiurnal(175, 25, 60), 50000)
+	if got < 80 || got > 125 {
+		t.Fatalf("diurnal(175,25) empirical rate %.1f, want ~100", got)
+	}
+}
+
+// TestBurstyZeroValue asserts a literal &Bursty{Rate: r} (BurstSize unset)
+// behaves as plain Poisson instead of degenerating to zero gaps.
+func TestBurstyZeroValue(t *testing.T) {
+	got := meanRate(t, &Bursty{Rate: 100}, 20000)
+	if got < 90 || got > 110 {
+		t.Fatalf("zero-value bursty empirical rate %.1f, want ~100", got)
+	}
+}
+
+func TestNewArrivals(t *testing.T) {
+	for _, name := range []string{"poisson", "bursty", "diurnal"} {
+		p, err := NewArrivals(name, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Fatalf("got %s, want %s", p.Name(), name)
+		}
+	}
+	if _, err := NewArrivals("nope", 50); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+}

@@ -1,0 +1,23 @@
+package fleet
+
+import (
+	"testing"
+
+	"deep/internal/workload"
+)
+
+func BenchmarkFingerprintOf(b *testing.B) {
+	app := workload.TextProcessing()
+	cluster := workload.Testbed()
+	for i := 0; i < b.N; i++ {
+		FingerprintOf(app, cluster, "deep")
+	}
+}
+
+func BenchmarkFingerprintPerRequest(b *testing.B) {
+	app := workload.TextProcessing()
+	cd := DigestCluster(workload.Testbed())
+	for i := 0; i < b.N; i++ {
+		cd.Fingerprint(app, "deep")
+	}
+}

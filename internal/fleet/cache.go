@@ -1,0 +1,275 @@
+package fleet
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"deep/internal/dag"
+	"deep/internal/sim"
+)
+
+// Fingerprint is a canonical digest of a (application DAG, cluster,
+// scheduler) triple. Two deployment requests with equal fingerprints are
+// guaranteed to receive the same placement from any deterministic scheduler,
+// which is what makes placements safe to memoize: the Nash best-response
+// iteration converges to the same fixed point for identical inputs.
+type Fingerprint string
+
+// FingerprintOf computes the canonical fingerprint. Every input the
+// schedulers read is folded into the digest — microservice requirements,
+// image sizes, architectures, dataflow edges, device specs and power models,
+// registries, topology links — so structurally identical requests collide
+// (hit the cache) and any divergence, however small, does not.
+func FingerprintOf(app *dag.App, cluster *sim.Cluster, scheduler string) Fingerprint {
+	return DigestCluster(cluster).Fingerprint(app, scheduler)
+}
+
+// ClusterDigest is the precomputed canonical digest of one cluster. The
+// cluster side of a fingerprint is by far its most expensive part (device
+// power models, the topology link matrix) and is invariant for a fleet
+// worker's whole lifetime, so workers digest their private cluster once and
+// reuse it for every request.
+type ClusterDigest []byte
+
+// DigestCluster canonically digests a cluster.
+func DigestCluster(c *sim.Cluster) ClusterDigest {
+	h := sha256.New()
+	writeClusterFingerprint(h, c)
+	return ClusterDigest(h.Sum(nil))
+}
+
+// Fingerprint combines the precomputed cluster digest with an application
+// and scheduler name into the full cache key.
+func (cd ClusterDigest) Fingerprint(app *dag.App, scheduler string) Fingerprint {
+	h := sha256.New()
+	fmt.Fprintf(h, "sched=%s\n", scheduler)
+	h.Write(cd)
+	writeAppFingerprint(h, app)
+	return Fingerprint(hex.EncodeToString(h.Sum(nil)))
+}
+
+// writeAppFingerprint serializes the app canonically. This is the
+// per-request hot path (the cluster side is digested once per worker), so
+// it builds records with strconv appends instead of fmt. Every
+// variable-length string is length-prefixed, so a separator byte inside a
+// name can never realign two distinct apps onto the same digest.
+func writeAppFingerprint(w io.Writer, app *dag.App) {
+	ms := make([]*dag.Microservice, len(app.Microservices))
+	copy(ms, app.Microservices)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	buf := make([]byte, 0, 256)
+	num := func(v int64) {
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, v, 10)
+	}
+	field := func(s string) {
+		num(int64(len(s)))
+		buf = append(buf, '|')
+		buf = append(buf, s...)
+	}
+	flush := func() {
+		buf = append(buf, '\n')
+		w.Write(buf)
+		buf = buf[:0]
+	}
+	for _, m := range ms {
+		buf = append(buf, "ms"...)
+		field(m.Name)
+		num(int64(m.ImageSize))
+		num(int64(m.ExternalInput))
+		num(int64(len(m.Arches)))
+		for _, a := range m.Arches {
+			field(string(a))
+		}
+		num(int64(m.Req.Cores))
+		num(int64(m.Req.CPU * 1e6))
+		num(int64(m.Req.Memory))
+		num(int64(m.Req.Storage))
+		num(int64(len(m.Images)))
+		flush()
+		for _, reg := range sortedKeys(m.Images) {
+			buf = append(buf, "img"...)
+			field(reg)
+			field(m.Images[reg])
+			flush()
+		}
+	}
+	edges := make([]dag.Dataflow, len(app.Dataflows))
+	copy(edges, app.Dataflows)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		buf = append(buf, "df"...)
+		field(e.From)
+		field(e.To)
+		num(int64(e.Size))
+		flush()
+	}
+}
+
+// quoted formats a name unambiguously for the (cold-path) cluster records.
+func quoted(s string) string { return strconv.Quote(s) }
+
+func writeClusterFingerprint(w io.Writer, c *sim.Cluster) {
+	devices := make([]string, 0, len(c.Devices))
+	for _, d := range c.Devices {
+		// %v over the power model is deterministic: fmt prints maps in
+		// sorted key order. Names are quoted so separator bytes inside
+		// them cannot realign records.
+		devices = append(devices, fmt.Sprintf("dev|%s|%s|%d|%d|%d|%d|%v",
+			quoted(d.Name), d.Arch, d.Cores, int64(d.Speed), d.Memory, d.Storage, d.Power))
+	}
+	sort.Strings(devices)
+	for _, d := range devices {
+		fmt.Fprintln(w, d)
+	}
+	regs := make([]string, 0, len(c.Registries))
+	for _, r := range c.Registries {
+		regs = append(regs, fmt.Sprintf("reg|%s|%s|%t", quoted(r.Name), quoted(r.Node), r.Shared))
+	}
+	sort.Strings(regs)
+	for _, r := range regs {
+		fmt.Fprintln(w, r)
+	}
+	nodes := c.Topology.Nodes() // already sorted
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if l, ok := c.Topology.LinkBetween(a, b); ok {
+				fmt.Fprintf(w, "link|%s|%s|%d|%g|%t\n", quoted(a), quoted(b), int64(l.BW), l.RTT, l.SharedCapacity)
+			}
+		}
+	}
+	fmt.Fprintf(w, "source|%s\n", quoted(c.SourceNode))
+	for _, name := range sortedLayerKeys(c.Layers) {
+		for _, l := range c.Layers[name] {
+			fmt.Fprintf(w, "layer|%s|%s|%d\n", quoted(name), quoted(l.Digest), l.Size)
+		}
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedLayerKeys(m map[string][]sim.Layer) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// placementCache is a concurrency-safe LRU of memoized placements. Values
+// are cloned on both insertion and lookup so callers can never mutate a
+// cached entry.
+type placementCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	byKey    map[Fingerprint]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key       Fingerprint
+	placement sim.Placement
+}
+
+// newPlacementCache returns an LRU holding up to capacity placements.
+// capacity <= 0 disables caching entirely (every Get misses, Put is a no-op).
+func newPlacementCache(capacity int) *placementCache {
+	return &placementCache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    make(map[Fingerprint]*list.Element),
+	}
+}
+
+// Get returns a copy of the memoized placement, recording a hit or miss.
+func (c *placementCache) Get(key Fingerprint) (sim.Placement, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).placement.Clone(), true
+}
+
+// Put memoizes a placement, evicting the least recently used entry when
+// full.
+func (c *placementCache) Put(key Fingerprint, p sim.Placement) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).placement = p.Clone()
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, placement: p.Clone()})
+	for c.order.Len() > c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached placements.
+func (c *placementCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// CacheStats is a point-in-time view of the placement cache.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the cache counters.
+func (c *placementCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
+}

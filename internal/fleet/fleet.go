@@ -1,0 +1,313 @@
+// Package fleet is DEEP's multi-tenant deployment service: it turns the
+// single-shot Figure 1 pipeline (schedule one app, simulate it, report) into
+// a throughput machine. Deployment requests enter a bounded admission queue
+// with backpressure, fan out to a pool of scheduler workers, and have their
+// placements memoized in a concurrency-safe LRU keyed by a canonical
+// fingerprint of (app DAG, cluster, scheduler) — the Nash best-response
+// iteration is deterministic, so repeated shapes skip the game entirely.
+// The package also ships an open-loop traffic driver (Poisson, bursty, and
+// diurnal arrival processes over configurable application mixes) for
+// scenario sweeps far beyond the paper's two case studies.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deep/internal/dag"
+	"deep/internal/monitor"
+	"deep/internal/sched"
+	"deep/internal/sim"
+	"deep/internal/workload"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull is returned by Submit when the admission queue is at
+	// capacity; the request was rejected, not enqueued.
+	ErrQueueFull = errors.New("fleet: admission queue full")
+	// ErrClosed is returned by Submit after Close began.
+	ErrClosed = errors.New("fleet: closed")
+)
+
+// Config tunes a Fleet.
+type Config struct {
+	// Workers is the scheduler/simulator pool size (default 1). Each worker
+	// owns a private scheduler instance and a private cluster, so workers
+	// never contend on scheduler state or device layer caches.
+	Workers int
+	// QueueDepth bounds the admission queue (default 64). A Submit against
+	// a full queue is rejected with ErrQueueFull and counted.
+	QueueDepth int
+	// NewScheduler constructs one scheduler per worker (default
+	// sched.NewDEEP). Any method from sched.All works.
+	NewScheduler func() sched.Scheduler
+	// NewCluster constructs one cluster per worker (default
+	// workload.Testbed). Workers need private clusters because simulation
+	// mutates device layer caches.
+	NewCluster func() *sim.Cluster
+	// CacheSize bounds the placement LRU in entries. Zero means the
+	// default of 1024; a negative value disables placement memoization.
+	CacheSize int
+	// SimOptions apply to every simulation run; per-request seeds are
+	// folded in on top.
+	SimOptions sim.Options
+	// Metrics receives per-tenant aggregates (default: a fresh registry).
+	Metrics *monitor.Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.NewScheduler == nil {
+		c.NewScheduler = func() sched.Scheduler { return sched.NewDEEP() }
+	}
+	if c.NewCluster == nil {
+		c.NewCluster = workload.Testbed
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.Metrics == nil {
+		c.Metrics = monitor.NewMetrics()
+	}
+	return c
+}
+
+// Request is one tenant's deployment request.
+type Request struct {
+	// Tenant labels the requester for per-tenant aggregation (default
+	// "default").
+	Tenant string
+	// App is the application to deploy.
+	App *dag.App
+	// Seed perturbs this request's simulation jitter (combined with
+	// Config.SimOptions).
+	Seed int64
+}
+
+// Response is the outcome of one deployment request.
+type Response struct {
+	Tenant    string
+	App       string
+	Placement sim.Placement
+	Result    *sim.Result
+	// CacheHit is true when the placement came from the memo instead of a
+	// scheduling pass.
+	CacheHit bool
+	// QueueWait is the time spent in the admission queue.
+	QueueWait time.Duration
+	// Latency is the end-to-end service time (queue wait + scheduling +
+	// simulation).
+	Latency time.Duration
+	// Err is non-nil when scheduling or simulation failed.
+	Err error
+}
+
+// Stats is a point-in-time view of the fleet's counters.
+type Stats struct {
+	Submitted int64      `json:"submitted"`
+	Rejected  int64      `json:"rejected"`
+	Completed int64      `json:"completed"`
+	Failed    int64      `json:"failed"`
+	InFlight  int64      `json:"in_flight"`
+	Cache     CacheStats `json:"cache"`
+}
+
+// Fleet is a concurrent multi-tenant deployment service. Create with New,
+// submit with Submit or Do, stop with Close.
+type Fleet struct {
+	cfg   Config
+	cache *placementCache
+	queue chan *job
+
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	inFlight  atomic.Int64
+}
+
+type job struct {
+	req      Request
+	enqueued time.Time
+	done     chan *Response
+}
+
+// New starts a fleet with the given config, spinning up the worker pool.
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:   cfg,
+		cache: newPlacementCache(cfg.CacheSize),
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	f.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go f.worker()
+	}
+	return f
+}
+
+// Metrics returns the registry receiving per-tenant aggregates.
+func (f *Fleet) Metrics() *monitor.Metrics { return f.cfg.Metrics }
+
+// Stats snapshots the fleet counters.
+func (f *Fleet) Stats() Stats {
+	return Stats{
+		Submitted: f.submitted.Load(),
+		Rejected:  f.rejected.Load(),
+		Completed: f.completed.Load(),
+		Failed:    f.failed.Load(),
+		InFlight:  f.inFlight.Load(),
+		Cache:     f.cache.Stats(),
+	}
+}
+
+// Submit enqueues a request without blocking. The returned channel delivers
+// exactly one Response when the request completes. A full queue rejects the
+// request with ErrQueueFull; a closed fleet rejects with ErrClosed.
+func (f *Fleet) Submit(req Request) (<-chan *Response, error) {
+	if req.App == nil {
+		return nil, fmt.Errorf("fleet: request without app")
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	j := &job{req: req, enqueued: time.Now(), done: make(chan *Response, 1)}
+
+	// The read lock lets many submitters race each other but excludes
+	// Close, so a send can never hit a closed channel.
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		f.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	select {
+	case f.queue <- j:
+		f.submitted.Add(1)
+		f.inFlight.Add(1)
+		return j.done, nil
+	default:
+		f.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Do submits a request and blocks for its response (or ctx cancellation).
+func (f *Fleet) Do(ctx context.Context, req Request) (*Response, error) {
+	ch, err := f.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops admission and drains: every request already accepted is
+// completed before Close returns. Safe to call more than once.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.wg.Wait()
+		return
+	}
+	f.closed = true
+	close(f.queue)
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// worker owns one scheduler and one cluster and processes jobs until the
+// queue closes.
+func (f *Fleet) worker() {
+	defer f.wg.Done()
+	scheduler := f.cfg.NewScheduler()
+	cluster := f.cfg.NewCluster()
+	clusterDigest := DigestCluster(cluster)
+	for j := range f.queue {
+		resp := f.process(scheduler, cluster, clusterDigest, j)
+		f.inFlight.Add(-1)
+		if resp.Err != nil {
+			f.failed.Add(1)
+		} else {
+			f.completed.Add(1)
+		}
+		f.observe(resp)
+		j.done <- resp
+	}
+}
+
+// process runs the (possibly memoized) schedule-then-simulate pipeline for
+// one job on the worker's private scheduler and cluster.
+func (f *Fleet) process(scheduler sched.Scheduler, cluster *sim.Cluster, clusterDigest ClusterDigest, j *job) *Response {
+	start := time.Now()
+	resp := &Response{
+		Tenant:    j.req.Tenant,
+		App:       j.req.App.Name,
+		QueueWait: start.Sub(j.enqueued),
+	}
+
+	key := clusterDigest.Fingerprint(j.req.App, scheduler.Name())
+	placement, hit := f.cache.Get(key)
+	if !hit {
+		var err error
+		placement, err = scheduler.Schedule(j.req.App, cluster)
+		if err != nil {
+			resp.Err = fmt.Errorf("fleet: scheduling %s: %w", j.req.App.Name, err)
+			resp.Latency = time.Since(j.enqueued)
+			return resp
+		}
+		f.cache.Put(key, placement)
+	}
+	resp.CacheHit = hit
+	resp.Placement = placement
+
+	opts := f.cfg.SimOptions
+	opts.Seed += j.req.Seed
+	result, err := sim.Run(j.req.App, cluster, placement, opts)
+	if err != nil {
+		resp.Err = fmt.Errorf("fleet: simulating %s: %w", j.req.App.Name, err)
+		resp.Latency = time.Since(j.enqueued)
+		return resp
+	}
+	resp.Result = result
+	resp.Latency = time.Since(j.enqueued)
+	return resp
+}
+
+// observe folds one response into the per-tenant aggregates.
+func (f *Fleet) observe(resp *Response) {
+	m := f.cfg.Metrics
+	tenant := resp.Tenant
+	if resp.Err != nil {
+		m.Inc("fleet_failed{tenant="+tenant+"}", 1)
+		return
+	}
+	m.Inc("fleet_completed{tenant="+tenant+"}", 1)
+	if resp.CacheHit {
+		m.Inc("fleet_cache_hits{tenant="+tenant+"}", 1)
+	}
+	m.Observe("fleet_latency_s{tenant="+tenant+"}", resp.Latency.Seconds())
+	m.Observe("fleet_queue_wait_s{tenant="+tenant+"}", resp.QueueWait.Seconds())
+	m.Observe("fleet_makespan_s{tenant="+tenant+"}", resp.Result.Makespan)
+	m.Observe("fleet_energy_j{tenant="+tenant+"}", float64(resp.Result.TotalEnergy))
+}

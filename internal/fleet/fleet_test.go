@@ -1,0 +1,500 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"deep/internal/dag"
+	"deep/internal/sched"
+	"deep/internal/sim"
+	"deep/internal/units"
+	"deep/internal/workload"
+)
+
+func testFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f := New(cfg)
+	t.Cleanup(f.Close)
+	return f
+}
+
+func TestDoVideoAndText(t *testing.T) {
+	f := testFleet(t, Config{Workers: 2})
+	for _, app := range []*dag.App{workload.VideoProcessing(), workload.TextProcessing()} {
+		resp, err := f.Do(context.Background(), Request{Tenant: "t", App: app})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+		if len(resp.Placement) != len(app.Microservices) {
+			t.Fatalf("%s: placement covers %d of %d microservices", app.Name, len(resp.Placement), len(app.Microservices))
+		}
+		if resp.Result == nil || resp.Result.Makespan <= 0 {
+			t.Fatalf("%s: missing simulation result", app.Name)
+		}
+	}
+}
+
+// TestCacheHitMatchesColdSchedule asserts the memoized placement is
+// identical to what a cold scheduling pass computes — the property that
+// makes memoization sound.
+func TestCacheHitMatchesColdSchedule(t *testing.T) {
+	f := testFleet(t, Config{Workers: 3})
+	app := workload.TextProcessing()
+
+	cold, err := f.Do(context.Background(), Request{App: app})
+	if err != nil || cold.Err != nil {
+		t.Fatal(err, cold.Err)
+	}
+	if cold.CacheHit {
+		t.Fatal("first request cannot be a cache hit")
+	}
+
+	// Fresh but structurally identical app objects must hit and match.
+	reference, err := sched.NewDEEP().Schedule(workload.TextProcessing(), workload.Testbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		resp, err := f.Do(context.Background(), Request{App: workload.TextProcessing(), Seed: int64(i)})
+		if err != nil || resp.Err != nil {
+			t.Fatal(err, resp.Err)
+		}
+		if !resp.CacheHit {
+			t.Fatalf("repeat %d missed the cache", i)
+		}
+		if !reflect.DeepEqual(resp.Placement, reference) {
+			t.Fatalf("repeat %d: cached placement %v != cold schedule %v", i, resp.Placement, reference)
+		}
+	}
+	if stats := f.Stats(); stats.Cache.Hits < 5 {
+		t.Fatalf("want >= 5 cache hits, got %+v", stats.Cache)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	cluster := workload.Testbed()
+	base := FingerprintOf(workload.TextProcessing(), cluster, "deep")
+	if again := FingerprintOf(workload.TextProcessing(), cluster, "deep"); again != base {
+		t.Fatal("identical inputs produced different fingerprints")
+	}
+	if other := FingerprintOf(workload.VideoProcessing(), cluster, "deep"); other == base {
+		t.Fatal("different apps collided")
+	}
+	if other := FingerprintOf(workload.TextProcessing(), cluster, "round-robin"); other == base {
+		t.Fatal("different schedulers collided")
+	}
+	bigger := workload.ScaledTestbed(2)
+	if other := FingerprintOf(workload.TextProcessing(), bigger, "deep"); other == base {
+		t.Fatal("different clusters collided")
+	}
+	// A one-byte perturbation of a dataflow size must change the digest.
+	tweaked := workload.TextProcessing()
+	tweaked.Dataflows[0].Size++
+	if other := FingerprintOf(tweaked, cluster, "deep"); other == base {
+		t.Fatal("perturbed dataflow collided")
+	}
+}
+
+// TestFingerprintSeparatorInName asserts a separator byte inside a
+// microservice name cannot realign two distinct apps onto one digest
+// (name "m|5" + size 0 vs name "m" + size 5).
+func TestFingerprintSeparatorInName(t *testing.T) {
+	cluster := workload.Testbed()
+	mk := func(name string, size int64) *dag.App {
+		a := dag.NewApp("x")
+		if err := a.AddMicroservice(&dag.Microservice{Name: name, ImageSize: units.Bytes(size)}); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a := mk("m|5", 0)
+	b := mk("m", 5)
+	if FingerprintOf(a, cluster, "deep") == FingerprintOf(b, cluster, "deep") {
+		t.Fatal("separator byte in a name realigned two distinct apps")
+	}
+}
+
+// TestStress floods a small pool with hundreds of concurrent requests from
+// many submitter goroutines; run under -race this exercises every shared
+// structure (queue, cache, counters, metrics).
+func TestStress(t *testing.T) {
+	f := testFleet(t, Config{Workers: 4, QueueDepth: 512, CacheSize: 64})
+	apps := []*dag.App{workload.VideoProcessing(), workload.TextProcessing()}
+	for i := 0; i < 4; i++ {
+		app, err := workload.Generate(workload.DefaultGeneratorConfig(8, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+	}
+
+	const submitters = 8
+	const perSubmitter = 50
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	accepted := 0
+	rejected := 0
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var pending []<-chan *Response
+			for i := 0; i < perSubmitter; i++ {
+				app := apps[(s*perSubmitter+i)%len(apps)]
+				ch, err := f.Submit(Request{Tenant: fmt.Sprintf("t%d", s), App: app, Seed: int64(i)})
+				if errors.Is(err, ErrQueueFull) {
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				pending = append(pending, ch)
+			}
+			for _, ch := range pending {
+				resp := <-ch
+				if resp.Err != nil {
+					t.Error(resp.Err)
+					return
+				}
+				mu.Lock()
+				accepted++
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	stats := f.Stats()
+	if got := int(stats.Completed); got != accepted {
+		t.Fatalf("completed %d != drained %d", got, accepted)
+	}
+	if got := int(stats.Rejected); got != rejected {
+		t.Fatalf("fleet counted %d rejections, submitters saw %d", got, rejected)
+	}
+	if accepted+rejected != submitters*perSubmitter {
+		t.Fatalf("accounted %d of %d requests", accepted+rejected, submitters*perSubmitter)
+	}
+	if stats.InFlight != 0 {
+		t.Fatalf("in-flight %d after drain", stats.InFlight)
+	}
+	if stats.Cache.Hits == 0 {
+		t.Fatal("repeated app mix produced no cache hits")
+	}
+	// Per-tenant aggregates arrived in the metrics registry.
+	total := 0.0
+	for s := 0; s < submitters; s++ {
+		total += f.Metrics().Counter(fmt.Sprintf("fleet_completed{tenant=t%d}", s))
+	}
+	if int(total) != accepted {
+		t.Fatalf("metrics counted %v completions, want %d", total, accepted)
+	}
+}
+
+// TestQueueFullRejection fills the queue deterministically with a stalled
+// worker pool and checks rejections are surfaced and counted.
+func TestQueueFullRejection(t *testing.T) {
+	block := make(chan struct{})
+	slowCluster := func() *sim.Cluster {
+		<-block // stall worker startup so nothing drains the queue
+		return workload.Testbed()
+	}
+	f := New(Config{Workers: 1, QueueDepth: 2, NewCluster: slowCluster})
+	defer func() {
+		close(block)
+		f.Close()
+	}()
+
+	app := workload.TextProcessing()
+	okCount, fullCount := 0, 0
+	for i := 0; i < 5; i++ {
+		_, err := f.Submit(Request{App: app})
+		switch {
+		case err == nil:
+			okCount++
+		case errors.Is(err, ErrQueueFull):
+			fullCount++
+		default:
+			t.Fatal(err)
+		}
+	}
+	if okCount != 2 || fullCount != 3 {
+		t.Fatalf("accepted %d rejected %d, want 2 and 3", okCount, fullCount)
+	}
+	if got := f.Stats().Rejected; got != 3 {
+		t.Fatalf("rejection counter %d, want 3", got)
+	}
+}
+
+// TestCloseDrains submits a batch, closes immediately, and checks every
+// accepted request still gets exactly one response.
+func TestCloseDrains(t *testing.T) {
+	f := New(Config{Workers: 2, QueueDepth: 128})
+	var pending []<-chan *Response
+	for i := 0; i < 40; i++ {
+		ch, err := f.Submit(Request{App: workload.VideoProcessing(), Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, ch)
+	}
+	f.Close()
+	for i, ch := range pending {
+		select {
+		case resp := <-ch:
+			if resp.Err != nil {
+				t.Fatalf("request %d failed during drain: %v", i, resp.Err)
+			}
+		default:
+			t.Fatalf("request %d not drained by Close", i)
+		}
+	}
+	if _, err := f.Submit(Request{App: workload.VideoProcessing()}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if got := f.Stats().Completed; got != 40 {
+		t.Fatalf("completed %d, want 40", got)
+	}
+}
+
+func TestDriveOpenLoop(t *testing.T) {
+	f := testFleet(t, Config{Workers: 4, QueueDepth: 256})
+	mix := CaseStudyMix()
+	report, err := Drive(context.Background(), f, TrafficConfig{
+		Arrivals: NewPoisson(2000),
+		Mix:      mix,
+		Requests: 300,
+		Speedup:  10,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Attempts != 300 {
+		t.Fatalf("attempts %d, want 300", report.Attempts)
+	}
+	if report.Completed+report.Rejected != report.Attempts {
+		t.Fatalf("completed %d + rejected %d != attempts %d", report.Completed, report.Rejected, report.Attempts)
+	}
+	if report.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	// Two app shapes cycling through: almost everything after the first
+	// two schedules must hit.
+	if report.Cache.HitRate() < 0.5 {
+		t.Fatalf("cache hit rate %.2f, want > 0.5 on a two-shape mix", report.Cache.HitRate())
+	}
+	if report.LatencyP50 <= 0 || report.LatencyMax < report.LatencyP50 {
+		t.Fatalf("implausible latency quantiles: %+v", report)
+	}
+	for _, tenant := range []string{"video", "text"} {
+		ts, ok := report.PerTenant[tenant]
+		if !ok || ts.Completed == 0 {
+			t.Fatalf("tenant %s missing from report: %+v", tenant, report.PerTenant)
+		}
+		if ts.MeanMakespan <= 0 || ts.Energy <= 0 {
+			t.Fatalf("tenant %s has empty aggregates: %+v", tenant, ts)
+		}
+	}
+	if report.String() == "" {
+		t.Fatal("empty report rendering")
+	}
+}
+
+func TestDriveDurationBound(t *testing.T) {
+	f := testFleet(t, Config{Workers: 2})
+	report, err := Drive(context.Background(), f, TrafficConfig{
+		Arrivals: NewPoisson(500),
+		Mix:      CaseStudyMix(),
+		Duration: 150 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Attempts == 0 {
+		t.Fatal("duration-bounded drive made no attempts")
+	}
+	if report.Elapsed > 5*time.Second {
+		t.Fatalf("drive ran %s for a 150ms bound", report.Elapsed)
+	}
+}
+
+// TestDriveZeroRate asserts a process that will never produce an arrival
+// ends the session instead of busy-looping or blocking forever.
+func TestDriveZeroRate(t *testing.T) {
+	f := testFleet(t, Config{Workers: 1})
+	done := make(chan *Report, 1)
+	go func() {
+		report, err := Drive(context.Background(), f, TrafficConfig{
+			Arrivals: NewPoisson(0),
+			Mix:      CaseStudyMix(),
+			Requests: 10,
+			Seed:     1,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- report
+	}()
+	select {
+	case report := <-done:
+		if report != nil && report.Attempts != 0 {
+			t.Fatalf("zero-rate drive made %d attempts", report.Attempts)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("zero-rate drive hung")
+	}
+}
+
+// TestDriveSparseArrivalsHonorDeadline asserts a Duration bound is not
+// overshot by one long inter-arrival gap.
+func TestDriveSparseArrivalsHonorDeadline(t *testing.T) {
+	f := testFleet(t, Config{Workers: 1})
+	start := time.Now()
+	// Mean gap 10s >> the 200ms bound.
+	report, err := Drive(context.Background(), f, TrafficConfig{
+		Arrivals: NewPoisson(0.1),
+		Mix:      CaseStudyMix(),
+		Duration: 200 * time.Millisecond,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("200ms-bounded drive ran %s", took)
+	}
+	if report.Elapsed > 3*time.Second {
+		t.Fatalf("report claims %s elapsed", report.Elapsed)
+	}
+}
+
+// TestDriveReportsPerSessionCacheStats asserts a second Drive on the same
+// fleet reports only its own cache activity.
+func TestDriveReportsPerSessionCacheStats(t *testing.T) {
+	f := testFleet(t, Config{Workers: 2})
+	cfg := TrafficConfig{
+		Arrivals: NewPoisson(5000),
+		Mix:      CaseStudyMix(),
+		Requests: 50,
+		Seed:     4,
+	}
+	warm, err := Drive(context.Background(), f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.Misses == 0 {
+		t.Fatal("warm-up session missed nothing")
+	}
+	measured, err := Drive(context.Background(), f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured.Cache.Misses != 0 {
+		t.Fatalf("second session reports %d misses from the first", measured.Cache.Misses)
+	}
+	if total := measured.Cache.Hits + measured.Cache.Misses; int(total) > measured.Completed {
+		t.Fatalf("session reports %d lookups for %d completions", total, measured.Completed)
+	}
+}
+
+func TestDriveContextCancel(t *testing.T) {
+	f := testFleet(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	// Rate 1 req/s: without cancellation this would take ~50s.
+	report, err := Drive(ctx, f, TrafficConfig{
+		Arrivals: NewPoisson(1),
+		Mix:      CaseStudyMix(),
+		Requests: 50,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Attempts >= 50 {
+		t.Fatalf("cancellation did not stop the driver (attempts=%d)", report.Attempts)
+	}
+}
+
+func TestSyntheticMixDeterminism(t *testing.T) {
+	a, err := SyntheticMix(3, 2, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticMix(3, 2, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 || len(a[0].Apps) != 2 {
+		t.Fatalf("mix shape: %d tenants, %d apps", len(a), len(a[0].Apps))
+	}
+	for i := range a {
+		for j := range a[i].Apps {
+			fa := FingerprintOf(a[i].Apps[j], workload.Testbed(), "deep")
+			fb := FingerprintOf(b[i].Apps[j], workload.Testbed(), "deep")
+			if fa != fb {
+				t.Fatalf("tenant %d app %d not deterministic", i, j)
+			}
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	f := testFleet(t, Config{Workers: 1, CacheSize: -1})
+	for i := 0; i < 3; i++ {
+		resp, err := f.Do(context.Background(), Request{App: workload.TextProcessing()})
+		if err != nil || resp.Err != nil {
+			t.Fatal(err, resp.Err)
+		}
+		if resp.CacheHit {
+			t.Fatal("cache hit with caching disabled")
+		}
+	}
+	if stats := f.Stats().Cache; stats.Hits != 0 || stats.Entries != 0 {
+		t.Fatalf("disabled cache has state: %+v", stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newPlacementCache(2)
+	p := sim.Placement{"m": {Device: "d", Registry: "r"}}
+	c.Put("a", p)
+	c.Put("b", p)
+	if _, ok := c.Get("a"); !ok { // refresh "a"
+		t.Fatal("a missing")
+	}
+	c.Put("c", p) // evicts "b", the LRU entry
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("refreshed entry was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("newest entry missing")
+	}
+	stats := c.Stats()
+	if stats.Evictions != 1 || stats.Entries != 2 {
+		t.Fatalf("stats %+v, want 1 eviction and 2 entries", stats)
+	}
+	// Mutating a Get result must not corrupt the cached copy.
+	got, _ := c.Get("a")
+	got["m"] = sim.Assignment{Device: "x", Registry: "y"}
+	again, _ := c.Get("a")
+	if again["m"].Device != "d" {
+		t.Fatal("cache entry mutated through a Get copy")
+	}
+}

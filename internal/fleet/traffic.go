@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"deep/internal/dag"
+	"deep/internal/workload"
+)
+
+// MixEntry is one application population in a traffic mix: a tenant name, a
+// relative weight, and a pool of application templates the driver cycles
+// through. A pool of size one models a tenant redeploying the same shape
+// over and over (the placement-cache sweet spot); a large pool models
+// ever-changing tenants that mostly miss.
+type MixEntry struct {
+	Tenant string
+	Weight float64
+	Apps   []*dag.App
+}
+
+// CaseStudyMix returns the paper's two case-study applications as a
+// two-tenant mix: the video pipeline and the text pipeline, equally
+// weighted.
+func CaseStudyMix() []MixEntry {
+	return []MixEntry{
+		{Tenant: "video", Weight: 1, Apps: []*dag.App{workload.VideoProcessing()}},
+		{Tenant: "text", Weight: 1, Apps: []*dag.App{workload.TextProcessing()}},
+	}
+}
+
+// SyntheticMix generates tenants of synthetic applications from
+// workload.GeneratorConfig: `tenants` tenants, each with a pool of
+// `appsPerTenant` distinct random DAGs of `size` microservices. Weights are
+// uniform. Deterministic in seed.
+func SyntheticMix(tenants, appsPerTenant, size int, seed int64) ([]MixEntry, error) {
+	if tenants < 1 || appsPerTenant < 1 {
+		return nil, fmt.Errorf("fleet: mix needs at least one tenant and one app")
+	}
+	var mix []MixEntry
+	for t := 0; t < tenants; t++ {
+		entry := MixEntry{Tenant: fmt.Sprintf("tenant-%02d", t), Weight: 1}
+		for a := 0; a < appsPerTenant; a++ {
+			cfg := workload.DefaultGeneratorConfig(size, seed+int64(t*appsPerTenant+a))
+			app, err := workload.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			entry.Apps = append(entry.Apps, app)
+		}
+		mix = append(mix, entry)
+	}
+	return mix, nil
+}
+
+// TrafficConfig drives an open-loop load generation run: arrivals fire on
+// the arrival process's clock regardless of how the fleet is keeping up, so
+// overload shows up as queue-full rejections rather than as a slowed-down
+// driver — the behavior of real user traffic.
+type TrafficConfig struct {
+	// Arrivals is the inter-arrival process (required).
+	Arrivals ArrivalProcess
+	// Mix is the application population (required, at least one entry with
+	// at least one app).
+	Mix []MixEntry
+	// Requests stops the driver after this many submission attempts
+	// (rejections count as attempts). Zero means no request bound.
+	Requests int
+	// Duration stops the driver after this much wall time. Zero means no
+	// time bound. At least one of Requests and Duration must be set.
+	Duration time.Duration
+	// Speedup divides every inter-arrival gap, replaying the same arrival
+	// sequence faster than real time (default 1).
+	Speedup float64
+	// Seed drives arrival randomness and mix sampling.
+	Seed int64
+}
+
+// Drive runs an open-loop load generation session against the fleet and
+// blocks until every accepted request has completed, returning the
+// aggregated Report. The context cancels the driver early (in-flight
+// requests still drain).
+func Drive(ctx context.Context, f *Fleet, cfg TrafficConfig) (*Report, error) {
+	if cfg.Arrivals == nil {
+		return nil, fmt.Errorf("fleet: traffic needs an arrival process")
+	}
+	if len(cfg.Mix) == 0 {
+		return nil, fmt.Errorf("fleet: traffic needs a non-empty mix")
+	}
+	for _, e := range cfg.Mix {
+		if len(e.Apps) == 0 {
+			return nil, fmt.Errorf("fleet: mix entry %q has no apps", e.Tenant)
+		}
+	}
+	if cfg.Requests <= 0 && cfg.Duration <= 0 {
+		return nil, fmt.Errorf("fleet: traffic needs a request or duration bound")
+	}
+	if cfg.Speedup <= 0 {
+		cfg.Speedup = 1
+	}
+
+	// Resolve weights once (non-positive defaults to 1) so sampling and
+	// the total can never disagree.
+	weights := make([]float64, len(cfg.Mix))
+	var totalWeight float64
+	for i, e := range cfg.Mix {
+		weights[i] = e.Weight
+		if weights[i] <= 0 {
+			weights[i] = 1
+		}
+		totalWeight += weights[i]
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pick := func() (MixEntry, *dag.App) {
+		x := rng.Float64() * totalWeight
+		for i, e := range cfg.Mix {
+			if x -= weights[i]; x <= 0 {
+				return e, e.Apps[rng.Intn(len(e.Apps))]
+			}
+		}
+		last := cfg.Mix[len(cfg.Mix)-1]
+		return last, last.Apps[rng.Intn(len(last.Apps))]
+	}
+
+	start := time.Now()
+	cacheBefore := f.cache.Stats()
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	var pending []<-chan *Response
+	attempts, rejected := 0, 0
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+drive:
+	for cfg.Requests <= 0 || attempts < cfg.Requests {
+		gap := cfg.Arrivals.Next(rng) / cfg.Speedup
+		sleep := time.Duration(gap * float64(time.Second))
+		if math.IsInf(gap, 1) || sleep < 0 {
+			// The process will never produce another arrival (e.g. a zero
+			// rate). Waiting forever serves no one; the session is over.
+			break drive
+		}
+		// Never sleep past the deadline: a sparse arrival sequence must
+		// not overshoot a Duration bound by one (unbounded) gap.
+		if !deadline.IsZero() {
+			if remaining := time.Until(deadline); sleep > remaining {
+				timer.Reset(remaining)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+				}
+				break drive
+			}
+		}
+		if sleep > 0 {
+			timer.Reset(sleep)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break drive
+			}
+		} else if ctx.Err() != nil {
+			break drive
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		entry, app := pick()
+		attempts++
+		ch, err := f.Submit(Request{Tenant: entry.Tenant, App: app, Seed: int64(attempts)})
+		switch {
+		case err == nil:
+			pending = append(pending, ch)
+		case errors.Is(err, ErrQueueFull):
+			rejected++
+		case errors.Is(err, ErrClosed):
+			break drive
+		default:
+			return nil, err
+		}
+	}
+
+	// Open-loop generation is over; now drain every accepted request.
+	responses := make([]*Response, 0, len(pending))
+	for _, ch := range pending {
+		responses = append(responses, <-ch)
+	}
+	elapsed := time.Since(start)
+	// Report cache activity for this session only, not the fleet's
+	// lifetime (a fleet may serve several Drive sessions).
+	cache := f.cache.Stats()
+	cache.Hits -= cacheBefore.Hits
+	cache.Misses -= cacheBefore.Misses
+	cache.Evictions -= cacheBefore.Evictions
+	return buildReport(cfg.Arrivals.Name(), attempts, rejected, elapsed, responses, cache), nil
+}
