@@ -16,6 +16,7 @@ import (
 
 	"deep"
 	"deep/internal/bench"
+	"deep/internal/costmodel"
 	"deep/internal/game"
 	"deep/internal/registry"
 	"deep/internal/sched"
@@ -141,6 +142,59 @@ func BenchmarkNashSchedulerVideo(b *testing.B) {
 		if _, err := s.Schedule(app, cluster); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSchedule times the DEEP scheduling hot path end to end: the
+// paper's case-study applications on the calibrated testbed, plus a wider
+// synthetic application (stages of up to four microservices exercise the
+// best-response dynamics) on a 50-node scaled testbed. Each case runs both
+// cold (Schedule: compile the cost model, then play the games) and warm
+// (ScheduleModel on a precompiled model — the fleet workers' steady state,
+// where compiled models are memoized per request fingerprint). The CI bench
+// smoke step runs this with -benchtime=1x; BENCH_sched.json records ns/op
+// and allocs/op for the DEEP path.
+func BenchmarkSchedule(b *testing.B) {
+	cfg := workload.DefaultGeneratorConfig(12, 42)
+	cfg.StageWidth = 4
+	synth, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		app     *deep.App
+		cluster *deep.Cluster
+	}{
+		{"deep/video/testbed", workload.VideoProcessing(), workload.Testbed()},
+		{"deep/text/testbed", workload.TextProcessing(), workload.Testbed()},
+		{"deep/synthetic12/scaled50", synth, workload.ScaledTestbed(25)},
+	}
+	for _, c := range cases {
+		b.Run(c.name+"/cold", func(b *testing.B) {
+			s := sched.NewDEEP()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(c.app, c.cluster); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/warm", func(b *testing.B) {
+			s := sched.NewDEEP()
+			model := costmodel.Compile(c.app, c.cluster)
+			if _, err := model.Stages(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ScheduleModel(model); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -7,7 +7,10 @@
 //   - Application modeling: NewApp / Microservice / Dataflow (package dag).
 //   - The calibrated two-device testbed and the paper's two case-study
 //     applications: Testbed, VideoProcessing, TextProcessing.
-//   - Scheduling: the Nash-game DEEP scheduler and every baseline.
+//   - Scheduling: the Nash-game DEEP scheduler and every baseline. All
+//     schedulers run on a compiled, integer-indexed cost model
+//     (internal/costmodel) so the best-response hot path is allocation-free;
+//     the signatures below are unchanged — placements stay string-keyed.
 //   - Dataflow processing: Run simulates a placed application and returns
 //     per-microservice completion times and energy.
 //   - The Figure 1 pipeline: NewSystem(...).Deploy(app).

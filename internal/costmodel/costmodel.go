@@ -1,0 +1,516 @@
+// Package costmodel is the scheduling core's compiled cost model: it
+// compiles an (application, cluster) pair once into dense integer-indexed
+// arrays — microservices, devices, registries, and feasible options as ints;
+// per-(registry, device) deployment links, per-device-pair transfer links,
+// and per-(microservice, device) processing times and power draws all
+// precomputed — so the estimator queries that dominate the Nash scheduler's
+// best-response sweeps (Energy, CompletionTime) run with zero allocations
+// and no string comparisons in steady state.
+//
+// The model prices assignments with exactly the same floating-point
+// operations, in the same order, as the string-keyed estimator it replaced,
+// so every scheduler built on it emits byte-identical placements (the
+// equivalence corpus in internal/sched pins this). Compiling assumes the
+// cluster's power models are pure functions of (state, microservice); all
+// shipped models are.
+//
+// A Model is immutable after Compile and safe for concurrent readers; the
+// mutable scratch lives in State (one per scheduling pass, arena-style, not
+// goroutine-safe). Fleet workers cache one Model per request fingerprint and
+// reuse it across requests.
+package costmodel
+
+import (
+	"math"
+	"sort"
+
+	"deep/internal/dag"
+	"deep/internal/device"
+	"deep/internal/energy"
+	"deep/internal/sim"
+	"deep/internal/units"
+)
+
+// Option is one feasible (device, registry) assignment in compiled form.
+// The fields index the model's device and registry tables.
+type Option struct {
+	Device   int32
+	Registry int32
+}
+
+// link is a precomputed topology edge: ok is false when no route exists.
+type link struct {
+	bw  units.Bandwidth
+	rtt float64
+	ok  bool
+}
+
+// msInput is one incoming dataflow in compiled form, in DAG declaration
+// order (the order the estimator accumulates transfer times in).
+type msInput struct {
+	from int32
+	size units.Bytes
+}
+
+// Model is the compiled cost model for one (application, cluster) pair.
+type Model struct {
+	App     *dag.App
+	Cluster *sim.Cluster
+
+	// Name tables; ids are positions in these slices, which are sorted so
+	// ascending id order is ascending name order.
+	msNames  []string
+	devNames []string
+	regNames []string
+	msIndex  map[string]int32
+	devIndex map[string]int32
+	regIndex map[string]int32
+
+	regShared []bool // per registry
+
+	// regLink[r*numDev+d] is the route from registry r's node to device d.
+	regLink []link
+	// devLink[f*numDev+t] is the route from device f to device t (loopback
+	// when f == t, mirroring netsim's implicit infinite-bandwidth loopback).
+	devLink []link
+	// srcLink[d] is the route from the external-input source node to device
+	// d; unused when the cluster has no source node.
+	srcLink   []link
+	hasSource bool
+
+	imageSize []units.Bytes // per microservice
+	extInput  []units.Bytes // per microservice
+	inputs    [][]msInput   // per microservice, in dataflow order
+
+	// Per-(microservice, device) tables, indexed ms*numDev+dev.
+	tp    []float64
+	pullW []units.Watts
+	recvW []units.Watts
+	procW []units.Watts
+
+	// opts holds each microservice's feasible options in canonical order
+	// (device name, then registry name) — enumerated once at compile, so
+	// Options never re-sorts. assigns is the same list in string form.
+	opts    [][]Option
+	assigns [][]sim.Assignment
+
+	// Per-microservice solo-game axes: the distinct feasible devices and the
+	// distinct reachable registries among opts, ascending (= name order).
+	soloDevs [][]int32
+	soloRegs [][]int32
+
+	// Barrier stages and topological order, memoized at compile time
+	// (they require DAG validation, whose error is stored alongside).
+	stages    [][]int32
+	stagesErr error
+	topo      []int32
+	topoErr   error
+}
+
+// Compile builds the indexed model. It never fails: structural problems in
+// the DAG (cycles, disconnection) surface from Stages and Topo, matching
+// where the string-keyed schedulers validated.
+func Compile(app *dag.App, cluster *sim.Cluster) *Model {
+	m := &Model{App: app, Cluster: cluster}
+
+	m.msNames = make([]string, 0, len(app.Microservices))
+	for _, ms := range app.Microservices {
+		m.msNames = append(m.msNames, ms.Name)
+	}
+	sort.Strings(m.msNames)
+	m.msIndex = indexOf(m.msNames)
+
+	m.devNames = make([]string, 0, len(cluster.Devices))
+	for _, d := range cluster.Devices {
+		m.devNames = append(m.devNames, d.Name)
+	}
+	sort.Strings(m.devNames)
+	m.devIndex = indexOf(m.devNames)
+
+	m.regNames = make([]string, 0, len(cluster.Registries))
+	for _, r := range cluster.Registries {
+		m.regNames = append(m.regNames, r.Name)
+	}
+	sort.Strings(m.regNames)
+	m.regIndex = indexOf(m.regNames)
+
+	nm, nd, nr := len(m.msNames), len(m.devNames), len(m.regNames)
+
+	devices := make([]*device.Device, nd)
+	for _, d := range cluster.Devices {
+		if i, ok := m.devIndex[d.Name]; ok && devices[i] == nil {
+			devices[i] = d
+		}
+	}
+
+	m.regShared = make([]bool, nr)
+	regNodes := make([]string, nr)
+	regSet := make([]bool, nr)
+	for _, r := range cluster.Registries {
+		// First occurrence wins on duplicate names, matching
+		// Cluster.Registry and the former linear scans.
+		if i, ok := m.regIndex[r.Name]; ok && !regSet[i] {
+			regSet[i] = true
+			m.regShared[i] = r.Shared
+			regNodes[i] = r.Node
+		}
+	}
+
+	m.regLink = make([]link, nr*nd)
+	for r := 0; r < nr; r++ {
+		for d := 0; d < nd; d++ {
+			m.regLink[r*nd+d] = compileLink(cluster, regNodes[r], m.devNames[d])
+		}
+	}
+	m.devLink = make([]link, nd*nd)
+	for f := 0; f < nd; f++ {
+		for t := 0; t < nd; t++ {
+			m.devLink[f*nd+t] = compileLink(cluster, m.devNames[f], m.devNames[t])
+		}
+	}
+	m.hasSource = cluster.SourceNode != ""
+	m.srcLink = make([]link, nd)
+	if m.hasSource {
+		for d := 0; d < nd; d++ {
+			m.srcLink[d] = compileLink(cluster, cluster.SourceNode, m.devNames[d])
+		}
+	}
+
+	m.imageSize = make([]units.Bytes, nm)
+	m.extInput = make([]units.Bytes, nm)
+	m.inputs = make([][]msInput, nm)
+	m.tp = make([]float64, nm*nd)
+	m.pullW = make([]units.Watts, nm*nd)
+	m.recvW = make([]units.Watts, nm*nd)
+	m.procW = make([]units.Watts, nm*nd)
+	m.opts = make([][]Option, nm)
+	m.assigns = make([][]sim.Assignment, nm)
+	m.soloDevs = make([][]int32, nm)
+	m.soloRegs = make([][]int32, nm)
+
+	for _, ms := range app.Microservices {
+		i, ok := m.msIndex[ms.Name]
+		if !ok {
+			continue
+		}
+		mi := int(i)
+		m.imageSize[mi] = ms.ImageSize
+		m.extInput[mi] = ms.ExternalInput
+		var opts []Option
+		var regSeen int64 // bitset over registries reachable from a feasible device
+		for d := 0; d < nd; d++ {
+			di := devices[d]
+			if di == nil || di.CanRun(ms) != nil {
+				continue
+			}
+			first := true
+			for r := 0; r < nr; r++ {
+				if !m.regLink[r*nd+d].ok {
+					continue
+				}
+				opts = append(opts, Option{Device: int32(d), Registry: int32(r)})
+				if first {
+					m.soloDevs[mi] = append(m.soloDevs[mi], int32(d))
+					first = false
+				}
+				if nr <= 64 {
+					regSeen |= 1 << r
+				} else if !contains(m.soloRegs[mi], int32(r)) {
+					m.soloRegs[mi] = append(m.soloRegs[mi], int32(r))
+				}
+			}
+			base := mi*nd + d
+			m.tp[base] = di.ProcessingTime(ms.Req.CPU)
+			m.pullW[base] = di.Power.Power(energy.Pulling, ms.Name)
+			m.recvW[base] = di.Power.Power(energy.Receiving, ms.Name)
+			m.procW[base] = di.Power.Power(energy.Processing, ms.Name)
+		}
+		if nr <= 64 {
+			for r := 0; r < nr; r++ {
+				if regSeen&(1<<r) != 0 {
+					m.soloRegs[mi] = append(m.soloRegs[mi], int32(r))
+				}
+			}
+		} else {
+			sort.Slice(m.soloRegs[mi], func(a, b int) bool { return m.soloRegs[mi][a] < m.soloRegs[mi][b] })
+		}
+		m.opts[mi] = opts
+		assigns := make([]sim.Assignment, len(opts))
+		for k, o := range opts {
+			assigns[k] = sim.Assignment{Device: m.devNames[o.Device], Registry: m.regNames[o.Registry]}
+		}
+		m.assigns[mi] = assigns
+	}
+
+	for _, e := range app.Dataflows {
+		to, okTo := m.msIndex[e.To]
+		from, okFrom := m.msIndex[e.From]
+		if !okTo || !okFrom {
+			// A dangling edge cannot alter costs: the string-keyed estimator
+			// priced it as a zero-cost loopback transfer.
+			continue
+		}
+		m.inputs[to] = append(m.inputs[to], msInput{from: from, size: e.Size})
+	}
+
+	// Memoize stages and topological order now so the model is genuinely
+	// immutable afterwards — concurrent ScheduleModel calls on a shared
+	// model never write to it. Structural errors stay stored and surface
+	// from Stages/Topo, where the schedulers report them.
+	m.memoStructure()
+	return m
+}
+
+// compileLink snapshots the topology route from node a to device node b,
+// including netsim's loopback semantics for a == b.
+func compileLink(cluster *sim.Cluster, a, b string) link {
+	l, ok := cluster.Topology.LinkBetween(a, b)
+	if !ok {
+		return link{}
+	}
+	return link{bw: l.BW, rtt: l.RTT, ok: true}
+}
+
+func indexOf(names []string) map[string]int32 {
+	idx := make(map[string]int32, len(names))
+	for i, n := range names {
+		if _, dup := idx[n]; !dup {
+			idx[n] = int32(i)
+		}
+	}
+	return idx
+}
+
+func contains(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumMicroservices returns the number of compiled microservices.
+func (m *Model) NumMicroservices() int { return len(m.msNames) }
+
+// NumDevices returns the number of compiled devices.
+func (m *Model) NumDevices() int { return len(m.devNames) }
+
+// NumRegistries returns the number of compiled registries.
+func (m *Model) NumRegistries() int { return len(m.regNames) }
+
+// MSName returns the microservice name for an id.
+func (m *Model) MSName(ms int32) string { return m.msNames[ms] }
+
+// MSID returns the id of a microservice name.
+func (m *Model) MSID(name string) (int32, bool) {
+	id, ok := m.msIndex[name]
+	return id, ok
+}
+
+// DeviceID returns the id of a device name.
+func (m *Model) DeviceID(name string) (int32, bool) {
+	id, ok := m.devIndex[name]
+	return id, ok
+}
+
+// RegistryID returns the id of a registry name.
+func (m *Model) RegistryID(name string) (int32, bool) {
+	id, ok := m.regIndex[name]
+	return id, ok
+}
+
+// Options returns the microservice's feasible options in canonical order
+// (device name, then registry name). The slice is shared — callers must not
+// mutate it.
+func (m *Model) Options(ms int32) []Option { return m.opts[ms] }
+
+// Assignments returns Options in string form, same order, also shared.
+func (m *Model) Assignments(ms int32) []sim.Assignment { return m.assigns[ms] }
+
+// Assignment converts a compiled option back to its string form.
+func (m *Model) Assignment(o Option) sim.Assignment {
+	return sim.Assignment{Device: m.devNames[o.Device], Registry: m.regNames[o.Registry]}
+}
+
+// Intern converts a string assignment to compiled form.
+func (m *Model) Intern(a sim.Assignment) (Option, bool) {
+	d, okD := m.devIndex[a.Device]
+	r, okR := m.regIndex[a.Registry]
+	return Option{Device: d, Registry: r}, okD && okR
+}
+
+// SoloAxes returns the distinct feasible devices and distinct reachable
+// registries among the microservice's options, ascending by name — the row
+// and column strategies of the solo cooperation game. Shared slices.
+func (m *Model) SoloAxes(ms int32) (devices, registries []int32) {
+	return m.soloDevs[ms], m.soloRegs[ms]
+}
+
+// LinkOK reports whether the registry's node routes to the device.
+func (m *Model) LinkOK(reg, dev int32) bool {
+	return m.regLink[int(reg)*len(m.devNames)+int(dev)].ok
+}
+
+func (m *Model) memoStructure() {
+	if err := m.App.Validate(); err != nil {
+		m.stagesErr, m.topoErr = err, err
+		return
+	}
+	if stages, err := m.App.Stages(); err != nil {
+		m.stagesErr = err
+	} else {
+		m.stages = make([][]int32, len(stages))
+		for i, stage := range stages {
+			ids := make([]int32, len(stage))
+			for k, n := range stage {
+				ids[k] = m.msIndex[n]
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			m.stages[i] = ids
+		}
+	}
+	if order, err := m.App.TopoOrder(); err != nil {
+		m.topoErr = err
+	} else {
+		m.topo = make([]int32, len(order))
+		for i, n := range order {
+			m.topo[i] = m.msIndex[n]
+		}
+	}
+}
+
+// Stages returns the barrier stages as microservice ids, each stage
+// ascending (= lexicographic name order, the order the schedulers visit).
+// DAG validation errors, captured at compile time, surface here.
+func (m *Model) Stages() ([][]int32, error) { return m.stages, m.stagesErr }
+
+// Topo returns the deterministic topological order as microservice ids;
+// DAG validation errors, captured at compile time, surface here.
+func (m *Model) Topo() ([]int32, error) { return m.topo, m.topoErr }
+
+// MaxStageWidth returns the widest barrier stage (0 when stages are
+// unavailable), for sizing per-stage scratch once.
+func (m *Model) MaxStageWidth() int {
+	stages, err := m.Stages()
+	if err != nil {
+		return 0
+	}
+	w := 0
+	for _, s := range stages {
+		if len(s) > w {
+			w = len(s)
+		}
+	}
+	return w
+}
+
+// State is the arena-style scratch for one scheduling pass: the devices of
+// microservices committed in earlier stages plus an epoch-marked device set
+// for counting shared-registry contention. Energy and CompletionTime do not
+// allocate. Not safe for concurrent use; allocate one per pass (or Reset).
+type State struct {
+	m      *Model
+	placed []int32 // device id per microservice, -1 = unplaced
+	seen   []uint64
+	epoch  uint64
+}
+
+// NewState returns scratch sized for the model, with nothing placed.
+func (m *Model) NewState() *State {
+	s := &State{
+		m:      m,
+		placed: make([]int32, len(m.msNames)),
+		seen:   make([]uint64, len(m.devNames)),
+	}
+	for i := range s.placed {
+		s.placed[i] = -1
+	}
+	return s
+}
+
+// Reset forgets all commitments, recycling the scratch for another pass.
+func (s *State) Reset() {
+	for i := range s.placed {
+		s.placed[i] = -1
+	}
+}
+
+// Commit fixes a microservice's assignment for later stages.
+func (s *State) Commit(ms int32, o Option) { s.placed[ms] = o.Device }
+
+// phases computes the deployment, transfer, and processing times for ms
+// under option o. coMS/coOpt list the same-stage co-assignments (parallel
+// slices; an entry for ms itself is ignored), used for shared-registry
+// contention: pulls from a shared registry to n distinct devices divide its
+// uplink capacity. The arithmetic mirrors the string-keyed estimator
+// operation for operation.
+func (s *State) phases(ms int32, o Option, coMS []int32, coOpt []Option) (td, tc, tp float64) {
+	m := s.m
+	nd := len(m.devNames)
+
+	l := m.regLink[int(o.Registry)*nd+int(o.Device)]
+	if l.ok {
+		bw := l.bw
+		if m.regShared[o.Registry] {
+			n := 1
+			s.epoch++
+			s.seen[o.Device] = s.epoch
+			for k := range coMS {
+				if coMS[k] == ms {
+					continue
+				}
+				co := coOpt[k]
+				if co.Registry != o.Registry {
+					continue
+				}
+				if s.seen[co.Device] != s.epoch {
+					s.seen[co.Device] = s.epoch
+					n++
+				}
+			}
+			if n > 1 {
+				bw = l.bw / units.Bandwidth(n)
+			}
+		}
+		td = l.rtt + bw.Seconds(m.imageSize[ms])
+	}
+
+	for _, in := range m.inputs[ms] {
+		from := o.Device // unplaced upstream defaults to co-location
+		if pd := s.placed[in.from]; pd >= 0 {
+			from = pd
+		}
+		dl := m.devLink[int(from)*nd+int(o.Device)]
+		if dl.ok {
+			tc += dl.rtt + dl.bw.Seconds(in.size)
+		} else {
+			tc += math.Inf(1)
+		}
+	}
+	if m.extInput[ms] > 0 && m.hasSource {
+		sl := m.srcLink[o.Device]
+		if sl.ok {
+			tc += sl.rtt + sl.bw.Seconds(m.extInput[ms])
+		} else {
+			tc += math.Inf(1)
+		}
+	}
+
+	tp = m.tp[int(ms)*nd+int(o.Device)]
+	return td, tc, tp
+}
+
+// Energy estimates EC(m_i, r_g, d_j): the device's total draw across the
+// deployment, transfer, and processing phases, in joules.
+func (s *State) Energy(ms int32, o Option, coMS []int32, coOpt []Option) float64 {
+	td, tc, tp := s.phases(ms, o, coMS, coOpt)
+	base := int(ms)*len(s.m.devNames) + int(o.Device)
+	return float64(s.m.pullW[base].Over(td) + s.m.recvW[base].Over(tc) + s.m.procW[base].Over(tp))
+}
+
+// CompletionTime estimates CT(m_i, r_g, d_j) = Td + Tc + Tp in seconds.
+func (s *State) CompletionTime(ms int32, o Option, coMS []int32, coOpt []Option) float64 {
+	td, tc, tp := s.phases(ms, o, coMS, coOpt)
+	return td + tc + tp
+}

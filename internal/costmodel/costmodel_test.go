@@ -1,0 +1,284 @@
+package costmodel
+
+import (
+	"testing"
+
+	"deep/internal/dag"
+	"deep/internal/device"
+	"deep/internal/energy"
+	"deep/internal/netsim"
+	"deep/internal/sim"
+	"deep/internal/units"
+)
+
+const (
+	sharedBW  = 100 * units.MBps
+	sharedRTT = 0.5
+	hubBW     = 50 * units.MBps
+	hubRTT    = 1.0
+	interBW   = 200 * units.MBps
+)
+
+// contentionFixture builds a three-device cluster with one shared-capacity
+// registry and one unshared registry, plus a three-microservice stage.
+func contentionFixture(t *testing.T) (*dag.App, *sim.Cluster) {
+	t.Helper()
+	pm := energy.LinearModel{StaticW: 2, PullW: 3, ReceiveW: 4, ProcessingW: 10}
+	topo := netsim.NewTopology()
+	for _, n := range []string{"regnode", "hubnode", "src", "d1", "d2", "d3"} {
+		topo.AddNode(n)
+	}
+	devs := []string{"d1", "d2", "d3"}
+	for _, d := range devs {
+		mustLink(t, topo, netsim.Link{From: "regnode", To: d, BW: sharedBW, RTT: sharedRTT, SharedCapacity: true})
+		mustLink(t, topo, netsim.Link{From: "hubnode", To: d, BW: hubBW, RTT: hubRTT})
+		mustLink(t, topo, netsim.Link{From: "src", To: d, BW: interBW})
+	}
+	for i := 0; i < len(devs); i++ {
+		for j := i + 1; j < len(devs); j++ {
+			if err := topo.AddDuplex(devs[i], devs[j], interBW); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cluster := &sim.Cluster{
+		Devices: []*device.Device{
+			device.New("d1", dag.AMD64, 8, 10000, 8*units.GB, 64*units.GB, pm),
+			device.New("d2", dag.AMD64, 8, 10000, 8*units.GB, 64*units.GB, pm),
+			device.New("d3", dag.AMD64, 8, 10000, 8*units.GB, 64*units.GB, pm),
+		},
+		Registries: []sim.RegistryInfo{
+			{Name: "hub", Node: "hubnode"},
+			{Name: "shared", Node: "regnode", Shared: true},
+		},
+		Topology:   topo,
+		SourceNode: "src",
+	}
+
+	app := dag.NewApp("contention")
+	for _, name := range []string{"a", "b", "c"} {
+		if err := app.AddMicroservice(&dag.Microservice{
+			Name:      name,
+			ImageSize: units.GB,
+			Req:       dag.Requirements{Cores: 1, CPU: 50_000, Memory: units.GB},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return app, cluster
+}
+
+func mustLink(t *testing.T, topo *netsim.Topology, l netsim.Link) {
+	t.Helper()
+	if err := topo.AddLink(l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ids(t *testing.T, m *Model, names ...string) []int32 {
+	t.Helper()
+	out := make([]int32, len(names))
+	for i, n := range names {
+		id, ok := m.MSID(n)
+		if !ok {
+			t.Fatalf("unknown microservice %q", n)
+		}
+		out[i] = id
+	}
+	return out
+}
+
+func opt(t *testing.T, m *Model, dev, reg string) Option {
+	t.Helper()
+	o, ok := m.Intern(sim.Assignment{Device: dev, Registry: reg})
+	if !ok {
+		t.Fatalf("cannot intern %s/%s", dev, reg)
+	}
+	return o
+}
+
+// completion with an empty transfer phase isolates Td: CT = Td + Tp here
+// because the fixture microservices have no dataflows or external input.
+func deployTime(t *testing.T, st *State, ms int32, o Option, coMS []int32, coOpt []Option) float64 {
+	t.Helper()
+	tp := 50_000.0 / 10_000.0 // CPU / speed
+	return st.CompletionTime(ms, o, coMS, coOpt) - tp
+}
+
+// TestSharedContentionSplitsBandwidth: pulls from a shared registry to n
+// distinct devices divide its uplink capacity n ways — Td grows from
+// RTT + size/BW to RTT + size/(BW/n).
+func TestSharedContentionSplitsBandwidth(t *testing.T) {
+	app, cluster := contentionFixture(t)
+	m := Compile(app, cluster)
+	st := m.NewState()
+	msIDs := ids(t, m, "a", "b", "c")
+	a := opt(t, m, "d1", "shared")
+
+	size := units.GB
+	alone := sharedRTT + sharedBW.Seconds(size)
+	if got := deployTime(t, st, msIDs[0], a, nil, nil); !approxEqual(got, alone) {
+		t.Fatalf("self-only Td = %v, want %v", got, alone)
+	}
+
+	// One other distinct device pulling the same registry: capacity halves.
+	co2 := []Option{a, opt(t, m, "d2", "shared")}
+	two := sharedRTT + (sharedBW / 2).Seconds(size)
+	if got := deployTime(t, st, msIDs[0], a, msIDs[:2], co2); !approxEqual(got, two) {
+		t.Fatalf("two-device Td = %v, want %v", got, two)
+	}
+
+	// Three distinct devices: a third of the capacity each.
+	co3 := []Option{a, opt(t, m, "d2", "shared"), opt(t, m, "d3", "shared")}
+	three := sharedRTT + (sharedBW / 3).Seconds(size)
+	if got := deployTime(t, st, msIDs[0], a, msIDs, co3); !approxEqual(got, three) {
+		t.Fatalf("three-device Td = %v, want %v", got, three)
+	}
+}
+
+// TestSharedContentionSameDevice: co-pulls on the same device serialize
+// rather than split the uplink, and a co-assignment entry for the deciding
+// microservice itself is ignored.
+func TestSharedContentionSameDevice(t *testing.T) {
+	app, cluster := contentionFixture(t)
+	m := Compile(app, cluster)
+	st := m.NewState()
+	msIDs := ids(t, m, "a", "b", "c")
+	a := opt(t, m, "d1", "shared")
+	alone := sharedRTT + sharedBW.Seconds(units.GB)
+
+	// b pulls the same registry onto the same device: no split.
+	coSame := []Option{a, opt(t, m, "d1", "shared")}
+	if got := deployTime(t, st, msIDs[0], a, msIDs[:2], coSame); !approxEqual(got, alone) {
+		t.Fatalf("same-device Td = %v, want %v (no split)", got, alone)
+	}
+
+	// The deciding microservice's own entry never counts, whatever it says.
+	coSelf := []Option{opt(t, m, "d3", "shared")}
+	if got := deployTime(t, st, msIDs[0], a, msIDs[:1], coSelf); !approxEqual(got, alone) {
+		t.Fatalf("self-entry Td = %v, want %v (own entry skipped)", got, alone)
+	}
+
+	// Duplicate devices among the co-pullers count once: b on d2, c on d2.
+	coDup := []Option{a, opt(t, m, "d2", "shared"), opt(t, m, "d2", "shared")}
+	two := sharedRTT + (sharedBW / 2).Seconds(units.GB)
+	if got := deployTime(t, st, msIDs[0], a, msIDs, coDup); !approxEqual(got, two) {
+		t.Fatalf("duplicate-device Td = %v, want %v", got, two)
+	}
+}
+
+// TestContentionScopedToRegistry: pulls from other registries, and pulls
+// from an unshared registry, never split capacity.
+func TestContentionScopedToRegistry(t *testing.T) {
+	app, cluster := contentionFixture(t)
+	m := Compile(app, cluster)
+	st := m.NewState()
+	msIDs := ids(t, m, "a", "b")
+
+	// b pulls from hub while a pulls from shared: no contention for a.
+	a := opt(t, m, "d1", "shared")
+	co := []Option{a, opt(t, m, "d2", "hub")}
+	alone := sharedRTT + sharedBW.Seconds(units.GB)
+	if got := deployTime(t, st, msIDs[0], a, msIDs, co); !approxEqual(got, alone) {
+		t.Fatalf("cross-registry Td = %v, want %v", got, alone)
+	}
+
+	// The hub is not SharedCapacity: concurrent pulls keep full bandwidth.
+	h := opt(t, m, "d1", "hub")
+	coHub := []Option{h, opt(t, m, "d2", "hub")}
+	hubAlone := hubRTT + hubBW.Seconds(units.GB)
+	if got := deployTime(t, st, msIDs[0], h, msIDs, coHub); !approxEqual(got, hubAlone) {
+		t.Fatalf("unshared Td = %v, want %v", got, hubAlone)
+	}
+}
+
+// TestEnergyPricesPhases: Energy = pullW·Td + recvW·Tc + procW·Tp with the
+// fixture's linear power model.
+func TestEnergyPricesPhases(t *testing.T) {
+	app, cluster := contentionFixture(t)
+	if err := app.AddDataflow("a", "b", 500*units.MB); err != nil {
+		t.Fatal(err)
+	}
+	m := Compile(app, cluster)
+	st := m.NewState()
+	msIDs := ids(t, m, "a", "b")
+	st.Commit(msIDs[0], opt(t, m, "d2", "hub"))
+
+	b := opt(t, m, "d1", "shared")
+	td := sharedRTT + sharedBW.Seconds(units.GB)
+	tc := interBW.Seconds(500 * units.MB) // d2 -> d1 dataflow
+	tp := 50_000.0 / 10_000.0
+	want := (2+3)*td + (2+4)*tc + (2+10)*tp
+	if got := st.Energy(msIDs[1], b, nil, nil); !approxEqual(got, want) {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+	if got := st.CompletionTime(msIDs[1], b, nil, nil); !approxEqual(got, td+tc+tp) {
+		t.Fatalf("CT = %v, want %v", got, td+tc+tp)
+	}
+}
+
+// TestSteadyStateAllocationFree: Energy and CompletionTime on a compiled
+// model allocate nothing, even under stage co-assignments.
+func TestSteadyStateAllocationFree(t *testing.T) {
+	app, cluster := contentionFixture(t)
+	m := Compile(app, cluster)
+	st := m.NewState()
+	msIDs := ids(t, m, "a", "b", "c")
+	co := []Option{
+		opt(t, m, "d1", "shared"),
+		opt(t, m, "d2", "shared"),
+		opt(t, m, "d3", "shared"),
+	}
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() {
+		sink += st.Energy(msIDs[0], co[0], msIDs, co)
+		sink += st.CompletionTime(msIDs[1], co[1], msIDs, co)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state estimator allocates %.1f objects per run", allocs)
+	}
+	_ = sink
+}
+
+// TestOptionsCanonicalOrder: options are enumerated once at compile in
+// (device name, registry name) order and shared thereafter.
+func TestOptionsCanonicalOrder(t *testing.T) {
+	app, cluster := contentionFixture(t)
+	m := Compile(app, cluster)
+	id := ids(t, m, "a")[0]
+	opts := m.Options(id)
+	if len(opts) != 6 { // 3 devices × 2 registries
+		t.Fatalf("got %d options, want 6", len(opts))
+	}
+	assigns := m.Assignments(id)
+	for i, o := range opts {
+		if m.Assignment(o) != assigns[i] {
+			t.Fatalf("assignment %d mismatch", i)
+		}
+		if i == 0 {
+			continue
+		}
+		prev, cur := assigns[i-1], assigns[i]
+		if prev.Device > cur.Device || (prev.Device == cur.Device && prev.Registry >= cur.Registry) {
+			t.Fatalf("options out of order at %d: %v then %v", i, prev, cur)
+		}
+	}
+	if &opts[0] != &m.Options(id)[0] {
+		t.Fatal("options re-enumerated instead of cached")
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(1+abs(a)+abs(b))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

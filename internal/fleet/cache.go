@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 
+	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/sim"
 )
@@ -42,6 +43,13 @@ func DigestCluster(c *sim.Cluster) ClusterDigest {
 	h := sha256.New()
 	writeClusterFingerprint(h, c)
 	return ClusterDigest(h.Sum(nil))
+}
+
+// ModelKey digests only the inputs a compiled cost model depends on — the
+// application and the cluster — so one compiled model serves every
+// scheduler on the same request shape.
+func (cd ClusterDigest) ModelKey(app *dag.App) Fingerprint {
+	return cd.Fingerprint(app, "")
 }
 
 // Fingerprint combines the precomputed cluster digest with an application
@@ -175,9 +183,11 @@ func sortedLayerKeys(m map[string][]sim.Layer) []string {
 	return ks
 }
 
-// placementCache is a concurrency-safe LRU of memoized placements. Values
-// are cloned on both insertion and lookup so callers can never mutate a
-// cached entry.
+// placementCache is a concurrency-safe LRU of memoized placements. Entries
+// are stored in compiled form — parallel sorted-name and assignment slices
+// rather than Go maps — so a cached placement is immutable by construction
+// and a lookup materializes a fresh map for the caller instead of cloning a
+// mutable one.
 type placementCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -190,8 +200,33 @@ type placementCache struct {
 }
 
 type cacheEntry struct {
-	key       Fingerprint
-	placement sim.Placement
+	key Fingerprint
+	// names (sorted) and assigns are parallel: the compiled, read-only form
+	// of the memoized placement.
+	names   []string
+	assigns []sim.Assignment
+}
+
+// compile decomposes a placement into the entry's indexed form.
+func (e *cacheEntry) compile(p sim.Placement) {
+	e.names = make([]string, 0, len(p))
+	for name := range p {
+		e.names = append(e.names, name)
+	}
+	sort.Strings(e.names)
+	e.assigns = make([]sim.Assignment, len(e.names))
+	for i, name := range e.names {
+		e.assigns[i] = p[name]
+	}
+}
+
+// materialize rebuilds a caller-owned placement map from the indexed form.
+func (e *cacheEntry) materialize() sim.Placement {
+	p := make(sim.Placement, len(e.names))
+	for i, name := range e.names {
+		p[name] = e.assigns[i]
+	}
+	return p
 }
 
 // newPlacementCache returns an LRU holding up to capacity placements.
@@ -218,7 +253,7 @@ func (c *placementCache) Get(key Fingerprint) (sim.Placement, bool) {
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).placement.Clone(), true
+	return el.Value.(*cacheEntry).materialize(), true
 }
 
 // Put memoizes a placement, evicting the least recently used entry when
@@ -230,11 +265,13 @@ func (c *placementCache) Put(key Fingerprint, p sim.Placement) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).placement = p.Clone()
+		el.Value.(*cacheEntry).compile(p)
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, placement: p.Clone()})
+	entry := &cacheEntry{key: key}
+	entry.compile(p)
+	c.byKey[key] = c.order.PushFront(entry)
 	for c.order.Len() > c.capacity {
 		back := c.order.Back()
 		c.order.Remove(back)
@@ -272,4 +309,43 @@ func (c *placementCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
+}
+
+// modelCache memoizes compiled cost models per request shape for a single
+// worker goroutine — no locking — with FIFO eviction. A hit turns a
+// placement-cache miss into one scratch-state allocation plus the game
+// itself instead of a full (app, cluster) recompilation.
+type modelCache struct {
+	capacity int
+	byKey    map[Fingerprint]*costmodel.Model
+	order    []Fingerprint
+}
+
+func newModelCache(capacity int) *modelCache {
+	return &modelCache{
+		capacity: capacity,
+		byKey:    make(map[Fingerprint]*costmodel.Model, capacity),
+	}
+}
+
+func (c *modelCache) get(key Fingerprint) (*costmodel.Model, bool) {
+	m, ok := c.byKey[key]
+	return m, ok
+}
+
+func (c *modelCache) put(key Fingerprint, m *costmodel.Model) {
+	if c.capacity <= 0 {
+		return
+	}
+	if _, dup := c.byKey[key]; dup {
+		c.byKey[key] = m
+		return
+	}
+	if len(c.order) >= c.capacity {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.byKey, oldest)
+	}
+	c.byKey[key] = m
+	c.order = append(c.order, key)
 }

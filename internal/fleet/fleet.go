@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/monitor"
 	"deep/internal/sched"
@@ -236,15 +237,35 @@ func (f *Fleet) Close() {
 	f.wg.Wait()
 }
 
+// workerState is the per-worker context: a private scheduler and cluster
+// (simulation mutates device layer caches), the cluster digest computed
+// once, and a memo of compiled cost models keyed by request shape so
+// repeated shapes skip (app, cluster) compilation, not just the game.
+type workerState struct {
+	scheduler     sched.Scheduler
+	cluster       *sim.Cluster
+	clusterDigest ClusterDigest
+	models        *modelCache
+}
+
+// workerModelCacheSize bounds each worker's compiled-model memo. Models are
+// a few dense arrays each; 128 covers the distinct shapes of a large
+// multi-tenant mix without unbounded growth.
+const workerModelCacheSize = 128
+
 // worker owns one scheduler and one cluster and processes jobs until the
 // queue closes.
 func (f *Fleet) worker() {
 	defer f.wg.Done()
-	scheduler := f.cfg.NewScheduler()
 	cluster := f.cfg.NewCluster()
-	clusterDigest := DigestCluster(cluster)
+	w := &workerState{
+		scheduler:     f.cfg.NewScheduler(),
+		cluster:       cluster,
+		clusterDigest: DigestCluster(cluster),
+		models:        newModelCache(workerModelCacheSize),
+	}
 	for j := range f.queue {
-		resp := f.process(scheduler, cluster, clusterDigest, j)
+		resp := f.process(w, j)
 		f.inFlight.Add(-1)
 		if resp.Err != nil {
 			f.failed.Add(1)
@@ -256,9 +277,25 @@ func (f *Fleet) worker() {
 	}
 }
 
+// schedule computes a placement for the job, reusing the worker's compiled
+// model for the request shape when the scheduler supports it.
+func (w *workerState) schedule(app *dag.App) (sim.Placement, error) {
+	ms, ok := w.scheduler.(sched.ModelScheduler)
+	if !ok {
+		return w.scheduler.Schedule(app, w.cluster)
+	}
+	key := w.clusterDigest.ModelKey(app)
+	model, ok := w.models.get(key)
+	if !ok {
+		model = costmodel.Compile(app, w.cluster)
+		w.models.put(key, model)
+	}
+	return ms.ScheduleModel(model)
+}
+
 // process runs the (possibly memoized) schedule-then-simulate pipeline for
 // one job on the worker's private scheduler and cluster.
-func (f *Fleet) process(scheduler sched.Scheduler, cluster *sim.Cluster, clusterDigest ClusterDigest, j *job) *Response {
+func (f *Fleet) process(w *workerState, j *job) *Response {
 	start := time.Now()
 	resp := &Response{
 		Tenant:    j.req.Tenant,
@@ -266,11 +303,11 @@ func (f *Fleet) process(scheduler sched.Scheduler, cluster *sim.Cluster, cluster
 		QueueWait: start.Sub(j.enqueued),
 	}
 
-	key := clusterDigest.Fingerprint(j.req.App, scheduler.Name())
+	key := w.clusterDigest.Fingerprint(j.req.App, w.scheduler.Name())
 	placement, hit := f.cache.Get(key)
 	if !hit {
 		var err error
-		placement, err = scheduler.Schedule(j.req.App, cluster)
+		placement, err = w.schedule(j.req.App)
 		if err != nil {
 			resp.Err = fmt.Errorf("fleet: scheduling %s: %w", j.req.App.Name, err)
 			resp.Latency = time.Since(j.enqueued)
@@ -283,7 +320,7 @@ func (f *Fleet) process(scheduler sched.Scheduler, cluster *sim.Cluster, cluster
 
 	opts := f.cfg.SimOptions
 	opts.Seed += j.req.Seed
-	result, err := sim.Run(j.req.App, cluster, placement, opts)
+	result, err := sim.Run(j.req.App, w.cluster, placement, opts)
 	if err != nil {
 		resp.Err = fmt.Errorf("fleet: simulating %s: %w", j.req.App.Name, err)
 		resp.Latency = time.Since(j.enqueued)

@@ -4,6 +4,11 @@
 // Pending→Pulling→Running→Succeeded lifecycle, and an application rollout
 // deploys stage by stage between synchronization barriers, pulling images
 // over real registry clients with digest verification and cache reuse.
+//
+// The placements it executes come from the scheduling layer — internal/sched
+// running on the compiled cost model of internal/costmodel — as plain
+// string-keyed sim.Placement maps: the integer-indexed representation stays
+// inside the scheduling core, and the orchestrator's API is unchanged by it.
 package orchestrator
 
 import (

@@ -2,8 +2,8 @@ package sched
 
 import (
 	"math/rand"
-	"sort"
 
+	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/sim"
 )
@@ -21,58 +21,46 @@ func (s *Exclusive) Name() string { return "exclusive-" + s.registry }
 
 // Schedule implements Scheduler.
 func (s *Exclusive) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
-	stages, err := stagesOf(app)
+	return s.ScheduleModel(costmodel.Compile(app, cluster))
+}
+
+// ScheduleModel implements ModelScheduler.
+func (s *Exclusive) ScheduleModel(model *costmodel.Model) (sim.Placement, error) {
+	stages, err := model.Stages()
 	if err != nil {
 		return nil, err
 	}
-	est := NewEstimator(app, cluster)
-	placement := make(sim.Placement, len(app.Microservices))
+	regID, regOK := model.RegistryID(s.registry)
+	st := model.NewState()
+	placement := make(sim.Placement, model.NumMicroservices())
+	width := model.MaxStageWidth()
+	cur := make([]costmodel.Option, width)
+	optsBuf := make([][]costmodel.Option, width)
+
 	for _, stage := range stages {
-		names := append([]string(nil), stage...)
-		sort.Strings(names)
 		// Iterate to a fixed point of best responses with the registry
 		// pinned; within a stage co-assignments couple through contention.
-		cur := make(map[string]sim.Assignment, len(names))
-		optsOf := make(map[string][]sim.Assignment, len(names))
-		for _, n := range names {
-			m := app.Microservice(n)
-			var opts []sim.Assignment
-			for _, o := range est.Options(m) {
-				if o.Registry == s.registry {
-					opts = append(opts, o)
-				}
-			}
-			if len(opts) == 0 {
-				return nil, infeasibleError{ms: n}
-			}
-			optsOf[n] = opts
-			cur[n] = opts[0]
-		}
-		for iter := 0; iter < 100; iter++ {
-			changed := false
-			for _, n := range names {
-				m := app.Microservice(n)
-				best := cur[n]
-				bestC := float64(est.Energy(m, best, cur))
-				for _, o := range optsOf[n] {
-					trial := cloneAssignments(cur)
-					trial[n] = o
-					if c := float64(est.Energy(m, o, trial)); c < bestC-1e-9 {
-						best, bestC = o, c
+		assigned := cur[:len(stage)]
+		opts := optsBuf[:len(stage)]
+		for k, ms := range stage {
+			var filtered []costmodel.Option
+			if regOK {
+				for _, o := range model.Options(ms) {
+					if o.Registry == regID {
+						filtered = append(filtered, o)
 					}
 				}
-				if best != cur[n] {
-					cur[n] = best
-					changed = true
-				}
 			}
-			if !changed {
-				break
+			if len(filtered) == 0 {
+				return nil, infeasibleError{ms: model.MSName(ms)}
 			}
+			opts[k] = filtered
+			assigned[k] = filtered[0]
 		}
-		for n, a := range cur {
-			placement[n] = a
-			est.Commit(n, a)
+		bestResponse(st, stage, opts, assigned)
+		for k, ms := range stage {
+			placement[model.MSName(ms)] = model.Assignment(assigned[k])
+			st.Commit(ms, assigned[k])
 		}
 	}
 	return placement, nil
@@ -90,30 +78,13 @@ func NewGreedyEnergy() *GreedyEnergy { return &GreedyEnergy{} }
 func (*GreedyEnergy) Name() string { return "greedy-energy" }
 
 // Schedule implements Scheduler.
-func (*GreedyEnergy) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
-	order, err := topoOrder(app)
-	if err != nil {
-		return nil, err
-	}
-	est := NewEstimator(app, cluster)
-	placement := make(sim.Placement, len(order))
-	for _, name := range order {
-		m := app.Microservice(name)
-		opts := est.Options(m)
-		if len(opts) == 0 {
-			return nil, infeasibleError{ms: name}
-		}
-		best := opts[0]
-		bestC := float64(est.Energy(m, best, nil))
-		for _, o := range opts[1:] {
-			if c := float64(est.Energy(m, o, nil)); c < bestC {
-				best, bestC = o, c
-			}
-		}
-		placement[name] = best
-		est.Commit(name, best)
-	}
-	return placement, nil
+func (s *GreedyEnergy) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	return s.ScheduleModel(costmodel.Compile(app, cluster))
+}
+
+// ScheduleModel implements ModelScheduler.
+func (*GreedyEnergy) ScheduleModel(model *costmodel.Model) (sim.Placement, error) {
+	return scheduleMyopic(model, (*costmodel.State).Energy)
 }
 
 // MinCompletionTime is a HEFT-flavored baseline minimizing each
@@ -127,28 +98,38 @@ func NewMinCompletionTime() *MinCompletionTime { return &MinCompletionTime{} }
 func (*MinCompletionTime) Name() string { return "min-ct" }
 
 // Schedule implements Scheduler.
-func (*MinCompletionTime) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
-	order, err := topoOrder(app)
+func (s *MinCompletionTime) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	return s.ScheduleModel(costmodel.Compile(app, cluster))
+}
+
+// ScheduleModel implements ModelScheduler.
+func (*MinCompletionTime) ScheduleModel(model *costmodel.Model) (sim.Placement, error) {
+	return scheduleMyopic(model, (*costmodel.State).CompletionTime)
+}
+
+// scheduleMyopic places microservices in topological order, each at its own
+// cost-minimal option under the given objective, ignoring stage contention.
+func scheduleMyopic(model *costmodel.Model, objective func(*costmodel.State, int32, costmodel.Option, []int32, []costmodel.Option) float64) (sim.Placement, error) {
+	order, err := model.Topo()
 	if err != nil {
 		return nil, err
 	}
-	est := NewEstimator(app, cluster)
+	st := model.NewState()
 	placement := make(sim.Placement, len(order))
-	for _, name := range order {
-		m := app.Microservice(name)
-		opts := est.Options(m)
+	for _, ms := range order {
+		opts := model.Options(ms)
 		if len(opts) == 0 {
-			return nil, infeasibleError{ms: name}
+			return nil, infeasibleError{ms: model.MSName(ms)}
 		}
 		best := opts[0]
-		bestC := est.CompletionTime(m, best, nil)
+		bestC := objective(st, ms, best, nil, nil)
 		for _, o := range opts[1:] {
-			if c := est.CompletionTime(m, o, nil); c < bestC {
+			if c := objective(st, ms, o, nil, nil); c < bestC {
 				best, bestC = o, c
 			}
 		}
-		placement[name] = best
-		est.Commit(name, best)
+		placement[model.MSName(ms)] = model.Assignment(best)
+		st.Commit(ms, best)
 	}
 	return placement, nil
 }
@@ -165,28 +146,32 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 func (*RoundRobin) Name() string { return "round-robin" }
 
 // Schedule implements Scheduler.
-func (*RoundRobin) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
-	order, err := topoOrder(app)
+func (s *RoundRobin) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	return s.ScheduleModel(costmodel.Compile(app, cluster))
+}
+
+// ScheduleModel implements ModelScheduler.
+func (*RoundRobin) ScheduleModel(model *costmodel.Model) (sim.Placement, error) {
+	order, err := model.Topo()
 	if err != nil {
 		return nil, err
 	}
-	est := NewEstimator(app, cluster)
+	st := model.NewState()
 	placement := make(sim.Placement, len(order))
 	next := 0
-	for _, name := range order {
-		m := app.Microservice(name)
-		opts := est.Options(m)
+	for _, ms := range order {
+		opts := model.Options(ms)
 		if len(opts) == 0 {
-			return nil, infeasibleError{ms: name}
+			return nil, infeasibleError{ms: model.MSName(ms)}
 		}
-		// Group options by device, then rotate device choice.
-		devices, _ := axes(opts)
+		// Rotate over the microservice's distinct feasible devices.
+		devices, _ := model.SoloAxes(ms)
 		dev := devices[next%len(devices)]
 		next++
 		for _, o := range opts {
 			if o.Device == dev {
-				placement[name] = o
-				est.Commit(name, o)
+				placement[model.MSName(ms)] = model.Assignment(o)
+				st.Commit(ms, o)
 				break
 			}
 		}
@@ -205,29 +190,26 @@ func (*Random) Name() string { return "random" }
 
 // Schedule implements Scheduler.
 func (s *Random) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
-	order, err := topoOrder(app)
+	return s.ScheduleModel(costmodel.Compile(app, cluster))
+}
+
+// ScheduleModel implements ModelScheduler.
+func (s *Random) ScheduleModel(model *costmodel.Model) (sim.Placement, error) {
+	order, err := model.Topo()
 	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(s.seed))
-	est := NewEstimator(app, cluster)
+	st := model.NewState()
 	placement := make(sim.Placement, len(order))
-	for _, name := range order {
-		m := app.Microservice(name)
-		opts := est.Options(m)
+	for _, ms := range order {
+		opts := model.Options(ms)
 		if len(opts) == 0 {
-			return nil, infeasibleError{ms: name}
+			return nil, infeasibleError{ms: model.MSName(ms)}
 		}
 		o := opts[rng.Intn(len(opts))]
-		placement[name] = o
-		est.Commit(name, o)
+		placement[model.MSName(ms)] = model.Assignment(o)
+		st.Commit(ms, o)
 	}
 	return placement, nil
-}
-
-func topoOrder(app *dag.App) ([]string, error) {
-	if err := app.Validate(); err != nil {
-		return nil, err
-	}
-	return app.TopoOrder()
 }

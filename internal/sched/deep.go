@@ -1,8 +1,7 @@
 package sched
 
 import (
-	"sort"
-
+	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/game"
 	"deep/internal/sim"
@@ -27,7 +26,9 @@ import (
 //     welfare-maximal pure equilibrium is chosen.
 //
 //   - Larger stages fall back to best-response dynamics, which converge for
-//     these congestion-style payoffs.
+//     these congestion-style payoffs. Candidates are evaluated in place
+//     against the compiled cost model — the per-candidate map copies of the
+//     original implementation are gone.
 type DEEP struct{}
 
 // NewDEEP returns the Nash scheduler.
@@ -37,65 +38,83 @@ func NewDEEP() *DEEP { return &DEEP{} }
 func (*DEEP) Name() string { return "deep" }
 
 // Schedule implements Scheduler.
-func (*DEEP) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
-	stages, err := stagesOf(app)
+func (s *DEEP) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	return s.ScheduleModel(costmodel.Compile(app, cluster))
+}
+
+// ScheduleModel implements ModelScheduler.
+func (*DEEP) ScheduleModel(model *costmodel.Model) (sim.Placement, error) {
+	stages, err := model.Stages()
 	if err != nil {
 		return nil, err
 	}
-	est := NewEstimator(app, cluster)
-	placement := make(sim.Placement, len(app.Microservices))
+	st := model.NewState()
+	placement := make(sim.Placement, model.NumMicroservices())
+	width := model.MaxStageWidth()
+	cur := make([]costmodel.Option, width)
+	optsBuf := make([][]costmodel.Option, width)
 
 	for _, stage := range stages {
-		names := append([]string(nil), stage...)
-		sort.Strings(names)
-		var assigned map[string]sim.Assignment
-		switch len(names) {
+		assigned := cur[:len(stage)]
+		switch len(stage) {
 		case 1:
-			assigned, err = scheduleSolo(est, app.Microservice(names[0]))
+			assigned[0], err = scheduleSolo(model, st, stage[0])
 		case 2:
-			assigned, err = schedulePair(est, app.Microservice(names[0]), app.Microservice(names[1]))
+			assigned[0], assigned[1], err = schedulePair(model, st, stage[0], stage[1])
 		default:
-			assigned, err = scheduleBestResponse(est, app, names)
+			opts := optsBuf[:len(stage)]
+			for k, ms := range stage {
+				o := model.Options(ms)
+				if len(o) == 0 {
+					return nil, infeasibleError{ms: model.MSName(ms)}
+				}
+				opts[k] = o
+				assigned[k] = o[0]
+			}
+			bestResponse(st, stage, opts, assigned)
 		}
 		if err != nil {
 			return nil, err
 		}
-		for name, a := range assigned {
-			placement[name] = a
-			est.Commit(name, a)
+		for k, ms := range stage {
+			placement[model.MSName(ms)] = model.Assignment(assigned[k])
+			st.Commit(ms, assigned[k])
 		}
 	}
 	return placement, nil
 }
 
 // scheduleSolo solves the one-microservice device×registry cooperation game.
-func scheduleSolo(est *Estimator, m *dag.Microservice) (map[string]sim.Assignment, error) {
-	opts := est.Options(m)
+func scheduleSolo(model *costmodel.Model, st *costmodel.State, ms int32) (costmodel.Option, error) {
+	opts := model.Options(ms)
 	if len(opts) == 0 {
-		return nil, infeasibleError{ms: m.Name}
+		return costmodel.Option{}, infeasibleError{ms: model.MSName(ms)}
 	}
 	// Distinct devices become row strategies, registries column strategies.
-	devices, registries := axes(opts)
-	feasible := make(map[sim.Assignment]bool, len(opts))
-	for _, o := range opts {
-		feasible[o] = true
-	}
+	devices, registries := model.SoloAxes(ms)
+	nr := len(registries)
+	costs := make([]float64, len(devices)*nr)
+	feasible := make([]bool, len(costs))
 	worst := 0.0
-	costs := make(map[sim.Assignment]float64, len(opts))
-	for _, o := range opts {
-		c := float64(est.Energy(m, o, nil))
-		costs[o] = c
-		if c > worst {
-			worst = c
-		}
-	}
-	a := game.NewMatrix(len(devices), len(registries))
-	b := game.NewMatrix(len(devices), len(registries))
 	for i, d := range devices {
 		for j, r := range registries {
-			o := sim.Assignment{Device: d, Registry: r}
-			c, ok := costs[o]
-			if !ok || !feasible[o] {
+			if !model.LinkOK(r, d) {
+				continue
+			}
+			c := st.Energy(ms, costmodel.Option{Device: d, Registry: r}, nil, nil)
+			costs[i*nr+j] = c
+			feasible[i*nr+j] = true
+			if c > worst {
+				worst = c
+			}
+		}
+	}
+	a := game.NewMatrix(len(devices), nr)
+	b := game.NewMatrix(len(devices), nr)
+	for i := range devices {
+		for j := range registries {
+			c := costs[i*nr+j]
+			if !feasible[i*nr+j] {
 				c = worst * 10 // heavily penalize infeasible combinations
 			}
 			a.Set(i, j, -c)
@@ -103,119 +122,88 @@ func scheduleSolo(est *Estimator, m *dag.Microservice) (map[string]sim.Assignmen
 		}
 	}
 	g := game.New(a, b)
-	eqs := g.PureNash()
-	best, ok := g.SelectEquilibrium(eqs)
+	best, ok := g.SelectEquilibrium(g.PureNash())
 	if !ok {
 		// A common-interest game always has a pure equilibrium at its
 		// argmax; reaching here means every entry was penalized.
-		return nil, infeasibleError{ms: m.Name}
+		return costmodel.Option{}, infeasibleError{ms: model.MSName(ms)}
 	}
 	i := best.RowSupport()[0]
 	j := best.ColSupport()[0]
-	choice := sim.Assignment{Device: devices[i], Registry: registries[j]}
-	if !feasible[choice] {
-		return nil, infeasibleError{ms: m.Name}
+	if !feasible[i*nr+j] {
+		return costmodel.Option{}, infeasibleError{ms: model.MSName(ms)}
 	}
-	return map[string]sim.Assignment{m.Name: choice}, nil
+	return costmodel.Option{Device: devices[i], Registry: registries[j]}, nil
 }
 
 // schedulePair solves the two-microservice bimatrix game over full
 // assignments.
-func schedulePair(est *Estimator, m1, m2 *dag.Microservice) (map[string]sim.Assignment, error) {
-	o1 := est.Options(m1)
-	o2 := est.Options(m2)
+func schedulePair(model *costmodel.Model, st *costmodel.State, m1, m2 int32) (costmodel.Option, costmodel.Option, error) {
+	o1 := model.Options(m1)
+	o2 := model.Options(m2)
 	if len(o1) == 0 {
-		return nil, infeasibleError{ms: m1.Name}
+		return costmodel.Option{}, costmodel.Option{}, infeasibleError{ms: model.MSName(m1)}
 	}
 	if len(o2) == 0 {
-		return nil, infeasibleError{ms: m2.Name}
+		return costmodel.Option{}, costmodel.Option{}, infeasibleError{ms: model.MSName(m2)}
 	}
 	a := game.NewMatrix(len(o1), len(o2))
 	b := game.NewMatrix(len(o1), len(o2))
+	coMS := [2]int32{m1, m2}
+	var coOpt [2]costmodel.Option
 	for i, x := range o1 {
+		coOpt[0] = x
 		for j, y := range o2 {
-			co := map[string]sim.Assignment{m1.Name: x, m2.Name: y}
-			a.Set(i, j, -float64(est.Energy(m1, x, co)))
-			b.Set(i, j, -float64(est.Energy(m2, y, co)))
+			coOpt[1] = y
+			a.Set(i, j, -st.Energy(m1, x, coMS[:], coOpt[:]))
+			b.Set(i, j, -st.Energy(m2, y, coMS[:], coOpt[:]))
 		}
 	}
 	g := game.New(a, b)
 	// Prefer pure equilibria (deployable directly); among them take the
 	// welfare-maximal one, i.e. minimum combined energy.
 	if best, ok := g.SelectEquilibrium(g.PureNash()); ok {
-		return map[string]sim.Assignment{
-			m1.Name: o1[best.RowSupport()[0]],
-			m2.Name: o2[best.ColSupport()[0]],
-		}, nil
+		return o1[best.RowSupport()[0]], o2[best.ColSupport()[0]], nil
 	}
 	// Degenerate case: take any equilibrium and round each player to the
 	// highest-probability strategy.
 	p, err := g.LemkeHowsonAny()
 	if err != nil {
-		return nil, err
+		return costmodel.Option{}, costmodel.Option{}, err
 	}
-	return map[string]sim.Assignment{
-		m1.Name: o1[argmax(p.Row)],
-		m2.Name: o2[argmax(p.Col)],
-	}, nil
+	return o1[argmax(p.Row)], o2[argmax(p.Col)], nil
 }
 
-// scheduleBestResponse runs synchronous best-response dynamics over stages
-// with three or more microservices.
-func scheduleBestResponse(est *Estimator, app *dag.App, names []string) (map[string]sim.Assignment, error) {
-	cur := make(map[string]sim.Assignment, len(names))
-	optsOf := make(map[string][]sim.Assignment, len(names))
-	for _, n := range names {
-		m := app.Microservice(n)
-		opts := est.Options(m)
-		if len(opts) == 0 {
-			return nil, infeasibleError{ms: n}
-		}
-		optsOf[n] = opts
-		cur[n] = opts[0]
-	}
+// bestResponse runs synchronous best-response dynamics over a stage until a
+// fixed point or the iteration budget. opts holds each member's candidate
+// options and cur its current assignment (parallel to stage); cur is
+// updated in place. Candidates are evaluated by setting cur[k] and
+// restoring afterwards — exact, because the contention scan skips the
+// deciding microservice's own entry — so no per-candidate copies of the
+// stage assignment are made.
+func bestResponse(st *costmodel.State, stage []int32, opts [][]costmodel.Option, cur []costmodel.Option) {
 	for iter := 0; iter < 100; iter++ {
 		changed := false
-		for _, n := range names {
-			m := app.Microservice(n)
-			best := cur[n]
-			bestC := float64(est.Energy(m, best, cur))
-			for _, o := range optsOf[n] {
-				trial := cloneAssignments(cur)
-				trial[n] = o
-				if c := float64(est.Energy(m, o, trial)); c < bestC-1e-9 {
+		for k, ms := range stage {
+			prev := cur[k]
+			best := prev
+			bestC := st.Energy(ms, prev, stage, cur)
+			for _, o := range opts[k] {
+				cur[k] = o
+				if c := st.Energy(ms, o, stage, cur); c < bestC-1e-9 {
 					best, bestC = o, c
 				}
 			}
-			if best != cur[n] {
-				cur[n] = best
+			cur[k] = best
+			if best != prev {
 				changed = true
 			}
 		}
 		if !changed {
-			return cur, nil
+			return
 		}
 	}
-	return cur, nil // best effort after the iteration budget
-}
-
-// axes extracts the sorted distinct devices and registries from options.
-func axes(opts []sim.Assignment) (devices, registries []string) {
-	dset := map[string]bool{}
-	rset := map[string]bool{}
-	for _, o := range opts {
-		dset[o.Device] = true
-		rset[o.Registry] = true
-	}
-	for d := range dset {
-		devices = append(devices, d)
-	}
-	for r := range rset {
-		registries = append(registries, r)
-	}
-	sort.Strings(devices)
-	sort.Strings(registries)
-	return devices, registries
+	// Best effort after the iteration budget.
 }
 
 func argmax(v []float64) int {
@@ -226,12 +214,4 @@ func argmax(v []float64) int {
 		}
 	}
 	return best
-}
-
-func cloneAssignments(m map[string]sim.Assignment) map[string]sim.Assignment {
-	c := make(map[string]sim.Assignment, len(m))
-	for k, v := range m {
-		c[k] = v
-	}
-	return c
 }

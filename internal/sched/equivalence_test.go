@@ -1,0 +1,561 @@
+package sched
+
+// Equivalence corpus: the compiled cost model (internal/costmodel) replaced
+// the original string-keyed estimator under every scheduler. This file
+// keeps a faithful port of that original implementation — map-based
+// co-assignments, linear option enumeration per call — and proves on a
+// seeded corpus of case-study and synthetic applications over testbed and
+// scaled clusters that
+//
+//  1. the estimator's Energy and CompletionTime are bit-identical, and
+//  2. all seven schedulers emit byte-identical placements
+//
+// before vs. after the refactor. The one deliberate change kept here: the
+// legacy best-response loop evaluates candidates in place with set/restore
+// instead of cloning the whole stage assignment map per candidate (the
+// contention scan skips the deciding microservice's own entry, so the clone
+// never influenced a payoff).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"deep/internal/dag"
+	"deep/internal/game"
+	"deep/internal/sim"
+	"deep/internal/units"
+	"deep/internal/workload"
+)
+
+// --- legacy estimator (pre-costmodel), verbatim semantics ----------------
+
+type legacyEstimator struct {
+	App     *dag.App
+	Cluster *sim.Cluster
+	Placed  sim.Placement
+}
+
+func newLegacyEstimator(app *dag.App, cluster *sim.Cluster) *legacyEstimator {
+	return &legacyEstimator{App: app, Cluster: cluster, Placed: make(sim.Placement)}
+}
+
+func (e *legacyEstimator) Options(m *dag.Microservice) []sim.Assignment {
+	var out []sim.Assignment
+	for _, d := range e.Cluster.Devices {
+		if d.CanRun(m) != nil {
+			continue
+		}
+		for _, r := range e.Cluster.Registries {
+			if _, ok := e.Cluster.Topology.LinkBetween(r.Node, d.Name); !ok {
+				continue
+			}
+			out = append(out, sim.Assignment{Device: d.Name, Registry: r.Name})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Device != out[j].Device {
+			return out[i].Device < out[j].Device
+		}
+		return out[i].Registry < out[j].Registry
+	})
+	return out
+}
+
+type legacyBreakdown struct{ Td, Tc, Tp float64 }
+
+func (e *legacyEstimator) estimate(m *dag.Microservice, a sim.Assignment, co map[string]sim.Assignment) legacyBreakdown {
+	reg, _ := e.Cluster.Registry(a.Registry)
+	dev := e.Cluster.Device(a.Device)
+
+	var b legacyBreakdown
+	link, ok := e.Cluster.Topology.LinkBetween(reg.Node, a.Device)
+	if ok {
+		bw := link.BW
+		if reg.Shared {
+			devs := map[string]bool{a.Device: true}
+			for other, oa := range co {
+				if other == m.Name {
+					continue
+				}
+				if oa.Registry == a.Registry {
+					devs[oa.Device] = true
+				}
+			}
+			if n := len(devs); n > 1 {
+				bw = link.BW / units.Bandwidth(n)
+			}
+		}
+		b.Td = link.RTT + bw.Seconds(m.ImageSize)
+	}
+
+	for _, in := range e.App.Inputs(m.Name) {
+		fromDev := a.Device
+		if pa, ok := e.Placed[in.From]; ok {
+			fromDev = pa.Device
+		}
+		b.Tc += e.Cluster.Topology.TransferTime(fromDev, a.Device, in.Size)
+	}
+	if m.ExternalInput > 0 && e.Cluster.SourceNode != "" {
+		b.Tc += e.Cluster.Topology.TransferTime(e.Cluster.SourceNode, a.Device, m.ExternalInput)
+	}
+
+	b.Tp = dev.ProcessingTime(m.Req.CPU)
+	return b
+}
+
+func (e *legacyEstimator) Energy(m *dag.Microservice, a sim.Assignment, co map[string]sim.Assignment) units.Joules {
+	b := e.estimate(m, a, co)
+	dev := e.Cluster.Device(a.Device)
+	pullW := dev.Power.Power("pulling", m.Name)
+	recvW := dev.Power.Power("receiving", m.Name)
+	procW := dev.Power.Power("processing", m.Name)
+	return pullW.Over(b.Td) + recvW.Over(b.Tc) + procW.Over(b.Tp)
+}
+
+func (e *legacyEstimator) CompletionTime(m *dag.Microservice, a sim.Assignment, co map[string]sim.Assignment) float64 {
+	b := e.estimate(m, a, co)
+	return b.Td + b.Tc + b.Tp
+}
+
+func (e *legacyEstimator) Commit(name string, a sim.Assignment) { e.Placed[name] = a }
+
+// --- legacy schedulers ---------------------------------------------------
+
+type legacyScheduler struct {
+	name     string
+	schedule func(app *dag.App, cluster *sim.Cluster) (sim.Placement, error)
+}
+
+func legacyAll(seed int64) []legacyScheduler {
+	return []legacyScheduler{
+		{"deep", legacyDEEP},
+		{"exclusive-hub", legacyExclusive("hub")},
+		{"exclusive-regional", legacyExclusive("regional")},
+		{"greedy-energy", legacyMyopic(func(e *legacyEstimator, m *dag.Microservice, a sim.Assignment) float64 {
+			return float64(e.Energy(m, a, nil))
+		})},
+		{"min-ct", legacyMyopic(func(e *legacyEstimator, m *dag.Microservice, a sim.Assignment) float64 {
+			return e.CompletionTime(m, a, nil)
+		})},
+		{"round-robin", legacyRoundRobin},
+		{"random", legacyRandom(seed)},
+	}
+}
+
+func legacyStages(app *dag.App) ([][]string, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app.Stages()
+}
+
+func legacyDEEP(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	stages, err := legacyStages(app)
+	if err != nil {
+		return nil, err
+	}
+	est := newLegacyEstimator(app, cluster)
+	placement := make(sim.Placement, len(app.Microservices))
+	for _, stage := range stages {
+		names := append([]string(nil), stage...)
+		sort.Strings(names)
+		var assigned map[string]sim.Assignment
+		switch len(names) {
+		case 1:
+			assigned, err = legacySolo(est, app.Microservice(names[0]))
+		case 2:
+			assigned, err = legacyPair(est, app.Microservice(names[0]), app.Microservice(names[1]))
+		default:
+			assigned, err = legacyBestResponse(est, app, names, nil)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for name, a := range assigned {
+			placement[name] = a
+			est.Commit(name, a)
+		}
+	}
+	return placement, nil
+}
+
+func legacySolo(est *legacyEstimator, m *dag.Microservice) (map[string]sim.Assignment, error) {
+	opts := est.Options(m)
+	if len(opts) == 0 {
+		return nil, infeasibleError{ms: m.Name}
+	}
+	devices, registries := legacyAxes(opts)
+	feasible := make(map[sim.Assignment]bool, len(opts))
+	for _, o := range opts {
+		feasible[o] = true
+	}
+	worst := 0.0
+	costs := make(map[sim.Assignment]float64, len(opts))
+	for _, o := range opts {
+		c := float64(est.Energy(m, o, nil))
+		costs[o] = c
+		if c > worst {
+			worst = c
+		}
+	}
+	a := game.NewMatrix(len(devices), len(registries))
+	b := game.NewMatrix(len(devices), len(registries))
+	for i, d := range devices {
+		for j, r := range registries {
+			o := sim.Assignment{Device: d, Registry: r}
+			c, ok := costs[o]
+			if !ok || !feasible[o] {
+				c = worst * 10
+			}
+			a.Set(i, j, -c)
+			b.Set(i, j, -c)
+		}
+	}
+	g := game.New(a, b)
+	best, ok := g.SelectEquilibrium(g.PureNash())
+	if !ok {
+		return nil, infeasibleError{ms: m.Name}
+	}
+	choice := sim.Assignment{Device: devices[best.RowSupport()[0]], Registry: registries[best.ColSupport()[0]]}
+	if !feasible[choice] {
+		return nil, infeasibleError{ms: m.Name}
+	}
+	return map[string]sim.Assignment{m.Name: choice}, nil
+}
+
+func legacyPair(est *legacyEstimator, m1, m2 *dag.Microservice) (map[string]sim.Assignment, error) {
+	o1 := est.Options(m1)
+	o2 := est.Options(m2)
+	if len(o1) == 0 {
+		return nil, infeasibleError{ms: m1.Name}
+	}
+	if len(o2) == 0 {
+		return nil, infeasibleError{ms: m2.Name}
+	}
+	a := game.NewMatrix(len(o1), len(o2))
+	b := game.NewMatrix(len(o1), len(o2))
+	for i, x := range o1 {
+		for j, y := range o2 {
+			co := map[string]sim.Assignment{m1.Name: x, m2.Name: y}
+			a.Set(i, j, -float64(est.Energy(m1, x, co)))
+			b.Set(i, j, -float64(est.Energy(m2, y, co)))
+		}
+	}
+	g := game.New(a, b)
+	if best, ok := g.SelectEquilibrium(g.PureNash()); ok {
+		return map[string]sim.Assignment{
+			m1.Name: o1[best.RowSupport()[0]],
+			m2.Name: o2[best.ColSupport()[0]],
+		}, nil
+	}
+	p, err := g.LemkeHowsonAny()
+	if err != nil {
+		return nil, err
+	}
+	return map[string]sim.Assignment{
+		m1.Name: o1[argmax(p.Row)],
+		m2.Name: o2[argmax(p.Col)],
+	}, nil
+}
+
+// legacyBestResponse runs the original synchronous best-response dynamics.
+// Candidates are evaluated in place with set/restore — the satellite fix:
+// the original cloned the whole co-assignment map per candidate, but the
+// clone's only difference (the deciding microservice's own entry) is
+// skipped by the contention scan, so the copy never changed a payoff.
+// filter restricts each microservice's options (nil keeps all).
+func legacyBestResponse(est *legacyEstimator, app *dag.App, names []string, filter func(sim.Assignment) bool) (map[string]sim.Assignment, error) {
+	cur := make(map[string]sim.Assignment, len(names))
+	optsOf := make(map[string][]sim.Assignment, len(names))
+	for _, n := range names {
+		m := app.Microservice(n)
+		var opts []sim.Assignment
+		for _, o := range est.Options(m) {
+			if filter == nil || filter(o) {
+				opts = append(opts, o)
+			}
+		}
+		if len(opts) == 0 {
+			return nil, infeasibleError{ms: n}
+		}
+		optsOf[n] = opts
+		cur[n] = opts[0]
+	}
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for _, n := range names {
+			m := app.Microservice(n)
+			prev := cur[n]
+			best := prev
+			bestC := float64(est.Energy(m, best, cur))
+			for _, o := range optsOf[n] {
+				cur[n] = o // in place; restored below
+				if c := float64(est.Energy(m, o, cur)); c < bestC-1e-9 {
+					best, bestC = o, c
+				}
+			}
+			cur[n] = best
+			if best != prev {
+				changed = true
+			}
+		}
+		if !changed {
+			return cur, nil
+		}
+	}
+	return cur, nil
+}
+
+func legacyExclusive(registry string) func(*dag.App, *sim.Cluster) (sim.Placement, error) {
+	return func(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+		stages, err := legacyStages(app)
+		if err != nil {
+			return nil, err
+		}
+		est := newLegacyEstimator(app, cluster)
+		placement := make(sim.Placement, len(app.Microservices))
+		for _, stage := range stages {
+			names := append([]string(nil), stage...)
+			sort.Strings(names)
+			cur, err := legacyBestResponse(est, app, names, func(o sim.Assignment) bool {
+				return o.Registry == registry
+			})
+			if err != nil {
+				return nil, err
+			}
+			for n, a := range cur {
+				placement[n] = a
+				est.Commit(n, a)
+			}
+		}
+		return placement, nil
+	}
+}
+
+func legacyTopo(app *dag.App) ([]string, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app.TopoOrder()
+}
+
+func legacyMyopic(cost func(*legacyEstimator, *dag.Microservice, sim.Assignment) float64) func(*dag.App, *sim.Cluster) (sim.Placement, error) {
+	return func(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+		order, err := legacyTopo(app)
+		if err != nil {
+			return nil, err
+		}
+		est := newLegacyEstimator(app, cluster)
+		placement := make(sim.Placement, len(order))
+		for _, name := range order {
+			m := app.Microservice(name)
+			opts := est.Options(m)
+			if len(opts) == 0 {
+				return nil, infeasibleError{ms: name}
+			}
+			best := opts[0]
+			bestC := cost(est, m, best)
+			for _, o := range opts[1:] {
+				if c := cost(est, m, o); c < bestC {
+					best, bestC = o, c
+				}
+			}
+			placement[name] = best
+			est.Commit(name, best)
+		}
+		return placement, nil
+	}
+}
+
+func legacyRoundRobin(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	order, err := legacyTopo(app)
+	if err != nil {
+		return nil, err
+	}
+	est := newLegacyEstimator(app, cluster)
+	placement := make(sim.Placement, len(order))
+	next := 0
+	for _, name := range order {
+		m := app.Microservice(name)
+		opts := est.Options(m)
+		if len(opts) == 0 {
+			return nil, infeasibleError{ms: name}
+		}
+		devices, _ := legacyAxes(opts)
+		dev := devices[next%len(devices)]
+		next++
+		for _, o := range opts {
+			if o.Device == dev {
+				placement[name] = o
+				est.Commit(name, o)
+				break
+			}
+		}
+	}
+	return placement, nil
+}
+
+func legacyRandom(seed int64) func(*dag.App, *sim.Cluster) (sim.Placement, error) {
+	return func(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+		order, err := legacyTopo(app)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed))
+		est := newLegacyEstimator(app, cluster)
+		placement := make(sim.Placement, len(order))
+		for _, name := range order {
+			m := app.Microservice(name)
+			opts := est.Options(m)
+			if len(opts) == 0 {
+				return nil, infeasibleError{ms: name}
+			}
+			o := opts[rng.Intn(len(opts))]
+			placement[name] = o
+			est.Commit(name, o)
+		}
+		return placement, nil
+	}
+}
+
+func legacyAxes(opts []sim.Assignment) (devices, registries []string) {
+	dset := map[string]bool{}
+	rset := map[string]bool{}
+	for _, o := range opts {
+		dset[o.Device] = true
+		rset[o.Registry] = true
+	}
+	for d := range dset {
+		devices = append(devices, d)
+	}
+	for r := range rset {
+		registries = append(registries, r)
+	}
+	sort.Strings(devices)
+	sort.Strings(registries)
+	return devices, registries
+}
+
+// --- the corpus ----------------------------------------------------------
+
+type corpusCase struct {
+	name    string
+	app     *dag.App
+	cluster *sim.Cluster
+}
+
+func equivalenceCorpus(t *testing.T) []corpusCase {
+	t.Helper()
+	var cases []corpusCase
+	clusters := []struct {
+		name string
+		mk   func() *sim.Cluster
+	}{
+		{"testbed", workload.Testbed},
+		{"scaled4", func() *sim.Cluster { return workload.ScaledTestbed(4) }},
+	}
+	for _, cl := range clusters {
+		cases = append(cases,
+			corpusCase{"video/" + cl.name, workload.VideoProcessing(), cl.mk()},
+			corpusCase{"text/" + cl.name, workload.TextProcessing(), cl.mk()},
+		)
+		for _, size := range []int{5, 9, 13} {
+			for seed := int64(1); seed <= 2; seed++ {
+				cfg := workload.DefaultGeneratorConfig(size, seed)
+				cfg.StageWidth = 4 // stages wide enough to hit best-response
+				app, err := workload.Generate(cfg)
+				if err != nil {
+					t.Fatalf("generate size=%d seed=%d: %v", size, seed, err)
+				}
+				cases = append(cases, corpusCase{
+					fmt.Sprintf("synthetic%d-%d/%s", size, seed, cl.name), app, cl.mk(),
+				})
+			}
+		}
+	}
+	return cases
+}
+
+// TestEquivalenceCorpusPlacements: every scheduler, on every corpus case,
+// must produce a placement byte-identical to the legacy implementation's.
+func TestEquivalenceCorpusPlacements(t *testing.T) {
+	const seed = 1
+	for _, c := range equivalenceCorpus(t) {
+		legacy := legacyAll(seed)
+		for i, s := range All(seed) {
+			ref := legacy[i]
+			if ref.name != s.Name() {
+				t.Fatalf("scheduler order mismatch: %s vs %s", ref.name, s.Name())
+			}
+			want, wantErr := ref.schedule(c.app, c.cluster)
+			got, gotErr := s.Schedule(c.app, c.cluster)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s/%s: error mismatch: legacy=%v new=%v", c.name, s.Name(), wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: placement size %d, legacy %d", c.name, s.Name(), len(got), len(want))
+			}
+			for name, w := range want {
+				if g, ok := got[name]; !ok || g != w {
+					t.Errorf("%s/%s: %s placed on %s/%s, legacy %s/%s",
+						c.name, s.Name(), name, g.Device, g.Registry, w.Device, w.Registry)
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalenceCorpusEstimator: Energy and CompletionTime must be
+// bit-identical to the legacy estimator for every option — solo, under full
+// stage co-assignment, and with earlier stages committed.
+func TestEquivalenceCorpusEstimator(t *testing.T) {
+	for _, c := range equivalenceCorpus(t) {
+		ref := newLegacyEstimator(c.app, c.cluster)
+		est := NewEstimator(c.app, c.cluster)
+		stages, err := legacyStages(c.app)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		placement, err := legacyDEEP(c.app, c.cluster)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, stage := range stages {
+			co := make(map[string]sim.Assignment, len(stage))
+			for _, n := range stage {
+				co[n] = placement[n]
+			}
+			for _, n := range stage {
+				m := c.app.Microservice(n)
+				refOpts := ref.Options(m)
+				gotOpts := est.Options(m)
+				if len(refOpts) != len(gotOpts) {
+					t.Fatalf("%s/%s: %d options, legacy %d", c.name, n, len(gotOpts), len(refOpts))
+				}
+				for i, o := range refOpts {
+					if gotOpts[i] != o {
+						t.Fatalf("%s/%s: option %d = %v, legacy %v", c.name, n, i, gotOpts[i], o)
+					}
+					if w, g := ref.Energy(m, o, nil), est.Energy(m, o, nil); w != g {
+						t.Errorf("%s/%s/%v: solo energy %v, legacy %v", c.name, n, o, g, w)
+					}
+					if w, g := ref.Energy(m, o, co), est.Energy(m, o, co); w != g {
+						t.Errorf("%s/%s/%v: staged energy %v, legacy %v", c.name, n, o, g, w)
+					}
+					if w, g := ref.CompletionTime(m, o, co), est.CompletionTime(m, o, co); w != g {
+						t.Errorf("%s/%s/%v: CT %v, legacy %v", c.name, n, o, g, w)
+					}
+				}
+			}
+			for _, n := range stage {
+				ref.Commit(n, placement[n])
+				est.Commit(n, placement[n])
+			}
+		}
+	}
+}

@@ -4,13 +4,19 @@
 // microservice to minimize total energy, plus the baselines the evaluation
 // compares against (exclusively Docker Hub, exclusively regional, greedy,
 // HEFT-like, round-robin, random).
+//
+// All schedulers run on the compiled, integer-indexed cost model of
+// internal/costmodel: Schedule compiles the (app, cluster) pair and
+// delegates to ScheduleModel, which works entirely in dense arrays — fleet
+// workers cache compiled models per request fingerprint and skip the
+// compilation step for repeated shapes.
 package sched
 
 import (
-	"sort"
+	"fmt"
 
+	"deep/internal/costmodel"
 	"deep/internal/dag"
-	"deep/internal/energy"
 	"deep/internal/sim"
 	"deep/internal/units"
 )
@@ -20,108 +26,111 @@ import (
 // cost and shared-capacity contention), dataflow transfer from the upstream
 // devices, processing time from the device speed, and energy from the
 // device's power model.
+//
+// It is a thin string-keyed front-end over the compiled cost model:
+// construction compiles the (app, cluster) pair once, and every query
+// translates names to integer indices before delegating to the
+// allocation-free core. Microservices, devices, and registries named in
+// queries must belong to the app and cluster the estimator was built for.
 type Estimator struct {
 	App     *dag.App
 	Cluster *sim.Cluster
-	// Placed holds the assignments fixed so far (all earlier stages).
-	Placed sim.Placement
+
+	model *costmodel.Model
+	state *costmodel.State
+	coMS  []int32
+	coOpt []costmodel.Option
 }
 
-// NewEstimator returns an estimator with an empty partial placement.
+// NewEstimator compiles the pair and returns an estimator with an empty
+// partial placement.
 func NewEstimator(app *dag.App, cluster *sim.Cluster) *Estimator {
-	return &Estimator{App: app, Cluster: cluster, Placed: make(sim.Placement)}
+	return NewEstimatorFor(costmodel.Compile(app, cluster))
 }
+
+// NewEstimatorFor wraps an already-compiled model, sharing its immutable
+// tables (fleet workers reuse one model across many requests).
+func NewEstimatorFor(m *costmodel.Model) *Estimator {
+	return &Estimator{App: m.App, Cluster: m.Cluster, model: m, state: m.NewState()}
+}
+
+// Model exposes the compiled cost model backing this estimator.
+func (e *Estimator) Model() *costmodel.Model { return e.model }
 
 // Options enumerates the feasible (device, registry) assignments for a
-// microservice, ordered deterministically (device name, then registry name).
+// microservice, ordered deterministically (device name, then registry
+// name). The order is fixed at compile time, so repeated calls return the
+// same cached slice — callers must not mutate it.
 func (e *Estimator) Options(m *dag.Microservice) []sim.Assignment {
-	var out []sim.Assignment
-	for _, d := range e.Cluster.Devices {
-		if d.CanRun(m) != nil {
+	id, ok := e.model.MSID(m.Name)
+	if !ok {
+		return nil
+	}
+	return e.model.Assignments(id)
+}
+
+// intern translates a query to compiled form, panicking on a microservice
+// outside the compiled app — the legacy estimator failed loudly there too
+// (nil-device dereference) rather than returning a plausible wrong number.
+// Co-assignment entries naming unknown microservices or devices are
+// ignored.
+func (e *Estimator) intern(m *dag.Microservice, co map[string]sim.Assignment) (int32, []int32, []costmodel.Option) {
+	id, ok := e.model.MSID(m.Name)
+	if !ok {
+		panic(fmt.Sprintf("sched: estimator query for microservice %q outside the compiled app", m.Name))
+	}
+	e.coMS = e.coMS[:0]
+	e.coOpt = e.coOpt[:0]
+	for name, oa := range co {
+		cid, ok := e.model.MSID(name)
+		if !ok {
 			continue
 		}
-		for _, r := range e.Cluster.Registries {
-			if _, ok := e.Cluster.Topology.LinkBetween(r.Node, d.Name); !ok {
-				continue
-			}
-			out = append(out, sim.Assignment{Device: d.Name, Registry: r.Name})
+		io, ok := e.model.Intern(oa)
+		if !ok {
+			continue
 		}
+		e.coMS = append(e.coMS, cid)
+		e.coOpt = append(e.coOpt, io)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Device != out[j].Device {
-			return out[i].Device < out[j].Device
-		}
-		return out[i].Registry < out[j].Registry
-	})
-	return out
-}
-
-// breakdown carries the phase estimates for one candidate assignment.
-type breakdown struct {
-	Td, Tc, Tp float64
-}
-
-// estimate computes the phase times for m under assignment a, with co
-// giving the same-stage assignments of the other microservices (used for
-// shared-registry contention).
-func (e *Estimator) estimate(m *dag.Microservice, a sim.Assignment, co map[string]sim.Assignment) breakdown {
-	reg, _ := e.Cluster.Registry(a.Registry)
-	dev := e.Cluster.Device(a.Device)
-
-	var b breakdown
-	link, ok := e.Cluster.Topology.LinkBetween(reg.Node, a.Device)
-	if ok {
-		bw := link.BW
-		if reg.Shared {
-			// Count the distinct devices pulling from this registry in the
-			// stage, including ourselves.
-			devs := map[string]bool{a.Device: true}
-			for other, oa := range co {
-				if other == m.Name {
-					continue
-				}
-				if oa.Registry == a.Registry {
-					devs[oa.Device] = true
-				}
-			}
-			if n := len(devs); n > 1 {
-				bw = link.BW / units.Bandwidth(n)
-			}
-		}
-		b.Td = link.RTT + bw.Seconds(m.ImageSize)
-	}
-
-	for _, in := range e.App.Inputs(m.Name) {
-		fromDev := a.Device // unplaced upstream defaults to co-location
-		if pa, ok := e.Placed[in.From]; ok {
-			fromDev = pa.Device
-		}
-		b.Tc += e.Cluster.Topology.TransferTime(fromDev, a.Device, in.Size)
-	}
-	if m.ExternalInput > 0 && e.Cluster.SourceNode != "" {
-		b.Tc += e.Cluster.Topology.TransferTime(e.Cluster.SourceNode, a.Device, m.ExternalInput)
-	}
-
-	b.Tp = dev.ProcessingTime(m.Req.CPU)
-	return b
+	return id, e.coMS, e.coOpt
 }
 
 // Energy estimates EC(m_i, r_g, d_j): the device's total draw across the
-// deployment, transfer, and processing phases.
+// deployment, transfer, and processing phases. co gives the same-stage
+// assignments of the other microservices (used for shared-registry
+// contention).
 func (e *Estimator) Energy(m *dag.Microservice, a sim.Assignment, co map[string]sim.Assignment) units.Joules {
-	b := e.estimate(m, a, co)
-	dev := e.Cluster.Device(a.Device)
-	pullW := dev.Power.Power(energy.Pulling, m.Name)
-	recvW := dev.Power.Power(energy.Receiving, m.Name)
-	procW := dev.Power.Power(energy.Processing, m.Name)
-	return pullW.Over(b.Td) + recvW.Over(b.Tc) + procW.Over(b.Tp)
+	id, coMS, coOpt := e.intern(m, co)
+	return units.Joules(e.state.Energy(id, e.internAssignment(a), coMS, coOpt))
 }
 
 // CompletionTime estimates CT(m_i, r_g, d_j) = Td + Tc + Tp.
 func (e *Estimator) CompletionTime(m *dag.Microservice, a sim.Assignment, co map[string]sim.Assignment) float64 {
-	b := e.estimate(m, a, co)
-	return b.Td + b.Tc + b.Tp
+	id, coMS, coOpt := e.intern(m, co)
+	return e.state.CompletionTime(id, e.internAssignment(a), coMS, coOpt)
+}
+
+// internAssignment converts the queried assignment, panicking on names
+// outside the compiled cluster (the legacy equivalent was a nil-device
+// dereference).
+func (e *Estimator) internAssignment(a sim.Assignment) costmodel.Option {
+	o, ok := e.model.Intern(a)
+	if !ok {
+		panic(fmt.Sprintf("sched: estimator query for assignment %s/%s outside the compiled cluster", a.Device, a.Registry))
+	}
+	return o
 }
 
 // Commit fixes the assignment of a microservice for later stages.
-func (e *Estimator) Commit(name string, a sim.Assignment) { e.Placed[name] = a }
+func (e *Estimator) Commit(name string, a sim.Assignment) {
+	id, ok := e.model.MSID(name)
+	if !ok {
+		return
+	}
+	o, ok := e.model.Intern(a)
+	if !ok {
+		return
+	}
+	e.state.Commit(id, o)
+}

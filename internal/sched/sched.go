@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/sim"
 )
@@ -18,20 +19,26 @@ type Scheduler interface {
 	Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error)
 }
 
+// ModelScheduler is a Scheduler that can run directly on a pre-compiled
+// cost model, skipping the per-request compilation step for repeated
+// (app, cluster) shapes — the fleet's workers memoize compiled models per
+// request fingerprint and take this path. Every scheduler in this package
+// implements it; Schedule(app, cluster) is always equivalent to
+// ScheduleModel(costmodel.Compile(app, cluster)).
+type ModelScheduler interface {
+	Scheduler
+	// ScheduleModel computes the placement on a compiled model. The model
+	// is read-only during the call and may be shared across sequential
+	// calls (each call allocates its own scratch State).
+	ScheduleModel(model *costmodel.Model) (sim.Placement, error)
+}
+
 // ErrInfeasible is wrapped by schedulers when a microservice has no feasible
 // (device, registry) option.
 type infeasibleError struct{ ms string }
 
 func (e infeasibleError) Error() string {
 	return fmt.Sprintf("sched: no feasible assignment for microservice %q", e.ms)
-}
-
-// stagesOf returns the barrier stages, surfacing validation errors.
-func stagesOf(app *dag.App) ([][]string, error) {
-	if err := app.Validate(); err != nil {
-		return nil, err
-	}
-	return app.Stages()
 }
 
 // All returns every scheduler the benchmark harness compares, with the given
