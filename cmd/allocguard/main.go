@@ -1,0 +1,78 @@
+// Command allocguard is CI's allocation-regression gate: it parses `go test
+// -bench -benchmem` output (stdin or files), compares each benchmark's
+// allocs/op against the baselines recorded in BENCH_*.json, and exits
+// non-zero when any case exceeds the budget ratio.
+//
+//	go test -run '^$' -bench 'BenchmarkSchedule$' -benchtime 100x -benchmem . | \
+//	    go run ./cmd/allocguard -baselines BENCH_sched.json,BENCH_fleet.json -max-ratio 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"deep/internal/bench"
+)
+
+func main() {
+	baselines := flag.String("baselines", "BENCH_sched.json,BENCH_fleet.json",
+		"comma-separated BENCH_*.json files holding recorded allocs/op")
+	maxRatio := flag.Float64("max-ratio", 2, "fail when measured allocs/op exceeds ratio × baseline")
+	flag.Parse()
+
+	base, err := bench.LoadAllocBaselines(strings.Split(*baselines, ",")...)
+	if err != nil {
+		fatal(err)
+	}
+
+	var in io.Reader = os.Stdin
+	if args := flag.Args(); len(args) > 0 {
+		readers := make([]io.Reader, 0, len(args))
+		for _, path := range args {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+	measured, err := bench.ParseBenchAllocs(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(measured) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in input"))
+	}
+
+	checked := 0
+	for name := range measured {
+		if _, ok := base[name]; ok {
+			checked++
+		}
+	}
+	fmt.Printf("allocguard: %d benchmark(s) measured, %d with recorded baselines, budget %.1fx\n",
+		len(measured), checked, *maxRatio)
+	if checked == 0 {
+		fatal(fmt.Errorf("no measured benchmark matches a recorded baseline; case names drifted?"))
+	}
+
+	regs := bench.CheckAllocRegressions(measured, base, *maxRatio)
+	if len(regs) == 0 {
+		fmt.Println("allocguard: ok")
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "allocguard: REGRESSION %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "allocguard:", err)
+	os.Exit(1)
+}

@@ -130,8 +130,16 @@ func TextProcessing() *App { return workload.TextProcessing() }
 // NewSystem returns a DEEP system (Nash scheduler) bound to a cluster.
 func NewSystem(cluster *Cluster) *System { return core.NewSystem(cluster) }
 
-// NewDEEPScheduler returns the paper's Nash-game scheduler.
+// NewDEEPScheduler returns the paper's Nash-game scheduler with the default
+// pair-game cap (sched.DefaultMaxPairCells): two-microservice stages whose
+// bimatrix game would exceed the cap fall back to best-response dynamics,
+// which converge for these congestion-style payoffs.
 func NewDEEPScheduler() Scheduler { return sched.NewDEEP() }
+
+// NewDEEPSchedulerWithPairCap returns the Nash scheduler with an explicit
+// pair-game cap in payoff cells; 0 disables the cap (always play the exact
+// bimatrix game, however large the scaled cluster makes it).
+func NewDEEPSchedulerWithPairCap(cells int) Scheduler { return &sched.DEEP{MaxPairCells: cells} }
 
 // NewExclusiveScheduler pins every deployment to one registry ("hub" or
 // "regional"), the paper's two baseline methods.

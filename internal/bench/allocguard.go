@@ -1,0 +1,153 @@
+package bench
+
+// Alloc-regression guard: CI's bench smoke step pipes `go test -bench
+// -benchmem` output through this checker, which compares each benchmark's
+// allocs/op against the baselines recorded in BENCH_sched.json /
+// BENCH_fleet.json and fails on a configurable blow-up (the CI wiring uses
+// 2x). ns/op is deliberately not guarded — CI machines vary too much — but
+// allocation counts are deterministic for this codebase's benchmarks, so a
+// doubling always means someone put allocations back on a hot path.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AllocBaseline is one recorded benchmark case.
+type AllocBaseline struct {
+	// Case is the benchmark sub-name: the benchmark's name with the
+	// top-level Benchmark* function and the trailing -GOMAXPROCS stripped,
+	// e.g. "deep/video/testbed/warm" or "workers=4/cache=false".
+	Case        string  `json:"case"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchFile is the subset of BENCH_*.json the guard reads.
+type benchFile struct {
+	Results []AllocBaseline `json:"results"`
+}
+
+// LoadAllocBaselines reads the recorded allocs/op per case from one or more
+// BENCH_*.json files. Later files win on duplicate case names. Rows without
+// an allocs_per_op (e.g. throughput-only entries) are skipped.
+func LoadAllocBaselines(paths ...string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var f benchFile
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+		for _, r := range f.Results {
+			if r.Case != "" && r.AllocsPerOp > 0 {
+				out[r.Case] = r.AllocsPerOp
+			}
+		}
+	}
+	return out, nil
+}
+
+// ParseBenchAllocs scans `go test -bench -benchmem` output and returns
+// allocs/op keyed by normalized benchmark sub-name (top-level function name
+// and -GOMAXPROCS suffix stripped, so lines match baseline case names).
+// Lines that are not benchmark results are ignored.
+func ParseBenchAllocs(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, allocs, ok := parseBenchLine(sc.Text())
+		if ok {
+			out[name] = allocs
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine extracts (normalized name, allocs/op) from one output
+// line, e.g.
+//
+//	BenchmarkSchedule/deep/video/testbed/warm-8  43862  26329 ns/op  9512 B/op  23 allocs/op
+func parseBenchLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	allocs := -1.0
+	for i := 1; i < len(fields); i++ {
+		if fields[i] == "allocs/op" {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			allocs = v
+		}
+	}
+	if allocs < 0 {
+		return "", 0, false
+	}
+	return normalizeBenchName(fields[0]), allocs, true
+}
+
+// normalizeBenchName strips the top-level Benchmark* component and the
+// trailing -GOMAXPROCS: "BenchmarkSchedule/deep/video/testbed/warm-8" →
+// "deep/video/testbed/warm". A benchmark without sub-names keeps its
+// function name (minus the Benchmark prefix).
+func normalizeBenchName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return strings.TrimPrefix(name, "Benchmark")
+}
+
+// AllocRegression is one measured case exceeding its alloc budget.
+type AllocRegression struct {
+	Case     string
+	Baseline float64
+	Measured float64
+}
+
+func (r AllocRegression) String() string {
+	return fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (%.2fx)",
+		r.Case, r.Measured, r.Baseline, r.Measured/r.Baseline)
+}
+
+// CheckAllocRegressions compares measured allocs/op against baselines and
+// returns every case whose measurement exceeds maxRatio × baseline, sorted
+// by severity. Measured cases without a baseline (and vice versa) are
+// ignored: the guard only pins cases someone deliberately recorded.
+func CheckAllocRegressions(measured, baselines map[string]float64, maxRatio float64) []AllocRegression {
+	var out []AllocRegression
+	for name, base := range baselines {
+		got, ok := measured[name]
+		if !ok {
+			continue
+		}
+		if got > base*maxRatio {
+			out = append(out, AllocRegression{Case: name, Baseline: base, Measured: got})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri := out[i].Measured / out[i].Baseline
+		rj := out[j].Measured / out[j].Baseline
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i].Case < out[j].Case
+	})
+	return out
+}

@@ -27,6 +27,7 @@ import (
 	"deep/internal/dag"
 	"deep/internal/device"
 	"deep/internal/energy"
+	"deep/internal/game"
 	"deep/internal/sim"
 	"deep/internal/units"
 )
@@ -93,6 +94,11 @@ type Model struct {
 	// Options never re-sorts. assigns is the same list in string form.
 	opts    [][]Option
 	assigns [][]sim.Assignment
+
+	// soloCells[ms][k] is the flattened (device axis × registry axis) cell
+	// of opts[ms][k] in the solo cooperation game's matrix — precomputed so
+	// a whole EnergyRow scatters into the payoff matrix with no searches.
+	soloCells [][]int32
 
 	// Per-microservice solo-game axes: the distinct feasible devices and the
 	// distinct reachable registries among opts, ascending (= name order).
@@ -185,6 +191,7 @@ func Compile(app *dag.App, cluster *sim.Cluster) *Model {
 	m.procW = make([]units.Watts, nm*nd)
 	m.opts = make([][]Option, nm)
 	m.assigns = make([][]sim.Assignment, nm)
+	m.soloCells = make([][]int32, nm)
 	m.soloDevs = make([][]int32, nm)
 	m.soloRegs = make([][]int32, nm)
 
@@ -240,6 +247,29 @@ func Compile(app *dag.App, cluster *sim.Cluster) *Model {
 			assigns[k] = sim.Assignment{Device: m.devNames[o.Device], Registry: m.regNames[o.Registry]}
 		}
 		m.assigns[mi] = assigns
+
+		// Options iterate devices, then registries, both ascending — the
+		// same order as the solo axes — so the device axis index advances
+		// whenever the device changes and the registry axis is a short scan.
+		cells := make([]int32, len(opts))
+		axisRegs := m.soloRegs[mi]
+		nRegAxis := int32(len(axisRegs))
+		di, lastDev := int32(-1), int32(-1)
+		for k, o := range opts {
+			if o.Device != lastDev {
+				di++
+				lastDev = o.Device
+			}
+			var j int32
+			for x, r := range axisRegs {
+				if r == o.Registry {
+					j = int32(x)
+					break
+				}
+			}
+			cells[k] = di*nRegAxis + j
+		}
+		m.soloCells[mi] = cells
 	}
 
 	for _, e := range app.Dataflows {
@@ -347,6 +377,11 @@ func (m *Model) SoloAxes(ms int32) (devices, registries []int32) {
 	return m.soloDevs[ms], m.soloRegs[ms]
 }
 
+// SoloCells maps each of the microservice's options to its flattened
+// (device axis)×(registry axis) cell in the solo game matrix — parallel to
+// Options, precomputed at compile time. Shared slice.
+func (m *Model) SoloCells(ms int32) []int32 { return m.soloCells[ms] }
+
 // LinkOK reports whether the registry's node routes to the device.
 func (m *Model) LinkOK(reg, dev int32) bool {
 	return m.regLink[int(reg)*len(m.devNames)+int(dev)].ok
@@ -405,15 +440,33 @@ func (m *Model) MaxStageWidth() int {
 	return w
 }
 
+// GameArena is the bump-allocated scratch the game layer draws payoff
+// matrices, price rows, feasibility masks, and support/mixed-strategy
+// buffers from. It is owned by a State (one per scheduling pass) and reset
+// per stage; see game.Arena for the grant/Reset contract.
+type GameArena = game.Arena
+
 // State is the arena-style scratch for one scheduling pass: the devices of
-// microservices committed in earlier stages plus an epoch-marked device set
-// for counting shared-registry contention. Energy and CompletionTime do not
-// allocate. Not safe for concurrent use; allocate one per pass (or Reset).
+// microservices committed in earlier stages, an epoch-marked device set for
+// counting shared-registry contention, and a lazily created GameArena for
+// the game layer's matrices and buffers. Energy, CompletionTime, and
+// EnergyRow do not allocate. Not safe for concurrent use; allocate one per
+// pass (or Reset).
 type State struct {
 	m      *Model
 	placed []int32 // device id per microservice, -1 = unplaced
 	seen   []uint64
 	epoch  uint64
+	arena  *GameArena
+}
+
+// Arena returns the pass's game scratch arena, creating it on first use.
+// Grants are recycled by arena Reset (per stage), not by State.Reset.
+func (s *State) Arena() *GameArena {
+	if s.arena == nil {
+		s.arena = game.NewArena()
+	}
+	return s.arena
 }
 
 // NewState returns scratch sized for the model, with nothing placed.
@@ -446,42 +499,62 @@ func (s *State) Commit(ms int32, o Option) { s.placed[ms] = o.Device }
 // uplink capacity. The arithmetic mirrors the string-keyed estimator
 // operation for operation.
 func (s *State) phases(ms int32, o Option, coMS []int32, coOpt []Option) (td, tc, tp float64) {
-	m := s.m
-	nd := len(m.devNames)
+	td = s.deployTime(ms, o, coMS, coOpt)
+	tc = s.transferTime(ms, o.Device)
+	tp = s.m.tp[int(ms)*len(s.m.devNames)+int(o.Device)]
+	return td, tc, tp
+}
 
-	l := m.regLink[int(o.Registry)*nd+int(o.Device)]
-	if l.ok {
-		bw := l.bw
-		if m.regShared[o.Registry] {
-			n := 1
-			s.epoch++
-			s.seen[o.Device] = s.epoch
-			for k := range coMS {
-				if coMS[k] == ms {
-					continue
-				}
-				co := coOpt[k]
-				if co.Registry != o.Registry {
-					continue
-				}
-				if s.seen[co.Device] != s.epoch {
-					s.seen[co.Device] = s.epoch
-					n++
-				}
+// deployTime computes Td: the registry link's RTT plus the image pull at
+// the link bandwidth, divided among the distinct same-stage devices pulling
+// from the same shared registry. Zero when the registry does not route to
+// the device.
+func (s *State) deployTime(ms int32, o Option, coMS []int32, coOpt []Option) float64 {
+	m := s.m
+	l := m.regLink[int(o.Registry)*len(m.devNames)+int(o.Device)]
+	if !l.ok {
+		return 0
+	}
+	bw := l.bw
+	if m.regShared[o.Registry] {
+		n := 1
+		s.epoch++
+		s.seen[o.Device] = s.epoch
+		for k := range coMS {
+			if coMS[k] == ms {
+				continue
 			}
-			if n > 1 {
-				bw = l.bw / units.Bandwidth(n)
+			co := coOpt[k]
+			if co.Registry != o.Registry {
+				continue
+			}
+			if s.seen[co.Device] != s.epoch {
+				s.seen[co.Device] = s.epoch
+				n++
 			}
 		}
-		td = l.rtt + bw.Seconds(m.imageSize[ms])
+		if n > 1 {
+			bw = l.bw / units.Bandwidth(n)
+		}
 	}
+	return l.rtt + bw.Seconds(m.imageSize[ms])
+}
 
+// transferTime computes Tc onto the device: every incoming dataflow from
+// its upstream's committed device (co-location when unplaced) plus the
+// external input from the source node, infinite when a route is missing.
+// It depends only on (ms, device) — not the registry — which is what lets
+// EnergyRow hoist it out of the per-option loop.
+func (s *State) transferTime(ms int32, dev int32) float64 {
+	m := s.m
+	nd := len(m.devNames)
+	tc := 0.0
 	for _, in := range m.inputs[ms] {
-		from := o.Device // unplaced upstream defaults to co-location
+		from := dev // unplaced upstream defaults to co-location
 		if pd := s.placed[in.from]; pd >= 0 {
 			from = pd
 		}
-		dl := m.devLink[int(from)*nd+int(o.Device)]
+		dl := m.devLink[int(from)*nd+int(dev)]
 		if dl.ok {
 			tc += dl.rtt + dl.bw.Seconds(in.size)
 		} else {
@@ -489,16 +562,14 @@ func (s *State) phases(ms int32, o Option, coMS []int32, coOpt []Option) (td, tc
 		}
 	}
 	if m.extInput[ms] > 0 && m.hasSource {
-		sl := m.srcLink[o.Device]
+		sl := m.srcLink[dev]
 		if sl.ok {
 			tc += sl.rtt + sl.bw.Seconds(m.extInput[ms])
 		} else {
 			tc += math.Inf(1)
 		}
 	}
-
-	tp = m.tp[int(ms)*nd+int(o.Device)]
-	return td, tc, tp
+	return tc
 }
 
 // Energy estimates EC(m_i, r_g, d_j): the device's total draw across the
@@ -513,4 +584,33 @@ func (s *State) Energy(ms int32, o Option, coMS []int32, coOpt []Option) float64
 func (s *State) CompletionTime(ms int32, o Option, coMS []int32, coOpt []Option) float64 {
 	td, tc, tp := s.phases(ms, o, coMS, coOpt)
 	return td + tc + tp
+}
+
+// EnergyRow batch-prices a whole option row: dst[k] receives exactly
+// Energy(ms, opts[k], coMS, coOpt) for every k, in one call with one
+// bounds-checked inner loop and no per-option dispatch. Because options are
+// canonically ordered (device, then registry), the transfer time, processing
+// time, and power draws — all functions of the device alone — are computed
+// once per device run instead of once per option; only the deployment phase
+// (registry link and shared-registry contention) is per-option. A
+// co-assignment entry for ms itself is ignored, so the row may be priced
+// under any placeholder assignment for ms in coOpt. dst must have length
+// len(opts). Allocation-free.
+func (s *State) EnergyRow(ms int32, opts []Option, coMS []int32, coOpt []Option, dst []float64) {
+	m := s.m
+	nd := len(m.devNames)
+	lastDev := int32(-1)
+	var tc, tp float64
+	var pullW, recvW, procW units.Watts
+	for k, o := range opts {
+		if o.Device != lastDev {
+			lastDev = o.Device
+			tc = s.transferTime(ms, o.Device)
+			base := int(ms)*nd + int(o.Device)
+			tp = m.tp[base]
+			pullW, recvW, procW = m.pullW[base], m.recvW[base], m.procW[base]
+		}
+		td := s.deployTime(ms, o, coMS, coOpt)
+		dst[k] = float64(pullW.Over(td) + recvW.Over(tc) + procW.Over(tp))
+	}
 }

@@ -268,6 +268,105 @@ func TestOptionsCanonicalOrder(t *testing.T) {
 	}
 }
 
+// TestEnergyRowMatchesEnergy: batch pricing must be bit-identical to
+// per-option Energy, solo, under stage co-assignments, and with earlier
+// stages committed (the device-run memoization must not change a bit).
+func TestEnergyRowMatchesEnergy(t *testing.T) {
+	app, cluster := contentionFixture(t)
+	if err := app.AddDataflow("a", "b", 500*units.MB); err != nil {
+		t.Fatal(err)
+	}
+	m := Compile(app, cluster)
+	st := m.NewState()
+	msIDs := ids(t, m, "a", "b", "c")
+
+	check := func(name string, ms int32, coMS []int32, coOpt []Option) {
+		t.Helper()
+		opts := m.Options(ms)
+		dst := make([]float64, len(opts))
+		st.EnergyRow(ms, opts, coMS, coOpt, dst)
+		for k, o := range opts {
+			if want := st.Energy(ms, o, coMS, coOpt); dst[k] != want {
+				t.Errorf("%s: option %d (%v): EnergyRow %v, Energy %v", name, k, m.Assignment(o), dst[k], want)
+			}
+		}
+	}
+
+	co := []Option{
+		opt(t, m, "d1", "shared"),
+		opt(t, m, "d2", "shared"),
+		opt(t, m, "d3", "hub"),
+	}
+	for _, ms := range msIDs {
+		check("solo", ms, nil, nil)
+		check("staged", ms, msIDs, co)
+	}
+	st.Commit(msIDs[0], opt(t, m, "d3", "hub"))
+	check("committed-upstream", msIDs[1], msIDs[1:], co[1:])
+}
+
+// TestEnergyRowAllocationFree: batch pricing allocates nothing.
+func TestEnergyRowAllocationFree(t *testing.T) {
+	app, cluster := contentionFixture(t)
+	m := Compile(app, cluster)
+	st := m.NewState()
+	msIDs := ids(t, m, "a", "b", "c")
+	co := []Option{
+		opt(t, m, "d1", "shared"),
+		opt(t, m, "d2", "shared"),
+		opt(t, m, "d3", "shared"),
+	}
+	opts := m.Options(msIDs[0])
+	dst := make([]float64, len(opts))
+	allocs := testing.AllocsPerRun(100, func() {
+		st.EnergyRow(msIDs[0], opts, msIDs, co, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("EnergyRow allocates %.1f objects per run", allocs)
+	}
+}
+
+// TestSoloCellsConsistent: the precomputed scatter cells agree with the solo
+// axes — cell k is (index of device in axis)×len(regs) + (index of registry).
+func TestSoloCellsConsistent(t *testing.T) {
+	app, cluster := contentionFixture(t)
+	m := Compile(app, cluster)
+	for _, name := range []string{"a", "b", "c"} {
+		ms := ids(t, m, name)[0]
+		devices, registries := m.SoloAxes(ms)
+		cells := m.SoloCells(ms)
+		opts := m.Options(ms)
+		if len(cells) != len(opts) {
+			t.Fatalf("%s: %d cells for %d options", name, len(cells), len(opts))
+		}
+		seen := map[int32]bool{}
+		for k, o := range opts {
+			i := indexOf32(devices, o.Device)
+			j := indexOf32(registries, o.Registry)
+			if i < 0 || j < 0 {
+				t.Fatalf("%s: option %v outside solo axes", name, o)
+			}
+			want := int32(i*len(registries) + j)
+			if cells[k] != want {
+				t.Errorf("%s: cell[%d] = %d, want %d", name, k, cells[k], want)
+			}
+			if seen[cells[k]] {
+				t.Errorf("%s: duplicate cell %d", name, cells[k])
+			}
+			seen[cells[k]] = true
+		}
+	}
+}
+
+func indexOf32(s []int32, v int32) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
 func approxEqual(a, b float64) bool {
 	d := a - b
 	if d < 0 {

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"deep/internal/costmodel"
 	"deep/internal/dag"
@@ -311,41 +312,132 @@ func (c *placementCache) Stats() CacheStats {
 	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
 }
 
-// modelCache memoizes compiled cost models per request shape for a single
-// worker goroutine — no locking — with FIFO eviction. A hit turns a
-// placement-cache miss into one scratch-state allocation plus the game
-// itself instead of a full (app, cluster) recompilation.
-type modelCache struct {
+// sharedModelCache is the fleet-wide compiled-model cache: read-mostly,
+// sharded by fingerprint across independently locked shards so workers
+// rarely contend, with a singleflight fill — the first worker to miss a key
+// compiles while every other worker asking for the same key blocks on that
+// one compilation instead of redundantly compiling its own copy. Hot
+// tenants therefore compile once per fleet, not once per worker. Compiled
+// models are immutable and safe for concurrent ScheduleModel calls, which
+// is what makes sharing them across the pool sound; cluster identity is
+// part of the key (ModelKey folds the cluster digest in), so a worker with
+// a different cluster can never be handed a stale model.
+type sharedModelCache struct {
+	shards []modelShard
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	compiles atomic.Int64
+}
+
+// modelShard is one lock domain: a FIFO-bounded map of fill entries.
+type modelShard struct {
+	mu       sync.Mutex
 	capacity int
-	byKey    map[Fingerprint]*costmodel.Model
+	byKey    map[Fingerprint]*modelEntry
 	order    []Fingerprint
 }
 
-func newModelCache(capacity int) *modelCache {
-	return &modelCache{
-		capacity: capacity,
-		byKey:    make(map[Fingerprint]*costmodel.Model, capacity),
-	}
+// modelEntry is a singleflight cell: once guards the one compilation, and
+// model is safe to read after once.Do returns.
+type modelEntry struct {
+	once  sync.Once
+	model *costmodel.Model
 }
 
-func (c *modelCache) get(key Fingerprint) (*costmodel.Model, bool) {
-	m, ok := c.byKey[key]
-	return m, ok
+// modelCacheShards balances lock contention against shard-capacity
+// granularity.
+const modelCacheShards = 8
+
+// newSharedModelCache builds a cache holding up to capacity models across
+// all shards. capacity <= 0 disables caching (getOrCompile always compiles).
+func newSharedModelCache(capacity int) *sharedModelCache {
+	c := &sharedModelCache{shards: make([]modelShard, modelCacheShards)}
+	per := capacity / modelCacheShards
+	if per < 1 && capacity > 0 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = modelShard{
+			capacity: per,
+			byKey:    make(map[Fingerprint]*modelEntry),
+		}
+	}
+	return c
 }
 
-func (c *modelCache) put(key Fingerprint, m *costmodel.Model) {
-	if c.capacity <= 0 {
-		return
+func (c *sharedModelCache) shard(key Fingerprint) *modelShard {
+	// Fingerprints are hex text, so single bytes carry only 4 bits of
+	// entropy and would skew an 8-way split; a short FNV-1a over the key
+	// spreads shards uniformly.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
 	}
-	if _, dup := c.byKey[key]; dup {
-		c.byKey[key] = m
-		return
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// getOrCompile returns the compiled model for the key, running compile at
+// most once per cached key fleet-wide: concurrent callers for the same key
+// all block on the first caller's compilation and share its result.
+func (c *sharedModelCache) getOrCompile(key Fingerprint, compile func() *costmodel.Model) *costmodel.Model {
+	sh := c.shard(key)
+	if sh.capacity <= 0 {
+		c.compiles.Add(1)
+		return compile()
 	}
-	if len(c.order) >= c.capacity {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.byKey, oldest)
+	sh.mu.Lock()
+	e, ok := sh.byKey[key]
+	if !ok {
+		e = &modelEntry{}
+		if len(sh.order) >= sh.capacity {
+			oldest := sh.order[0]
+			sh.order = sh.order[1:]
+			delete(sh.byKey, oldest)
+		}
+		sh.byKey[key] = e
+		sh.order = append(sh.order, key)
 	}
-	c.byKey[key] = m
-	c.order = append(c.order, key)
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	// Fill outside the shard lock: a slow compilation never blocks lookups
+	// of other keys in the same shard, only callers of this key.
+	e.once.Do(func() {
+		c.compiles.Add(1)
+		e.model = compile()
+	})
+	return e.model
+}
+
+// ModelCacheStats is a point-in-time view of the shared model cache. A hit
+// counts any lookup that found an existing entry, including one still being
+// compiled by another worker (the caller waits instead of recompiling);
+// Compiles counts actual compilations, so Misses == Compiles when caching
+// is on means the singleflight never duplicated work.
+type ModelCacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Compiles int64 `json:"compiles"`
+	Entries  int   `json:"entries"`
+}
+
+// Stats snapshots the cache counters.
+func (c *sharedModelCache) Stats() ModelCacheStats {
+	s := ModelCacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Compiles: c.compiles.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.byKey)
+		sh.mu.Unlock()
+	}
+	return s
 }

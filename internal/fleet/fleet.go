@@ -54,6 +54,13 @@ type Config struct {
 	// CacheSize bounds the placement LRU in entries. Zero means the
 	// default of 1024; a negative value disables placement memoization.
 	CacheSize int
+	// ModelCacheSize bounds the fleet-wide shared compiled-model cache in
+	// entries. Zero means the default of 256; a negative value disables
+	// model sharing (every placement-cache miss recompiles). Unlike the
+	// placement cache it is keyed by (app, cluster) only, so one compiled
+	// model serves every scheduler and every worker on the same shape, with
+	// a singleflight fill deduplicating concurrent compilations.
+	ModelCacheSize int
 	// SimOptions apply to every simulation run; per-request seeds are
 	// folded in on top.
 	SimOptions sim.Options
@@ -76,6 +83,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
+	}
+	if c.ModelCacheSize == 0 {
+		c.ModelCacheSize = defaultModelCacheSize
 	}
 	if c.Metrics == nil {
 		c.Metrics = monitor.NewMetrics()
@@ -115,20 +125,22 @@ type Response struct {
 
 // Stats is a point-in-time view of the fleet's counters.
 type Stats struct {
-	Submitted int64      `json:"submitted"`
-	Rejected  int64      `json:"rejected"`
-	Completed int64      `json:"completed"`
-	Failed    int64      `json:"failed"`
-	InFlight  int64      `json:"in_flight"`
-	Cache     CacheStats `json:"cache"`
+	Submitted  int64           `json:"submitted"`
+	Rejected   int64           `json:"rejected"`
+	Completed  int64           `json:"completed"`
+	Failed     int64           `json:"failed"`
+	InFlight   int64           `json:"in_flight"`
+	Cache      CacheStats      `json:"cache"`
+	ModelCache ModelCacheStats `json:"model_cache"`
 }
 
 // Fleet is a concurrent multi-tenant deployment service. Create with New,
 // submit with Submit or Do, stop with Close.
 type Fleet struct {
-	cfg   Config
-	cache *placementCache
-	queue chan *job
+	cfg    Config
+	cache  *placementCache
+	models *sharedModelCache
+	queue  chan *job
 
 	mu     sync.RWMutex
 	closed bool
@@ -151,9 +163,10 @@ type job struct {
 func New(cfg Config) *Fleet {
 	cfg = cfg.withDefaults()
 	f := &Fleet{
-		cfg:   cfg,
-		cache: newPlacementCache(cfg.CacheSize),
-		queue: make(chan *job, cfg.QueueDepth),
+		cfg:    cfg,
+		cache:  newPlacementCache(cfg.CacheSize),
+		models: newSharedModelCache(cfg.ModelCacheSize),
+		queue:  make(chan *job, cfg.QueueDepth),
 	}
 	f.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -168,12 +181,13 @@ func (f *Fleet) Metrics() *monitor.Metrics { return f.cfg.Metrics }
 // Stats snapshots the fleet counters.
 func (f *Fleet) Stats() Stats {
 	return Stats{
-		Submitted: f.submitted.Load(),
-		Rejected:  f.rejected.Load(),
-		Completed: f.completed.Load(),
-		Failed:    f.failed.Load(),
-		InFlight:  f.inFlight.Load(),
-		Cache:     f.cache.Stats(),
+		Submitted:  f.submitted.Load(),
+		Rejected:   f.rejected.Load(),
+		Completed:  f.completed.Load(),
+		Failed:     f.failed.Load(),
+		InFlight:   f.inFlight.Load(),
+		Cache:      f.cache.Stats(),
+		ModelCache: f.models.Stats(),
 	}
 }
 
@@ -238,20 +252,19 @@ func (f *Fleet) Close() {
 }
 
 // workerState is the per-worker context: a private scheduler and cluster
-// (simulation mutates device layer caches), the cluster digest computed
-// once, and a memo of compiled cost models keyed by request shape so
-// repeated shapes skip (app, cluster) compilation, not just the game.
+// (simulation mutates device layer caches) plus the cluster digest computed
+// once. Compiled cost models live in the fleet-wide shared cache, not here:
+// hot tenants compile once per fleet rather than once per worker.
 type workerState struct {
 	scheduler     sched.Scheduler
 	cluster       *sim.Cluster
 	clusterDigest ClusterDigest
-	models        *modelCache
 }
 
-// workerModelCacheSize bounds each worker's compiled-model memo. Models are
-// a few dense arrays each; 128 covers the distinct shapes of a large
+// defaultModelCacheSize bounds the fleet-wide compiled-model cache. Models
+// are a few dense arrays each; 256 covers the distinct shapes of a large
 // multi-tenant mix without unbounded growth.
-const workerModelCacheSize = 128
+const defaultModelCacheSize = 256
 
 // worker owns one scheduler and one cluster and processes jobs until the
 // queue closes.
@@ -262,7 +275,6 @@ func (f *Fleet) worker() {
 		scheduler:     f.cfg.NewScheduler(),
 		cluster:       cluster,
 		clusterDigest: DigestCluster(cluster),
-		models:        newModelCache(workerModelCacheSize),
 	}
 	for j := range f.queue {
 		resp := f.process(w, j)
@@ -277,19 +289,20 @@ func (f *Fleet) worker() {
 	}
 }
 
-// schedule computes a placement for the job, reusing the worker's compiled
-// model for the request shape when the scheduler supports it.
-func (w *workerState) schedule(app *dag.App) (sim.Placement, error) {
+// schedule computes a placement for the job. Schedulers that run on
+// compiled models share them through the fleet-wide cache: the model key
+// folds in the worker's own cluster digest, so workers with identical
+// clusters (the normal case — every worker runs Config.NewCluster) share
+// one compiled model per app shape, and a reconfigured cluster can never
+// alias another's models.
+func (f *Fleet) schedule(w *workerState, app *dag.App) (sim.Placement, error) {
 	ms, ok := w.scheduler.(sched.ModelScheduler)
 	if !ok {
 		return w.scheduler.Schedule(app, w.cluster)
 	}
-	key := w.clusterDigest.ModelKey(app)
-	model, ok := w.models.get(key)
-	if !ok {
-		model = costmodel.Compile(app, w.cluster)
-		w.models.put(key, model)
-	}
+	model := f.models.getOrCompile(w.clusterDigest.ModelKey(app), func() *costmodel.Model {
+		return costmodel.Compile(app, w.cluster)
+	})
 	return ms.ScheduleModel(model)
 }
 
@@ -307,7 +320,7 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 	placement, hit := f.cache.Get(key)
 	if !hit {
 		var err error
-		placement, err = w.schedule(j.req.App)
+		placement, err = f.schedule(w, j.req.App)
 		if err != nil {
 			resp.Err = fmt.Errorf("fleet: scheduling %s: %w", j.req.App.Name, err)
 			resp.Latency = time.Since(j.enqueued)

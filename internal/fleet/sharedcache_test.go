@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deep/internal/costmodel"
+	"deep/internal/dag"
+	"deep/internal/workload"
+)
+
+// TestSharedModelCacheSingleflight hammers a few keys from many goroutines
+// (run under -race in CI) and asserts each key compiled exactly once — the
+// singleflight contract — with every caller handed the same model.
+func TestSharedModelCacheSingleflight(t *testing.T) {
+	const (
+		keys       = 3
+		goroutines = 16
+		rounds     = 50
+	)
+	c := newSharedModelCache(64)
+	apps := make([]*dag.App, keys)
+	fps := make([]Fingerprint, keys)
+	cd := DigestCluster(workload.Testbed())
+	for i := range apps {
+		cfg := workload.DefaultGeneratorConfig(4, int64(i+1))
+		app, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps[i] = app
+		fps[i] = cd.ModelKey(app)
+	}
+
+	var compiles [keys]atomic.Int64
+	got := make([][]*costmodel.Model, goroutines)
+	var wg sync.WaitGroup
+	cluster := workload.Testbed()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]*costmodel.Model, keys)
+			for r := 0; r < rounds; r++ {
+				k := (g + r) % keys
+				m := c.getOrCompile(fps[k], func() *costmodel.Model {
+					compiles[k].Add(1)
+					time.Sleep(time.Millisecond) // widen the race window
+					return costmodel.Compile(apps[k], cluster)
+				})
+				if got[g][k] == nil {
+					got[g][k] = m
+				} else if got[g][k] != m {
+					t.Errorf("goroutine %d key %d: model changed identity", g, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for k := range compiles {
+		if n := compiles[k].Load(); n != 1 {
+			t.Errorf("key %d compiled %d times, want exactly 1", k, n)
+		}
+	}
+	ref := got[0]
+	for g := 1; g < goroutines; g++ {
+		for k := range ref {
+			if got[g][k] != ref[k] {
+				t.Errorf("goroutine %d key %d: different model than goroutine 0", g, k)
+			}
+		}
+	}
+	s := c.Stats()
+	if s.Compiles != keys {
+		t.Errorf("stats report %d compiles, want %d", s.Compiles, keys)
+	}
+	if s.Misses != keys {
+		t.Errorf("stats report %d misses, want %d", s.Misses, keys)
+	}
+	if want := int64(goroutines*rounds - keys); s.Hits != want {
+		t.Errorf("stats report %d hits, want %d", s.Hits, want)
+	}
+}
+
+// TestFleetCompilesOncePerShape drives a worker pool much larger than the
+// tenant mix with placement memoization off (every request schedules) and
+// asserts the fleet-wide cache held compilation to once per distinct shape
+// — the dedup the per-worker memo could not provide.
+func TestFleetCompilesOncePerShape(t *testing.T) {
+	f := testFleet(t, Config{Workers: 8, QueueDepth: 256, CacheSize: -1})
+	apps := []*dag.App{workload.VideoProcessing(), workload.TextProcessing()}
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		ch, err := f.Submit(Request{Tenant: fmt.Sprintf("t%d", i%4), App: apps[i%len(apps)], Seed: int64(i)})
+		if err != nil {
+			// Bounded queue: drain synchronously and move on.
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if resp := <-ch; resp.Err != nil {
+				t.Error(resp.Err)
+			}
+		}()
+	}
+	wg.Wait()
+	s := f.Stats()
+	if s.ModelCache.Compiles != int64(len(apps)) {
+		t.Errorf("%d compilations for %d shapes across 8 workers (stats: %+v)",
+			s.ModelCache.Compiles, len(apps), s.ModelCache)
+	}
+	if s.ModelCache.Hits == 0 {
+		t.Error("shared model cache recorded no hits")
+	}
+}
+
+// TestModelKeyChangesWithCluster pins the no-stale-reuse property: the
+// model key folds the cluster digest in, so after a cluster change the same
+// app maps to a different entry and a fresh compilation — a worker can
+// never be handed a model compiled against another cluster shape.
+func TestModelKeyChangesWithCluster(t *testing.T) {
+	app := workload.VideoProcessing()
+	small := DigestCluster(workload.Testbed())
+	big := DigestCluster(workload.ScaledTestbed(2))
+	k1, k2 := small.ModelKey(app), big.ModelKey(app)
+	if k1 == k2 {
+		t.Fatal("model keys collide across different clusters")
+	}
+
+	c := newSharedModelCache(16)
+	m1 := c.getOrCompile(k1, func() *costmodel.Model {
+		return costmodel.Compile(app, workload.Testbed())
+	})
+	m2 := c.getOrCompile(k2, func() *costmodel.Model {
+		return costmodel.Compile(app, workload.ScaledTestbed(2))
+	})
+	if m1 == m2 {
+		t.Fatal("distinct cluster keys shared one compiled model")
+	}
+	if n1, n2 := m1.NumDevices(), m2.NumDevices(); n1 == n2 {
+		t.Fatalf("expected different device counts, got %d and %d", n1, n2)
+	}
+	if got := c.getOrCompile(k1, func() *costmodel.Model {
+		t.Fatal("unexpected recompilation of a cached key")
+		return nil
+	}); got != m1 {
+		t.Fatal("cached model identity changed")
+	}
+}
+
+// TestModelCacheDisabled: a negative ModelCacheSize compiles per request
+// and caches nothing.
+func TestModelCacheDisabled(t *testing.T) {
+	c := newSharedModelCache(-1)
+	app := workload.VideoProcessing()
+	cd := DigestCluster(workload.Testbed())
+	key := cd.ModelKey(app)
+	var n int
+	for i := 0; i < 3; i++ {
+		c.getOrCompile(key, func() *costmodel.Model {
+			n++
+			return costmodel.Compile(app, workload.Testbed())
+		})
+	}
+	if n != 3 {
+		t.Fatalf("disabled cache compiled %d times, want 3", n)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("disabled cache holds %d entries", s.Entries)
+	}
+}
+
+// TestModelCacheEviction: FIFO-bounded shards evict and recompile.
+func TestModelCacheEviction(t *testing.T) {
+	c := newSharedModelCache(modelCacheShards) // one entry per shard
+	cd := DigestCluster(workload.Testbed())
+	cluster := workload.Testbed()
+
+	var keys []Fingerprint
+	var apps []*dag.App
+	for i := 0; i < 4; i++ {
+		cfg := workload.DefaultGeneratorConfig(3, int64(100+i))
+		app, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+		keys = append(keys, cd.ModelKey(app))
+	}
+	compiled := 0
+	fill := func(i int) {
+		c.getOrCompile(keys[i], func() *costmodel.Model {
+			compiled++
+			return costmodel.Compile(apps[i], cluster)
+		})
+	}
+	for i := range keys {
+		fill(i)
+	}
+	if s := c.Stats(); s.Entries > modelCacheShards {
+		t.Fatalf("cache grew past capacity: %d entries", s.Entries)
+	}
+	if compiled != len(keys) {
+		t.Fatalf("expected %d compilations, got %d", len(keys), compiled)
+	}
+}

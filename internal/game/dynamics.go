@@ -3,11 +3,43 @@ package game
 // Learning dynamics: best-response iteration and fictitious play. DEEP's
 // scheduler uses best-response dynamics over congestion-style payoffs, which
 // converge for finite potential games.
+//
+// Determinism contract: every tie between equally good responses is broken
+// by TieBreak — keep the current action while it remains a best response,
+// otherwise take the lowest-indexed one. Together with the row-major scan
+// order of PureNash/BestPureNash this makes every solver in this package a
+// pure function of its payoff matrices, which is what lets the fleet's
+// placement cache (internal/fleet) memoize placements by an input
+// fingerprint alone: equal fingerprints are guaranteed equal placements.
+
+// TieBreak resolves a tie among best responses given the utility vector u:
+// it returns current when u[current] is within tolerance of the maximum
+// (stable — the dynamics settle instead of oscillating between ties), and
+// the lowest-indexed maximizer otherwise. Pass current < 0 to always take
+// the lowest index. The tolerance matches BestResponsesRow/argmaxAll, so
+// TieBreak(u, -1) == BestResponses...(u)[0].
+func TieBreak(u []float64, current int) int {
+	best := u[0]
+	for _, v := range u[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	if current >= 0 && current < len(u) && u[current] >= best-1e-9 {
+		return current
+	}
+	for i, v := range u {
+		if v >= best-1e-9 {
+			return i
+		}
+	}
+	return 0 // unreachable: the maximum is always within tolerance of itself
+}
 
 // BestResponseDynamics iterates simultaneous pure best responses from the
 // given pure starting profile (rowIdx, colIdx) until a fixed point (a pure
 // Nash equilibrium) or the iteration budget is exhausted. It reports whether
-// it converged.
+// it converged. Ties follow the TieBreak contract.
 func (g *Game) BestResponseDynamics(rowIdx, colIdx, maxIters int) (row, col int, converged bool) {
 	rows, cols := g.Shape()
 	if rowIdx < 0 || rowIdx >= rows || colIdx < 0 || colIdx >= cols {
@@ -15,10 +47,8 @@ func (g *Game) BestResponseDynamics(rowIdx, colIdx, maxIters int) (row, col int,
 	}
 	r, c := rowIdx, colIdx
 	for iter := 0; iter < maxIters; iter++ {
-		br := g.BestResponsesRow(Pure(cols, c))
-		nr := preferStable(br, r)
-		bc := g.BestResponsesCol(Pure(rows, nr))
-		nc := preferStable(bc, c)
+		nr := TieBreak(g.A.MulVec(Pure(cols, c)), r)
+		nc := TieBreak(g.B.VecMul(Pure(rows, nr)), c)
 		if nr == r && nc == c {
 			return r, c, true
 		}
@@ -27,21 +57,11 @@ func (g *Game) BestResponseDynamics(rowIdx, colIdx, maxIters int) (row, col int,
 	return r, c, false
 }
 
-// preferStable keeps the current index when it is among the best responses,
-// which makes the dynamics settle instead of oscillating between ties.
-func preferStable(best []int, current int) int {
-	for _, b := range best {
-		if b == current {
-			return current
-		}
-	}
-	return best[0]
-}
-
 // FictitiousPlay runs the classic fictitious-play learning process for the
 // given number of rounds, starting from the provided pure actions, and
 // returns the empirical mixed strategies. For zero-sum games these converge
-// to equilibrium strategies.
+// to equilibrium strategies. Ties follow the TieBreak contract with no
+// current action (lowest index wins), keeping the trajectory deterministic.
 func (g *Game) FictitiousPlay(rowStart, colStart, rounds int) (rowEmp, colEmp []float64) {
 	rows, cols := g.Shape()
 	rowCount := make([]float64, rows)
@@ -51,9 +71,9 @@ func (g *Game) FictitiousPlay(rowStart, colStart, rounds int) (rowEmp, colEmp []
 	for t := 1; t < rounds; t++ {
 		// Each player best-responds to the opponent's empirical mixture.
 		colEmp := normalized(colCount)
-		rowBR := g.BestResponsesRow(colEmp)[0]
+		rowBR := TieBreak(g.A.MulVec(colEmp), -1)
 		rowEmpV := normalized(rowCount)
-		colBR := g.BestResponsesCol(rowEmpV)[0]
+		colBR := TieBreak(g.B.VecMul(rowEmpV), -1)
 		rowCount[rowBR]++
 		colCount[colBR]++
 	}

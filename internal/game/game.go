@@ -95,6 +95,58 @@ func (g *Game) BestResponsesCol(x []float64) []int {
 	return argmaxAll(u)
 }
 
+// BestResponsesRowInto appends to dst[:0] the row indices maximizing the row
+// player's expected payoff against y — BestResponsesRow writing into caller
+// scratch. With cap(dst) ≥ Rows it does not allocate.
+func (g *Game) BestResponsesRowInto(y []float64, dst []int) []int {
+	return bestResponsesInto(g.A.Rows, func(i int) float64 { return dot(g.A.RowView(i), y) }, dst)
+}
+
+// BestResponsesColInto appends to dst[:0] the column indices maximizing the
+// column player's expected payoff against x — BestResponsesCol writing into
+// caller scratch. With cap(dst) ≥ Cols it does not allocate.
+func (g *Game) BestResponsesColInto(x []float64, dst []int) []int {
+	return bestResponsesInto(g.B.Cols, func(j int) float64 {
+		s := 0.0
+		for i, xi := range x {
+			if xi != 0 {
+				s += xi * g.B.At(i, j)
+			}
+		}
+		return s
+	}, dst)
+}
+
+// bestResponsesInto evaluates u(i) twice — once for the maximum, once to
+// collect the argmax set — trading a second sweep for zero allocations. The
+// tolerance matches argmaxAll.
+func bestResponsesInto(n int, u func(int) float64, dst []int) []int {
+	dst = dst[:0]
+	if n == 0 {
+		return dst
+	}
+	best := u(0)
+	for i := 1; i < n; i++ {
+		if v := u(i); v > best {
+			best = v
+		}
+	}
+	for i := 0; i < n; i++ {
+		if u(i) >= best-1e-9 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
 func argmaxAll(u []float64) []int {
 	if len(u) == 0 {
 		return nil
@@ -162,6 +214,69 @@ func (g *Game) isPureNash(i, j int) bool {
 		}
 	}
 	return true
+}
+
+// PureProfile is a pure-strategy profile in index form — the allocation-free
+// counterpart of a Profile whose vectors are one-hot.
+type PureProfile struct{ Row, Col int }
+
+// PureNashInto appends every pure-strategy Nash equilibrium to dst[:0] in
+// row-major order — PureNash writing into caller scratch, without
+// materializing probability vectors. With enough capacity it does not
+// allocate.
+func (g *Game) PureNashInto(dst []PureProfile) []PureProfile {
+	dst = dst[:0]
+	rows, cols := g.Shape()
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if g.isPureNash(i, j) {
+				dst = append(dst, PureProfile{Row: i, Col: j})
+			}
+		}
+	}
+	return dst
+}
+
+// SelectPure picks, among the provided pure equilibria, the one maximizing
+// social welfare with SelectEquilibrium's exact tie-breaks (row payoff, then
+// first in row-major order). It returns false on an empty slice.
+func (g *Game) SelectPure(eqs []PureProfile) (PureProfile, bool) {
+	if len(eqs) == 0 {
+		return PureProfile{}, false
+	}
+	best := eqs[0]
+	bestR := g.A.At(best.Row, best.Col)
+	bestW := bestR + g.B.At(best.Row, best.Col)
+	for _, e := range eqs[1:] {
+		r := g.A.At(e.Row, e.Col)
+		w := r + g.B.At(e.Row, e.Col)
+		if w > bestW+1e-12 || (math.Abs(w-bestW) <= 1e-12 && r > bestR+1e-12) {
+			best, bestW, bestR = e, w, r
+		}
+	}
+	return best, true
+}
+
+// BestPureNash returns the welfare-maximal pure Nash equilibrium — exactly
+// SelectEquilibrium(PureNash()) restricted to pure profiles — scanning cells
+// row-major without allocating. ok is false when the game has no pure
+// equilibrium.
+func (g *Game) BestPureNash() (p PureProfile, ok bool) {
+	rows, cols := g.Shape()
+	var bestW, bestR float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if !g.isPureNash(i, j) {
+				continue
+			}
+			r := g.A.At(i, j)
+			w := r + g.B.At(i, j)
+			if !ok || w > bestW+1e-12 || (math.Abs(w-bestW) <= 1e-12 && r > bestR+1e-12) {
+				p, bestW, bestR, ok = PureProfile{Row: i, Col: j}, w, r, true
+			}
+		}
+	}
+	return p, ok
 }
 
 // SocialWelfare returns the sum of both players' payoffs at (x, y).

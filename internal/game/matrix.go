@@ -49,18 +49,30 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
 // Row returns a copy of row i.
 func (m *Matrix) Row(i int) []float64 {
-	out := make([]float64, m.Cols)
-	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
-	return out
+	return append([]float64(nil), m.RowView(i)...)
+}
+
+// RowView returns row i as a view into the matrix's backing array — no
+// copy. Writes through the view mutate the matrix.
+func (m *Matrix) RowView(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
 
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
-	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = m.At(i, j)
+	return m.ColInto(j, make([]float64, m.Rows))
+}
+
+// ColInto writes column j into dst (which must have length Rows) and
+// returns it — the allocation-free counterpart of Col.
+func (m *Matrix) ColInto(j int, dst []float64) []float64 {
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("game: ColInto dst length %d, want %d", len(dst), m.Rows))
 	}
-	return out
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.At(i, j)
+	}
+	return dst
 }
 
 // Clone returns a deep copy of the matrix.

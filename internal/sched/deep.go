@@ -22,17 +22,41 @@ import (
 //   - A pair of microservices (the HA/LA train and infer/score stages)
 //     plays a bimatrix game whose strategies are full (device, registry)
 //     assignments; the payoff coupling captures shared-registry contention.
-//     All equilibria are found by support enumeration and the
-//     welfare-maximal pure equilibrium is chosen.
+//     The welfare-maximal pure equilibrium is chosen. Pair games larger
+//     than MaxPairCells payoff cells fall back to best-response dynamics
+//     instead — on scaled clusters the full O(|o1|·|o2|) game prices tens
+//     of thousands of cells for the same congestion-style potential game
+//     whose iterative dynamics converge to an equilibrium directly.
 //
-//   - Larger stages fall back to best-response dynamics, which converge for
-//     these congestion-style payoffs. Candidates are evaluated in place
-//     against the compiled cost model — the per-candidate map copies of the
-//     original implementation are gone.
-type DEEP struct{}
+//   - Larger stages run best-response dynamics, which converge for these
+//     congestion-style payoffs.
+//
+// The whole game layer is batch-priced and allocation-free in steady state:
+// payoff matrices are priced one option row at a time by
+// costmodel.State.EnergyRow over the compiled dense tables, and every
+// matrix, price row, and mask comes from the pass's GameArena. A reusable
+// Pass makes repeated warm passes allocate nothing at all.
+type DEEP struct {
+	// MaxPairCells caps the two-microservice bimatrix game at |o1|·|o2|
+	// payoff cells; larger pair stages are solved by best-response dynamics.
+	// Zero means uncapped (always play the full pair game — the historical
+	// behavior); NewDEEP sets DefaultMaxPairCells.
+	MaxPairCells int
+}
 
-// NewDEEP returns the Nash scheduler.
-func NewDEEP() *DEEP { return &DEEP{} }
+// DefaultMaxPairCells is the pair-game cap NewDEEP installs: testbed-sized
+// clusters (a few dozen options per microservice) keep the exact game, while
+// scaled clusters — where the quadratic blowup dominates the whole
+// scheduling pass — take the convergent dynamics instead.
+const DefaultMaxPairCells = 4096
+
+// NewDEEP returns the Nash scheduler with the default pair-game cap.
+func NewDEEP() *DEEP { return &DEEP{MaxPairCells: DefaultMaxPairCells} }
+
+// NewDEEPUncapped returns the Nash scheduler with the pair-game cap
+// disabled: every two-microservice stage plays the exact bimatrix game
+// regardless of size.
+func NewDEEPUncapped() *DEEP { return &DEEP{} }
 
 // Name implements Scheduler.
 func (*DEEP) Name() string { return "deep" }
@@ -43,48 +67,103 @@ func (s *DEEP) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, erro
 }
 
 // ScheduleModel implements ModelScheduler.
-func (*DEEP) ScheduleModel(model *costmodel.Model) (sim.Placement, error) {
-	stages, err := model.Stages()
-	if err != nil {
+func (s *DEEP) ScheduleModel(model *costmodel.Model) (sim.Placement, error) {
+	p := NewPass(model)
+	if err := s.ScheduleInto(p); err != nil {
 		return nil, err
 	}
-	st := model.NewState()
-	placement := make(sim.Placement, model.NumMicroservices())
-	width := model.MaxStageWidth()
-	cur := make([]costmodel.Option, width)
-	optsBuf := make([][]costmodel.Option, width)
+	return p.Placement(), nil
+}
 
+// Pass is the reusable scratch for repeated warm DEEP passes over one
+// compiled model: the cost-model state (which owns the game arena), the
+// per-stage option and assignment buffers, and the compiled placement of
+// the last run. Reusing a Pass across ScheduleInto calls makes the whole
+// scheduling pass — game layer included — allocation-free. Not safe for
+// concurrent use.
+type Pass struct {
+	model  *costmodel.Model
+	st     *costmodel.State
+	cur    []costmodel.Option
+	opts   [][]costmodel.Option
+	placed []costmodel.Option
+}
+
+// NewPass allocates scratch sized for the model.
+func NewPass(model *costmodel.Model) *Pass {
+	width := model.MaxStageWidth()
+	return &Pass{
+		model:  model,
+		st:     model.NewState(),
+		cur:    make([]costmodel.Option, width),
+		opts:   make([][]costmodel.Option, width),
+		placed: make([]costmodel.Option, model.NumMicroservices()),
+	}
+}
+
+// Assigned returns the last run's compiled assignment for a microservice.
+func (p *Pass) Assigned(ms int32) costmodel.Option { return p.placed[ms] }
+
+// Placement materializes the last run's placement as a string-keyed map
+// (this is the one allocating step of a warm pass).
+func (p *Pass) Placement() sim.Placement {
+	placement := make(sim.Placement, len(p.placed))
+	for ms, o := range p.placed {
+		placement[p.model.MSName(int32(ms))] = p.model.Assignment(o)
+	}
+	return placement
+}
+
+// ScheduleInto runs one scheduling pass over the pass's model, writing the
+// compiled placement into the pass's scratch (read it back via Placement or
+// Assigned). On a reused Pass it does not allocate.
+func (s *DEEP) ScheduleInto(p *Pass) error {
+	model, st := p.model, p.st
+	stages, err := model.Stages()
+	if err != nil {
+		return err
+	}
+	st.Reset()
 	for _, stage := range stages {
-		assigned := cur[:len(stage)]
-		switch len(stage) {
-		case 1:
+		assigned := p.cur[:len(stage)]
+		opts := p.opts[:len(stage)]
+		for k, ms := range stage {
+			o := model.Options(ms)
+			if len(o) == 0 {
+				return infeasibleError{ms: model.MSName(ms)}
+			}
+			opts[k] = o
+		}
+		switch {
+		case len(stage) == 1:
 			assigned[0], err = scheduleSolo(model, st, stage[0])
-		case 2:
+			if err != nil {
+				return err
+			}
+		case len(stage) == 2 && (s.MaxPairCells <= 0 || len(opts[0])*len(opts[1]) <= s.MaxPairCells):
 			assigned[0], assigned[1], err = schedulePair(model, st, stage[0], stage[1])
+			if err != nil {
+				return err
+			}
 		default:
-			opts := optsBuf[:len(stage)]
-			for k, ms := range stage {
-				o := model.Options(ms)
-				if len(o) == 0 {
-					return nil, infeasibleError{ms: model.MSName(ms)}
-				}
-				opts[k] = o
-				assigned[k] = o[0]
+			// Wide stages — and pair stages over the cap — converge by
+			// best-response dynamics.
+			for k := range stage {
+				assigned[k] = opts[k][0]
 			}
 			bestResponse(st, stage, opts, assigned)
 		}
-		if err != nil {
-			return nil, err
-		}
 		for k, ms := range stage {
-			placement[model.MSName(ms)] = model.Assignment(assigned[k])
+			p.placed[ms] = assigned[k]
 			st.Commit(ms, assigned[k])
 		}
 	}
-	return placement, nil
+	return nil
 }
 
 // scheduleSolo solves the one-microservice device×registry cooperation game.
+// The whole option row is priced by one EnergyRow call and scattered into
+// the arena-backed payoff matrix via the model's precomputed solo cells.
 func scheduleSolo(model *costmodel.Model, st *costmodel.State, ms int32) (costmodel.Option, error) {
 	opts := model.Options(ms)
 	if len(opts) == 0 {
@@ -92,52 +171,56 @@ func scheduleSolo(model *costmodel.Model, st *costmodel.State, ms int32) (costmo
 	}
 	// Distinct devices become row strategies, registries column strategies.
 	devices, registries := model.SoloAxes(ms)
+	cells := model.SoloCells(ms)
 	nr := len(registries)
-	costs := make([]float64, len(devices)*nr)
-	feasible := make([]bool, len(costs))
+	ar := st.Arena()
+	ar.Reset()
+
+	prices := ar.Floats(len(opts))
+	st.EnergyRow(ms, opts, nil, nil, prices)
+	g := game.NewFromArena(ar, len(devices), nr)
+	feasible := ar.Mask(len(devices) * nr)
 	worst := 0.0
-	for i, d := range devices {
-		for j, r := range registries {
-			if !model.LinkOK(r, d) {
-				continue
-			}
-			c := st.Energy(ms, costmodel.Option{Device: d, Registry: r}, nil, nil)
-			costs[i*nr+j] = c
-			feasible[i*nr+j] = true
-			if c > worst {
-				worst = c
-			}
+	for k := range opts {
+		c := prices[k]
+		g.A.Data[cells[k]] = -c
+		feasible.Set(int(cells[k]))
+		if c > worst {
+			worst = c
 		}
 	}
-	a := game.NewMatrix(len(devices), nr)
-	b := game.NewMatrix(len(devices), nr)
-	for i := range devices {
-		for j := range registries {
-			c := costs[i*nr+j]
-			if !feasible[i*nr+j] {
-				c = worst * 10 // heavily penalize infeasible combinations
-			}
-			a.Set(i, j, -c)
-			b.Set(i, j, -c)
+	// Infeasible (link-broken) cells get a penalty strictly worse than every
+	// feasible entry. worst*10 preserves the historical payoffs whenever
+	// worst > 0; when every feasible cost is 0 it would tie infeasible cells
+	// with feasible ones, so fall back to worst+1.
+	pen := worst * 10
+	if pen <= worst {
+		pen = worst + 1
+	}
+	for c := range g.A.Data {
+		if !feasible.Has(c) {
+			g.A.Data[c] = -pen
 		}
 	}
-	g := game.New(a, b)
-	best, ok := g.SelectEquilibrium(g.PureNash())
+	copy(g.B.Data, g.A.Data) // common-interest game: both players pay the energy
+
+	best, ok := g.BestPureNash()
 	if !ok {
 		// A common-interest game always has a pure equilibrium at its
-		// argmax; reaching here means every entry was penalized.
+		// argmax; reaching here means the matrix was empty.
 		return costmodel.Option{}, infeasibleError{ms: model.MSName(ms)}
 	}
-	i := best.RowSupport()[0]
-	j := best.ColSupport()[0]
-	if !feasible[i*nr+j] {
+	if !feasible.Has(best.Row*nr + best.Col) {
 		return costmodel.Option{}, infeasibleError{ms: model.MSName(ms)}
 	}
-	return costmodel.Option{Device: devices[i], Registry: registries[j]}, nil
+	return costmodel.Option{Device: devices[best.Row], Registry: registries[best.Col]}, nil
 }
 
 // schedulePair solves the two-microservice bimatrix game over full
-// assignments.
+// assignments. The row player's payoffs are priced one column at a time and
+// the column player's one row at a time, each by a single EnergyRow call —
+// the entry for the microservice being priced is ignored by the contention
+// scan, so the co-assignment only needs the opponent's strategy filled in.
 func schedulePair(model *costmodel.Model, st *costmodel.State, m1, m2 int32) (costmodel.Option, costmodel.Option, error) {
 	o1 := model.Options(m1)
 	o2 := model.Options(m2)
@@ -147,23 +230,34 @@ func schedulePair(model *costmodel.Model, st *costmodel.State, m1, m2 int32) (co
 	if len(o2) == 0 {
 		return costmodel.Option{}, costmodel.Option{}, infeasibleError{ms: model.MSName(m2)}
 	}
-	a := game.NewMatrix(len(o1), len(o2))
-	b := game.NewMatrix(len(o1), len(o2))
+	ar := st.Arena()
+	ar.Reset()
+	g := game.NewFromArena(ar, len(o1), len(o2))
 	coMS := [2]int32{m1, m2}
 	var coOpt [2]costmodel.Option
-	for i, x := range o1 {
-		coOpt[0] = x
-		for j, y := range o2 {
-			coOpt[1] = y
-			a.Set(i, j, -st.Energy(m1, x, coMS[:], coOpt[:]))
-			b.Set(i, j, -st.Energy(m2, y, coMS[:], coOpt[:]))
+
+	cols := len(o2)
+	colBuf := ar.Floats(len(o1))
+	for j, y := range o2 {
+		coOpt[1] = y
+		st.EnergyRow(m1, o1, coMS[:], coOpt[:], colBuf)
+		for i, c := range colBuf {
+			g.A.Data[i*cols+j] = -c
 		}
 	}
-	g := game.New(a, b)
+	for i, x := range o1 {
+		coOpt[0] = x
+		row := g.B.RowView(i)
+		st.EnergyRow(m2, o2, coMS[:], coOpt[:], row)
+		for k, c := range row {
+			row[k] = -c
+		}
+	}
+
 	// Prefer pure equilibria (deployable directly); among them take the
 	// welfare-maximal one, i.e. minimum combined energy.
-	if best, ok := g.SelectEquilibrium(g.PureNash()); ok {
-		return o1[best.RowSupport()[0]], o2[best.ColSupport()[0]], nil
+	if best, ok := g.BestPureNash(); ok {
+		return o1[best.Row], o2[best.Col], nil
 	}
 	// Degenerate case: take any equilibrium and round each player to the
 	// highest-probability strategy.
@@ -177,25 +271,38 @@ func schedulePair(model *costmodel.Model, st *costmodel.State, m1, m2 int32) (co
 // bestResponse runs synchronous best-response dynamics over a stage until a
 // fixed point or the iteration budget. opts holds each member's candidate
 // options and cur its current assignment (parallel to stage); cur is
-// updated in place. Candidates are evaluated by setting cur[k] and
-// restoring afterwards — exact, because the contention scan skips the
-// deciding microservice's own entry — so no per-candidate copies of the
-// stage assignment are made.
+// updated in place and MUST start at opts[k][0] for every member. Each
+// member's whole candidate row is priced by one EnergyRow call against the
+// current profile — exact, because the contention scan skips the deciding
+// microservice's own entry — with the price row and index scratch drawn
+// from the state's arena.
 func bestResponse(st *costmodel.State, stage []int32, opts [][]costmodel.Option, cur []costmodel.Option) {
+	ar := st.Arena()
+	ar.Reset()
+	maxOpts := 0
+	for _, o := range opts {
+		if len(o) > maxOpts {
+			maxOpts = len(o)
+		}
+	}
+	prices := ar.Floats(maxOpts)
+	curIdx := ar.Ints(len(stage)) // zeroed: cur[k] == opts[k][0]
+
 	for iter := 0; iter < 100; iter++ {
 		changed := false
 		for k, ms := range stage {
-			prev := cur[k]
-			best := prev
-			bestC := st.Energy(ms, prev, stage, cur)
-			for _, o := range opts[k] {
-				cur[k] = o
-				if c := st.Energy(ms, o, stage, cur); c < bestC-1e-9 {
-					best, bestC = o, c
+			row := prices[:len(opts[k])]
+			st.EnergyRow(ms, opts[k], stage, cur, row)
+			prev := curIdx[k]
+			best, bestC := prev, row[prev]
+			for x, c := range row {
+				if c < bestC-1e-9 {
+					best, bestC = x, c
 				}
 			}
-			cur[k] = best
 			if best != prev {
+				curIdx[k] = best
+				cur[k] = opts[k][best]
 				changed = true
 			}
 		}
