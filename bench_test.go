@@ -211,6 +211,63 @@ func BenchmarkSimulatorRun(b *testing.B) {
 	}
 }
 
+// BenchmarkSimRun times the compiled simulator under the fleet request
+// path: the paper's case-study applications on the calibrated testbed plus
+// a wider synthetic app on a 50-node scaled testbed, each placed by DEEP.
+// cold runs sim.Run end to end (compile the plan, fresh Exec, flushed layer
+// caches — the one-shot path); warm runs a reusable Exec over a precompiled
+// Plan with warm caches — the fleet workers' steady state, which allocates
+// nothing (pinned by TestWarmExecAllocationFree and the BENCH_sim.json
+// baseline gated in CI).
+func BenchmarkSimRun(b *testing.B) {
+	cfg := workload.DefaultGeneratorConfig(12, 42)
+	cfg.StageWidth = 4
+	synth, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		app     *deep.App
+		cluster *deep.Cluster
+	}{
+		{"sim/video/testbed", workload.VideoProcessing(), workload.Testbed()},
+		{"sim/text/testbed", workload.TextProcessing(), workload.Testbed()},
+		{"sim/synthetic12/scaled50", synth, workload.ScaledTestbed(25)},
+	}
+	for _, c := range cases {
+		placement, err := sched.NewDEEP().Schedule(c.app, c.cluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(c.app, c.cluster, placement, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/warm", func(b *testing.B) {
+			plan := sim.CompilePlan(c.app, c.cluster)
+			exec := sim.NewExec()
+			// Prime: fill the layer caches and size the Exec scratch.
+			if _, err := exec.Run(plan, placement, sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			opts := sim.Options{WarmCaches: true}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Run(plan, placement, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLemkeHowson4x4 times the Lemke-Howson pivot on the pair games
 // DEEP solves per stage.
 func BenchmarkLemkeHowson4x4(b *testing.B) {
@@ -290,44 +347,51 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	apps := []*deep.App{deep.VideoProcessing(), deep.TextProcessing()}
 	for _, workers := range []int{1, 2, 4, 8} {
 		for _, cached := range []bool{false, true} {
-			cacheSize := -1
-			if cached {
-				cacheSize = 1024
-			}
-			name := fmt.Sprintf("workers=%d/cache=%v", workers, cached)
-			b.Run(name, func(b *testing.B) {
-				f := deep.NewFleet(deep.FleetConfig{
-					Workers:    workers,
-					QueueDepth: 256,
-					CacheSize:  cacheSize,
-				})
-				defer f.Close()
-				b.ResetTimer()
-				pending := make([]<-chan *deep.FleetResponse, 0, b.N)
-				for i := 0; i < b.N; i++ {
-					req := deep.FleetRequest{App: apps[i%len(apps)], Seed: int64(i)}
-					for {
-						ch, err := f.Submit(req)
-						if err == nil {
-							pending = append(pending, ch)
-							break
+			for _, warmSim := range []bool{false, true} {
+				cacheSize := -1
+				if cached {
+					cacheSize = 1024
+				}
+				simName := "cold"
+				if warmSim {
+					simName = "warm"
+				}
+				name := fmt.Sprintf("workers=%d/cache=%v/sim=%s", workers, cached, simName)
+				b.Run(name, func(b *testing.B) {
+					f := deep.NewFleet(deep.FleetConfig{
+						Workers:    workers,
+						QueueDepth: 256,
+						CacheSize:  cacheSize,
+						SimOptions: deep.Options{WarmCaches: warmSim},
+					})
+					defer f.Close()
+					b.ResetTimer()
+					pending := make([]<-chan *deep.FleetResponse, 0, b.N)
+					for i := 0; i < b.N; i++ {
+						req := deep.FleetRequest{App: apps[i%len(apps)], Seed: int64(i)}
+						for {
+							ch, err := f.Submit(req)
+							if err == nil {
+								pending = append(pending, ch)
+								break
+							}
+							if !errors.Is(err, deep.ErrFleetQueueFull) {
+								b.Fatal(err)
+							}
+							if resp := <-pending[0]; resp.Err != nil {
+								b.Fatal(resp.Err)
+							}
+							pending = pending[1:]
 						}
-						if !errors.Is(err, deep.ErrFleetQueueFull) {
-							b.Fatal(err)
-						}
-						if resp := <-pending[0]; resp.Err != nil {
+					}
+					for _, ch := range pending {
+						if resp := <-ch; resp.Err != nil {
 							b.Fatal(resp.Err)
 						}
-						pending = pending[1:]
 					}
-				}
-				for _, ch := range pending {
-					if resp := <-ch; resp.Err != nil {
-						b.Fatal(resp.Err)
-					}
-				}
-				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
-			})
+					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+				})
+			}
 		}
 	}
 }

@@ -65,6 +65,12 @@ type (
 	Options = sim.Options
 	// RegistryInfo describes one registry in a Cluster.
 	RegistryInfo = sim.RegistryInfo
+	// SimPlan is a compiled (app, cluster) simulation plan; compile once
+	// with CompileSimPlan, execute many times with a SimExec.
+	SimPlan = sim.Plan
+	// SimExec is the reusable zero-steady-state-allocation simulator
+	// executor.
+	SimExec = sim.Exec
 
 	// Scheduler produces placements.
 	Scheduler = sched.Scheduler
@@ -149,10 +155,26 @@ func NewExclusiveScheduler(registry string) Scheduler { return sched.NewExclusiv
 // one.
 func AllSchedulers(seed int64) []Scheduler { return sched.All(seed) }
 
-// Run simulates a placed application on a cluster.
+// Run simulates a placed application on a cluster. It compiles a SimPlan
+// and runs a fresh SimExec under the hood; callers that replay the same
+// (app, cluster) shape repeatedly should compile once with CompileSimPlan
+// and reuse a SimExec — that steady state allocates nothing.
 func Run(app *App, cluster *Cluster, placement Placement, opts Options) (*Result, error) {
 	return sim.Run(app, cluster, placement, opts)
 }
+
+// CompileSimPlan compiles an (app, cluster) pair for repeated simulation.
+// The plan is immutable and safe to share across goroutines, each driving
+// its own SimExec.
+func CompileSimPlan(app *App, cluster *Cluster) *SimPlan {
+	return sim.CompilePlan(app, cluster)
+}
+
+// NewSimExec returns a reusable simulator executor. Exec.Run(plan,
+// placement, opts) returns a Result owned by the executor (valid until the
+// next Run; Clone it to keep it), and allocates nothing once the layer
+// caches are warm. Not safe for concurrent use — one per worker.
+func NewSimExec() *SimExec { return sim.NewExec() }
 
 // Schedule computes a placement with the given scheduler.
 func Schedule(s Scheduler, app *App, cluster *Cluster) (Placement, error) {

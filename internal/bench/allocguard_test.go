@@ -90,6 +90,7 @@ func TestRecordedBaselinesParse(t *testing.T) {
 	root := "../.."
 	got, err := LoadAllocBaselines(
 		filepath.Join(root, "BENCH_sched.json"),
+		filepath.Join(root, "BENCH_sim.json"),
 		filepath.Join(root, "BENCH_fleet.json"),
 	)
 	if err != nil {
@@ -98,7 +99,10 @@ func TestRecordedBaselinesParse(t *testing.T) {
 	for _, want := range []string{
 		"deep/video/testbed/warm",
 		"deep/synthetic12/scaled50/warm",
-		"workers=4/cache=false",
+		"sim/video/testbed/warm",
+		"sim/synthetic12/scaled50/cold",
+		"workers=4/cache=false/sim=cold",
+		"workers=4/cache=true/sim=warm",
 	} {
 		if _, ok := got[want]; !ok {
 			t.Errorf("recorded baselines missing %q (have %d cases)", want, len(got))

@@ -3,8 +3,8 @@ package fleet
 import (
 	"container/list"
 	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
+	"hash"
 	"io"
 	"sort"
 	"strconv"
@@ -20,8 +20,10 @@ import (
 // scheduler) triple. Two deployment requests with equal fingerprints are
 // guaranteed to receive the same placement from any deterministic scheduler,
 // which is what makes placements safe to memoize: the Nash best-response
-// iteration converges to the same fixed point for identical inputs.
-type Fingerprint string
+// iteration converges to the same fixed point for identical inputs. It is a
+// raw comparable digest (not hex text) so computing one on the per-request
+// hot path allocates nothing.
+type Fingerprint [sha256.Size]byte
 
 // FingerprintOf computes the canonical fingerprint. Every input the
 // schedulers read is folded into the digest — microservice requirements,
@@ -56,23 +58,40 @@ func (cd ClusterDigest) ModelKey(app *dag.App) Fingerprint {
 // Fingerprint combines the precomputed cluster digest with an application
 // and scheduler name into the full cache key.
 func (cd ClusterDigest) Fingerprint(app *dag.App, scheduler string) Fingerprint {
-	h := sha256.New()
-	fmt.Fprintf(h, "sched=%s\n", scheduler)
-	h.Write(cd)
-	writeAppFingerprint(h, app)
-	return Fingerprint(hex.EncodeToString(h.Sum(nil)))
+	dg := newDigester()
+	return dg.fingerprint(cd, dg.appDigest(app), scheduler)
 }
 
-// writeAppFingerprint serializes the app canonically. This is the
-// per-request hot path (the cluster side is digested once per worker), so
-// it builds records with strconv appends instead of fmt. Every
+// digester computes per-request fingerprints with reusable scratch: one
+// sha256 state, one record buffer, and the sort slices for canonicalizing
+// microservices and dataflows. A fleet worker owns one and computes both of
+// a request's keys (model key and placement fingerprint) from a single app
+// digest, so the steady-state request path hashes the app once and
+// allocates nothing. Not safe for concurrent use.
+type digester struct {
+	h     hash.Hash
+	buf   []byte
+	ms    []*dag.Microservice
+	edges []dag.Dataflow
+	keys  []string
+	sum   [sha256.Size]byte
+}
+
+func newDigester() *digester {
+	return &digester{h: sha256.New()}
+}
+
+// appDigest canonically digests the application alone, its name included —
+// the simulator keys jitter and labels results by it, so two structurally
+// identical apps under different names must not alias one compiled shape.
+// Records are built with strconv appends instead of fmt; every
 // variable-length string is length-prefixed, so a separator byte inside a
 // name can never realign two distinct apps onto the same digest.
-func writeAppFingerprint(w io.Writer, app *dag.App) {
-	ms := make([]*dag.Microservice, len(app.Microservices))
-	copy(ms, app.Microservices)
-	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
-	buf := make([]byte, 0, 256)
+func (dg *digester) appDigest(app *dag.App) Fingerprint {
+	dg.h.Reset()
+	dg.ms = append(dg.ms[:0], app.Microservices...)
+	sortMicroservices(dg.ms)
+	buf := dg.buf[:0]
 	num := func(v int64) {
 		buf = append(buf, '|')
 		buf = strconv.AppendInt(buf, v, 10)
@@ -84,10 +103,13 @@ func writeAppFingerprint(w io.Writer, app *dag.App) {
 	}
 	flush := func() {
 		buf = append(buf, '\n')
-		w.Write(buf)
+		dg.h.Write(buf)
 		buf = buf[:0]
 	}
-	for _, m := range ms {
+	buf = append(buf, "app"...)
+	field(app.Name)
+	flush()
+	for _, m := range dg.ms {
 		buf = append(buf, "ms"...)
 		field(m.Name)
 		num(int64(m.ImageSize))
@@ -102,27 +124,73 @@ func writeAppFingerprint(w io.Writer, app *dag.App) {
 		num(int64(m.Req.Storage))
 		num(int64(len(m.Images)))
 		flush()
-		for _, reg := range sortedKeys(m.Images) {
+		dg.keys = dg.keys[:0]
+		for k := range m.Images {
+			dg.keys = append(dg.keys, k)
+		}
+		sort.Strings(dg.keys)
+		for _, reg := range dg.keys {
 			buf = append(buf, "img"...)
 			field(reg)
 			field(m.Images[reg])
 			flush()
 		}
 	}
-	edges := make([]dag.Dataflow, len(app.Dataflows))
-	copy(edges, app.Dataflows)
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].From != edges[j].From {
-			return edges[i].From < edges[j].From
-		}
-		return edges[i].To < edges[j].To
-	})
-	for _, e := range edges {
+	dg.edges = append(dg.edges[:0], app.Dataflows...)
+	sortDataflows(dg.edges)
+	for _, e := range dg.edges {
 		buf = append(buf, "df"...)
 		field(e.From)
 		field(e.To)
 		num(int64(e.Size))
 		flush()
+	}
+	dg.buf = buf
+	return dg.finish()
+}
+
+// fingerprint combines a cluster digest, an app digest, and a scheduler
+// name into a cache key. Both inner digests are fixed-length, so the
+// concatenation cannot realign.
+func (dg *digester) fingerprint(cd ClusterDigest, appDigest Fingerprint, scheduler string) Fingerprint {
+	dg.h.Reset()
+	buf := dg.buf[:0]
+	buf = append(buf, "sched="...)
+	buf = append(buf, scheduler...)
+	buf = append(buf, '\n')
+	buf = append(buf, cd...)
+	buf = append(buf, appDigest[:]...)
+	dg.h.Write(buf)
+	dg.buf = buf
+	return dg.finish()
+}
+
+// finish snapshots the running hash into a Fingerprint without allocating.
+func (dg *digester) finish() Fingerprint {
+	dg.h.Sum(dg.sum[:0])
+	return Fingerprint(dg.sum)
+}
+
+// sortMicroservices orders by name (insertion sort: request-sized inputs,
+// no closure allocation).
+func sortMicroservices(ms []*dag.Microservice) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Name < ms[j-1].Name; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// sortDataflows orders by (From, To).
+func sortDataflows(edges []dag.Dataflow) {
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0; j-- {
+			a, b := edges[j], edges[j-1]
+			if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+				break
+			}
+			edges[j], edges[j-1] = b, a
+		}
 	}
 }
 
@@ -164,15 +232,6 @@ func writeClusterFingerprint(w io.Writer, c *sim.Cluster) {
 			fmt.Fprintf(w, "layer|%s|%s|%d\n", quoted(name), quoted(l.Digest), l.Size)
 		}
 	}
-}
-
-func sortedKeys(m map[string]string) []string {
-	ks := make([]string, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Strings(ks)
-	return ks
 }
 
 func sortedLayerKeys(m map[string][]sim.Layer) []string {
@@ -312,16 +371,28 @@ func (c *placementCache) Stats() CacheStats {
 	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
 }
 
-// sharedModelCache is the fleet-wide compiled-model cache: read-mostly,
+// compiledShape bundles everything the fleet compiles once per (app,
+// cluster) pair: the scheduler's cost model (nil when the fleet's
+// scheduler cannot read one) and the simulator's executor plan. Both are
+// immutable and safe to share across the whole worker pool; workers rebind
+// the plan's device handles to their private clusters before executing
+// (workerState.planFor), so sharing the tables never shares cache state.
+type compiledShape struct {
+	model *costmodel.Model
+	plan  *sim.Plan
+}
+
+// sharedModelCache is the fleet-wide compiled-shape cache: read-mostly,
 // sharded by fingerprint across independently locked shards so workers
 // rarely contend, with a singleflight fill — the first worker to miss a key
 // compiles while every other worker asking for the same key blocks on that
 // one compilation instead of redundantly compiling its own copy. Hot
 // tenants therefore compile once per fleet, not once per worker. Compiled
-// models are immutable and safe for concurrent ScheduleModel calls, which
-// is what makes sharing them across the pool sound; cluster identity is
-// part of the key (ModelKey folds the cluster digest in), so a worker with
-// a different cluster can never be handed a stale model.
+// models and plans are immutable and safe for concurrent ScheduleModel and
+// Exec.Run calls, which is what makes sharing them across the pool sound;
+// cluster identity is part of the key (ModelKey folds the cluster digest
+// in), so a worker with a different cluster can never be handed a stale
+// shape.
 type sharedModelCache struct {
 	shards []modelShard
 
@@ -339,10 +410,10 @@ type modelShard struct {
 }
 
 // modelEntry is a singleflight cell: once guards the one compilation, and
-// model is safe to read after once.Do returns.
+// shape is safe to read after once.Do returns.
 type modelEntry struct {
 	once  sync.Once
-	model *costmodel.Model
+	shape compiledShape
 }
 
 // modelCacheShards balances lock contention against shard-capacity
@@ -366,22 +437,26 @@ func newSharedModelCache(capacity int) *sharedModelCache {
 	return c
 }
 
+// enabled reports whether the cache stores anything at all (a disabled
+// cache runs every compile closure and retains nothing).
+func (c *sharedModelCache) enabled() bool {
+	return len(c.shards) > 0 && c.shards[0].capacity > 0
+}
+
 func (c *sharedModelCache) shard(key Fingerprint) *modelShard {
-	// Fingerprints are hex text, so single bytes carry only 4 bits of
-	// entropy and would skew an 8-way split; a short FNV-1a over the key
-	// spreads shards uniformly.
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
+	// Fingerprint is a raw sha256 digest, so any byte is uniform; fold the
+	// first eight into the shard index.
+	var h uint64
+	for i := 0; i < 8; i++ {
+		h = h<<8 | uint64(key[i])
 	}
 	return &c.shards[h%uint64(len(c.shards))]
 }
 
-// getOrCompile returns the compiled model for the key, running compile at
+// getOrCompile returns the compiled shape for the key, running compile at
 // most once per cached key fleet-wide: concurrent callers for the same key
 // all block on the first caller's compilation and share its result.
-func (c *sharedModelCache) getOrCompile(key Fingerprint, compile func() *costmodel.Model) *costmodel.Model {
+func (c *sharedModelCache) getOrCompile(key Fingerprint, compile func() compiledShape) compiledShape {
 	sh := c.shard(key)
 	if sh.capacity <= 0 {
 		c.compiles.Add(1)
@@ -409,9 +484,9 @@ func (c *sharedModelCache) getOrCompile(key Fingerprint, compile func() *costmod
 	// of other keys in the same shard, only callers of this key.
 	e.once.Do(func() {
 		c.compiles.Add(1)
-		e.model = compile()
+		e.shape = compile()
 	})
-	return e.model
+	return e.shape
 }
 
 // ModelCacheStats is a point-in-time view of the shared model cache. A hit

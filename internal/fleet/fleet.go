@@ -54,12 +54,14 @@ type Config struct {
 	// CacheSize bounds the placement LRU in entries. Zero means the
 	// default of 1024; a negative value disables placement memoization.
 	CacheSize int
-	// ModelCacheSize bounds the fleet-wide shared compiled-model cache in
-	// entries. Zero means the default of 256; a negative value disables
-	// model sharing (every placement-cache miss recompiles). Unlike the
-	// placement cache it is keyed by (app, cluster) only, so one compiled
-	// model serves every scheduler and every worker on the same shape, with
-	// a singleflight fill deduplicating concurrent compilations.
+	// ModelCacheSize bounds the fleet-wide shared compiled-shape cache
+	// (cost model + simulator plan) in entries. Zero means the default of
+	// 256; a negative value disables sharing — every request then compiles
+	// a transient simulator plan, and every placement-cache miss a
+	// transient cost model. Unlike the placement cache it is keyed by
+	// (app, cluster) only, so one compiled shape serves every scheduler
+	// and every worker on the same request shape, with a singleflight fill
+	// deduplicating concurrent compilations.
 	ModelCacheSize int
 	// SimOptions apply to every simulation run; per-request seeds are
 	// folded in on top.
@@ -145,6 +147,11 @@ type Fleet struct {
 	mu     sync.RWMutex
 	closed bool
 	wg     sync.WaitGroup
+
+	// labels interns per-tenant metric names, capped at tenantLabelCap
+	// entries (see labelsFor).
+	labels     sync.Map
+	labelCount atomic.Int64
 
 	submitted atomic.Int64
 	rejected  atomic.Int64
@@ -252,19 +259,45 @@ func (f *Fleet) Close() {
 }
 
 // workerState is the per-worker context: a private scheduler and cluster
-// (simulation mutates device layer caches) plus the cluster digest computed
-// once. Compiled cost models live in the fleet-wide shared cache, not here:
-// hot tenants compile once per fleet rather than once per worker.
+// (simulation mutates device layer caches), the cluster digest computed
+// once, a fingerprint digester with reusable scratch, a pooled simulator
+// Exec, and a pool of scheduler passes keyed by compiled model. Compiled
+// models and plans live in the fleet-wide shared cache, not here: hot
+// tenants compile once per fleet rather than once per worker.
 type workerState struct {
 	scheduler     sched.Scheduler
 	cluster       *sim.Cluster
 	clusterDigest ClusterDigest
+	dig           *digester
+	exec          *sim.Exec
+	passes        map[*costmodel.Model]*sched.Pass
+	// plans memoizes shared plans rebound to this worker's own cluster:
+	// simulation drives (and on cold runs flushes) device layer caches, so
+	// each worker must execute against its private devices even when the
+	// compiled tables are shared fleet-wide.
+	plans map[*sim.Plan]*sim.Plan
 }
 
-// defaultModelCacheSize bounds the fleet-wide compiled-model cache. Models
-// are a few dense arrays each; 256 covers the distinct shapes of a large
-// multi-tenant mix without unbounded growth.
+// defaultModelCacheSize bounds the fleet-wide compiled-shape cache. Models
+// and plans are a few dense arrays each; 256 covers the distinct shapes of
+// a large multi-tenant mix without unbounded growth.
 const defaultModelCacheSize = 256
+
+// passPoolCap bounds each worker's pass and rebound-plan pools. Both are
+// keyed by compiled-object identity, so they normally track the shared
+// shape cache; the cap matters when that cache is disabled or churning
+// (fresh identities per request) and evicts one arbitrary entry per
+// insertion instead of growing without bound — hot entries survive and
+// evicted shared-cache objects are not pinned indefinitely.
+const passPoolCap = 64
+
+// evictOnePoolEntry drops one arbitrary entry from a pool map at capacity.
+func evictOnePoolEntry[K comparable, V any](pool map[K]V) {
+	for k := range pool {
+		delete(pool, k)
+		return
+	}
+}
 
 // worker owns one scheduler and one cluster and processes jobs until the
 // queue closes.
@@ -275,6 +308,10 @@ func (f *Fleet) worker() {
 		scheduler:     f.cfg.NewScheduler(),
 		cluster:       cluster,
 		clusterDigest: DigestCluster(cluster),
+		dig:           newDigester(),
+		exec:          sim.NewExec(),
+		passes:        make(map[*costmodel.Model]*sched.Pass),
+		plans:         make(map[*sim.Plan]*sim.Plan),
 	}
 	for j := range f.queue {
 		resp := f.process(w, j)
@@ -289,25 +326,93 @@ func (f *Fleet) worker() {
 	}
 }
 
-// schedule computes a placement for the job. Schedulers that run on
-// compiled models share them through the fleet-wide cache: the model key
-// folds in the worker's own cluster digest, so workers with identical
-// clusters (the normal case — every worker runs Config.NewCluster) share
-// one compiled model per app shape, and a reconfigured cluster can never
-// alias another's models.
-func (f *Fleet) schedule(w *workerState, app *dag.App) (sim.Placement, error) {
-	ms, ok := w.scheduler.(sched.ModelScheduler)
-	if !ok {
+// schedule computes a placement for the job on the shared compiled model.
+// Schedulers that support reusable passes (sched.PassScheduler — DEEP) run
+// on a pooled Pass keyed by model, so warm scheduling allocates only the
+// materialized placement map; plain ModelSchedulers run on the shared model
+// with fresh scratch, and everything else falls back to the string-keyed
+// Schedule path.
+func (f *Fleet) schedule(w *workerState, app *dag.App, model *costmodel.Model) (sim.Placement, error) {
+	if model == nil {
+		// The shape was compiled without a model (non-model scheduler).
 		return w.scheduler.Schedule(app, w.cluster)
 	}
-	model := f.models.getOrCompile(w.clusterDigest.ModelKey(app), func() *costmodel.Model {
-		return costmodel.Compile(app, w.cluster)
+	switch s := w.scheduler.(type) {
+	case sched.PassScheduler:
+		p := w.passes[model]
+		if p == nil {
+			if len(w.passes) >= passPoolCap {
+				evictOnePoolEntry(w.passes)
+			}
+			p = sched.NewPass(model)
+			w.passes[model] = p
+		}
+		if err := s.ScheduleInto(p); err != nil {
+			return nil, err
+		}
+		return p.Placement(), nil
+	case sched.ModelScheduler:
+		return s.ScheduleModel(model)
+	default:
+		return w.scheduler.Schedule(app, w.cluster)
+	}
+}
+
+// shape returns the request's compiled model and executor plan from the
+// fleet-wide cache, compiling them on first sight of the (app, cluster)
+// shape. The plan is always compiled, since every request simulates. The
+// cost model is compiled only when it can pay for itself: the scheduler
+// must be able to read it, and the cache must be enabled — with the cache
+// disabled the model would be dead weight on placement-cache hits, so
+// schedule() falls back to the string-keyed path instead (which compiles
+// its own transient model per miss, the pre-cache behavior). The key folds
+// in the worker's own cluster digest, so workers with identical clusters
+// (the normal case — every worker runs Config.NewCluster) share one
+// compiled shape per app, and a reconfigured cluster can never alias
+// another's shapes.
+func (f *Fleet) shape(w *workerState, app *dag.App, appDigest Fingerprint) compiledShape {
+	_, modelScheduler := w.scheduler.(sched.ModelScheduler)
+	needModel := modelScheduler && f.models.enabled()
+	return f.models.getOrCompile(w.dig.fingerprint(w.clusterDigest, appDigest, ""), func() compiledShape {
+		s := compiledShape{plan: sim.CompilePlan(app, w.cluster)}
+		if needModel {
+			s.model = costmodel.Compile(app, w.cluster)
+		}
+		return s
 	})
-	return ms.ScheduleModel(model)
+}
+
+// planFor resolves the shared plan against the worker's own cluster: the
+// compiled tables stay shared, but the device handles (whose layer caches
+// the Exec drives and flushes) must be the worker's private ones. The
+// rebinding is memoized per shared plan; a plan already bound to this
+// worker's cluster (the shape cache disabled, or this worker compiled it)
+// passes through untouched.
+func (w *workerState) planFor(app *dag.App, shared *sim.Plan) *sim.Plan {
+	if bound, ok := w.plans[shared]; ok {
+		return bound
+	}
+	bound, ok := shared.Rebind(w.cluster)
+	if !ok {
+		// Shape mismatch (cannot happen while keys fold the cluster digest
+		// in): fall back to a private compilation.
+		bound = sim.CompilePlan(app, w.cluster)
+	}
+	if bound == shared {
+		return shared
+	}
+	if len(w.plans) >= passPoolCap {
+		evictOnePoolEntry(w.plans)
+	}
+	w.plans[shared] = bound
+	return bound
 }
 
 // process runs the (possibly memoized) schedule-then-simulate pipeline for
-// one job on the worker's private scheduler and cluster.
+// one job on the worker's private scheduler and cluster. In steady state —
+// shape cache hot, placement memoized or pass pooled, layer caches warm —
+// the whole path allocates only the response plumbing and the caller-owned
+// placement and result copies.
 func (f *Fleet) process(w *workerState, j *job) *Response {
 	start := time.Now()
 	resp := &Response{
@@ -316,11 +421,13 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 		QueueWait: start.Sub(j.enqueued),
 	}
 
-	key := w.clusterDigest.Fingerprint(j.req.App, w.scheduler.Name())
+	appDigest := w.dig.appDigest(j.req.App)
+	shape := f.shape(w, j.req.App, appDigest)
+	key := w.dig.fingerprint(w.clusterDigest, appDigest, w.scheduler.Name())
 	placement, hit := f.cache.Get(key)
 	if !hit {
 		var err error
-		placement, err = f.schedule(w, j.req.App)
+		placement, err = f.schedule(w, j.req.App, shape.model)
 		if err != nil {
 			resp.Err = fmt.Errorf("fleet: scheduling %s: %w", j.req.App.Name, err)
 			resp.Latency = time.Since(j.enqueued)
@@ -333,31 +440,74 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 
 	opts := f.cfg.SimOptions
 	opts.Seed += j.req.Seed
-	result, err := sim.Run(j.req.App, w.cluster, placement, opts)
+	result, err := w.exec.Run(w.planFor(j.req.App, shape.plan), placement, opts)
 	if err != nil {
 		resp.Err = fmt.Errorf("fleet: simulating %s: %w", j.req.App.Name, err)
 		resp.Latency = time.Since(j.enqueued)
 		return resp
 	}
-	resp.Result = result
+	// The exec's result buffer is reused on the next request; the response
+	// escapes to the submitter, so it gets a detached copy.
+	resp.Result = result.Clone()
 	resp.Latency = time.Since(j.enqueued)
 	return resp
+}
+
+// tenantLabels caches the formatted metric names for one tenant so the
+// per-request observe path stops concatenating label strings.
+type tenantLabels struct {
+	failed    string
+	completed string
+	cacheHits string
+	latency   string
+	queueWait string
+	makespan  string
+	energy    string
+}
+
+// tenantLabelCap bounds the interned label set: past it, labels for new
+// tenants are built transiently instead of cached, so a submitter churning
+// through unbounded tenant names cannot grow worker memory without bound.
+const tenantLabelCap = 1024
+
+// labelsFor returns the tenant's interned metric names.
+func (f *Fleet) labelsFor(tenant string) *tenantLabels {
+	if v, ok := f.labels.Load(tenant); ok {
+		return v.(*tenantLabels)
+	}
+	l := &tenantLabels{
+		failed:    "fleet_failed{tenant=" + tenant + "}",
+		completed: "fleet_completed{tenant=" + tenant + "}",
+		cacheHits: "fleet_cache_hits{tenant=" + tenant + "}",
+		latency:   "fleet_latency_s{tenant=" + tenant + "}",
+		queueWait: "fleet_queue_wait_s{tenant=" + tenant + "}",
+		makespan:  "fleet_makespan_s{tenant=" + tenant + "}",
+		energy:    "fleet_energy_j{tenant=" + tenant + "}",
+	}
+	if f.labelCount.Load() >= tenantLabelCap {
+		return l // transient: the intern set is full
+	}
+	v, loaded := f.labels.LoadOrStore(tenant, l)
+	if !loaded {
+		f.labelCount.Add(1)
+	}
+	return v.(*tenantLabels)
 }
 
 // observe folds one response into the per-tenant aggregates.
 func (f *Fleet) observe(resp *Response) {
 	m := f.cfg.Metrics
-	tenant := resp.Tenant
+	l := f.labelsFor(resp.Tenant)
 	if resp.Err != nil {
-		m.Inc("fleet_failed{tenant="+tenant+"}", 1)
+		m.Inc(l.failed, 1)
 		return
 	}
-	m.Inc("fleet_completed{tenant="+tenant+"}", 1)
+	m.Inc(l.completed, 1)
 	if resp.CacheHit {
-		m.Inc("fleet_cache_hits{tenant="+tenant+"}", 1)
+		m.Inc(l.cacheHits, 1)
 	}
-	m.Observe("fleet_latency_s{tenant="+tenant+"}", resp.Latency.Seconds())
-	m.Observe("fleet_queue_wait_s{tenant="+tenant+"}", resp.QueueWait.Seconds())
-	m.Observe("fleet_makespan_s{tenant="+tenant+"}", resp.Result.Makespan)
-	m.Observe("fleet_energy_j{tenant="+tenant+"}", float64(resp.Result.TotalEnergy))
+	m.Observe(l.latency, resp.Latency.Seconds())
+	m.Observe(l.queueWait, resp.QueueWait.Seconds())
+	m.Observe(l.makespan, resp.Result.Makespan)
+	m.Observe(l.energy, float64(resp.Result.TotalEnergy))
 }

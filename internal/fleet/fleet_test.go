@@ -468,22 +468,28 @@ func TestCacheDisabled(t *testing.T) {
 	}
 }
 
+// fpOf builds a distinct Fingerprint from a short label, for cache tests.
+func fpOf(s string) (f Fingerprint) {
+	copy(f[:], s)
+	return f
+}
+
 func TestLRUEviction(t *testing.T) {
 	c := newPlacementCache(2)
 	p := sim.Placement{"m": {Device: "d", Registry: "r"}}
-	c.Put("a", p)
-	c.Put("b", p)
-	if _, ok := c.Get("a"); !ok { // refresh "a"
+	c.Put(fpOf("a"), p)
+	c.Put(fpOf("b"), p)
+	if _, ok := c.Get(fpOf("a")); !ok { // refresh "a"
 		t.Fatal("a missing")
 	}
-	c.Put("c", p) // evicts "b", the LRU entry
-	if _, ok := c.Get("b"); ok {
+	c.Put(fpOf("c"), p) // evicts "b", the LRU entry
+	if _, ok := c.Get(fpOf("b")); ok {
 		t.Fatal("b survived eviction")
 	}
-	if _, ok := c.Get("a"); !ok {
+	if _, ok := c.Get(fpOf("a")); !ok {
 		t.Fatal("refreshed entry was evicted")
 	}
-	if _, ok := c.Get("c"); !ok {
+	if _, ok := c.Get(fpOf("c")); !ok {
 		t.Fatal("newest entry missing")
 	}
 	stats := c.Stats()
@@ -491,9 +497,9 @@ func TestLRUEviction(t *testing.T) {
 		t.Fatalf("stats %+v, want 1 eviction and 2 entries", stats)
 	}
 	// Mutating a Get result must not corrupt the cached copy.
-	got, _ := c.Get("a")
+	got, _ := c.Get(fpOf("a"))
 	got["m"] = sim.Assignment{Device: "x", Registry: "y"}
-	again, _ := c.Get("a")
+	again, _ := c.Get(fpOf("a"))
 	if again["m"].Device != "d" {
 		t.Fatal("cache entry mutated through a Get copy")
 	}

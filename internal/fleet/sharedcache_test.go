@@ -46,11 +46,11 @@ func TestSharedModelCacheSingleflight(t *testing.T) {
 			got[g] = make([]*costmodel.Model, keys)
 			for r := 0; r < rounds; r++ {
 				k := (g + r) % keys
-				m := c.getOrCompile(fps[k], func() *costmodel.Model {
+				m := c.getOrCompile(fps[k], func() compiledShape {
 					compiles[k].Add(1)
 					time.Sleep(time.Millisecond) // widen the race window
-					return costmodel.Compile(apps[k], cluster)
-				})
+					return compiledShape{model: costmodel.Compile(apps[k], cluster)}
+				}).model
 				if got[g][k] == nil {
 					got[g][k] = m
 				} else if got[g][k] != m {
@@ -133,22 +133,22 @@ func TestModelKeyChangesWithCluster(t *testing.T) {
 	}
 
 	c := newSharedModelCache(16)
-	m1 := c.getOrCompile(k1, func() *costmodel.Model {
-		return costmodel.Compile(app, workload.Testbed())
-	})
-	m2 := c.getOrCompile(k2, func() *costmodel.Model {
-		return costmodel.Compile(app, workload.ScaledTestbed(2))
-	})
+	m1 := c.getOrCompile(k1, func() compiledShape {
+		return compiledShape{model: costmodel.Compile(app, workload.Testbed())}
+	}).model
+	m2 := c.getOrCompile(k2, func() compiledShape {
+		return compiledShape{model: costmodel.Compile(app, workload.ScaledTestbed(2))}
+	}).model
 	if m1 == m2 {
 		t.Fatal("distinct cluster keys shared one compiled model")
 	}
 	if n1, n2 := m1.NumDevices(), m2.NumDevices(); n1 == n2 {
 		t.Fatalf("expected different device counts, got %d and %d", n1, n2)
 	}
-	if got := c.getOrCompile(k1, func() *costmodel.Model {
+	if got := c.getOrCompile(k1, func() compiledShape {
 		t.Fatal("unexpected recompilation of a cached key")
-		return nil
-	}); got != m1 {
+		return compiledShape{}
+	}).model; got != m1 {
 		t.Fatal("cached model identity changed")
 	}
 }
@@ -162,9 +162,9 @@ func TestModelCacheDisabled(t *testing.T) {
 	key := cd.ModelKey(app)
 	var n int
 	for i := 0; i < 3; i++ {
-		c.getOrCompile(key, func() *costmodel.Model {
+		c.getOrCompile(key, func() compiledShape {
 			n++
-			return costmodel.Compile(app, workload.Testbed())
+			return compiledShape{model: costmodel.Compile(app, workload.Testbed())}
 		})
 	}
 	if n != 3 {
@@ -194,9 +194,9 @@ func TestModelCacheEviction(t *testing.T) {
 	}
 	compiled := 0
 	fill := func(i int) {
-		c.getOrCompile(keys[i], func() *costmodel.Model {
+		c.getOrCompile(keys[i], func() compiledShape {
 			compiled++
-			return costmodel.Compile(apps[i], cluster)
+			return compiledShape{model: costmodel.Compile(apps[i], cluster)}
 		})
 	}
 	for i := range keys {

@@ -50,6 +50,9 @@ type DEEP struct {
 // scheduling pass — take the convergent dynamics instead.
 const DefaultMaxPairCells = 4096
 
+// DEEP supports the fleet's pooled-pass scheduling path.
+var _ PassScheduler = (*DEEP)(nil)
+
 // NewDEEP returns the Nash scheduler with the default pair-game cap.
 func NewDEEP() *DEEP { return &DEEP{MaxPairCells: DefaultMaxPairCells} }
 

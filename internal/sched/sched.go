@@ -33,6 +33,18 @@ type ModelScheduler interface {
 	ScheduleModel(model *costmodel.Model) (sim.Placement, error)
 }
 
+// PassScheduler is a ModelScheduler that can additionally run on a
+// caller-owned reusable Pass, writing the placement into the pass's scratch
+// instead of allocating fresh state per call. The fleet's workers pool one
+// Pass per compiled model and take this path, making repeated warm
+// scheduling passes allocation-free (placement materialization aside).
+type PassScheduler interface {
+	ModelScheduler
+	// ScheduleInto runs one pass over the Pass's model. Read the placement
+	// back via Pass.Placement or Pass.Assigned.
+	ScheduleInto(p *Pass) error
+}
+
 // ErrInfeasible is wrapped by schedulers when a microservice has no feasible
 // (device, registry) option.
 type infeasibleError struct{ ms string }

@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"deep/internal/units"
+)
+
+// Exec is the reusable scratch for repeated compiled simulation runs: flat
+// pull records, finish times, device serialization horizons, per-device
+// energy accumulators, and a reusable Result buffer, all sized to the
+// largest plan seen so far. Repeated Exec.Run calls on a warm layer cache
+// allocate nothing at all; the returned Result is bit-identical to what the
+// legacy map-based executor produced for the same inputs.
+//
+// An Exec is not safe for concurrent use; give each worker its own. It may
+// be shared sequentially across plans of any shape.
+type Exec struct {
+	// Per-microservice scratch (indexed by plan ms id).
+	assignDev []int32
+	assignReg []int32
+	pulls     []execPull
+	finish    []float64
+	msRes     []MicroserviceResult
+
+	// Per-device scratch. pullEnd is valid only when pullEndEp matches the
+	// current epoch (one epoch per stage), mirroring the legacy executor's
+	// per-stage pullEnd map; devFree and devEnergy span the whole run.
+	devFree   []float64
+	devEnergy []units.Joules
+	pullEnd   []float64
+	pullEndEp []uint64
+
+	// Shared-registry contention scratch: pullSeen marks (registry, device)
+	// cells, nPull counts distinct pulling devices per registry, both
+	// epoch-validated per stage.
+	pullSeen []uint64
+	nPull    []int32
+	nPullEp  []uint64
+	epoch    uint64
+
+	// Per-registry byte accounting; regUsed marks registries named by the
+	// placement (the legacy executor created a map entry even for 0 bytes).
+	regBytes []units.Bytes
+	regUsed  []bool
+
+	seedBuf []byte
+	res     Result
+}
+
+// execPull is one microservice's deployment record within the current stage.
+type execPull struct {
+	missing units.Bytes
+	td      float64
+	start   float64
+	done    float64
+}
+
+// NewExec returns an empty executor; its scratch grows to fit the first
+// plan it runs.
+func NewExec() *Exec { return &Exec{} }
+
+// size grows the scratch to the plan's dimensions. Growing never shrinks,
+// so an Exec shared across plans settles at the largest shape.
+func (e *Exec) size(p *Plan) {
+	nm, nd, nr := len(p.msNames), len(p.devNames), len(p.regNames)
+	e.assignDev = growInt32(e.assignDev, nm)
+	e.assignReg = growInt32(e.assignReg, nm)
+	e.pulls = growPulls(e.pulls, nm)
+	e.finish = growFloats(e.finish, nm)
+	e.msRes = growResults(e.msRes, nm)
+	e.devFree = growFloats(e.devFree, nd)
+	e.devEnergy = growJoules(e.devEnergy, nd)
+	e.pullEnd = growFloats(e.pullEnd, nd)
+	e.pullEndEp = growUints(e.pullEndEp, nd)
+	e.pullSeen = growUints(e.pullSeen, nr*nd)
+	e.nPull = growInt32(e.nPull, nr)
+	e.nPullEp = growUints(e.nPullEp, nr)
+	e.regBytes = growBytes(e.regBytes, nr)
+	e.regUsed = growBools(e.regUsed, nr)
+}
+
+// Run replays the plan under the placement and returns per-microservice
+// timing and energy, exactly as sim.Run does. The returned Result (its
+// slices and maps included) is owned by the Exec and valid only until the
+// next Run call; callers that hand it off should Clone it.
+func (e *Exec) Run(p *Plan, placement Placement, opts Options) (*Result, error) {
+	if err := p.validate(placement); err != nil {
+		return nil, err
+	}
+	if p.stagesErr != nil {
+		return nil, p.stagesErr
+	}
+	e.size(p)
+	nd := len(p.devNames)
+
+	for i, name := range p.msNames {
+		a := placement[name]
+		e.assignDev[i] = p.devIndex[a.Device]
+		e.assignReg[i] = p.regIndex[a.Registry]
+	}
+	if !opts.WarmCaches {
+		for _, d := range p.cluster.Devices {
+			d.Cache().Flush()
+		}
+	}
+	for d := 0; d < nd; d++ {
+		e.devFree[d] = 0
+		e.devEnergy[d] = 0
+	}
+	for r := range p.regNames {
+		e.regBytes[r] = 0
+		e.regUsed[r] = false
+	}
+
+	// Deterministic jitter: the legacy jitterer FNV-1a-hashed
+	// "seed|app|ms|phase"; the compiled path hashes the seed's digits once
+	// and continues per (ms, phase) from the plan's precomputed tag bytes —
+	// the same byte stream, so the factors are bit-identical.
+	jw := opts.Jitter
+	seedH := uint64(fnvOffset64)
+	if jw != 0 {
+		e.seedBuf = strconv.AppendInt(e.seedBuf[:0], opts.Seed, 10)
+		seedH = fnvAdd(seedH, e.seedBuf)
+	}
+
+	barrier := 0.0
+	for _, stage := range p.stages {
+		e.epoch++
+
+		// --- Deployment phase: cache-aware pull sizing ------------------
+		// Pulls on one device are serialized; pulls from a shared registry
+		// to several distinct devices at once divide its uplink capacity.
+		for _, ms := range stage {
+			d := e.assignDev[ms]
+			dev := p.devices[d]
+			var missing units.Bytes
+			for _, layer := range p.layers[ms] {
+				if !dev.Cache().Has(layer.Digest) {
+					missing += layer.Size
+					dev.Cache().Put(layer.Digest, layer.Size)
+				}
+			}
+			e.pulls[ms].missing = missing
+			if missing > 0 {
+				r := e.assignReg[ms]
+				cell := int(r)*nd + int(d)
+				if e.pullSeen[cell] != e.epoch {
+					e.pullSeen[cell] = e.epoch
+					if e.nPullEp[r] != e.epoch {
+						e.nPullEp[r] = e.epoch
+						e.nPull[r] = 0
+					}
+					e.nPull[r]++
+				}
+			}
+		}
+		for _, ms := range stage {
+			pl := &e.pulls[ms]
+			if pl.missing == 0 {
+				pl.start, pl.done, pl.td = barrier, barrier, 0
+				continue
+			}
+			d, r := e.assignDev[ms], e.assignReg[ms]
+			l := p.regLink[int(r)*nd+int(d)]
+			if !l.ok {
+				return nil, fmt.Errorf("sim: no route from registry %s to device %s", p.regNames[r], p.devNames[d])
+			}
+			bw := l.bw
+			if p.regShared[r] && e.nPullEp[r] == e.epoch {
+				if n := e.nPull[r]; n > 1 {
+					bw = l.bw / units.Bandwidth(n)
+				}
+			}
+			td := l.rtt + bw.Seconds(pl.missing)
+			if jw != 0 {
+				td *= jitterFactor(seedH, p.jitterTag[phaseDeploy][ms], jw)
+			}
+			pl.td = td
+			start := barrier
+			if e.pullEndEp[d] == e.epoch && e.pullEnd[d] > start {
+				start = e.pullEnd[d]
+			}
+			pl.start = start
+			pl.done = start + td
+			e.pullEnd[d] = pl.done
+			e.pullEndEp[d] = e.epoch
+		}
+
+		// --- Transfer + processing phases -------------------------------
+		for _, ms := range stage {
+			d, r := e.assignDev[ms], e.assignReg[ms]
+			pl := &e.pulls[ms]
+			td := pl.td
+
+			tc := 0.0
+			for _, in := range p.inputs[ms] {
+				dl := p.devLink[int(e.assignDev[in.from])*nd+int(d)]
+				if dl.ok {
+					tc += dl.rtt + dl.bw.Seconds(in.size)
+				} else {
+					tc += math.Inf(1)
+				}
+			}
+			if p.extInput[ms] > 0 && p.hasSource {
+				if sl := p.srcLink[d]; sl.ok {
+					tc += sl.rtt + sl.bw.Seconds(p.extInput[ms])
+				} else {
+					tc += math.Inf(1)
+				}
+			}
+			if jw != 0 {
+				tc *= jitterFactor(seedH, p.jitterTag[phaseTransfer][ms], jw)
+			}
+
+			base := int(ms)*nd + int(d)
+			tp := p.tp[base]
+			if jw != 0 {
+				tp *= jitterFactor(seedH, p.jitterTag[phaseProcess][ms], jw)
+			}
+
+			readyAt := pl.done + tc
+			startProc := readyAt
+			if e.devFree[d] > startProc {
+				startProc = e.devFree[d]
+			}
+			wait := (pl.start - barrier) + (startProc - readyAt)
+			finish := startProc + tp
+			e.devFree[d] = finish
+			e.finish[ms] = finish
+
+			// Energy accounting, in the legacy meter's record order (pull,
+			// receive, process) so per-device totals accumulate in the same
+			// floating-point sequence. Negative durations (a jitter width
+			// over 1) fail exactly where energy.Meter.Record did.
+			if td < 0 {
+				return nil, fmt.Errorf("energy: negative duration %v", td)
+			}
+			if tc < 0 {
+				return nil, fmt.Errorf("energy: negative duration %v", tc)
+			}
+			if tp < 0 {
+				return nil, fmt.Errorf("energy: negative duration %v", tp)
+			}
+			e.devEnergy[d] += p.pullW[base].Over(td)
+			e.devEnergy[d] += p.recvW[base].Over(tc)
+			e.devEnergy[d] += p.procW[base].Over(tp)
+
+			ct := td + tc + tp
+			active := p.actPullW[base].Over(td) + p.actRecvW[base].Over(tc) + p.actProcW[base].Over(tp)
+			static := p.idleW[d].Over(ct)
+
+			e.regBytes[r] += pl.missing
+			e.regUsed[r] = true
+			e.msRes[ms] = MicroserviceResult{
+				Name: p.msNames[ms], Device: p.devNames[d], Registry: p.regNames[r],
+				DeployTime: td, TransferTime: tc, ProcessTime: tp,
+				WaitTime: wait, CT: ct,
+				Start: barrier, Finish: finish,
+				Energy: active, StaticShare: static,
+				BytesPulled: pl.missing, CacheHit: pl.missing == 0,
+			}
+		}
+
+		// Barrier: the next stage starts once every microservice of this
+		// stage has finished.
+		for _, ms := range stage {
+			if e.finish[ms] > barrier {
+				barrier = e.finish[ms]
+			}
+		}
+	}
+
+	res := &e.res
+	res.App = p.app.Name
+	res.Makespan = barrier
+	res.TotalEnergy = 0
+	res.Microservices = res.Microservices[:0]
+	if res.EnergyByDevice == nil {
+		res.EnergyByDevice = make(map[string]units.Joules, nd)
+	} else {
+		clear(res.EnergyByDevice)
+	}
+	if res.BytesFromRegistry == nil {
+		res.BytesFromRegistry = make(map[string]units.Bytes, len(p.regNames))
+	} else {
+		clear(res.BytesFromRegistry)
+	}
+	for _, ms := range p.topo {
+		r := &e.msRes[ms]
+		res.Microservices = append(res.Microservices, *r)
+		res.TotalEnergy += r.TotalEnergy()
+	}
+	for d, name := range p.devNames {
+		res.EnergyByDevice[name] = e.devEnergy[d]
+	}
+	for r, name := range p.regNames {
+		if e.regUsed[r] {
+			res.BytesFromRegistry[name] = e.regBytes[r]
+		}
+	}
+	return res, nil
+}
+
+// grow helpers: reslice within capacity, reallocate otherwise. Zeroing is
+// the caller's job where run-spanning state requires it.
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growUints(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+func growJoules(s []units.Joules, n int) []units.Joules {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]units.Joules, n)
+}
+
+func growBytes(s []units.Bytes, n int) []units.Bytes {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]units.Bytes, n)
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
+}
+
+func growPulls(s []execPull, n int) []execPull {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]execPull, n)
+}
+
+func growResults(s []MicroserviceResult, n int) []MicroserviceResult {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]MicroserviceResult, n)
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"deep/internal/device"
+)
+
+// TestCompilePlanDuplicateNames: duplicate device, registry, or
+// microservice names (possible through the exported Cluster fields) must
+// not crash the compiled path — first occurrence wins, as it always did in
+// Cluster.Device / Cluster.Registry.
+func TestCompilePlanDuplicateNames(t *testing.T) {
+	app := chainApp(t)
+	cluster := testCluster()
+	// Duplicate the first device and registry under their existing names.
+	d0 := cluster.Devices[0]
+	cluster.Devices = append(cluster.Devices,
+		device.New(d0.Name, d0.Arch, d0.Cores, d0.Speed, d0.Memory, d0.Storage, d0.Power))
+	cluster.Registries = append(cluster.Registries, cluster.Registries[0])
+
+	placement := Placement{
+		"a": {Device: "devA", Registry: "hub"},
+		"b": {Device: "devB", Registry: "regional"},
+	}
+	res, err := Run(app, cluster, placement, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Microservices) != 2 || res.Makespan <= 0 {
+		t.Fatalf("degenerate result on duplicate names: %+v", res)
+	}
+	if _, ok := res.EnergyByDevice["devA"]; !ok {
+		t.Fatal("duplicate-named device missing from energy accounting")
+	}
+}
+
+// TestWarmExecAllocationFree pins the compiled simulator's steady state at
+// zero allocations: once the plan is compiled, the Exec scratch is sized,
+// and the device layer caches are warm, repeated Exec.Run calls — jitter
+// included — allocate nothing. This is the simulator-side counterpart of
+// the scheduler's TestWarmPassAllocationFree.
+func TestWarmExecAllocationFree(t *testing.T) {
+	app := chainApp(t)
+	cluster := testCluster()
+	placement := Placement{
+		"a": {Device: "devA", Registry: "hub"},
+		"b": {Device: "devB", Registry: "regional"},
+	}
+	plan := CompilePlan(app, cluster)
+	exec := NewExec()
+
+	// Prime: one cold run fills the layer caches and sizes the scratch.
+	if _, err := exec.Run(plan, placement, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{WarmCaches: true},
+		{WarmCaches: true, Jitter: 0.05, Seed: 42},
+	} {
+		opts := opts
+		if _, err := exec.Run(plan, placement, opts); err != nil {
+			t.Fatal(err)
+		}
+		if allocs := testing.AllocsPerRun(50, func() {
+			if _, err := exec.Run(plan, placement, opts); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("warm Exec.Run (jitter=%v) allocates %v times per call, want 0", opts.Jitter, allocs)
+		}
+	}
+}

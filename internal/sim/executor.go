@@ -1,13 +1,9 @@
 package sim
 
 import (
-	"fmt"
-	"hash/fnv"
-	"sort"
+	"strconv"
 
 	"deep/internal/dag"
-	"deep/internal/energy"
-	"deep/internal/units"
 )
 
 // Options tune one simulation run.
@@ -31,187 +27,54 @@ type Options struct {
 // assigned registry (cache-aware, with fair sharing of a shared registry
 // uplink), receives its input dataflows, and then executes; executions on
 // one device are serialized (the paper's non-concurrent execution).
+//
+// Run is a thin wrapper over the compiled path — CompilePlan once, then a
+// fresh Exec — and produces bit-identical results to the historical
+// map-based executor (pinned by the equivalence corpus). Callers that
+// simulate the same (app, cluster) repeatedly should hold the Plan and a
+// reusable Exec themselves: the compiled warm path allocates nothing.
 func Run(app *dag.App, cluster *Cluster, placement Placement, opts Options) (*Result, error) {
-	if err := cluster.Validate(app, placement); err != nil {
-		return nil, err
+	return NewExec().Run(CompilePlan(app, cluster), placement, opts)
+}
+
+// FNV-1a, the hash the jitterer has always keyed its noise from. The
+// helpers below fold bytes into a running state without the hash.Hash
+// allocation and fmt formatting of the original implementation; the byte
+// stream — "%d|%s|%s|%s" of (seed, app, microservice, phase) — is
+// unchanged, so every factor is bit-identical to the historical ones.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvAdd folds bytes into an FNV-1a state.
+func fnvAdd(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
 	}
-	stages, err := app.Stages()
-	if err != nil {
-		return nil, err
+	return h
+}
+
+// fnvAddString folds a string into an FNV-1a state.
+func fnvAddString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
 	}
-	if !opts.WarmCaches {
-		for _, d := range cluster.Devices {
-			d.Cache().Flush()
-		}
-	}
+	return h
+}
 
-	meters := metersFor(cluster)
-	jit := jitterer{seed: opts.Seed, width: opts.Jitter, app: app.Name}
-
-	results := make(map[string]*MicroserviceResult, len(app.Microservices))
-	finishOf := make(map[string]float64, len(app.Microservices)) // processing finish per ms
-	deviceFree := make(map[string]float64)                       // per-device serialization horizon
-	bytesFromRegistry := make(map[string]units.Bytes)
-
-	barrier := 0.0
-	for _, stage := range stages {
-		// --- Deployment phase -------------------------------------------
-		// Compute the cache-aware bytes each microservice must pull. Pulls
-		// on one device are serialized (Docker deploys images sequentially
-		// per host); pulls from a shared registry to several devices at
-		// once divide its uplink capacity.
-		type pull struct {
-			ms      string
-			reg     RegistryInfo
-			devName string
-			missing units.Bytes
-			td      float64 // the pull's own transfer time (T_d)
-			start   float64
-			done    float64
-		}
-		order := append([]string(nil), stage...)
-		sort.Strings(order)
-		pulls := make(map[string]*pull, len(order))
-		devsPulling := make(map[string]map[string]bool) // registry -> devices
-		for _, name := range order {
-			m := app.Microservice(name)
-			a := placement[name]
-			reg, _ := cluster.Registry(a.Registry)
-			dev := cluster.Device(a.Device)
-			var missing units.Bytes
-			for _, layer := range cluster.LayersOf(m) {
-				if !dev.Cache().Has(layer.Digest) {
-					missing += layer.Size
-					dev.Cache().Put(layer.Digest, layer.Size)
-				}
-			}
-			pulls[name] = &pull{ms: name, reg: reg, devName: a.Device, missing: missing}
-			if missing > 0 {
-				if devsPulling[reg.Name] == nil {
-					devsPulling[reg.Name] = make(map[string]bool)
-				}
-				devsPulling[reg.Name][a.Device] = true
-			}
-		}
-		pullEnd := make(map[string]float64) // device -> last pull finish
-		for _, name := range order {
-			p := pulls[name]
-			if p.missing == 0 {
-				p.start, p.done, p.td = barrier, barrier, 0
-				continue
-			}
-			link, ok := cluster.Topology.LinkBetween(p.reg.Node, p.devName)
-			if !ok {
-				return nil, fmt.Errorf("sim: no route from registry %s to device %s", p.reg.Name, p.devName)
-			}
-			bw := link.BW
-			if p.reg.Shared {
-				if n := len(devsPulling[p.reg.Name]); n > 1 {
-					bw = link.BW / units.Bandwidth(n)
-				}
-			}
-			p.td = (link.RTT + bw.Seconds(p.missing)) * jit.factor(name, "deploy")
-			p.start = barrier
-			if pullEnd[p.devName] > p.start {
-				p.start = pullEnd[p.devName]
-			}
-			p.done = p.start + p.td
-			pullEnd[p.devName] = p.done
-		}
-
-		// --- Transfer + processing phases -------------------------------
-		for _, name := range order {
-			m := app.Microservice(name)
-			a := placement[name]
-			dev := cluster.Device(a.Device)
-			p := pulls[name]
-			td := p.td
-
-			// Input dataflows arrive from the devices hosting the upstage
-			// microservices; external inputs arrive from the source node.
-			tc := 0.0
-			for _, e := range app.Inputs(name) {
-				fromDev := placement[e.From].Device
-				tc += cluster.Topology.TransferTime(fromDev, a.Device, e.Size)
-			}
-			if m.ExternalInput > 0 && cluster.SourceNode != "" {
-				tc += cluster.Topology.TransferTime(cluster.SourceNode, a.Device, m.ExternalInput)
-			}
-			tc *= jit.factor(name, "transfer")
-
-			tp := dev.ProcessingTime(m.Req.CPU) * jit.factor(name, "process")
-
-			readyAt := p.done + tc
-			startProc := readyAt
-			if deviceFree[a.Device] > startProc {
-				startProc = deviceFree[a.Device]
-			}
-			wait := (p.start - barrier) + (startProc - readyAt)
-			finish := startProc + tp
-			deviceFree[a.Device] = finish
-			finishOf[name] = finish
-
-			// Energy accounting: phases priced at the device's per-state
-			// draw; the static (idle) share over the CT window is split out
-			// so EC = E_a + E_s as in the paper.
-			meter := meters[a.Device]
-			idleW := dev.Power.Power(energy.Idle, "")
-			pullW := dev.Power.Power(energy.Pulling, name)
-			recvW := dev.Power.Power(energy.Receiving, name)
-			procW := dev.Power.Power(energy.Processing, name)
-			if _, err := meter.Record(p.start, td, energy.Pulling, name); err != nil {
-				return nil, err
-			}
-			if _, err := meter.Record(p.done, tc, energy.Receiving, name); err != nil {
-				return nil, err
-			}
-			if _, err := meter.Record(startProc, tp, energy.Processing, name); err != nil {
-				return nil, err
-			}
-			ct := td + tc + tp
-			active := (pullW - idleW).Over(td) + (recvW - idleW).Over(tc) + (procW - idleW).Over(tp)
-			static := idleW.Over(ct)
-
-			bytesFromRegistry[a.Registry] += p.missing
-			results[name] = &MicroserviceResult{
-				Name: name, Device: a.Device, Registry: a.Registry,
-				DeployTime: td, TransferTime: tc, ProcessTime: tp,
-				WaitTime: wait, CT: ct,
-				Start: barrier, Finish: finish,
-				Energy: active, StaticShare: static,
-				BytesPulled: p.missing, CacheHit: p.missing == 0,
-			}
-		}
-
-		// Barrier: the next stage starts once every microservice of this
-		// stage has finished.
-		for _, name := range stage {
-			if finishOf[name] > barrier {
-				barrier = finishOf[name]
-			}
-		}
-	}
-
-	res := &Result{
-		App:               app.Name,
-		Makespan:          barrier,
-		EnergyByDevice:    make(map[string]units.Joules),
-		BytesFromRegistry: bytesFromRegistry,
-	}
-	order, _ := app.TopoOrder()
-	for _, name := range order {
-		r := results[name]
-		res.Microservices = append(res.Microservices, *r)
-		res.TotalEnergy += r.TotalEnergy()
-	}
-	for name, meter := range meters {
-		res.EnergyByDevice[name] = meter.Total()
-	}
-	return res, nil
+// jitterFactor maps a hashed key to a value in [1-width, 1+width]. seedH is
+// the FNV-1a state after the seed's decimal digits; tag is the precomputed
+// "|app|ms|phase" suffix.
+func jitterFactor(seedH uint64, tag []byte, width float64) float64 {
+	u := float64(fnvAdd(seedH, tag)%1_000_003) / 1_000_003.0 // uniform in [0,1)
+	return 1 - width + 2*width*u
 }
 
 // jitterer derives deterministic multiplicative noise per (microservice,
-// phase) from the run seed.
+// phase) from the run seed. The zero width disables it.
 type jitterer struct {
 	seed  int64
 	width float64
@@ -219,12 +82,19 @@ type jitterer struct {
 }
 
 // factor returns a value in [1-width, 1+width], stable for a given key.
+// It allocates nothing.
 func (j jitterer) factor(ms, phase string) float64 {
 	if j.width == 0 {
 		return 1
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%s|%s", j.seed, j.app, ms, phase)
-	u := float64(h.Sum64()%1_000_003) / 1_000_003.0 // uniform in [0,1)
+	var digits [20]byte
+	h := fnvAdd(fnvOffset64, strconv.AppendInt(digits[:0], j.seed, 10))
+	h = fnvAddString(h, "|")
+	h = fnvAddString(h, j.app)
+	h = fnvAddString(h, "|")
+	h = fnvAddString(h, ms)
+	h = fnvAddString(h, "|")
+	h = fnvAddString(h, phase)
+	u := float64(h%1_000_003) / 1_000_003.0 // uniform in [0,1)
 	return 1 - j.width + 2*j.width*u
 }

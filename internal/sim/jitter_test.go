@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"testing"
+)
+
+// referenceFactor is the historical fmt.Fprintf + hash/fnv implementation
+// the allocation-free jitterer replaced; the produced factors must stay
+// bit-identical.
+func referenceFactor(seed int64, width float64, app, ms, phase string) float64 {
+	if width == 0 {
+		return 1
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%s", seed, app, ms, phase)
+	u := float64(h.Sum64()%1_000_003) / 1_000_003.0
+	return 1 - width + 2*width*u
+}
+
+func TestJitterFactorBitIdentical(t *testing.T) {
+	apps := []string{"video", "text", "app|with|pipes", ""}
+	mss := []string{"encode", "ocr", "a"}
+	phases := []string{"deploy", "transfer", "process"}
+	seeds := []int64{0, 1, -1, 42, -9000000000000000000, 9000000000000000000}
+	widths := []float64{0, 0.02, 0.5, 1.5}
+	for _, app := range apps {
+		for _, ms := range mss {
+			for _, phase := range phases {
+				for _, seed := range seeds {
+					for _, width := range widths {
+						j := jitterer{seed: seed, width: width, app: app}
+						got := j.factor(ms, phase)
+						want := referenceFactor(seed, width, app, ms, phase)
+						if got != want {
+							t.Fatalf("factor(%d,%v,%q,%q,%q) = %v, reference %v",
+								seed, width, app, ms, phase, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJitterFactorMatchesCompiledPath pins the executor's precomputed-tag
+// hashing (seed state + tag continuation) against the jitterer.
+func TestJitterFactorMatchesCompiledPath(t *testing.T) {
+	const width = 0.07
+	for _, seed := range []int64{0, 5, -31, 1 << 40} {
+		j := jitterer{seed: seed, width: width, app: "corpus"}
+		var digits [20]byte
+		seedH := fnvAdd(fnvOffset64, strconv.AppendInt(digits[:0], seed, 10))
+		for _, ms := range []string{"encode", "detect"} {
+			for _, phase := range []string{"deploy", "transfer", "process"} {
+				tag := []byte("|corpus|" + ms + "|" + phase)
+				if got, want := jitterFactor(seedH, tag, width), j.factor(ms, phase); got != want {
+					t.Fatalf("compiled factor %v != jitterer %v for seed %d %s/%s", got, want, seed, ms, phase)
+				}
+			}
+		}
+	}
+}
+
+func TestJitterFactorAllocationFree(t *testing.T) {
+	j := jitterer{seed: 42, width: 0.05, app: "video"}
+	var sink float64
+	if allocs := testing.AllocsPerRun(200, func() {
+		sink += j.factor("encode", "process")
+	}); allocs != 0 {
+		t.Fatalf("jitterer.factor allocates %v times per call", allocs)
+	}
+	tag := []byte("|video|encode|process")
+	if allocs := testing.AllocsPerRun(200, func() {
+		sink += jitterFactor(12345, tag, 0.05)
+	}); allocs != 0 {
+		t.Fatalf("jitterFactor allocates %v times per call", allocs)
+	}
+	_ = sink
+}

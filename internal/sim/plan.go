@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"deep/internal/dag"
+	"deep/internal/device"
+	"deep/internal/energy"
+	"deep/internal/units"
+)
+
+// Plan is the compiled form of one (application, cluster) pair for the
+// executor: integer-indexed barrier stages in canonical order, pre-resolved
+// registry→device and inter-device routes, interned image layers, per-phase
+// power draws, and precomputed jitter hash tags. Compiling once and
+// executing many times removes every string-keyed map, sort, and fmt call
+// from the simulation hot path; an Exec replays a Plan under any placement
+// with zero steady-state allocations.
+//
+// A Plan is immutable after CompilePlan and safe for concurrent Exec.Run
+// calls on separate Execs. It snapshots the cluster's topology, power
+// models, and layer decomposition; mutating the cluster afterwards is not
+// supported (the same contract as costmodel.Model). The paired Exec still
+// drives the cluster's real per-device layer caches, so warm-cache state
+// keeps flowing between compiled runs, legacy sim.Run calls, and any other
+// observer of device.LayerCache.
+type Plan struct {
+	app     *dag.App
+	cluster *Cluster
+
+	// Name tables; ids are positions, sorted so ascending id order is
+	// ascending name order (the executor's canonical stage order).
+	msNames  []string
+	devNames []string
+	regNames []string
+	msIndex  map[string]int32
+	devIndex map[string]int32
+	regIndex map[string]int32
+
+	// ms[i] is the microservice with id i; devices[d] the interned device
+	// (first occurrence on duplicate names, matching Cluster.Device).
+	ms      []*dag.Microservice
+	devices []*device.Device
+
+	regShared []bool
+
+	// regLink[r*numDev+d] is the route from registry r's node to device d;
+	// devLink[f*numDev+t] between devices (loopback when f == t); srcLink[d]
+	// from the external-input source node.
+	regLink   []planLink
+	devLink   []planLink
+	srcLink   []planLink
+	hasSource bool
+
+	// feasible[i*numDev+d] reports device d can run microservice i
+	// (architecture + static resources), precomputed so per-run placement
+	// validation is allocation-free.
+	feasible []bool
+
+	layers   [][]Layer     // per ms: interned image layers (LayersOf order)
+	inputs   [][]planInput // per ms: incoming dataflows in DAG order
+	extInput []units.Bytes // per ms
+
+	// Per-(microservice, device) tables, indexed ms*numDev+dev. The act*
+	// tables hold the draw above idle, precomputed so the executor prices
+	// active energy without per-run subtractions.
+	tp       []float64
+	pullW    []units.Watts
+	recvW    []units.Watts
+	procW    []units.Watts
+	actPullW []units.Watts
+	actRecvW []units.Watts
+	actProcW []units.Watts
+	idleW    []units.Watts // per device
+
+	// Barrier stages (each ascending = lexicographic name order, the order
+	// the legacy executor sorted into per call) and topological order, with
+	// the structural validation errors captured at compile time.
+	stages    [][]int32
+	topo      []int32
+	appErr    error
+	stagesErr error
+
+	// jitterTag[phase][ms] is the byte suffix "|app|ms|phase" the jitterer
+	// hashes after the run seed; precomputing it makes the per-phase factor
+	// a pure FNV-1a continuation.
+	jitterTag [3][][]byte
+}
+
+// planLink is a precomputed route: ok is false when no route exists.
+type planLink struct {
+	bw  units.Bandwidth
+	rtt float64
+	ok  bool
+}
+
+// planInput is one incoming dataflow in compiled form.
+type planInput struct {
+	from int32
+	size units.Bytes
+}
+
+// Jitter phase indices into Plan.jitterTag.
+const (
+	phaseDeploy = iota
+	phaseTransfer
+	phaseProcess
+)
+
+// CompilePlan builds the compiled executor plan. It never fails: structural
+// problems in the DAG (cycles, disconnection) are captured and surface from
+// Exec.Run exactly where the legacy executor reported them.
+func CompilePlan(app *dag.App, cluster *Cluster) *Plan {
+	p := &Plan{app: app, cluster: cluster}
+
+	// Name tables are deduplicated: on duplicate names the first occurrence
+	// wins everywhere (matching Cluster.Device / Cluster.Registry and the
+	// legacy executor's lookups), and the parallel id-indexed tables stay
+	// fully populated.
+	p.msNames = make([]string, 0, len(app.Microservices))
+	for _, m := range app.Microservices {
+		p.msNames = append(p.msNames, m.Name)
+	}
+	sort.Strings(p.msNames)
+	p.msNames = slices.Compact(p.msNames)
+	p.msIndex = planIndexOf(p.msNames)
+
+	p.devNames = make([]string, 0, len(cluster.Devices))
+	for _, d := range cluster.Devices {
+		p.devNames = append(p.devNames, d.Name)
+	}
+	sort.Strings(p.devNames)
+	p.devNames = slices.Compact(p.devNames)
+	p.devIndex = planIndexOf(p.devNames)
+
+	p.regNames = make([]string, 0, len(cluster.Registries))
+	for _, r := range cluster.Registries {
+		p.regNames = append(p.regNames, r.Name)
+	}
+	sort.Strings(p.regNames)
+	p.regNames = slices.Compact(p.regNames)
+	p.regIndex = planIndexOf(p.regNames)
+
+	nm, nd, nr := len(p.msNames), len(p.devNames), len(p.regNames)
+
+	p.ms = make([]*dag.Microservice, nm)
+	for _, m := range app.Microservices {
+		if i, ok := p.msIndex[m.Name]; ok && p.ms[i] == nil {
+			p.ms[i] = m
+		}
+	}
+	p.devices = make([]*device.Device, nd)
+	for _, d := range cluster.Devices {
+		if i, ok := p.devIndex[d.Name]; ok && p.devices[i] == nil {
+			p.devices[i] = d
+		}
+	}
+
+	p.regShared = make([]bool, nr)
+	regNodes := make([]string, nr)
+	regSet := make([]bool, nr)
+	for _, r := range cluster.Registries {
+		// First occurrence wins on duplicates, matching Cluster.Registry.
+		if i, ok := p.regIndex[r.Name]; ok && !regSet[i] {
+			regSet[i] = true
+			p.regShared[i] = r.Shared
+			regNodes[i] = r.Node
+		}
+	}
+
+	p.regLink = make([]planLink, nr*nd)
+	for r := 0; r < nr; r++ {
+		for d := 0; d < nd; d++ {
+			p.regLink[r*nd+d] = compilePlanLink(cluster, regNodes[r], p.devNames[d])
+		}
+	}
+	p.devLink = make([]planLink, nd*nd)
+	for f := 0; f < nd; f++ {
+		for t := 0; t < nd; t++ {
+			p.devLink[f*nd+t] = compilePlanLink(cluster, p.devNames[f], p.devNames[t])
+		}
+	}
+	p.hasSource = cluster.SourceNode != ""
+	p.srcLink = make([]planLink, nd)
+	if p.hasSource {
+		for d := 0; d < nd; d++ {
+			p.srcLink[d] = compilePlanLink(cluster, cluster.SourceNode, p.devNames[d])
+		}
+	}
+
+	p.feasible = make([]bool, nm*nd)
+	p.layers = make([][]Layer, nm)
+	p.inputs = make([][]planInput, nm)
+	p.extInput = make([]units.Bytes, nm)
+	p.tp = make([]float64, nm*nd)
+	p.pullW = make([]units.Watts, nm*nd)
+	p.recvW = make([]units.Watts, nm*nd)
+	p.procW = make([]units.Watts, nm*nd)
+	p.actPullW = make([]units.Watts, nm*nd)
+	p.actRecvW = make([]units.Watts, nm*nd)
+	p.actProcW = make([]units.Watts, nm*nd)
+	p.idleW = make([]units.Watts, nd)
+
+	for d := 0; d < nd; d++ {
+		p.idleW[d] = p.devices[d].Power.Power(energy.Idle, "")
+	}
+	for i := 0; i < nm; i++ {
+		m := p.ms[i]
+		p.layers[i] = cluster.LayersOf(m)
+		p.extInput[i] = m.ExternalInput
+		for d := 0; d < nd; d++ {
+			dev := p.devices[d]
+			base := i*nd + d
+			p.feasible[base] = dev.CanRun(m) == nil
+			p.tp[base] = dev.ProcessingTime(m.Req.CPU)
+			p.pullW[base] = dev.Power.Power(energy.Pulling, m.Name)
+			p.recvW[base] = dev.Power.Power(energy.Receiving, m.Name)
+			p.procW[base] = dev.Power.Power(energy.Processing, m.Name)
+			p.actPullW[base] = p.pullW[base] - p.idleW[d]
+			p.actRecvW[base] = p.recvW[base] - p.idleW[d]
+			p.actProcW[base] = p.procW[base] - p.idleW[d]
+		}
+	}
+
+	for _, e := range app.Dataflows {
+		to, okTo := p.msIndex[e.To]
+		from, okFrom := p.msIndex[e.From]
+		if !okTo || !okFrom {
+			continue
+		}
+		p.inputs[to] = append(p.inputs[to], planInput{from: from, size: e.Size})
+	}
+
+	for phase, tag := range []string{"deploy", "transfer", "process"} {
+		p.jitterTag[phase] = make([][]byte, nm)
+		for i, name := range p.msNames {
+			p.jitterTag[phase][i] = []byte("|" + app.Name + "|" + name + "|" + tag)
+		}
+	}
+
+	// Capture structural validation now so runs never re-walk the DAG. The
+	// errors surface from Exec.Run in the same order the legacy executor
+	// reported them: app validation, placement checks, then stages.
+	p.appErr = app.Validate()
+	if stages, err := app.Stages(); err != nil {
+		p.stagesErr = err
+	} else {
+		p.stages = make([][]int32, len(stages))
+		for i, stage := range stages {
+			ids := make([]int32, len(stage))
+			for k, n := range stage {
+				ids[k] = p.msIndex[n]
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			p.stages[i] = ids
+		}
+	}
+	if order, err := app.TopoOrder(); err == nil {
+		p.topo = make([]int32, len(order))
+		for i, n := range order {
+			p.topo[i] = p.msIndex[n]
+		}
+	}
+	return p
+}
+
+// compilePlanLink snapshots the topology route from node a to node b,
+// including netsim's implicit infinite-bandwidth loopback for a == b.
+func compilePlanLink(cluster *Cluster, a, b string) planLink {
+	l, ok := cluster.Topology.LinkBetween(a, b)
+	if !ok {
+		return planLink{}
+	}
+	return planLink{bw: l.BW, rtt: l.RTT, ok: true}
+}
+
+func planIndexOf(names []string) map[string]int32 {
+	idx := make(map[string]int32, len(names))
+	for i, n := range names {
+		if _, dup := idx[n]; !dup {
+			idx[n] = int32(i)
+		}
+	}
+	return idx
+}
+
+// Rebind returns a view of the plan that executes against an equivalent
+// cluster: same device, registry, topology, and layer shape (callers
+// sharing plans across workers guarantee this by keying them on a cluster
+// digest). The immutable compiled tables are shared between the views; only
+// the device handles — and with them the layer caches the Exec drives and
+// flushes — are swapped, so one fleet-wide plan can execute against each
+// worker's private cache state without workers mutating one another's
+// clusters. Returns false when the cluster does not resolve every device
+// name (the shapes differ; compile a fresh plan instead).
+func (p *Plan) Rebind(cluster *Cluster) (*Plan, bool) {
+	if cluster == p.cluster {
+		return p, true
+	}
+	devices := make([]*device.Device, len(p.devNames))
+	for i, name := range p.devNames {
+		d := cluster.Device(name)
+		if d == nil {
+			return nil, false
+		}
+		devices[i] = d
+	}
+	q := *p
+	q.cluster = cluster
+	q.devices = devices
+	return &q, true
+}
+
+// NumMicroservices returns the number of compiled microservices.
+func (p *Plan) NumMicroservices() int { return len(p.msNames) }
+
+// NumDevices returns the number of compiled devices.
+func (p *Plan) NumDevices() int { return len(p.devNames) }
+
+// NumRegistries returns the number of compiled registries.
+func (p *Plan) NumRegistries() int { return len(p.regNames) }
+
+// App returns the application the plan was compiled from.
+func (p *Plan) App() *dag.App { return p.app }
+
+// Cluster returns the cluster the plan was compiled against.
+func (p *Plan) Cluster() *Cluster { return p.cluster }
+
+// validate checks the placement the way the legacy executor's
+// cluster.Validate did — same walk order, same errors — but against the
+// precomputed feasibility table, so a valid placement validates with zero
+// allocations.
+func (p *Plan) validate(placement Placement) error {
+	if p.appErr != nil {
+		return p.appErr
+	}
+	nd := len(p.devNames)
+	for _, m := range p.app.Microservices {
+		a, ok := placement[m.Name]
+		if !ok {
+			return fmt.Errorf("sim: placement missing microservice %q", m.Name)
+		}
+		d, okD := p.devIndex[a.Device]
+		if !okD {
+			return fmt.Errorf("sim: placement of %q names unknown device %q", m.Name, a.Device)
+		}
+		if _, okR := p.regIndex[a.Registry]; !okR {
+			return fmt.Errorf("sim: placement of %q names unknown registry %q", m.Name, a.Registry)
+		}
+		if i, okM := p.msIndex[m.Name]; okM && !p.feasible[int(i)*nd+int(d)] {
+			return fmt.Errorf("sim: infeasible placement: %w", p.devices[d].CanRun(m))
+		}
+	}
+	return nil
+}

@@ -7,7 +7,6 @@ import (
 
 	"deep/internal/dag"
 	"deep/internal/device"
-	"deep/internal/energy"
 	"deep/internal/netsim"
 	"deep/internal/units"
 )
@@ -197,6 +196,27 @@ type Result struct {
 	BytesFromRegistry map[string]units.Bytes
 }
 
+// Clone returns a deep copy of the result. The compiled executor reuses its
+// Result buffer across runs; callers that hand a result to another goroutine
+// or keep it past the next run clone it first.
+func (r *Result) Clone() *Result {
+	c := *r
+	c.Microservices = append([]MicroserviceResult(nil), r.Microservices...)
+	if r.EnergyByDevice != nil {
+		c.EnergyByDevice = make(map[string]units.Joules, len(r.EnergyByDevice))
+		for k, v := range r.EnergyByDevice {
+			c.EnergyByDevice[k] = v
+		}
+	}
+	if r.BytesFromRegistry != nil {
+		c.BytesFromRegistry = make(map[string]units.Bytes, len(r.BytesFromRegistry))
+		for k, v := range r.BytesFromRegistry {
+			c.BytesFromRegistry[k] = v
+		}
+	}
+	return &c
+}
+
 // ByName returns the result row for a microservice and whether it exists.
 func (r *Result) ByName(name string) (MicroserviceResult, bool) {
 	for _, m := range r.Microservices {
@@ -213,13 +233,4 @@ func (r *Result) Sorted() []MicroserviceResult {
 	copy(out, r.Microservices)
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
-}
-
-// meterFor builds an energy meter for each device in the cluster.
-func metersFor(c *Cluster) map[string]*energy.Meter {
-	ms := make(map[string]*energy.Meter, len(c.Devices))
-	for _, d := range c.Devices {
-		ms[d.Name] = energy.NewMeter(d.Power)
-	}
-	return ms
 }
