@@ -268,6 +268,57 @@ func BenchmarkSimRun(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileShape times the cold (app, cluster) compile path — the
+// first sight of a request shape — in both forms: legacy builds the cost
+// model and the simulator plan from scratch (each rebuilding the cluster's
+// name tables and dense link tables), while shared compiles both on a warm
+// topo.ClusterTable, the fleet's steady state where the cluster-side
+// substrate is cached per cluster digest and only the app-side pass runs.
+// The shared rows are what the second (and every later) app arriving on an
+// already-seen cluster pays. BENCH_compile.json records ns/op and allocs/op;
+// CI's allocguard gates the alloc counts.
+func BenchmarkCompileShape(b *testing.B) {
+	cfg := workload.DefaultGeneratorConfig(12, 42)
+	cfg.StageWidth = 4
+	synth, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		app     *deep.App
+		cluster *deep.Cluster
+	}{
+		{"compile/video/testbed", workload.VideoProcessing(), workload.Testbed()},
+		{"compile/synthetic12/scaled50", synth, workload.ScaledTestbed(25)},
+	}
+	for _, c := range cases {
+		b.Run(c.name+"/legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				model := costmodel.Compile(c.app, c.cluster)
+				plan := sim.CompilePlan(c.app, c.cluster)
+				if model == nil || plan == nil {
+					b.Fatal("compile failed")
+				}
+			}
+		})
+		b.Run(c.name+"/shared", func(b *testing.B) {
+			table := sim.CompileClusterTable(c.cluster)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				model := costmodel.CompileOn(c.app, c.cluster, table)
+				plan := sim.CompilePlanOn(c.app, c.cluster, table)
+				if model == nil || plan == nil {
+					b.Fatal("compile failed")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLemkeHowson4x4 times the Lemke-Howson pivot on the pair games
 // DEEP solves per stage.
 func BenchmarkLemkeHowson4x4(b *testing.B) {
@@ -362,7 +413,9 @@ func BenchmarkFleetThroughput(b *testing.B) {
 						Workers:    workers,
 						QueueDepth: 256,
 						CacheSize:  cacheSize,
-						SimOptions: deep.Options{WarmCaches: warmSim},
+						// sim=warm is the fleet default; the cold rows opt
+						// out to keep the per-request-flush dimension.
+						ColdCaches: !warmSim,
 					})
 					defer f.Close()
 					b.ResetTimer()

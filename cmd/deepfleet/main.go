@@ -30,6 +30,7 @@ func main() {
 	duration := flag.Duration("duration", 0, "stop after this wall time (0 = unbounded)")
 	speedup := flag.Float64("speedup", 1, "replay arrivals this many times faster than real time")
 	scheduler := flag.String("scheduler", "deep", "scheduling method: deep|exclusive-hub|exclusive-regional|greedy-energy|min-ct|round-robin|random")
+	cold := flag.Bool("cold", false, "flush device layer caches before every simulation (opt out of the long-lived-service warm default)")
 	clusterSize := flag.Int("cluster", 1, "testbed device pairs (1 = the paper's two-device testbed)")
 	mixKind := flag.String("mix", "casestudy", "application mix: casestudy|synthetic")
 	tenants := flag.Int("tenants", 4, "synthetic mix: number of tenants")
@@ -88,6 +89,10 @@ func main() {
 		CacheSize:    *cacheSize,
 		NewScheduler: schedulerByName,
 		NewCluster:   func() *deep.Cluster { return deep.ScaledTestbed(*clusterSize) },
+		// The fleet defaults to warm simulation caches (a long-lived
+		// service keeps its image caches); -cold restores per-request
+		// flushing for one-shot-style measurements.
+		ColdCaches: *cold,
 	})
 	defer f.Close()
 
@@ -98,8 +103,12 @@ func main() {
 	if *cacheSize < 0 {
 		cacheLabel = "off"
 	}
-	fmt.Printf("deepfleet: workers=%d queue=%d cache=%s arrivals=%s cluster-pairs=%d scheduler=%s\n",
-		*workers, *queue, cacheLabel, *arrivals, *clusterSize, *scheduler)
+	simLabel := "warm"
+	if *cold {
+		simLabel = "cold"
+	}
+	fmt.Printf("deepfleet: workers=%d queue=%d cache=%s arrivals=%s cluster-pairs=%d scheduler=%s sim=%s\n",
+		*workers, *queue, cacheLabel, *arrivals, *clusterSize, *scheduler, simLabel)
 	start := time.Now()
 	report, err := deep.DriveFleet(ctx, f, deep.TrafficConfig{
 		Arrivals: proc,

@@ -30,10 +30,12 @@ import (
 	"context"
 
 	"deep/internal/core"
+	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/fleet"
 	"deep/internal/sched"
 	"deep/internal/sim"
+	"deep/internal/topo"
 	"deep/internal/units"
 	"deep/internal/workload"
 )
@@ -71,6 +73,11 @@ type (
 	// SimExec is the reusable zero-steady-state-allocation simulator
 	// executor.
 	SimExec = sim.Exec
+	// ClusterTable is the compiled cluster-side substrate (sorted name
+	// tables, interned devices, dense link tables) shared by every
+	// per-application compile against one cluster; build it once with
+	// CompileClusterTable and feed it to CompileSimPlanOn.
+	ClusterTable = topo.ClusterTable
 
 	// Scheduler produces placements.
 	Scheduler = sched.Scheduler
@@ -165,9 +172,29 @@ func Run(app *App, cluster *Cluster, placement Placement, opts Options) (*Result
 
 // CompileSimPlan compiles an (app, cluster) pair for repeated simulation.
 // The plan is immutable and safe to share across goroutines, each driving
-// its own SimExec.
+// its own SimExec. Compiling several apps against one cluster? Use
+// CompileClusterTable once plus CompileSimPlanOn per app, so the cluster's
+// topology scan isn't repeated per application.
 func CompileSimPlan(app *App, cluster *Cluster) *SimPlan {
 	return sim.CompilePlan(app, cluster)
+}
+
+// CompileClusterTable compiles the cluster-side substrate every
+// per-application compile builds on: sorted+compacted device/registry name
+// tables, interned device handles, the dense registry→device /
+// device→device / source link tables, and idle power. It is immutable, safe
+// to share across goroutines, and reusable for any number of applications
+// on the same cluster — the fleet caches one per cluster digest.
+func CompileClusterTable(cluster *Cluster) *ClusterTable {
+	return sim.CompileClusterTable(cluster)
+}
+
+// CompileSimPlanOn compiles an application's simulation plan over a shared
+// cluster table, skipping the per-cluster topology scan — the multi-app-per
+// cluster fast path (see examples/customapp). The table must have been
+// compiled from an identically-shaped cluster (normally the same one).
+func CompileSimPlanOn(app *App, cluster *Cluster, table *ClusterTable) *SimPlan {
+	return sim.CompilePlanOn(app, cluster, table)
 }
 
 // NewSimExec returns a reusable simulator executor. Exec.Run(plan,
@@ -178,6 +205,18 @@ func NewSimExec() *SimExec { return sim.NewExec() }
 
 // Schedule computes a placement with the given scheduler.
 func Schedule(s Scheduler, app *App, cluster *Cluster) (Placement, error) {
+	return s.Schedule(app, cluster)
+}
+
+// ScheduleOn computes a placement over a shared cluster table: every shipped
+// scheduler runs on a compiled cost model, so only the application-side pass
+// compiles — the cluster's topology scan is skipped, same as
+// CompileSimPlanOn on the simulation side. Schedulers that cannot read a
+// model fall back to Schedule.
+func ScheduleOn(s Scheduler, app *App, cluster *Cluster, table *ClusterTable) (Placement, error) {
+	if ms, ok := s.(sched.ModelScheduler); ok {
+		return ms.ScheduleModel(costmodel.CompileOn(app, cluster, table))
+	}
 	return s.Schedule(app, cluster)
 }
 

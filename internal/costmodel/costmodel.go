@@ -18,17 +18,24 @@
 // mutable scratch lives in State (one per scheduling pass, arena-style, not
 // goroutine-safe). Fleet workers cache one Model per request fingerprint and
 // reuse it across requests.
+//
+// The cluster-side tables (device/registry names, dense link tables,
+// shared-uplink flags) live in a topo.ClusterTable; CompileOn layers the
+// application-side pass over a caller-supplied table so N applications on
+// one cluster — and the simulator's CompilePlanOn next door — share one
+// topology scan, and Compile builds a private table on the fly.
 package costmodel
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"deep/internal/dag"
-	"deep/internal/device"
 	"deep/internal/energy"
 	"deep/internal/game"
 	"deep/internal/sim"
+	"deep/internal/topo"
 	"deep/internal/units"
 )
 
@@ -37,13 +44,6 @@ import (
 type Option struct {
 	Device   int32
 	Registry int32
-}
-
-// link is a precomputed topology edge: ok is false when no route exists.
-type link struct {
-	bw  units.Bandwidth
-	rtt float64
-	ok  bool
 }
 
 // msInput is one incoming dataflow in compiled form, in DAG declaration
@@ -58,8 +58,12 @@ type Model struct {
 	App     *dag.App
 	Cluster *sim.Cluster
 
-	// Name tables; ids are positions in these slices, which are sorted so
-	// ascending id order is ascending name order.
+	tab *topo.ClusterTable
+
+	// Name tables; ids are positions in these slices, which are sorted and
+	// compacted so ascending id order is ascending name order. The device
+	// and registry tables are the cluster table's, referenced here for the
+	// estimator's hot path.
 	msNames  []string
 	devNames []string
 	regNames []string
@@ -67,16 +71,16 @@ type Model struct {
 	devIndex map[string]int32
 	regIndex map[string]int32
 
-	regShared []bool // per registry
+	regShared []bool // per registry (the cluster table's)
 
-	// regLink[r*numDev+d] is the route from registry r's node to device d.
-	regLink []link
-	// devLink[f*numDev+t] is the route from device f to device t (loopback
-	// when f == t, mirroring netsim's implicit infinite-bandwidth loopback).
-	devLink []link
-	// srcLink[d] is the route from the external-input source node to device
-	// d; unused when the cluster has no source node.
-	srcLink   []link
+	// Cluster-side dense link tables, shared with the topo.ClusterTable:
+	// regLink[r*numDev+d] is the route from registry r's node to device d;
+	// devLink[f*numDev+t] from device f to device t (loopback when f == t,
+	// mirroring netsim's implicit infinite-bandwidth loopback); srcLink[d]
+	// from the external-input source node (unused without a source node).
+	regLink   []topo.Link
+	devLink   []topo.Link
+	srcLink   []topo.Link
 	hasSource bool
 
 	imageSize []units.Bytes // per microservice
@@ -113,74 +117,44 @@ type Model struct {
 	topoErr   error
 }
 
-// Compile builds the indexed model. It never fails: structural problems in
-// the DAG (cycles, disconnection) surface from Stages and Topo, matching
-// where the string-keyed schedulers validated.
+// Compile builds the indexed model, compiling a private cluster table on
+// the fly. It never fails: structural problems in the DAG (cycles,
+// disconnection) surface from Stages and Topo, matching where the
+// string-keyed schedulers validated. Callers compiling several applications
+// against one cluster should sim.CompileClusterTable once and use CompileOn.
 func Compile(app *dag.App, cluster *sim.Cluster) *Model {
-	m := &Model{App: app, Cluster: cluster}
+	return CompileOn(app, cluster, sim.CompileClusterTable(cluster))
+}
+
+// CompileOn builds the model's application-side pass over a shared cluster
+// table, skipping the topology scan entirely. tab must describe cluster's
+// shape (same devices, registries, topology routes — the fleet guarantees
+// this by keying tables on the cluster digest).
+func CompileOn(app *dag.App, cluster *sim.Cluster, tab *topo.ClusterTable) *Model {
+	m := &Model{App: app, Cluster: cluster, tab: tab}
 
 	m.msNames = make([]string, 0, len(app.Microservices))
 	for _, ms := range app.Microservices {
 		m.msNames = append(m.msNames, ms.Name)
 	}
 	sort.Strings(m.msNames)
+	m.msNames = slices.Compact(m.msNames)
 	m.msIndex = indexOf(m.msNames)
 
-	m.devNames = make([]string, 0, len(cluster.Devices))
-	for _, d := range cluster.Devices {
-		m.devNames = append(m.devNames, d.Name)
-	}
-	sort.Strings(m.devNames)
-	m.devIndex = indexOf(m.devNames)
-
-	m.regNames = make([]string, 0, len(cluster.Registries))
-	for _, r := range cluster.Registries {
-		m.regNames = append(m.regNames, r.Name)
-	}
-	sort.Strings(m.regNames)
-	m.regIndex = indexOf(m.regNames)
+	m.devNames = tab.DevNames()
+	m.devIndex = tab.DevIndex()
+	m.regNames = tab.RegNames()
+	m.regIndex = tab.RegIndex()
 
 	nm, nd, nr := len(m.msNames), len(m.devNames), len(m.regNames)
 
-	devices := make([]*device.Device, nd)
-	for _, d := range cluster.Devices {
-		if i, ok := m.devIndex[d.Name]; ok && devices[i] == nil {
-			devices[i] = d
-		}
-	}
+	devices := tab.Devices()
 
-	m.regShared = make([]bool, nr)
-	regNodes := make([]string, nr)
-	regSet := make([]bool, nr)
-	for _, r := range cluster.Registries {
-		// First occurrence wins on duplicate names, matching
-		// Cluster.Registry and the former linear scans.
-		if i, ok := m.regIndex[r.Name]; ok && !regSet[i] {
-			regSet[i] = true
-			m.regShared[i] = r.Shared
-			regNodes[i] = r.Node
-		}
-	}
-
-	m.regLink = make([]link, nr*nd)
-	for r := 0; r < nr; r++ {
-		for d := 0; d < nd; d++ {
-			m.regLink[r*nd+d] = compileLink(cluster, regNodes[r], m.devNames[d])
-		}
-	}
-	m.devLink = make([]link, nd*nd)
-	for f := 0; f < nd; f++ {
-		for t := 0; t < nd; t++ {
-			m.devLink[f*nd+t] = compileLink(cluster, m.devNames[f], m.devNames[t])
-		}
-	}
-	m.hasSource = cluster.SourceNode != ""
-	m.srcLink = make([]link, nd)
-	if m.hasSource {
-		for d := 0; d < nd; d++ {
-			m.srcLink[d] = compileLink(cluster, cluster.SourceNode, m.devNames[d])
-		}
-	}
+	m.regShared = tab.RegShared()
+	m.regLink = tab.RegLinks()
+	m.devLink = tab.DevLinks()
+	m.srcLink = tab.SrcLinks()
+	m.hasSource = tab.HasSource()
 
 	m.imageSize = make([]units.Bytes, nm)
 	m.extInput = make([]units.Bytes, nm)
@@ -195,24 +169,30 @@ func Compile(app *dag.App, cluster *sim.Cluster) *Model {
 	m.soloDevs = make([][]int32, nm)
 	m.soloRegs = make([][]int32, nm)
 
+	// Intern each compiled microservice's definition first (first
+	// occurrence wins on duplicate names, matching the name-table
+	// compaction and the simulator plan), then fill the per-microservice
+	// tables in id order.
+	msPtr := make([]*dag.Microservice, nm)
 	for _, ms := range app.Microservices {
-		i, ok := m.msIndex[ms.Name]
-		if !ok {
-			continue
+		if i, ok := m.msIndex[ms.Name]; ok && msPtr[i] == nil {
+			msPtr[i] = ms
 		}
-		mi := int(i)
+	}
+	for mi := 0; mi < nm; mi++ {
+		ms := msPtr[mi]
 		m.imageSize[mi] = ms.ImageSize
 		m.extInput[mi] = ms.ExternalInput
 		var opts []Option
 		var regSeen int64 // bitset over registries reachable from a feasible device
 		for d := 0; d < nd; d++ {
-			di := devices[d]
-			if di == nil || di.CanRun(ms) != nil {
+			if !tab.Feasible(int32(d), ms) {
 				continue
 			}
+			di := devices[d]
 			first := true
 			for r := 0; r < nr; r++ {
-				if !m.regLink[r*nd+d].ok {
+				if !m.regLink[r*nd+d].OK {
 					continue
 				}
 				opts = append(opts, Option{Device: int32(d), Registry: int32(r)})
@@ -289,16 +269,6 @@ func Compile(app *dag.App, cluster *sim.Cluster) *Model {
 	// from Stages/Topo, where the schedulers report them.
 	m.memoStructure()
 	return m
-}
-
-// compileLink snapshots the topology route from node a to device node b,
-// including netsim's loopback semantics for a == b.
-func compileLink(cluster *sim.Cluster, a, b string) link {
-	l, ok := cluster.Topology.LinkBetween(a, b)
-	if !ok {
-		return link{}
-	}
-	return link{bw: l.BW, rtt: l.RTT, ok: true}
 }
 
 func indexOf(names []string) map[string]int32 {
@@ -384,8 +354,11 @@ func (m *Model) SoloCells(ms int32) []int32 { return m.soloCells[ms] }
 
 // LinkOK reports whether the registry's node routes to the device.
 func (m *Model) LinkOK(reg, dev int32) bool {
-	return m.regLink[int(reg)*len(m.devNames)+int(dev)].ok
+	return m.regLink[int(reg)*len(m.devNames)+int(dev)].OK
 }
+
+// Table returns the cluster-side table the model was compiled on.
+func (m *Model) Table() *topo.ClusterTable { return m.tab }
 
 func (m *Model) memoStructure() {
 	if err := m.App.Validate(); err != nil {
@@ -512,10 +485,10 @@ func (s *State) phases(ms int32, o Option, coMS []int32, coOpt []Option) (td, tc
 func (s *State) deployTime(ms int32, o Option, coMS []int32, coOpt []Option) float64 {
 	m := s.m
 	l := m.regLink[int(o.Registry)*len(m.devNames)+int(o.Device)]
-	if !l.ok {
+	if !l.OK {
 		return 0
 	}
-	bw := l.bw
+	bw := l.BW
 	if m.regShared[o.Registry] {
 		n := 1
 		s.epoch++
@@ -534,10 +507,10 @@ func (s *State) deployTime(ms int32, o Option, coMS []int32, coOpt []Option) flo
 			}
 		}
 		if n > 1 {
-			bw = l.bw / units.Bandwidth(n)
+			bw = l.BW / units.Bandwidth(n)
 		}
 	}
-	return l.rtt + bw.Seconds(m.imageSize[ms])
+	return l.RTT + bw.Seconds(m.imageSize[ms])
 }
 
 // transferTime computes Tc onto the device: every incoming dataflow from
@@ -555,16 +528,16 @@ func (s *State) transferTime(ms int32, dev int32) float64 {
 			from = pd
 		}
 		dl := m.devLink[int(from)*nd+int(dev)]
-		if dl.ok {
-			tc += dl.rtt + dl.bw.Seconds(in.size)
+		if dl.OK {
+			tc += dl.RTT + dl.BW.Seconds(in.size)
 		} else {
 			tc += math.Inf(1)
 		}
 	}
 	if m.extInput[ms] > 0 && m.hasSource {
 		sl := m.srcLink[dev]
-		if sl.ok {
-			tc += sl.rtt + sl.bw.Seconds(m.extInput[ms])
+		if sl.OK {
+			tc += sl.RTT + sl.BW.Seconds(m.extInput[ms])
 		} else {
 			tc += math.Inf(1)
 		}

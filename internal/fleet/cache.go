@@ -14,6 +14,7 @@ import (
 	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/sim"
+	"deep/internal/topo"
 )
 
 // Fingerprint is a canonical digest of a (application DAG, cluster,
@@ -198,8 +199,22 @@ func sortDataflows(edges []dag.Dataflow) {
 func quoted(s string) string { return strconv.Quote(s) }
 
 func writeClusterFingerprint(w io.Writer, c *sim.Cluster) {
+	// Duplicate device and registry names are dropped before hashing,
+	// keeping the first occurrence in declaration order — the entry the
+	// compiled substrate (topo.ClusterTable, Cluster.Device/Registry
+	// interning) resolves the name to. Digesting the losers too would let
+	// two clusters with different winners collide (sorting the records
+	// erases declaration order), handing a digest-keyed consumer a shared
+	// table whose semantics differ from its own cluster's; digesting only
+	// the winners makes digest equality coincide exactly with compiled
+	// behavior.
 	devices := make([]string, 0, len(c.Devices))
+	devSeen := make(map[string]bool, len(c.Devices))
 	for _, d := range c.Devices {
+		if devSeen[d.Name] {
+			continue
+		}
+		devSeen[d.Name] = true
 		// %v over the power model is deterministic: fmt prints maps in
 		// sorted key order. Names are quoted so separator bytes inside
 		// them cannot realign records.
@@ -211,7 +226,12 @@ func writeClusterFingerprint(w io.Writer, c *sim.Cluster) {
 		fmt.Fprintln(w, d)
 	}
 	regs := make([]string, 0, len(c.Registries))
+	regSeen := make(map[string]bool, len(c.Registries))
 	for _, r := range c.Registries {
+		if regSeen[r.Name] {
+			continue
+		}
+		regSeen[r.Name] = true
 		regs = append(regs, fmt.Sprintf("reg|%s|%s|%t", quoted(r.Name), quoted(r.Node), r.Shared))
 	}
 	sort.Strings(regs)
@@ -382,24 +402,53 @@ type compiledShape struct {
 	plan  *sim.Plan
 }
 
-// sharedModelCache is the fleet-wide compiled-shape cache: read-mostly,
-// sharded by fingerprint across independently locked shards so workers
-// rarely contend, with a singleflight fill — the first worker to miss a key
-// compiles while every other worker asking for the same key blocks on that
-// one compilation instead of redundantly compiling its own copy. Hot
-// tenants therefore compile once per fleet, not once per worker. Compiled
-// models and plans are immutable and safe for concurrent ScheduleModel and
-// Exec.Run calls, which is what makes sharing them across the pool sound;
-// cluster identity is part of the key (ModelKey folds the cluster digest
-// in), so a worker with a different cluster can never be handed a stale
-// shape.
+// sharedModelCache is the fleet-wide two-level compiled-shape cache.
+//
+// The outer level holds cluster tables (topo.ClusterTable): the cluster-side
+// substrate — sorted name tables, interned devices, the dense link tables —
+// keyed by cluster digest with a singleflight fill, so N applications
+// arriving on one cluster pay the O(devices²) topology scan once instead of
+// once per (app, compiler). The inner level holds compiled shapes (cost
+// model + simulator plan), read-mostly, sharded by fingerprint across
+// independently locked shards so workers rarely contend, also
+// singleflight-filled — the first worker to miss a key compiles (on the
+// shared cluster table) while every other worker asking for the same key
+// blocks on that one compilation instead of redundantly compiling its own
+// copy. Hot tenants therefore compile once per fleet, not once per worker.
+//
+// Compiled tables, models, and plans are immutable and safe for concurrent
+// ScheduleModel and Exec.Run calls, which is what makes sharing them across
+// the pool sound; cluster identity is part of every key (ModelKey folds the
+// cluster digest in), so a worker with a different cluster can never be
+// handed a stale shape.
 type sharedModelCache struct {
 	shards []modelShard
+
+	// Cluster-table level, keyed by raw cluster digest bytes. Clusters are
+	// few (normally one per fleet — every worker runs Config.NewCluster),
+	// so one lock suffices; the FIFO bound only matters when callers churn
+	// through reconfigured clusters.
+	tablesMu   sync.Mutex
+	tables     map[string]*tableEntry
+	tableOrder []string
 
 	hits     atomic.Int64
 	misses   atomic.Int64
 	compiles atomic.Int64
+
+	tableHits     atomic.Int64
+	tableMisses   atomic.Int64
+	tableCompiles atomic.Int64
 }
+
+// tableEntry is a singleflight cell for one cluster table.
+type tableEntry struct {
+	once  sync.Once
+	table *topo.ClusterTable
+}
+
+// clusterTableCap bounds the cluster-table level.
+const clusterTableCap = 64
 
 // modelShard is one lock domain: a FIFO-bounded map of fill entries.
 type modelShard struct {
@@ -434,7 +483,45 @@ func newSharedModelCache(capacity int) *sharedModelCache {
 			byKey:    make(map[Fingerprint]*modelEntry),
 		}
 	}
+	c.tables = make(map[string]*tableEntry)
 	return c
+}
+
+// tableFor returns the compiled cluster table for the digest, running
+// compile at most once per cached digest fleet-wide: concurrent callers for
+// the same cluster all block on the first caller's compilation and share its
+// result. With the cache disabled every caller compiles a private table.
+func (c *sharedModelCache) tableFor(cd ClusterDigest, compile func() *topo.ClusterTable) *topo.ClusterTable {
+	if !c.enabled() {
+		c.tableCompiles.Add(1)
+		return compile()
+	}
+	key := string(cd)
+	c.tablesMu.Lock()
+	e, ok := c.tables[key]
+	if !ok {
+		e = &tableEntry{}
+		if len(c.tableOrder) >= clusterTableCap {
+			oldest := c.tableOrder[0]
+			c.tableOrder = c.tableOrder[1:]
+			delete(c.tables, oldest)
+		}
+		c.tables[key] = e
+		c.tableOrder = append(c.tableOrder, key)
+	}
+	c.tablesMu.Unlock()
+	if ok {
+		c.tableHits.Add(1)
+	} else {
+		c.tableMisses.Add(1)
+	}
+	// Fill outside the lock: a slow table compilation never blocks lookups
+	// of other clusters, only callers of this digest.
+	e.once.Do(func() {
+		c.tableCompiles.Add(1)
+		e.table = compile()
+	})
+	return e.table
 }
 
 // enabled reports whether the cache stores anything at all (a disabled
@@ -489,24 +576,34 @@ func (c *sharedModelCache) getOrCompile(key Fingerprint, compile func() compiled
 	return e.shape
 }
 
-// ModelCacheStats is a point-in-time view of the shared model cache. A hit
-// counts any lookup that found an existing entry, including one still being
-// compiled by another worker (the caller waits instead of recompiling);
-// Compiles counts actual compilations, so Misses == Compiles when caching
-// is on means the singleflight never duplicated work.
+// ModelCacheStats is a point-in-time view of the shared compiled-shape
+// cache, both levels. A hit counts any lookup that found an existing entry,
+// including one still being compiled by another worker (the caller waits
+// instead of recompiling); Compiles counts actual compilations, so Misses ==
+// Compiles when caching is on means the singleflight never duplicated work.
+// The Cluster* counters track the cluster-table level the same way: with N
+// workers on one shared cluster shape, ClusterCompiles stays at 1.
 type ModelCacheStats struct {
 	Hits     int64 `json:"hits"`
 	Misses   int64 `json:"misses"`
 	Compiles int64 `json:"compiles"`
 	Entries  int   `json:"entries"`
+
+	ClusterHits     int64 `json:"cluster_hits"`
+	ClusterMisses   int64 `json:"cluster_misses"`
+	ClusterCompiles int64 `json:"cluster_compiles"`
+	ClusterEntries  int   `json:"cluster_entries"`
 }
 
 // Stats snapshots the cache counters.
 func (c *sharedModelCache) Stats() ModelCacheStats {
 	s := ModelCacheStats{
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		Compiles: c.compiles.Load(),
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Compiles:        c.compiles.Load(),
+		ClusterHits:     c.tableHits.Load(),
+		ClusterMisses:   c.tableMisses.Load(),
+		ClusterCompiles: c.tableCompiles.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -514,5 +611,8 @@ func (c *sharedModelCache) Stats() ModelCacheStats {
 		s.Entries += len(sh.byKey)
 		sh.mu.Unlock()
 	}
+	c.tablesMu.Lock()
+	s.ClusterEntries = len(c.tables)
+	c.tablesMu.Unlock()
 	return s
 }

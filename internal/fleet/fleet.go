@@ -23,6 +23,7 @@ import (
 	"deep/internal/monitor"
 	"deep/internal/sched"
 	"deep/internal/sim"
+	"deep/internal/topo"
 	"deep/internal/workload"
 )
 
@@ -64,8 +65,16 @@ type Config struct {
 	// deduplicating concurrent compilations.
 	ModelCacheSize int
 	// SimOptions apply to every simulation run; per-request seeds are
-	// folded in on top.
+	// folded in on top. A fleet is a long-lived service, so by default
+	// SimOptions.WarmCaches is forced on — device layer caches persist
+	// across requests, the way a real cluster's image caches do. Set
+	// ColdCaches to keep whatever WarmCaches value this carries.
 	SimOptions sim.Options
+	// ColdCaches opts out of the warm-cache default: when true, SimOptions
+	// is taken verbatim (its zero value flushes every device layer cache
+	// before each run — the one-shot benchmarking behavior, not what a
+	// long-lived service wants).
+	ColdCaches bool
 	// Metrics receives per-tenant aggregates (default: a fresh registry).
 	Metrics *monitor.Metrics
 }
@@ -88,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ModelCacheSize == 0 {
 		c.ModelCacheSize = defaultModelCacheSize
+	}
+	if !c.ColdCaches {
+		c.SimOptions.WarmCaches = true
 	}
 	if c.Metrics == nil {
 		c.Metrics = monitor.NewMetrics()
@@ -260,17 +272,23 @@ func (f *Fleet) Close() {
 
 // workerState is the per-worker context: a private scheduler and cluster
 // (simulation mutates device layer caches), the cluster digest computed
-// once, a fingerprint digester with reusable scratch, a pooled simulator
-// Exec, and a pool of scheduler passes keyed by compiled model. Compiled
-// models and plans live in the fleet-wide shared cache, not here: hot
-// tenants compile once per fleet rather than once per worker.
+// once, the shared cluster table resolved once against that digest, a
+// fingerprint digester with reusable scratch, a pooled simulator Exec, and a
+// pool of scheduler passes keyed by compiled model. Compiled tables, models,
+// and plans live in the fleet-wide shared cache, not here: hot tenants
+// compile once per fleet rather than once per worker.
 type workerState struct {
 	scheduler     sched.Scheduler
 	cluster       *sim.Cluster
 	clusterDigest ClusterDigest
-	dig           *digester
-	exec          *sim.Exec
-	passes        map[*costmodel.Model]*sched.Pass
+	// table is the cluster-side compiled substrate every app-side compile
+	// for this worker builds on; workers with digest-identical clusters
+	// (the normal case) share one, resolved through the fleet-wide cache.
+	table *topo.ClusterTable
+	dig   *digester
+	exec  *sim.Exec
+
+	passes map[*costmodel.Model]*sched.Pass
 	// plans memoizes shared plans rebound to this worker's own cluster:
 	// simulation drives (and on cold runs flushes) device layer caches, so
 	// each worker must execute against its private devices even when the
@@ -313,6 +331,11 @@ func (f *Fleet) worker() {
 		passes:        make(map[*costmodel.Model]*sched.Pass),
 		plans:         make(map[*sim.Plan]*sim.Plan),
 	}
+	// Resolve the cluster-side compiled substrate once per worker lifetime:
+	// the first worker per cluster digest compiles it, the rest share it.
+	w.table = f.models.tableFor(w.clusterDigest, func() *topo.ClusterTable {
+		return sim.CompileClusterTable(cluster)
+	})
 	for j := range f.queue {
 		resp := f.process(w, j)
 		f.inFlight.Add(-1)
@@ -374,9 +397,12 @@ func (f *Fleet) shape(w *workerState, app *dag.App, appDigest Fingerprint) compi
 	_, modelScheduler := w.scheduler.(sched.ModelScheduler)
 	needModel := modelScheduler && f.models.enabled()
 	return f.models.getOrCompile(w.dig.fingerprint(w.clusterDigest, appDigest, ""), func() compiledShape {
-		s := compiledShape{plan: sim.CompilePlan(app, w.cluster)}
+		// App-side passes only: the cluster-side tables come precompiled
+		// from the worker's shared cluster table, so a cold shape costs
+		// O(app) work instead of two O(devices²) topology scans.
+		s := compiledShape{plan: sim.CompilePlanOn(app, w.cluster, w.table)}
 		if needModel {
-			s.model = costmodel.Compile(app, w.cluster)
+			s.model = costmodel.CompileOn(app, w.cluster, w.table)
 		}
 		return s
 	})

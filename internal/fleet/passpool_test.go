@@ -120,12 +120,13 @@ func TestShapeCacheDistinguishesAppNames(t *testing.T) {
 }
 
 // TestWorkersSimulateOnPrivateClusters: with several workers hammering one
-// hot shape cold (per-request cache flushes), every response must be
-// bit-identical to a standalone cold sim.Run — shared compiled plans must
-// not share device layer caches across workers, or concurrent flush/pull
-// interleavings would make results nondeterministic.
+// hot shape cold (ColdCaches opts out of the warm default, so every run
+// flushes), every response must be bit-identical to a standalone cold
+// sim.Run — shared compiled plans must not share device layer caches across
+// workers, or concurrent flush/pull interleavings would make results
+// nondeterministic.
 func TestWorkersSimulateOnPrivateClusters(t *testing.T) {
-	f := testFleet(t, Config{Workers: 8, QueueDepth: 256})
+	f := testFleet(t, Config{Workers: 8, QueueDepth: 256, ColdCaches: true})
 	app := workload.VideoProcessing()
 
 	refCluster := workload.Testbed()

@@ -9,6 +9,12 @@ import (
 
 	"deep/internal/costmodel"
 	"deep/internal/dag"
+	"deep/internal/device"
+	"deep/internal/energy"
+	"deep/internal/netsim"
+	"deep/internal/sim"
+	"deep/internal/topo"
+	"deep/internal/units"
 	"deep/internal/workload"
 )
 
@@ -116,6 +122,185 @@ func TestFleetCompilesOncePerShape(t *testing.T) {
 	}
 	if s.ModelCache.Hits == 0 {
 		t.Error("shared model cache recorded no hits")
+	}
+}
+
+// TestClusterDigestCanonicalizesDuplicates: the cluster digest hashes only
+// each name's first occurrence — the entry the compiled ClusterTable
+// resolves the name to. A cluster carrying duplicate losers digests equal to
+// the same cluster without them (identical compiled behavior, one shared
+// table), while swapping which spec comes first changes the winner and must
+// change the digest — digest equality coincides exactly with compiled
+// semantics, which is what makes digest-keyed table sharing sound.
+func TestClusterDigestCanonicalizesDuplicates(t *testing.T) {
+	pm := energy.LinearModel{StaticW: 1, PullW: 2, ReceiveW: 3, ProcessingW: 4}
+	specA := func() *device.Device { return device.New("d", dag.AMD64, 8, 10000, 8*units.GB, 64*units.GB, pm) }
+	specB := func() *device.Device { return device.New("d", dag.ARM64, 2, 1000, units.GB, 8*units.GB, pm) }
+	topology := func(t *testing.T) *netsim.Topology {
+		t.Helper()
+		top := netsim.NewTopology()
+		top.AddNode("hubnode")
+		top.AddNode("d")
+		if err := top.AddLink(netsim.Link{From: "hubnode", To: "d", BW: 10 * units.MBps, RTT: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return top
+	}
+	build := func(devs ...*device.Device) *sim.Cluster {
+		return &sim.Cluster{
+			Devices:    devs,
+			Registries: []sim.RegistryInfo{{Name: "hub", Node: "hubnode"}},
+			Topology:   topology(t),
+		}
+	}
+
+	base := DigestCluster(build(specA()))
+	withLoser := DigestCluster(build(specA(), specB()))
+	swapped := DigestCluster(build(specB(), specA()))
+
+	if string(base) != string(withLoser) {
+		t.Error("a duplicate losing entry changed the digest; identical compiled tables would not be shared")
+	}
+	if string(base) == string(swapped) {
+		t.Error("swapping the winning spec kept the digest; differently-compiled clusters would share one table")
+	}
+
+	regBase := DigestCluster(&sim.Cluster{
+		Registries: []sim.RegistryInfo{{Name: "r", Node: "hubnode", Shared: true}},
+		Topology:   topology(t),
+	})
+	regWithLoser := DigestCluster(&sim.Cluster{
+		Registries: []sim.RegistryInfo{{Name: "r", Node: "hubnode", Shared: true}, {Name: "r", Node: "elsewhere"}},
+		Topology:   topology(t),
+	})
+	regSwapped := DigestCluster(&sim.Cluster{
+		Registries: []sim.RegistryInfo{{Name: "r", Node: "elsewhere"}, {Name: "r", Node: "hubnode", Shared: true}},
+		Topology:   topology(t),
+	})
+	if string(regBase) != string(regWithLoser) {
+		t.Error("a duplicate losing registry changed the digest")
+	}
+	if string(regBase) == string(regSwapped) {
+		t.Error("swapping the winning registry kept the digest")
+	}
+}
+
+// TestClusterTableSingleflight hammers the cluster-table level from many
+// goroutines (run under -race in CI) and asserts each digest compiled
+// exactly once with every caller handed the same table.
+func TestClusterTableSingleflight(t *testing.T) {
+	const (
+		goroutines = 16
+		rounds     = 50
+	)
+	c := newSharedModelCache(64)
+	clusters := []*sim.Cluster{workload.Testbed(), workload.ScaledTestbed(2)}
+	digests := make([]ClusterDigest, len(clusters))
+	for i, cl := range clusters {
+		digests[i] = DigestCluster(cl)
+	}
+
+	var compiles [2]atomic.Int64
+	got := make([][]*topo.ClusterTable, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]*topo.ClusterTable, len(clusters))
+			for r := 0; r < rounds; r++ {
+				k := (g + r) % len(clusters)
+				tab := c.tableFor(digests[k], func() *topo.ClusterTable {
+					compiles[k].Add(1)
+					time.Sleep(time.Millisecond) // widen the race window
+					return sim.CompileClusterTable(clusters[k])
+				})
+				if got[g][k] == nil {
+					got[g][k] = tab
+				} else if got[g][k] != tab {
+					t.Errorf("goroutine %d digest %d: table changed identity", g, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for k := range compiles {
+		if n := compiles[k].Load(); n != 1 {
+			t.Errorf("digest %d compiled %d times, want exactly 1", k, n)
+		}
+	}
+	for g := 1; g < goroutines; g++ {
+		for k := range got[0] {
+			if got[g][k] != got[0][k] {
+				t.Errorf("goroutine %d digest %d: different table than goroutine 0", g, k)
+			}
+		}
+	}
+	s := c.Stats()
+	if s.ClusterCompiles != int64(len(clusters)) {
+		t.Errorf("stats report %d cluster compiles, want %d", s.ClusterCompiles, len(clusters))
+	}
+	if s.ClusterMisses != int64(len(clusters)) {
+		t.Errorf("stats report %d cluster misses, want %d", s.ClusterMisses, len(clusters))
+	}
+	if want := int64(goroutines*rounds - len(clusters)); s.ClusterHits != want {
+		t.Errorf("stats report %d cluster hits, want %d", s.ClusterHits, want)
+	}
+	if s.ClusterEntries != len(clusters) {
+		t.Errorf("stats report %d cluster entries, want %d", s.ClusterEntries, len(clusters))
+	}
+}
+
+// TestFleetCompilesClusterOnce pins the two-level cache's outer level: 8
+// workers sharing one cluster shape under many distinct app shapes (with
+// placement memoization off, so every request schedules) perform exactly one
+// topo.Compile for the whole fleet — one cluster-table miss from the first
+// worker up, seven hits from the rest — while the inner level still compiles
+// once per app shape.
+func TestFleetCompilesClusterOnce(t *testing.T) {
+	const workers = 8
+	f := testFleet(t, Config{Workers: workers, QueueDepth: 256, CacheSize: -1})
+
+	apps := []*dag.App{workload.VideoProcessing(), workload.TextProcessing()}
+	for i := 0; i < 6; i++ {
+		cfg := workload.DefaultGeneratorConfig(5, int64(i+1))
+		app, err := workload.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 320; i++ {
+		ch, err := f.Submit(Request{Tenant: fmt.Sprintf("t%d", i%4), App: apps[i%len(apps)], Seed: int64(i)})
+		if err != nil {
+			continue // bounded queue; coverage doesn't need every request
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if resp := <-ch; resp.Err != nil {
+				t.Error(resp.Err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := f.Stats().ModelCache
+	if s.ClusterCompiles != 1 {
+		t.Errorf("%d cluster-table compilations across %d workers, want 1 (stats: %+v)",
+			s.ClusterCompiles, workers, s)
+	}
+	if s.ClusterMisses != 1 || s.ClusterHits != workers-1 {
+		t.Errorf("cluster-table misses=%d hits=%d, want 1 and %d", s.ClusterMisses, s.ClusterHits, workers-1)
+	}
+	if s.ClusterEntries != 1 {
+		t.Errorf("%d cluster-table entries, want 1", s.ClusterEntries)
+	}
+	if s.Compiles != int64(len(apps)) {
+		t.Errorf("%d shape compilations for %d app shapes (stats: %+v)", s.Compiles, len(apps), s)
 	}
 }
 

@@ -203,5 +203,7 @@ drive:
 	cache.Hits -= cacheBefore.Hits
 	cache.Misses -= cacheBefore.Misses
 	cache.Evictions -= cacheBefore.Evictions
-	return buildReport(cfg.Arrivals.Name(), attempts, rejected, elapsed, responses, cache), nil
+	report := buildReport(cfg.Arrivals.Name(), attempts, rejected, elapsed, responses, cache)
+	report.SimWarm = f.cfg.SimOptions.WarmCaches
+	return report, nil
 }

@@ -165,16 +165,16 @@ func (e *Exec) Run(p *Plan, placement Placement, opts Options) (*Result, error) 
 			}
 			d, r := e.assignDev[ms], e.assignReg[ms]
 			l := p.regLink[int(r)*nd+int(d)]
-			if !l.ok {
+			if !l.OK {
 				return nil, fmt.Errorf("sim: no route from registry %s to device %s", p.regNames[r], p.devNames[d])
 			}
-			bw := l.bw
+			bw := l.BW
 			if p.regShared[r] && e.nPullEp[r] == e.epoch {
 				if n := e.nPull[r]; n > 1 {
-					bw = l.bw / units.Bandwidth(n)
+					bw = l.BW / units.Bandwidth(n)
 				}
 			}
-			td := l.rtt + bw.Seconds(pl.missing)
+			td := l.RTT + bw.Seconds(pl.missing)
 			if jw != 0 {
 				td *= jitterFactor(seedH, p.jitterTag[phaseDeploy][ms], jw)
 			}
@@ -198,15 +198,15 @@ func (e *Exec) Run(p *Plan, placement Placement, opts Options) (*Result, error) 
 			tc := 0.0
 			for _, in := range p.inputs[ms] {
 				dl := p.devLink[int(e.assignDev[in.from])*nd+int(d)]
-				if dl.ok {
-					tc += dl.rtt + dl.bw.Seconds(in.size)
+				if dl.OK {
+					tc += dl.RTT + dl.BW.Seconds(in.size)
 				} else {
 					tc += math.Inf(1)
 				}
 			}
 			if p.extInput[ms] > 0 && p.hasSource {
-				if sl := p.srcLink[d]; sl.ok {
-					tc += sl.rtt + sl.bw.Seconds(p.extInput[ms])
+				if sl := p.srcLink[d]; sl.OK {
+					tc += sl.RTT + sl.BW.Seconds(p.extInput[ms])
 				} else {
 					tc += math.Inf(1)
 				}

@@ -8,6 +8,7 @@ import (
 	"deep/internal/dag"
 	"deep/internal/device"
 	"deep/internal/energy"
+	"deep/internal/topo"
 	"deep/internal/units"
 )
 
@@ -19,6 +20,11 @@ import (
 // from the simulation hot path; an Exec replays a Plan under any placement
 // with zero steady-state allocations.
 //
+// The cluster-side tables (name tables, link tables, idle power) live in a
+// topo.ClusterTable; CompilePlanOn layers the application-side pass over a
+// caller-supplied table so N applications on one cluster share one topology
+// scan, and CompilePlan compiles a private table on the fly.
+//
 // A Plan is immutable after CompilePlan and safe for concurrent Exec.Run
 // calls on separate Execs. It snapshots the cluster's topology, power
 // models, and layer decomposition; mutating the cluster afterwards is not
@@ -29,9 +35,12 @@ import (
 type Plan struct {
 	app     *dag.App
 	cluster *Cluster
+	tab     *topo.ClusterTable
 
-	// Name tables; ids are positions, sorted so ascending id order is
-	// ascending name order (the executor's canonical stage order).
+	// Application-side name table; ids are positions, sorted and compacted
+	// so ascending id order is ascending name order (the executor's
+	// canonical stage order). Device and registry tables are the cluster
+	// table's, referenced here for the executor's hot path.
 	msNames  []string
 	devNames []string
 	regNames []string
@@ -39,19 +48,22 @@ type Plan struct {
 	devIndex map[string]int32
 	regIndex map[string]int32
 
-	// ms[i] is the microservice with id i; devices[d] the interned device
-	// (first occurrence on duplicate names, matching Cluster.Device).
+	// ms[i] is the microservice with id i (first occurrence on duplicate
+	// names, matching the name-table compaction); devices[d] the device
+	// handle interned from the plan's own cluster, so an Exec drives this
+	// cluster's layer caches even when the table was compiled from a
+	// digest-identical sibling.
 	ms      []*dag.Microservice
 	devices []*device.Device
 
 	regShared []bool
 
-	// regLink[r*numDev+d] is the route from registry r's node to device d;
-	// devLink[f*numDev+t] between devices (loopback when f == t); srcLink[d]
-	// from the external-input source node.
-	regLink   []planLink
-	devLink   []planLink
-	srcLink   []planLink
+	// Cluster-side dense link tables, shared with the topo.ClusterTable:
+	// regLink[r*numDev+d], devLink[f*numDev+t] (loopback when f == t),
+	// srcLink[d] from the external-input source node.
+	regLink   []topo.Link
+	devLink   []topo.Link
+	srcLink   []topo.Link
 	hasSource bool
 
 	// feasible[i*numDev+d] reports device d can run microservice i
@@ -73,7 +85,7 @@ type Plan struct {
 	actPullW []units.Watts
 	actRecvW []units.Watts
 	actProcW []units.Watts
-	idleW    []units.Watts // per device
+	idleW    []units.Watts // per device (the cluster table's)
 
 	// Barrier stages (each ascending = lexicographic name order, the order
 	// the legacy executor sorted into per call) and topological order, with
@@ -89,13 +101,6 @@ type Plan struct {
 	jitterTag [3][][]byte
 }
 
-// planLink is a precomputed route: ok is false when no route exists.
-type planLink struct {
-	bw  units.Bandwidth
-	rtt float64
-	ok  bool
-}
-
 // planInput is one incoming dataflow in compiled form.
 type planInput struct {
 	from int32
@@ -109,16 +114,46 @@ const (
 	phaseProcess
 )
 
-// CompilePlan builds the compiled executor plan. It never fails: structural
-// problems in the DAG (cycles, disconnection) are captured and surface from
-// Exec.Run exactly where the legacy executor reported them.
-func CompilePlan(app *dag.App, cluster *Cluster) *Plan {
-	p := &Plan{app: app, cluster: cluster}
+// CompileClusterTable compiles the cluster-side substrate shared by this
+// package's CompilePlanOn and costmodel.CompileOn: name tables, interned
+// devices, dense link tables, and idle power. Compile it once per cluster
+// (the fleet caches one per cluster digest) and feed it to every
+// application-side compile against that cluster.
+func CompileClusterTable(cluster *Cluster) *topo.ClusterTable {
+	regs := make([]topo.Registry, len(cluster.Registries))
+	for i, r := range cluster.Registries {
+		regs[i] = topo.Registry{Name: r.Name, Node: r.Node, Shared: r.Shared}
+	}
+	return topo.Compile(topo.View{
+		Devices:    cluster.Devices,
+		Registries: regs,
+		Topology:   cluster.Topology,
+		SourceNode: cluster.SourceNode,
+	})
+}
 
-	// Name tables are deduplicated: on duplicate names the first occurrence
-	// wins everywhere (matching Cluster.Device / Cluster.Registry and the
-	// legacy executor's lookups), and the parallel id-indexed tables stay
-	// fully populated.
+// CompilePlan builds the compiled executor plan, compiling a private cluster
+// table on the fly. It never fails: structural problems in the DAG (cycles,
+// disconnection) are captured and surface from Exec.Run exactly where the
+// legacy executor reported them. Callers compiling several applications
+// against one cluster should CompileClusterTable once and use CompilePlanOn.
+func CompilePlan(app *dag.App, cluster *Cluster) *Plan {
+	return CompilePlanOn(app, cluster, CompileClusterTable(cluster))
+}
+
+// CompilePlanOn builds the plan's application-side pass over a shared
+// cluster table, skipping the topology scan entirely. tab must describe
+// cluster's shape (same devices, registries, topology routes — the fleet
+// guarantees this by keying tables on the cluster digest); the plan's device
+// handles are re-interned from cluster itself, so a table compiled from a
+// digest-identical sibling cluster never leaks that sibling's layer caches
+// into this plan's runs.
+func CompilePlanOn(app *dag.App, cluster *Cluster, tab *topo.ClusterTable) *Plan {
+	p := &Plan{app: app, cluster: cluster, tab: tab}
+
+	// The application-side name table is deduplicated like the cluster
+	// table's: sorted, compacted, first occurrence wins, and the parallel
+	// id-indexed tables stay fully populated.
 	p.msNames = make([]string, 0, len(app.Microservices))
 	for _, m := range app.Microservices {
 		p.msNames = append(p.msNames, m.Name)
@@ -127,23 +162,12 @@ func CompilePlan(app *dag.App, cluster *Cluster) *Plan {
 	p.msNames = slices.Compact(p.msNames)
 	p.msIndex = planIndexOf(p.msNames)
 
-	p.devNames = make([]string, 0, len(cluster.Devices))
-	for _, d := range cluster.Devices {
-		p.devNames = append(p.devNames, d.Name)
-	}
-	sort.Strings(p.devNames)
-	p.devNames = slices.Compact(p.devNames)
-	p.devIndex = planIndexOf(p.devNames)
+	p.devNames = tab.DevNames()
+	p.devIndex = tab.DevIndex()
+	p.regNames = tab.RegNames()
+	p.regIndex = tab.RegIndex()
 
-	p.regNames = make([]string, 0, len(cluster.Registries))
-	for _, r := range cluster.Registries {
-		p.regNames = append(p.regNames, r.Name)
-	}
-	sort.Strings(p.regNames)
-	p.regNames = slices.Compact(p.regNames)
-	p.regIndex = planIndexOf(p.regNames)
-
-	nm, nd, nr := len(p.msNames), len(p.devNames), len(p.regNames)
+	nm, nd := len(p.msNames), len(p.devNames)
 
 	p.ms = make([]*dag.Microservice, nm)
 	for _, m := range app.Microservices {
@@ -151,44 +175,26 @@ func CompilePlan(app *dag.App, cluster *Cluster) *Plan {
 			p.ms[i] = m
 		}
 	}
+	// Re-intern device handles from the plan's own cluster (first
+	// occurrence wins, matching Cluster.Device). A name the cluster cannot
+	// resolve falls back to the table's handle — only reachable when the
+	// caller pairs a table with a differently-shaped cluster, which the
+	// digest keying rules out.
 	p.devices = make([]*device.Device, nd)
-	for _, d := range cluster.Devices {
-		if i, ok := p.devIndex[d.Name]; ok && p.devices[i] == nil {
+	for i, name := range p.devNames {
+		if d := cluster.Device(name); d != nil {
 			p.devices[i] = d
+		} else {
+			p.devices[i] = tab.Device(int32(i))
 		}
 	}
 
-	p.regShared = make([]bool, nr)
-	regNodes := make([]string, nr)
-	regSet := make([]bool, nr)
-	for _, r := range cluster.Registries {
-		// First occurrence wins on duplicates, matching Cluster.Registry.
-		if i, ok := p.regIndex[r.Name]; ok && !regSet[i] {
-			regSet[i] = true
-			p.regShared[i] = r.Shared
-			regNodes[i] = r.Node
-		}
-	}
-
-	p.regLink = make([]planLink, nr*nd)
-	for r := 0; r < nr; r++ {
-		for d := 0; d < nd; d++ {
-			p.regLink[r*nd+d] = compilePlanLink(cluster, regNodes[r], p.devNames[d])
-		}
-	}
-	p.devLink = make([]planLink, nd*nd)
-	for f := 0; f < nd; f++ {
-		for t := 0; t < nd; t++ {
-			p.devLink[f*nd+t] = compilePlanLink(cluster, p.devNames[f], p.devNames[t])
-		}
-	}
-	p.hasSource = cluster.SourceNode != ""
-	p.srcLink = make([]planLink, nd)
-	if p.hasSource {
-		for d := 0; d < nd; d++ {
-			p.srcLink[d] = compilePlanLink(cluster, cluster.SourceNode, p.devNames[d])
-		}
-	}
+	p.regShared = tab.RegShared()
+	p.regLink = tab.RegLinks()
+	p.devLink = tab.DevLinks()
+	p.srcLink = tab.SrcLinks()
+	p.hasSource = tab.HasSource()
+	p.idleW = tab.IdleW()
 
 	p.feasible = make([]bool, nm*nd)
 	p.layers = make([][]Layer, nm)
@@ -201,11 +207,7 @@ func CompilePlan(app *dag.App, cluster *Cluster) *Plan {
 	p.actPullW = make([]units.Watts, nm*nd)
 	p.actRecvW = make([]units.Watts, nm*nd)
 	p.actProcW = make([]units.Watts, nm*nd)
-	p.idleW = make([]units.Watts, nd)
 
-	for d := 0; d < nd; d++ {
-		p.idleW[d] = p.devices[d].Power.Power(energy.Idle, "")
-	}
 	for i := 0; i < nm; i++ {
 		m := p.ms[i]
 		p.layers[i] = cluster.LayersOf(m)
@@ -266,16 +268,6 @@ func CompilePlan(app *dag.App, cluster *Cluster) *Plan {
 	return p
 }
 
-// compilePlanLink snapshots the topology route from node a to node b,
-// including netsim's implicit infinite-bandwidth loopback for a == b.
-func compilePlanLink(cluster *Cluster, a, b string) planLink {
-	l, ok := cluster.Topology.LinkBetween(a, b)
-	if !ok {
-		return planLink{}
-	}
-	return planLink{bw: l.BW, rtt: l.RTT, ok: true}
-}
-
 func planIndexOf(names []string) map[string]int32 {
 	idx := make(map[string]int32, len(names))
 	for i, n := range names {
@@ -327,6 +319,9 @@ func (p *Plan) App() *dag.App { return p.app }
 
 // Cluster returns the cluster the plan was compiled against.
 func (p *Plan) Cluster() *Cluster { return p.cluster }
+
+// Table returns the cluster-side table the plan was compiled on.
+func (p *Plan) Table() *topo.ClusterTable { return p.tab }
 
 // validate checks the placement the way the legacy executor's
 // cluster.Validate did — same walk order, same errors — but against the

@@ -1,0 +1,252 @@
+// Package topo is the compiled cluster-side substrate shared by every
+// per-application compiler in the system. The DEEP pipeline prices
+// (costmodel.Compile) and simulates (sim.CompilePlan) every (app, cluster)
+// pair over the same cluster topology; before this package each compiler
+// rebuilt identical sorted name tables, dense link tables, device interning,
+// and idle-power rows from scratch on every cold (app, cluster) shape. A
+// ClusterTable is everything in those compilers that depends only on the
+// cluster — compiled once per cluster (the fleet keys it by cluster digest)
+// and shared across applications and across both compilers.
+//
+// A ClusterTable is immutable after Compile and safe for any number of
+// concurrent readers. It snapshots the topology's routes and the devices'
+// idle power; mutating the cluster afterwards is not supported (the same
+// contract as costmodel.Model and sim.Plan). Accessors returning slices
+// return the table's own backing arrays — callers must treat them as
+// read-only.
+//
+// Duplicate names: the name tables are sorted and compacted, and on
+// duplicate device or registry names the first occurrence (in the cluster's
+// declaration order) wins everywhere — the semantics sim.Cluster's interning
+// and both legacy compilers converged on, pinned by the duplicate-name
+// corpus test in internal/costmodel.
+package topo
+
+import (
+	"slices"
+	"sort"
+
+	"deep/internal/dag"
+	"deep/internal/device"
+	"deep/internal/energy"
+	"deep/internal/netsim"
+	"deep/internal/units"
+)
+
+// Link is a precomputed topology route: OK is false when no route exists.
+// The zero value is "no route".
+type Link struct {
+	BW  units.Bandwidth
+	RTT float64
+	OK  bool
+}
+
+// Registry is the cluster-side view of one image registry (the fields of
+// sim.RegistryInfo, redeclared here so the sim package can build on this one
+// without an import cycle).
+type Registry struct {
+	Name   string
+	Node   string
+	Shared bool
+}
+
+// View is the cluster-shaped input Compile consumes. sim.CompileClusterTable
+// adapts a *sim.Cluster into one; anything else with devices, registries,
+// and a topology can compile a table directly.
+type View struct {
+	Devices    []*device.Device
+	Registries []Registry
+	Topology   *netsim.Topology
+	// SourceNode is the node external inputs arrive from; empty disables
+	// the source link table.
+	SourceNode string
+}
+
+// ClusterTable is the compiled cluster-side substrate: sorted + compacted
+// name tables and index maps, interned device handles, the dense
+// registry→device / device→device / source→device link tables, per-registry
+// shared-uplink flags, and per-device idle power. Application-side compilers
+// (costmodel.CompileOn, sim.CompilePlanOn) layer their per-microservice
+// tables on top of it.
+type ClusterTable struct {
+	devNames []string
+	regNames []string
+	devIndex map[string]int32
+	regIndex map[string]int32
+
+	// devices[d] is the interned device handle for devNames[d] (first
+	// occurrence wins on duplicate names). Device handles carry the
+	// feasibility predicate (device.CanRun: architecture + static
+	// resources) and the layer cache the simulator drives.
+	devices []*device.Device
+
+	regShared []bool
+
+	// regLink[r*numDev+d] is the route from registry r's node to device d;
+	// devLink[f*numDev+t] between devices (including netsim's implicit
+	// infinite-bandwidth loopback for f == t); srcLink[d] from the
+	// external-input source node (unused when HasSource is false).
+	regLink   []Link
+	devLink   []Link
+	srcLink   []Link
+	hasSource bool
+
+	idleW []units.Watts
+}
+
+// Compile builds the cluster table. It performs the full topology scan —
+// O(numReg·numDev + numDev²) LinkBetween lookups — which is exactly the work
+// sharing the table avoids repeating per application.
+func Compile(v View) *ClusterTable {
+	t := &ClusterTable{}
+
+	t.devNames = make([]string, 0, len(v.Devices))
+	for _, d := range v.Devices {
+		t.devNames = append(t.devNames, d.Name)
+	}
+	sort.Strings(t.devNames)
+	t.devNames = slices.Compact(t.devNames)
+	t.devIndex = indexOf(t.devNames)
+
+	t.regNames = make([]string, 0, len(v.Registries))
+	for _, r := range v.Registries {
+		t.regNames = append(t.regNames, r.Name)
+	}
+	sort.Strings(t.regNames)
+	t.regNames = slices.Compact(t.regNames)
+	t.regIndex = indexOf(t.regNames)
+
+	nd, nr := len(t.devNames), len(t.regNames)
+
+	t.devices = make([]*device.Device, nd)
+	for _, d := range v.Devices {
+		if i, ok := t.devIndex[d.Name]; ok && t.devices[i] == nil {
+			t.devices[i] = d
+		}
+	}
+
+	t.regShared = make([]bool, nr)
+	regNodes := make([]string, nr)
+	regSet := make([]bool, nr)
+	for _, r := range v.Registries {
+		// First occurrence wins on duplicate names, matching
+		// sim.Cluster.Registry and both legacy compilers.
+		if i, ok := t.regIndex[r.Name]; ok && !regSet[i] {
+			regSet[i] = true
+			t.regShared[i] = r.Shared
+			regNodes[i] = r.Node
+		}
+	}
+
+	t.regLink = make([]Link, nr*nd)
+	for r := 0; r < nr; r++ {
+		for d := 0; d < nd; d++ {
+			t.regLink[r*nd+d] = compileLink(v.Topology, regNodes[r], t.devNames[d])
+		}
+	}
+	t.devLink = make([]Link, nd*nd)
+	for f := 0; f < nd; f++ {
+		for d := 0; d < nd; d++ {
+			t.devLink[f*nd+d] = compileLink(v.Topology, t.devNames[f], t.devNames[d])
+		}
+	}
+	t.hasSource = v.SourceNode != ""
+	t.srcLink = make([]Link, nd)
+	if t.hasSource {
+		for d := 0; d < nd; d++ {
+			t.srcLink[d] = compileLink(v.Topology, v.SourceNode, t.devNames[d])
+		}
+	}
+
+	t.idleW = make([]units.Watts, nd)
+	for d := 0; d < nd; d++ {
+		t.idleW[d] = t.devices[d].Power.Power(energy.Idle, "")
+	}
+	return t
+}
+
+// compileLink snapshots the route from node a to node b, including netsim's
+// implicit infinite-bandwidth loopback for a == b.
+func compileLink(top *netsim.Topology, a, b string) Link {
+	l, ok := top.LinkBetween(a, b)
+	if !ok {
+		return Link{}
+	}
+	return Link{BW: l.BW, RTT: l.RTT, OK: true}
+}
+
+func indexOf(names []string) map[string]int32 {
+	idx := make(map[string]int32, len(names))
+	for i, n := range names {
+		idx[n] = int32(i)
+	}
+	return idx
+}
+
+// NumDevices returns the number of compiled (distinct) devices.
+func (t *ClusterTable) NumDevices() int { return len(t.devNames) }
+
+// NumRegistries returns the number of compiled (distinct) registries.
+func (t *ClusterTable) NumRegistries() int { return len(t.regNames) }
+
+// DevNames returns the sorted, compacted device name table (shared slice;
+// positions are device ids).
+func (t *ClusterTable) DevNames() []string { return t.devNames }
+
+// RegNames returns the sorted, compacted registry name table (shared slice).
+func (t *ClusterTable) RegNames() []string { return t.regNames }
+
+// DevIndex returns the device name→id map (shared; read-only).
+func (t *ClusterTable) DevIndex() map[string]int32 { return t.devIndex }
+
+// RegIndex returns the registry name→id map (shared; read-only).
+func (t *ClusterTable) RegIndex() map[string]int32 { return t.regIndex }
+
+// DevID returns the id of a device name.
+func (t *ClusterTable) DevID(name string) (int32, bool) {
+	id, ok := t.devIndex[name]
+	return id, ok
+}
+
+// RegID returns the id of a registry name.
+func (t *ClusterTable) RegID(name string) (int32, bool) {
+	id, ok := t.regIndex[name]
+	return id, ok
+}
+
+// Devices returns the interned device handles (shared slice, parallel to
+// DevNames).
+func (t *ClusterTable) Devices() []*device.Device { return t.devices }
+
+// Device returns the interned handle for a device id.
+func (t *ClusterTable) Device(d int32) *device.Device { return t.devices[d] }
+
+// Feasible reports whether device d can run the microservice — the
+// architecture and static-resource predicate costmodel's option enumeration
+// evaluates per (microservice, device) cell. The simulator plan evaluates
+// the same predicate on its own re-interned device handles instead, because
+// its feasibility table must describe the cluster the plan executes against.
+func (t *ClusterTable) Feasible(d int32, m *dag.Microservice) bool {
+	return t.devices[d].CanRun(m) == nil
+}
+
+// RegShared returns the per-registry shared-uplink flags (shared slice).
+func (t *ClusterTable) RegShared() []bool { return t.regShared }
+
+// RegLinks returns the dense registry→device link table, indexed
+// r*NumDevices()+d (shared slice).
+func (t *ClusterTable) RegLinks() []Link { return t.regLink }
+
+// DevLinks returns the dense device→device link table, indexed
+// f*NumDevices()+d (shared slice).
+func (t *ClusterTable) DevLinks() []Link { return t.devLink }
+
+// SrcLinks returns the source→device link table (shared slice; meaningful
+// only when HasSource reports true).
+func (t *ClusterTable) SrcLinks() []Link { return t.srcLink }
+
+// HasSource reports whether the cluster has an external-input source node.
+func (t *ClusterTable) HasSource() bool { return t.hasSource }
+
+// IdleW returns the per-device idle power draws (shared slice).
+func (t *ClusterTable) IdleW() []units.Watts { return t.idleW }

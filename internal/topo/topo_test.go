@@ -1,0 +1,111 @@
+package topo
+
+import (
+	"testing"
+
+	"deep/internal/dag"
+	"deep/internal/device"
+	"deep/internal/energy"
+	"deep/internal/netsim"
+	"deep/internal/units"
+)
+
+func fixture(t *testing.T) View {
+	t.Helper()
+	top := netsim.NewTopology()
+	for _, n := range []string{"regnode", "src", "a", "b"} {
+		top.AddNode(n)
+	}
+	for _, l := range []netsim.Link{
+		{From: "regnode", To: "a", BW: 10 * units.MBps, RTT: 0.5, SharedCapacity: true},
+		{From: "regnode", To: "b", BW: 20 * units.MBps, RTT: 0.25},
+		{From: "src", To: "a", BW: 5 * units.MBps},
+	} {
+		if err := top.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := top.AddDuplex("a", "b", 50*units.MBps); err != nil {
+		t.Fatal(err)
+	}
+	pmA := energy.LinearModel{StaticW: 1, PullW: 2, ReceiveW: 3, ProcessingW: 4}
+	pmB := energy.LinearModel{StaticW: 2, PullW: 2, ReceiveW: 3, ProcessingW: 4}
+	return View{
+		Devices: []*device.Device{
+			device.New("b", dag.AMD64, 4, 1000, units.GB, 8*units.GB, pmB),
+			device.New("a", dag.ARM64, 2, 500, units.GB, 8*units.GB, pmA),
+			// Duplicate of "a" with a different spec: must lose to the
+			// first occurrence.
+			device.New("a", dag.AMD64, 8, 9000, 4*units.GB, 32*units.GB, pmB),
+		},
+		Registries: []Registry{
+			{Name: "reg", Node: "regnode", Shared: true},
+			{Name: "reg", Node: "src"}, // duplicate: must lose
+		},
+		Topology:   top,
+		SourceNode: "src",
+	}
+}
+
+func TestCompileTable(t *testing.T) {
+	v := fixture(t)
+	tab := Compile(v)
+
+	if got := tab.NumDevices(); got != 2 {
+		t.Fatalf("NumDevices = %d, want 2 (duplicates compacted)", got)
+	}
+	if got := tab.NumRegistries(); got != 1 {
+		t.Fatalf("NumRegistries = %d, want 1 (duplicates compacted)", got)
+	}
+	// Sorted name order: a < b.
+	if names := tab.DevNames(); names[0] != "a" || names[1] != "b" {
+		t.Fatalf("DevNames = %v, want [a b]", names)
+	}
+	aID, ok := tab.DevID("a")
+	if !ok || aID != 0 {
+		t.Fatalf("DevID(a) = %d,%v", aID, ok)
+	}
+	// First occurrence wins: device "a" is the ARM one, and the duplicate
+	// registry's src node lost to regnode.
+	if dev := tab.Device(aID); dev.Arch != dag.ARM64 || dev != v.Devices[1] {
+		t.Fatalf("interned device a = %v, want the first occurrence", dev)
+	}
+	if !tab.RegShared()[0] {
+		t.Fatal("registry lost its Shared flag to the duplicate")
+	}
+
+	nd := tab.NumDevices()
+	regA := tab.RegLinks()[0*nd+int(aID)]
+	if !regA.OK || regA.BW != 10*units.MBps || regA.RTT != 0.5 {
+		t.Fatalf("reg->a link = %+v", regA)
+	}
+	// Loopback device link exists with infinite effective bandwidth
+	// semantics (netsim reports it OK).
+	if loop := tab.DevLinks()[int(aID)*nd+int(aID)]; !loop.OK {
+		t.Fatalf("missing loopback link: %+v", loop)
+	}
+	if !tab.HasSource() {
+		t.Fatal("source node lost")
+	}
+	if src := tab.SrcLinks()[aID]; !src.OK || src.BW != 5*units.MBps {
+		t.Fatalf("src->a link = %+v", src)
+	}
+	bID, _ := tab.DevID("b")
+	if src := tab.SrcLinks()[bID]; src.OK {
+		t.Fatalf("src->b should be unroutable, got %+v", src)
+	}
+
+	// Idle power comes from the interned (first) device's model.
+	if w := tab.IdleW()[aID]; w != 1 {
+		t.Fatalf("idle power of a = %v, want 1 (first occurrence's model)", w)
+	}
+
+	// Feasibility predicate delegates to the interned device.
+	ms := &dag.Microservice{Name: "m", ImageSize: units.MB, Req: dag.Requirements{Cores: 4, CPU: 100}}
+	if tab.Feasible(aID, ms) {
+		t.Fatal("4-core microservice should not fit the 2-core first device a")
+	}
+	if !tab.Feasible(bID, ms) {
+		t.Fatal("4-core microservice should fit device b")
+	}
+}
