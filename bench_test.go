@@ -13,11 +13,13 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"deep"
 	"deep/internal/bench"
 	"deep/internal/costmodel"
 	"deep/internal/game"
+	"deep/internal/obs"
 	"deep/internal/registry"
 	"deep/internal/sched"
 	"deep/internal/sim"
@@ -446,5 +448,29 @@ func BenchmarkFleetThroughput(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkStageRecord isolates the fleet's per-request instrumentation
+// cost: folding a full stage trace into the six per-stage histograms, the
+// end-to-end latency observation, and the slow ring's fast path — exactly
+// what a fleet worker adds per request since the observability layer landed.
+// The allocguard baseline pins this at zero allocations.
+func BenchmarkStageRecord(b *testing.B) {
+	reg := obs.NewRegistry()
+	stages := obs.NewStageSet(reg, "fleet_stage_seconds")
+	latency := reg.Histogram("fleet_request_latency_s")
+	ring := obs.NewSlowRing(64, time.Hour, latency) // fixed bar nothing reaches
+	var tr obs.StageTrace
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		tr.D[s] = time.Duration(s+1) * time.Microsecond
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shard := i & (obs.NumShards - 1)
+		stages.RecordAt(shard, &tr)
+		latency.ObserveAt(shard, 1e-4)
+		ring.Observe("tenant", "app", 100*time.Microsecond, &tr, true, false)
 	}
 }

@@ -6,12 +6,25 @@
 //	deepfleet -workers 8 -arrivals poisson -rate 200 -requests 2000
 //	deepfleet -workers 4 -arrivals bursty -rate 100 -duration 5s -mix synthetic -tenants 8
 //	deepfleet -workers 8 -arrivals diurnal -rate 150 -requests 1000 -cluster 4 -scheduler min-ct
+//
+// With -debug-addr a debug HTTP listener serves live observability while the
+// run is in flight:
+//
+//	deepfleet -debug-addr :9090 -duration 30s ...
+//	curl localhost:9090/metrics      # Prometheus text exposition
+//	curl localhost:9090/debug/vars   # expvar JSON (registry under "deepfleet")
+//	curl localhost:9090/debug/slow   # slow-request ring with stage breakdowns
+//	go tool pprof localhost:9090/debug/pprof/profile
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -19,6 +32,34 @@ import (
 
 	"deep"
 )
+
+// debugListener serves the observability surface on its own mux (the default
+// mux would expose pprof on any future listener by side effect).
+func debugListener(addr string, f *deep.Fleet) *http.Server {
+	reg := f.Metrics().Obs()
+	reg.PublishExpvar("deepfleet")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(f.SlowRequests())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "deepfleet: debug listener:", err)
+		}
+	}()
+	return srv
+}
 
 func main() {
 	workers := flag.Int("workers", 4, "scheduler/simulator worker pool size")
@@ -37,6 +78,9 @@ func main() {
 	appsPer := flag.Int("apps-per-tenant", 2, "synthetic mix: distinct app shapes per tenant")
 	appSize := flag.Int("app-size", 6, "synthetic mix: microservices per app")
 	seed := flag.Int64("seed", 1, "randomness seed (arrivals, mix sampling, synthetic DAGs)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics (Prometheus), /debug/vars, /debug/pprof, and /debug/slow on this address (empty disables)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "capture requests slower than this in the slow ring (0 = rolling p99)")
+	slowRing := flag.Int("slow-ring", 0, "slow-request ring capacity (0 = default 64, negative disables)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -92,9 +136,17 @@ func main() {
 		// The fleet defaults to warm simulation caches (a long-lived
 		// service keeps its image caches); -cold restores per-request
 		// flushing for one-shot-style measurements.
-		ColdCaches: *cold,
+		ColdCaches:    *cold,
+		SlowThreshold: *slowThreshold,
+		SlowRingSize:  *slowRing,
 	})
 	defer f.Close()
+
+	if *debugAddr != "" {
+		srv := debugListener(*debugAddr, f)
+		defer srv.Close()
+		fmt.Printf("deepfleet: debug listener on %s (/metrics, /debug/vars, /debug/pprof, /debug/slow)\n", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -17,6 +17,11 @@
 //   - The multi-tenant deployment service: NewFleet(...) runs concurrent
 //     deployment requests through a scheduler worker pool with memoized
 //     placements, and DriveFleet generates open-loop load against it.
+//   - Observability: every fleet carries a Metrics registry of sharded
+//     lock-free instruments (NewMetrics), per-request stage timing
+//     (StageTrace on each FleetResponse, per-stage quantiles in the
+//     FleetReport), a bounded slow-request ring (Fleet.SlowRequests), and
+//     Prometheus/expvar exposition via Telemetry (Metrics.Obs).
 //
 // Quickstart:
 //
@@ -33,6 +38,8 @@ import (
 	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/fleet"
+	"deep/internal/monitor"
+	"deep/internal/obs"
 	"deep/internal/sched"
 	"deep/internal/sim"
 	"deep/internal/topo"
@@ -111,6 +118,24 @@ type (
 	MixEntry = fleet.MixEntry
 	// TrafficConfig drives an open-loop load-generation run.
 	TrafficConfig = fleet.TrafficConfig
+
+	// Metrics is the string-keyed instrument registry a Fleet reports into
+	// (counters, gauges, histograms, a bounded event log, JSON export).
+	Metrics = monitor.Metrics
+	// Telemetry is the lock-free instrument registry backing a Metrics
+	// (Metrics.Obs): sharded counters and histograms plus Prometheus text
+	// (WritePrometheus, MetricsHandler) and expvar exposition.
+	Telemetry = obs.Registry
+	// Stage identifies one fleet pipeline stage (queue, fingerprint,
+	// compile, cache lookup, schedule, sim-exec).
+	Stage = obs.Stage
+	// StageTrace is one request's per-stage wall-time breakdown.
+	StageTrace = obs.StageTrace
+	// SlowRequest is one captured tail outlier: who, when, how slow, and
+	// the full stage breakdown.
+	SlowRequest = obs.SlowRequest
+	// FleetStageStat is one pipeline stage's mean/p99/max in a FleetReport.
+	FleetStageStat = fleet.StageStat
 )
 
 // Architectures supported by the testbed.
@@ -232,6 +257,10 @@ var (
 // queue feeding a pool of scheduler/simulator workers with an LRU of
 // memoized placements. Close it to drain.
 func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
+
+// NewMetrics returns an empty instrument registry (pass it to several
+// fleets via FleetConfig.Metrics to aggregate them into one exposition).
+func NewMetrics() *Metrics { return monitor.NewMetrics() }
 
 // DriveFleet generates open-loop traffic against a fleet and blocks until
 // every accepted request completed, returning the aggregated report.

@@ -103,6 +103,7 @@ func TestRecordedBaselinesParse(t *testing.T) {
 		"sim/synthetic12/scaled50/cold",
 		"workers=4/cache=false/sim=cold",
 		"workers=4/cache=true/sim=warm",
+		"StageRecord",
 	} {
 		if _, ok := got[want]; !ok {
 			t.Errorf("recorded baselines missing %q (have %d cases)", want, len(got))

@@ -21,6 +21,7 @@ import (
 	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/monitor"
+	"deep/internal/obs"
 	"deep/internal/sched"
 	"deep/internal/sim"
 	"deep/internal/topo"
@@ -76,7 +77,19 @@ type Config struct {
 	// long-lived service wants).
 	ColdCaches bool
 	// Metrics receives per-tenant aggregates (default: a fresh registry).
+	// Its backing obs registry (Metrics.Obs) also carries the fleet's
+	// per-stage latency histograms and point-in-time gauges, so rendering
+	// that one registry exposes the whole fleet.
 	Metrics *monitor.Metrics
+	// SlowThreshold fixes the slow-request capture bar: any request slower
+	// than this has its full stage breakdown kept in the slow-request
+	// ring. Zero (the default) makes the bar rolling — periodically
+	// retuned to the current p99 of the request-latency histogram, so the
+	// ring tracks the slowest ~1% as load shifts.
+	SlowThreshold time.Duration
+	// SlowRingSize bounds the slow-request ring in entries. Zero means the
+	// default of 64; a negative value disables slow-request capture.
+	SlowRingSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,8 +117,15 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = monitor.NewMetrics()
 	}
+	if c.SlowRingSize == 0 {
+		c.SlowRingSize = defaultSlowRingSize
+	}
 	return c
 }
+
+// defaultSlowRingSize bounds the slow-request ring: enough tail outliers to
+// explain an incident, small enough to be memory-irrelevant.
+const defaultSlowRingSize = 64
 
 // Request is one tenant's deployment request.
 type Request struct {
@@ -133,6 +153,10 @@ type Response struct {
 	// Latency is the end-to-end service time (queue wait + scheduling +
 	// simulation).
 	Latency time.Duration
+	// Stages is the per-stage wall-time breakdown of this request (queue
+	// wait, fingerprint, shape compile, placement-cache lookup, schedule,
+	// simulate). Stages past a failure point are zero.
+	Stages obs.StageTrace
 	// Err is non-nil when scheduling or simulation failed.
 	Err error
 }
@@ -155,6 +179,15 @@ type Fleet struct {
 	cache  *placementCache
 	models *sharedModelCache
 	queue  chan *job
+
+	// Telemetry, interned in the Metrics' backing obs registry: per-stage
+	// latency histograms, the end-to-end request-latency histogram the
+	// rolling slow threshold reads, and the slow-request ring. Workers
+	// record on their own shard, so instrumentation adds no shared cache
+	// lines (and no allocations) to the request path.
+	stages  *obs.StageSet
+	latency *obs.Histogram
+	slow    *obs.SlowRing
 
 	mu     sync.RWMutex
 	closed bool
@@ -187,12 +220,49 @@ func New(cfg Config) *Fleet {
 		models: newSharedModelCache(cfg.ModelCacheSize),
 		queue:  make(chan *job, cfg.QueueDepth),
 	}
+	reg := cfg.Metrics.Obs()
+	f.stages = obs.NewStageSet(reg, "fleet_stage_seconds")
+	f.latency = reg.Histogram("fleet_request_latency_s")
+	f.slow = obs.NewSlowRing(cfg.SlowRingSize, cfg.SlowThreshold, f.latency)
+	reg.OnCollect(f.collectGauges)
 	f.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go f.worker()
+		go f.worker(i)
 	}
 	return f
 }
+
+// collectGauges publishes the fleet's point-in-time counters as gauges in
+// the obs registry; it runs on every exposition pass (Prometheus scrape,
+// expvar read), so /metrics always reflects the live admission and cache
+// state without any per-request cost.
+func (f *Fleet) collectGauges() {
+	reg := f.cfg.Metrics.Obs()
+	s := f.Stats()
+	reg.Gauge("fleet_requests_submitted").Set(float64(s.Submitted))
+	reg.Gauge("fleet_requests_rejected").Set(float64(s.Rejected))
+	reg.Gauge("fleet_requests_completed").Set(float64(s.Completed))
+	reg.Gauge("fleet_requests_failed").Set(float64(s.Failed))
+	reg.Gauge("fleet_requests_in_flight").Set(float64(s.InFlight))
+	reg.Gauge("fleet_placement_cache_hits").Set(float64(s.Cache.Hits))
+	reg.Gauge("fleet_placement_cache_misses").Set(float64(s.Cache.Misses))
+	reg.Gauge("fleet_placement_cache_evictions").Set(float64(s.Cache.Evictions))
+	reg.Gauge("fleet_placement_cache_entries").Set(float64(s.Cache.Entries))
+	reg.Gauge("fleet_shape_cache_hits").Set(float64(s.ModelCache.Hits))
+	reg.Gauge("fleet_shape_cache_misses").Set(float64(s.ModelCache.Misses))
+	reg.Gauge("fleet_shape_cache_compiles").Set(float64(s.ModelCache.Compiles))
+	reg.Gauge("fleet_cluster_table_compiles").Set(float64(s.ModelCache.ClusterCompiles))
+	reg.Gauge("fleet_slow_requests_captured").Set(float64(f.slow.Captured()))
+	reg.Gauge("fleet_slow_threshold_s").Set(f.slow.Threshold().Seconds())
+}
+
+// SlowRequests returns the slow-request ring's current contents, oldest
+// first: the full stage breakdown of every captured tail outlier.
+func (f *Fleet) SlowRequests() []obs.SlowRequest { return f.slow.Snapshot() }
+
+// StageHistogram exposes one stage's live histogram (for tests and custom
+// exposition); the same instruments are rendered by Metrics().Obs().
+func (f *Fleet) StageHistogram(s obs.Stage) *obs.Histogram { return f.stages.Histogram(s) }
 
 // Metrics returns the registry receiving per-tenant aggregates.
 func (f *Fleet) Metrics() *monitor.Metrics { return f.cfg.Metrics }
@@ -281,6 +351,13 @@ type workerState struct {
 	scheduler     sched.Scheduler
 	cluster       *sim.Cluster
 	clusterDigest ClusterDigest
+	// shard is this worker's obs shard index: each worker records its
+	// counters and histogram observations on its own cache line.
+	shard int
+	// trace is the reusable per-request stage breakdown; process resets it
+	// at the top of every request so failure short-circuits leave the
+	// untouched stages at zero rather than at the prior request's values.
+	trace obs.StageTrace
 	// table is the cluster-side compiled substrate every app-side compile
 	// for this worker builds on; workers with digest-identical clusters
 	// (the normal case) share one, resolved through the fleet-wide cache.
@@ -318,14 +395,16 @@ func evictOnePoolEntry[K comparable, V any](pool map[K]V) {
 }
 
 // worker owns one scheduler and one cluster and processes jobs until the
-// queue closes.
-func (f *Fleet) worker() {
+// queue closes. The worker index doubles as the obs shard, so concurrent
+// workers never contend on an instrument cache line.
+func (f *Fleet) worker(i int) {
 	defer f.wg.Done()
 	cluster := f.cfg.NewCluster()
 	w := &workerState{
 		scheduler:     f.cfg.NewScheduler(),
 		cluster:       cluster,
 		clusterDigest: DigestCluster(cluster),
+		shard:         i,
 		dig:           newDigester(),
 		exec:          sim.NewExec(),
 		passes:        make(map[*costmodel.Model]*sched.Pass),
@@ -344,7 +423,10 @@ func (f *Fleet) worker() {
 		} else {
 			f.completed.Add(1)
 		}
-		f.observe(resp)
+		f.stages.RecordAt(w.shard, &w.trace)
+		f.latency.ObserveAt(w.shard, resp.Latency.Seconds())
+		f.slow.Observe(resp.Tenant, resp.App, resp.Latency, &w.trace, resp.CacheHit, resp.Err != nil)
+		f.observe(w.shard, resp)
 		j.done <- resp
 	}
 }
@@ -435,31 +517,49 @@ func (w *workerState) planFor(app *dag.App, shared *sim.Plan) *sim.Plan {
 }
 
 // process runs the (possibly memoized) schedule-then-simulate pipeline for
-// one job on the worker's private scheduler and cluster. In steady state —
-// shape cache hot, placement memoized or pass pooled, layer caches warm —
-// the whole path allocates only the response plumbing and the caller-owned
-// placement and result copies.
+// one job on the worker's private scheduler and cluster, stamping each
+// stage's wall time into the worker's reusable trace as it goes. In steady
+// state — shape cache hot, placement memoized or pass pooled, layer caches
+// warm — the whole path allocates only the response plumbing and the
+// caller-owned placement and result copies; the stamping itself is
+// monotonic-clock reads into a fixed array, alloc-free.
 func (f *Fleet) process(w *workerState, j *job) *Response {
 	start := time.Now()
+	w.trace.Reset()
+	w.trace.D[obs.StageQueue] = start.Sub(j.enqueued)
 	resp := &Response{
 		Tenant:    j.req.Tenant,
 		App:       j.req.App.Name,
-		QueueWait: start.Sub(j.enqueued),
+		QueueWait: w.trace.D[obs.StageQueue],
 	}
 
 	appDigest := w.dig.appDigest(j.req.App)
-	shape := f.shape(w, j.req.App, appDigest)
 	key := w.dig.fingerprint(w.clusterDigest, appDigest, w.scheduler.Name())
+	mark := time.Now()
+	w.trace.D[obs.StageFingerprint] = mark.Sub(start)
+
+	shape := f.shape(w, j.req.App, appDigest)
+	now := time.Now()
+	w.trace.D[obs.StageCompile] = now.Sub(mark)
+	mark = now
+
 	placement, hit := f.cache.Get(key)
+	now = time.Now()
+	w.trace.D[obs.StageCacheLookup] = now.Sub(mark)
+	mark = now
 	if !hit {
 		var err error
 		placement, err = f.schedule(w, j.req.App, shape.model)
+		if err == nil {
+			f.cache.Put(key, placement)
+		}
+		now = time.Now()
+		w.trace.D[obs.StageSchedule] = now.Sub(mark)
+		mark = now
 		if err != nil {
 			resp.Err = fmt.Errorf("fleet: scheduling %s: %w", j.req.App.Name, err)
-			resp.Latency = time.Since(j.enqueued)
-			return resp
+			return f.finish(w, resp, j)
 		}
-		f.cache.Put(key, placement)
 	}
 	resp.CacheHit = hit
 	resp.Placement = placement
@@ -467,48 +567,62 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 	opts := f.cfg.SimOptions
 	opts.Seed += j.req.Seed
 	result, err := w.exec.Run(w.planFor(j.req.App, shape.plan), placement, opts)
+	w.trace.D[obs.StageSim] = time.Since(mark)
 	if err != nil {
 		resp.Err = fmt.Errorf("fleet: simulating %s: %w", j.req.App.Name, err)
-		resp.Latency = time.Since(j.enqueued)
-		return resp
+		return f.finish(w, resp, j)
 	}
 	// The exec's result buffer is reused on the next request; the response
 	// escapes to the submitter, so it gets a detached copy.
 	resp.Result = result.Clone()
+	return f.finish(w, resp, j)
+}
+
+// finish closes out a response: end-to-end latency and the stage breakdown
+// copied off the worker's reusable trace.
+func (f *Fleet) finish(w *workerState, resp *Response, j *job) *Response {
 	resp.Latency = time.Since(j.enqueued)
+	resp.Stages = w.trace
 	return resp
 }
 
-// tenantLabels caches the formatted metric names for one tenant so the
-// per-request observe path stops concatenating label strings.
+// tenantLabels caches one tenant's resolved instrument handles so the
+// per-request observe path is a handful of sharded atomic writes — no label
+// concatenation and no registry lookups after first sight of the tenant.
+// The instrument names follow the monitor convention (name{tenant=...}), so
+// the same aggregates are readable through Metrics().Counter and rendered
+// as labeled Prometheus families.
 type tenantLabels struct {
-	failed    string
-	completed string
-	cacheHits string
-	latency   string
-	queueWait string
-	makespan  string
-	energy    string
+	failed    *obs.Counter
+	completed *obs.Counter
+	cacheHits *obs.Counter
+	latency   *obs.Histogram
+	queueWait *obs.Histogram
+	makespan  *obs.Histogram
+	energy    *obs.Histogram
 }
 
 // tenantLabelCap bounds the interned label set: past it, labels for new
-// tenants are built transiently instead of cached, so a submitter churning
-// through unbounded tenant names cannot grow worker memory without bound.
+// tenants are resolved transiently instead of cached, so a submitter
+// churning through unbounded tenant names cannot grow worker memory without
+// bound. (The instruments themselves still intern in the registry; the cap
+// only bounds this lookup-avoidance layer.)
 const tenantLabelCap = 1024
 
-// labelsFor returns the tenant's interned metric names.
+// labelsFor returns the tenant's resolved instrument handles.
 func (f *Fleet) labelsFor(tenant string) *tenantLabels {
 	if v, ok := f.labels.Load(tenant); ok {
 		return v.(*tenantLabels)
 	}
+	reg := f.cfg.Metrics.Obs()
 	l := &tenantLabels{
-		failed:    "fleet_failed{tenant=" + tenant + "}",
-		completed: "fleet_completed{tenant=" + tenant + "}",
-		cacheHits: "fleet_cache_hits{tenant=" + tenant + "}",
-		latency:   "fleet_latency_s{tenant=" + tenant + "}",
-		queueWait: "fleet_queue_wait_s{tenant=" + tenant + "}",
-		makespan:  "fleet_makespan_s{tenant=" + tenant + "}",
-		energy:    "fleet_energy_j{tenant=" + tenant + "}",
+		failed:    reg.Counter("fleet_failed{tenant=" + tenant + "}"),
+		completed: reg.Counter("fleet_completed{tenant=" + tenant + "}"),
+		cacheHits: reg.Counter("fleet_cache_hits{tenant=" + tenant + "}"),
+		latency:   reg.Histogram("fleet_latency_s{tenant=" + tenant + "}"),
+		queueWait: reg.Histogram("fleet_queue_wait_s{tenant=" + tenant + "}"),
+		makespan:  reg.Histogram("fleet_makespan_s{tenant=" + tenant + "}"),
+		energy:    reg.Histogram("fleet_energy_j{tenant=" + tenant + "}"),
 	}
 	if f.labelCount.Load() >= tenantLabelCap {
 		return l // transient: the intern set is full
@@ -520,20 +634,20 @@ func (f *Fleet) labelsFor(tenant string) *tenantLabels {
 	return v.(*tenantLabels)
 }
 
-// observe folds one response into the per-tenant aggregates.
-func (f *Fleet) observe(resp *Response) {
-	m := f.cfg.Metrics
+// observe folds one response into the per-tenant aggregates on the worker's
+// own shard.
+func (f *Fleet) observe(shard int, resp *Response) {
 	l := f.labelsFor(resp.Tenant)
 	if resp.Err != nil {
-		m.Inc(l.failed, 1)
+		l.failed.AddAt(shard, 1)
 		return
 	}
-	m.Inc(l.completed, 1)
+	l.completed.AddAt(shard, 1)
 	if resp.CacheHit {
-		m.Inc(l.cacheHits, 1)
+		l.cacheHits.AddAt(shard, 1)
 	}
-	m.Observe(l.latency, resp.Latency.Seconds())
-	m.Observe(l.queueWait, resp.QueueWait.Seconds())
-	m.Observe(l.makespan, resp.Result.Makespan)
-	m.Observe(l.energy, float64(resp.Result.TotalEnergy))
+	l.latency.ObserveAt(shard, resp.Latency.Seconds())
+	l.queueWait.ObserveAt(shard, resp.QueueWait.Seconds())
+	l.makespan.ObserveAt(shard, resp.Result.Makespan)
+	l.energy.ObserveAt(shard, float64(resp.Result.TotalEnergy))
 }

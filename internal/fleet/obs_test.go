@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"deep/internal/obs"
+	"deep/internal/sim"
+	"deep/internal/workload"
+)
+
+// TestWarmRequestInstrumentationAllocationFree pins the warm request path's
+// allocation budget with full instrumentation live: stage stamping, the
+// per-stage histograms, the latency histogram, the slow ring, and the
+// per-tenant aggregates together must not add a single allocation over the
+// pre-observability baseline (14 allocs/request: response plumbing plus the
+// caller-owned placement and result copies).
+func TestWarmRequestInstrumentationAllocationFree(t *testing.T) {
+	f := testFleet(t, Config{Workers: 1, SlowThreshold: time.Hour})
+	app := workload.VideoProcessing()
+	ctx := context.Background()
+	for i := 0; i < 10; i++ { // warm: shape compiled, placement memoized
+		if resp, err := f.Do(ctx, Request{Tenant: "t", App: app}); err != nil || resp.Err != nil {
+			t.Fatal(err, resp.Err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		resp, err := f.Do(ctx, Request{Tenant: "t", App: app})
+		if err != nil || resp.Err != nil {
+			t.Fatal(err, resp.Err)
+		}
+	})
+	// The uninstrumented warm path measures 14 allocs/request
+	// (BENCH_fleet.json); a couple of slots of headroom absorb scheduler
+	// noise without letting an instrumentation regression hide.
+	if allocs > 16 {
+		t.Fatalf("warm instrumented request = %v allocs, want <= 16", allocs)
+	}
+}
+
+// TestStageTracingEndToEnd drives real requests and checks the stage
+// breakdown everywhere it surfaces: the response trace, the registry's
+// per-stage histograms, the Prometheus rendering, and the slow ring.
+func TestStageTracingEndToEnd(t *testing.T) {
+	// A 1ns fixed threshold captures every request in the slow ring.
+	f := testFleet(t, Config{Workers: 2, SlowThreshold: time.Nanosecond})
+	app := workload.TextProcessing()
+	const n = 8
+	for i := 0; i < n; i++ {
+		resp, err := f.Do(context.Background(), Request{Tenant: "t", App: app})
+		if err != nil || resp.Err != nil {
+			t.Fatal(err, resp.Err)
+		}
+		if resp.Stages.D[obs.StageFingerprint] <= 0 || resp.Stages.D[obs.StageSim] <= 0 {
+			t.Fatalf("stages not stamped: %+v", resp.Stages)
+		}
+		if resp.Stages.D[obs.StageQueue] != resp.QueueWait {
+			t.Fatalf("queue stage %v != QueueWait %v", resp.Stages.D[obs.StageQueue], resp.QueueWait)
+		}
+		if i > 0 && resp.Stages.D[obs.StageSchedule] != 0 && !resp.CacheHit {
+			t.Fatalf("request %d missed the placement cache", i)
+		}
+	}
+
+	var snap obs.HistogramSnapshot
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		f.StageHistogram(s).Snapshot(&snap)
+		if snap.Count != n {
+			t.Fatalf("stage %s histogram count = %d, want %d", s, snap.Count, n)
+		}
+	}
+
+	var b strings.Builder
+	if err := f.Metrics().Obs().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`fleet_stage_seconds_count{stage="sim_exec"} 8`,
+		`fleet_requests_completed 8`,
+		`fleet_completed{tenant="t"} 8`,
+		`fleet_request_latency_s_count 8`,
+		`fleet_slow_requests_captured 8`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+
+	slow := f.SlowRequests()
+	if len(slow) != n {
+		t.Fatalf("slow ring holds %d, want %d", len(slow), n)
+	}
+	for _, sr := range slow {
+		if sr.Tenant != "t" || sr.App != app.Name || sr.Total <= 0 {
+			t.Fatalf("slow entry malformed: %+v", sr)
+		}
+		if sr.Stages.D[obs.StageSim] <= 0 {
+			t.Fatalf("slow entry lost its stage breakdown: %+v", sr)
+		}
+	}
+}
+
+// TestDriveReportStages checks the open-loop driver surfaces per-stage
+// quantiles: one StageStat per pipeline stage, in order, with the queue
+// stage's mean consistent with the report's QueueWaitMean.
+func TestDriveReportStages(t *testing.T) {
+	f := testFleet(t, Config{Workers: 2})
+	report, err := Drive(context.Background(), f, TrafficConfig{
+		Arrivals: NewPoisson(500),
+		Mix:      CaseStudyMix(),
+		Requests: 40,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Stages) != int(obs.NumStages) {
+		t.Fatalf("report has %d stage rows, want %d", len(report.Stages), obs.NumStages)
+	}
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		st := report.Stages[s]
+		if st.Stage != s.String() {
+			t.Fatalf("stage row %d is %q, want %q", s, st.Stage, s.String())
+		}
+		if st.Mean > st.P99 && st.P99 > 0 || st.P99 > st.Max {
+			t.Fatalf("stage %s stats inconsistent: %+v", st.Stage, st)
+		}
+	}
+	if q := report.Stages[obs.StageQueue]; q.Mean != report.QueueWaitMean {
+		t.Fatalf("queue stage mean %v != QueueWaitMean %v", q.Mean, report.QueueWaitMean)
+	}
+	if !strings.Contains(report.String(), "stage sim_exec") {
+		t.Fatalf("report text lost its stage lines:\n%s", report)
+	}
+}
+
+// TestBuildReportQueueWaitIncludesFailed pins the fix for a long-standing
+// skew: failed requests spent real time in the admission queue, but the
+// report used to drop them from the queue-wait mean (and divide by the
+// completed count), overstating queue health on error-heavy runs.
+func TestBuildReportQueueWaitIncludesFailed(t *testing.T) {
+	responses := []*Response{
+		{Tenant: "t", QueueWait: 10 * time.Millisecond, Latency: 20 * time.Millisecond,
+			Result: &sim.Result{Makespan: 1}},
+		{Tenant: "t", QueueWait: 30 * time.Millisecond, Err: errors.New("boom")},
+	}
+	r := buildReport("test", 2, 0, time.Second, responses, CacheStats{})
+	if r.Completed != 1 || r.Failed != 1 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if want := 20 * time.Millisecond; r.QueueWaitMean != want {
+		t.Fatalf("QueueWaitMean = %v, want %v (failed request's wait must count)", r.QueueWaitMean, want)
+	}
+	// The service-latency quantiles still cover completed requests only.
+	if r.LatencyMean != 20*time.Millisecond {
+		t.Fatalf("LatencyMean = %v", r.LatencyMean)
+	}
+}

@@ -6,8 +6,20 @@ import (
 	"strings"
 	"time"
 
+	"deep/internal/obs"
 	"deep/internal/units"
 )
+
+// StageStat summarizes one pipeline stage's wall time across the session's
+// completed requests. Unlike the live fleet_stage_seconds histograms (which
+// are bucket-granular), these are exact: computed post-hoc from the drained
+// responses' stage traces.
+type StageStat struct {
+	Stage string        `json:"stage"`
+	Mean  time.Duration `json:"mean"`
+	P99   time.Duration `json:"p99"`
+	Max   time.Duration `json:"max"`
+}
 
 // TenantStats aggregates one tenant's completed requests.
 type TenantStats struct {
@@ -50,8 +62,15 @@ type Report struct {
 	LatencyP95  time.Duration `json:"latency_p95"`
 	LatencyP99  time.Duration `json:"latency_p99"`
 	LatencyMax  time.Duration `json:"latency_max"`
-	// QueueWaitMean is the mean admission-queue residency.
+	// QueueWaitMean is the mean admission-queue residency over every
+	// response that left the queue — failed requests waited too, so they
+	// count here even though they are excluded from the service-latency
+	// quantiles above.
 	QueueWaitMean time.Duration `json:"queue_wait_mean"`
+
+	// Stages is the per-stage wall-time breakdown (mean/p99/max) over
+	// completed requests, in pipeline order.
+	Stages []StageStat `json:"stages,omitempty"`
 
 	Cache CacheStats `json:"cache"`
 	// TotalEnergy is the simulated energy summed over every completed run.
@@ -76,8 +95,13 @@ func buildReport(arrivals string, attempts, rejected int, elapsed time.Duration,
 	var latencySum, waitSum time.Duration
 	tenantLatency := make(map[string]time.Duration)
 	tenantMakespan := make(map[string]float64)
+	var stageSamples [obs.NumStages][]time.Duration
 	for _, resp := range responses {
 		ts := r.PerTenant[resp.Tenant]
+		// Every response — failed or not — spent real time in the admission
+		// queue; excluding failures here used to overstate queue health on
+		// error-heavy runs.
+		waitSum += resp.QueueWait
 		if resp.Err != nil {
 			r.Failed++
 			ts.Failed++
@@ -91,25 +115,44 @@ func buildReport(arrivals string, attempts, rejected int, elapsed time.Duration,
 		}
 		latencies = append(latencies, resp.Latency)
 		latencySum += resp.Latency
-		waitSum += resp.QueueWait
 		tenantLatency[resp.Tenant] += resp.Latency
 		tenantMakespan[resp.Tenant] += resp.Result.Makespan
 		ts.Energy += resp.Result.TotalEnergy
 		r.TotalEnergy += resp.Result.TotalEnergy
 		r.PerTenant[resp.Tenant] = ts
+		for s := obs.Stage(0); s < obs.NumStages; s++ {
+			stageSamples[s] = append(stageSamples[s], resp.Stages.D[s])
+		}
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		r.Throughput = float64(r.Completed) / secs
 		r.OfferedRate = float64(attempts) / secs
 	}
+	if n := r.Completed + r.Failed; n > 0 {
+		r.QueueWaitMean = waitSum / time.Duration(n)
+	}
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		r.LatencyMean = latencySum / time.Duration(len(latencies))
-		r.QueueWaitMean = waitSum / time.Duration(len(latencies))
 		r.LatencyP50 = quantile(latencies, 0.50)
 		r.LatencyP95 = quantile(latencies, 0.95)
 		r.LatencyP99 = quantile(latencies, 0.99)
 		r.LatencyMax = latencies[len(latencies)-1]
+		r.Stages = make([]StageStat, 0, obs.NumStages)
+		for s := obs.Stage(0); s < obs.NumStages; s++ {
+			samples := stageSamples[s]
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			var sum time.Duration
+			for _, d := range samples {
+				sum += d
+			}
+			r.Stages = append(r.Stages, StageStat{
+				Stage: s.String(),
+				Mean:  sum / time.Duration(len(samples)),
+				P99:   quantile(samples, 0.99),
+				Max:   samples[len(samples)-1],
+			})
+		}
 	}
 	for tenant, ts := range r.PerTenant {
 		if ts.Completed > 0 {
@@ -152,6 +195,10 @@ func (r *Report) String() string {
 		r.LatencyMean.Round(time.Microsecond), r.LatencyP50.Round(time.Microsecond),
 		r.LatencyP95.Round(time.Microsecond), r.LatencyP99.Round(time.Microsecond),
 		r.LatencyMax.Round(time.Microsecond), r.QueueWaitMean.Round(time.Microsecond))
+	for _, st := range r.Stages {
+		fmt.Fprintf(&b, "stage %-12s mean=%-10s p99=%-10s max=%s\n",
+			st.Stage, st.Mean.Round(time.Microsecond), st.P99.Round(time.Microsecond), st.Max.Round(time.Microsecond))
+	}
 	fmt.Fprintf(&b, "placement cache: %.1f%% hit rate (%d hits, %d misses, %d evictions, %d entries)\n",
 		100*r.Cache.HitRate(), r.Cache.Hits, r.Cache.Misses, r.Cache.Evictions, r.Cache.Entries)
 	fmt.Fprintf(&b, "simulated energy: %s\n", r.TotalEnergy)

@@ -1,24 +1,39 @@
 // Package monitor is DEEP's monitoring subsystem (the logging box of the
 // paper's Figure 1): a metrics registry of counters, gauges, and histograms,
 // an event log, and JSON export for offline analysis.
+//
+// Since the observability PR the registry is a thin string-keyed façade over
+// internal/obs: every instrument is a sharded lock-free obs instrument, so
+// Inc/Observe on a hot path cost a sync.Map load plus one or two uncontended
+// atomics instead of a global mutex, and the backing obs.Registry (Obs) is
+// what a debug listener renders as Prometheus text. The event log — the one
+// part that used to grow without bound — is now a fixed-capacity ring that
+// overwrites its oldest entries and counts what it dropped.
 package monitor
 
 import (
 	"encoding/json"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
+
+	"deep/internal/obs"
 )
+
+// DefaultEventCap bounds the event ring unless SetEventCap overrides it: a
+// long-lived service must not let a per-deployment log grow with uptime.
+const DefaultEventCap = 4096
 
 // Metrics is a registry of named instruments. The zero value is not usable;
 // call NewMetrics.
 type Metrics struct {
-	mu         sync.Mutex
-	counters   map[string]float64
-	gauges     map[string]float64
-	histograms map[string]*histogram
-	events     []Event
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	events   []Event // ring storage; allocated lazily up to eventCap
+	next     int     // next write slot once the ring is full
+	eventCap int
+	dropped  int64 // events overwritten or refused
 }
 
 // Event is one log entry with virtual timestamp and labeled fields.
@@ -28,81 +43,69 @@ type Event struct {
 	Fields map[string]string `json:"fields,omitempty"`
 }
 
-type histogram struct {
-	count int64
-	sum   float64
-	min   float64
-	max   float64
-	// fixed log-scaled buckets: bucket i counts values < 10^(i-6).
-	buckets [14]int64
+// NewMetrics returns an empty registry with the default event cap.
+func NewMetrics() *Metrics {
+	return &Metrics{reg: obs.NewRegistry(), eventCap: DefaultEventCap}
 }
 
-// NewMetrics returns an empty registry.
-func NewMetrics() *Metrics {
-	return &Metrics{
-		counters:   make(map[string]float64),
-		gauges:     make(map[string]float64),
-		histograms: make(map[string]*histogram),
+// Obs returns the backing obs registry — the seam a debug listener uses to
+// render everything this Metrics holds as Prometheus text or expvar, and
+// the fleet uses to intern instrument handles it records to lock-free.
+func (m *Metrics) Obs() *obs.Registry { return m.reg }
+
+// SetEventCap resizes the event ring: the newest entries within the new cap
+// survive, anything older counts as dropped. A cap <= 0 disables event
+// retention entirely (every Log is counted dropped).
+func (m *Metrics) SetEventCap(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := m.eventsLocked()
+	if n > 0 && len(kept) > n {
+		m.dropped += int64(len(kept) - n)
+		kept = kept[len(kept)-n:]
 	}
+	if n <= 0 {
+		m.dropped += int64(len(kept))
+		kept = nil
+	}
+	m.eventCap = n
+	m.events = kept
+	// kept is oldest-first, so when it already fills the new cap the next
+	// overwrite (slot 0) lands on the oldest entry, as a ring must.
+	m.next = 0
 }
 
 // Inc adds delta to a counter.
 func (m *Metrics) Inc(name string, delta float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.counters[name] += delta
+	m.reg.Counter(name).Add(delta)
 }
 
 // Counter reads a counter (0 when unset).
 func (m *Metrics) Counter(name string) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counters[name]
+	c, ok := m.reg.LookupCounter(name)
+	if !ok {
+		return 0
+	}
+	return c.Value()
 }
 
 // SetGauge sets a gauge to a value.
 func (m *Metrics) SetGauge(name string, v float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.gauges[name] = v
+	m.reg.Gauge(name).Set(v)
 }
 
 // Gauge reads a gauge and whether it was ever set.
 func (m *Metrics) Gauge(name string) (float64, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	v, ok := m.gauges[name]
-	return v, ok
+	g, ok := m.reg.LookupGauge(name)
+	if !ok {
+		return 0, false
+	}
+	return g.Value()
 }
 
 // Observe records a value into a histogram.
 func (m *Metrics) Observe(name string, v float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.histograms[name]
-	if !ok {
-		h = &histogram{min: math.Inf(1), max: math.Inf(-1)}
-		m.histograms[name] = h
-	}
-	h.count++
-	h.sum += v
-	if v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-	idx := 0
-	if v > 0 {
-		idx = int(math.Floor(math.Log10(v))) + 7
-	}
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(h.buckets) {
-		idx = len(h.buckets) - 1
-	}
-	h.buckets[idx]++
+	m.reg.Histogram(name).Observe(v)
 }
 
 // HistogramStats summarizes a histogram.
@@ -116,22 +119,26 @@ type HistogramStats struct {
 
 // Histogram returns a histogram's summary and whether it exists.
 func (m *Metrics) Histogram(name string) (HistogramStats, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.histograms[name]
+	h, ok := m.reg.LookupHistogram(name)
 	if !ok {
 		return HistogramStats{}, false
 	}
-	return HistogramStats{
-		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
-		Mean: h.sum / float64(h.count),
-	}, true
+	var snap obs.HistogramSnapshot
+	h.Snapshot(&snap)
+	return histStats(&snap), true
 }
 
-// Log appends an event.
+func histStats(snap *obs.HistogramSnapshot) HistogramStats {
+	return HistogramStats{
+		Count: int64(snap.Count), Sum: snap.Sum, Min: snap.Min, Max: snap.Max,
+		Mean: snap.Mean(),
+	}
+}
+
+// Log appends an event to the bounded ring. When the ring is full the
+// oldest entry is overwritten and counted dropped; the JSON export shape is
+// unchanged (events stay oldest-first in what survives).
 func (m *Metrics) Log(at float64, kind string, fields map[string]string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var copied map[string]string
 	if len(fields) > 0 {
 		copied = make(map[string]string, len(fields))
@@ -139,16 +146,42 @@ func (m *Metrics) Log(at float64, kind string, fields map[string]string) {
 			copied[k] = v
 		}
 	}
-	m.events = append(m.events, Event{At: at, Kind: kind, Fields: copied})
+	e := Event{At: at, Kind: kind, Fields: copied}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.eventCap <= 0 {
+		m.dropped++
+		return
+	}
+	if len(m.events) < m.eventCap {
+		m.events = append(m.events, e)
+		return
+	}
+	m.events[m.next] = e
+	m.next = (m.next + 1) % m.eventCap
+	m.dropped++
 }
 
-// Events returns a copy of the event log in insertion order.
+// EventsDropped reports how many events the bounded ring has discarded
+// (overwritten by newer entries, or refused under a non-positive cap).
+func (m *Metrics) EventsDropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// eventsLocked returns the ring oldest-first; the caller holds m.mu.
+func (m *Metrics) eventsLocked() []Event {
+	out := make([]Event, 0, len(m.events))
+	out = append(out, m.events[m.next:]...)
+	return append(out, m.events[:m.next]...)
+}
+
+// Events returns a copy of the retained event log in insertion order.
 func (m *Metrics) Events() []Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]Event, len(m.events))
-	copy(out, m.events)
-	return out
+	return m.eventsLocked()
 }
 
 // EventsOfKind filters the event log.
@@ -162,50 +195,52 @@ func (m *Metrics) EventsOfKind(kind string) []Event {
 	return out
 }
 
-// snapshot is the JSON export document.
+// snapshot is the JSON export document. EventsDropped is new since the
+// ring became bounded; it is omitted while zero so exports from
+// non-overflowing runs are byte-compatible with the unbounded era.
 type snapshot struct {
-	Counters   map[string]float64        `json:"counters,omitempty"`
-	Gauges     map[string]float64        `json:"gauges,omitempty"`
-	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
-	Events     []Event                   `json:"events,omitempty"`
+	Counters      map[string]float64        `json:"counters,omitempty"`
+	Gauges        map[string]float64        `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramStats `json:"histograms,omitempty"`
+	Events        []Event                   `json:"events,omitempty"`
+	EventsDropped int64                     `json:"events_dropped,omitempty"`
 }
 
 // ExportJSON serializes the full registry deterministically.
 func (m *Metrics) ExportJSON() ([]byte, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := snapshot{
-		Counters: make(map[string]float64, len(m.counters)),
-		Gauges:   make(map[string]float64, len(m.gauges)),
-		Events:   m.events,
+		Counters: make(map[string]float64),
+		Gauges:   make(map[string]float64),
 	}
-	for k, v := range m.counters {
-		s.Counters[k] = v
+	for _, name := range m.reg.CounterNames() {
+		s.Counters[name] = m.Counter(name)
 	}
-	for k, v := range m.gauges {
-		s.Gauges[k] = v
+	for _, name := range m.reg.GaugeNames() {
+		s.Gauges[name], _ = m.Gauge(name)
 	}
-	if len(m.histograms) > 0 {
-		s.Histograms = make(map[string]HistogramStats, len(m.histograms))
-		for k, h := range m.histograms {
-			s.Histograms[k] = HistogramStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Mean: h.sum / float64(h.count)}
+	if names := m.reg.HistogramNames(); len(names) > 0 {
+		s.Histograms = make(map[string]HistogramStats, len(names))
+		for _, name := range names {
+			s.Histograms[name], _ = m.Histogram(name)
 		}
 	}
+	m.mu.Lock()
+	s.Events = m.eventsLocked()
+	s.EventsDropped = m.dropped
+	m.mu.Unlock()
 	return json.MarshalIndent(s, "", "  ")
 }
 
 // Summary renders a stable human-readable dump.
 func (m *Metrics) Summary() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var names []string
-	for k := range m.counters {
+	for _, k := range m.reg.CounterNames() {
 		names = append(names, "counter "+k)
 	}
-	for k := range m.gauges {
+	for _, k := range m.reg.GaugeNames() {
 		names = append(names, "gauge "+k)
 	}
-	for k := range m.histograms {
+	for _, k := range m.reg.HistogramNames() {
 		names = append(names, "histogram "+k)
 	}
 	sort.Strings(names)
@@ -214,12 +249,13 @@ func (m *Metrics) Summary() string {
 		kind, key, _ := cut(n, " ")
 		switch kind {
 		case "counter":
-			out += fmt.Sprintf("%s = %g\n", n, m.counters[key])
+			out += fmt.Sprintf("%s = %g\n", n, m.Counter(key))
 		case "gauge":
-			out += fmt.Sprintf("%s = %g\n", n, m.gauges[key])
+			v, _ := m.Gauge(key)
+			out += fmt.Sprintf("%s = %g\n", n, v)
 		case "histogram":
-			h := m.histograms[key]
-			out += fmt.Sprintf("%s: n=%d mean=%.3g min=%.3g max=%.3g\n", n, h.count, h.sum/float64(h.count), h.min, h.max)
+			h, _ := m.Histogram(key)
+			out += fmt.Sprintf("%s: n=%d mean=%.3g min=%.3g max=%.3g\n", n, h.Count, h.Mean, h.Min, h.Max)
 		}
 	}
 	return out

@@ -147,3 +147,94 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("events = %d", len(m.Events()))
 	}
 }
+
+// TestEventRingBounded: the event log is a ring — past the cap the oldest
+// entries are overwritten, the drop counter advances, and JSON export keeps
+// its shape (plus an events_dropped field once something was dropped).
+func TestEventRingBounded(t *testing.T) {
+	m := NewMetrics()
+	m.SetEventCap(4)
+	for i := 0; i < 10; i++ {
+		m.Log(float64(i), "e", nil)
+	}
+	got := m.Events()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := float64(6 + i); e.At != want {
+			t.Fatalf("event %d at %v, want %v (oldest-first, newest kept)", i, e.At, want)
+		}
+	}
+	if d := m.EventsDropped(); d != 6 {
+		t.Fatalf("dropped = %d, want 6", d)
+	}
+	data, err := m.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round["events_dropped"].(float64) != 6 {
+		t.Fatalf("export missing events_dropped: %s", data)
+	}
+	if len(round["events"].([]any)) != 4 {
+		t.Fatalf("export events = %v", round["events"])
+	}
+}
+
+// TestEventCapDefaultAndDisable: the default cap holds, shrinking keeps the
+// newest entries, and a non-positive cap refuses (and counts) everything.
+func TestEventCapDefaultAndDisable(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < DefaultEventCap+5; i++ {
+		m.Log(float64(i), "e", nil)
+	}
+	if n := len(m.Events()); n != DefaultEventCap {
+		t.Fatalf("default ring holds %d, want %d", n, DefaultEventCap)
+	}
+	if d := m.EventsDropped(); d != 5 {
+		t.Fatalf("dropped = %d, want 5", d)
+	}
+
+	m.SetEventCap(2)
+	got := m.Events()
+	if len(got) != 2 || got[1].At != float64(DefaultEventCap+4) {
+		t.Fatalf("shrink kept %v", got)
+	}
+
+	m.SetEventCap(0)
+	if len(m.Events()) != 0 {
+		t.Fatal("cap 0 retained events")
+	}
+	before := m.EventsDropped()
+	m.Log(1, "e", nil)
+	if m.EventsDropped() != before+1 {
+		t.Fatal("disabled ring must count refused events")
+	}
+}
+
+// TestMetricsObsBacked: the same instruments are visible through the
+// backing obs registry under the same names — the seam the debug listener
+// renders.
+func TestMetricsObsBacked(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("fleet_completed{tenant=video}", 2)
+	m.Observe("lat", 0.5)
+	c, ok := m.Obs().LookupCounter("fleet_completed{tenant=video}")
+	if !ok || c.Value() != 2 {
+		t.Fatal("counter not visible through Obs registry")
+	}
+	var b strings.Builder
+	if err := m.Obs().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `fleet_completed{tenant="video"} 2`) {
+		t.Fatalf("prometheus render missing monitor counter:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "lat_count 1") {
+		t.Fatalf("prometheus render missing monitor histogram:\n%s", b.String())
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms as
+// cumulative `_bucket` series with `le` labels plus `_sum` and `_count`.
+// Instrument names in the "name{key=value,...}" convention are split into
+// metric family and quoted label set, so per-tenant monitor metrics render
+// as one family with a tenant label. Collect hooks run first. Output is
+// deterministic: families and label sets are emitted in sorted name order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runCollect()
+
+	var lastFamily string
+	typeLine := func(name, kind string) (string, error) {
+		family, _ := splitName(name)
+		if family == lastFamily {
+			return family, nil
+		}
+		lastFamily = family
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		return family, err
+	}
+
+	for _, name := range r.CounterNames() {
+		c, _ := r.LookupCounter(name)
+		family, err := typeLine(name, "counter")
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", promSeries(family, name, ""), fmtFloat(c.Value())); err != nil {
+			return err
+		}
+	}
+	lastFamily = ""
+	for _, name := range r.GaugeNames() {
+		g, _ := r.LookupGauge(name)
+		v, _ := g.Value()
+		family, err := typeLine(name, "gauge")
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", promSeries(family, name, ""), fmtFloat(v)); err != nil {
+			return err
+		}
+	}
+	lastFamily = ""
+	var snap HistogramSnapshot
+	for _, name := range r.HistogramNames() {
+		h, _ := r.LookupHistogram(name)
+		h.Snapshot(&snap)
+		family, err := typeLine(name, "histogram")
+		if err != nil {
+			return err
+		}
+		// Empty buckets are elided (the cumulative counts stay correct);
+		// the +Inf bucket is always present, as the format requires.
+		var cum uint64
+		for i := 0; i < HistBuckets; i++ {
+			cum += snap.Buckets[i]
+			if snap.Buckets[i] == 0 && i < HistBuckets-1 {
+				continue
+			}
+			le := "+Inf"
+			if i < HistBuckets-1 {
+				le = fmtFloat(BucketBound(i))
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(family+"_bucket", name, `le="`+le+`"`), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", promSeries(family+"_sum", name, ""), fmtFloat(snap.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", promSeries(family+"_count", name, ""), snap.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricsHandler returns the /metrics endpoint: the registry rendered in
+// Prometheus text format on every scrape.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// splitName separates an instrument name into its metric family and raw
+// label body: "lat_s{tenant=video}" → ("lat_s", "tenant=video"). Family
+// characters outside the Prometheus alphabet are replaced with '_'.
+func splitName(name string) (family, labels string) {
+	family = name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		family = name[:i]
+		labels = strings.TrimSuffix(name[i+1:], "}")
+	}
+	return sanitizeFamily(family), labels
+}
+
+// promSeries builds one sample's series name: family plus the instrument's
+// labels (values quoted) plus an optional extra label (the histogram `le`).
+func promSeries(family, name, extra string) string {
+	_, raw := splitName(name)
+	var parts []string
+	if raw != "" {
+		for _, kv := range strings.Split(raw, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				k, v = "label", kv
+			}
+			parts = append(parts, sanitizeFamily(strings.TrimSpace(k))+`="`+escapeLabel(strings.Trim(strings.TrimSpace(v), `"`))+`"`)
+		}
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	if len(parts) == 0 {
+		return family
+	}
+	return family + "{" + strings.Join(parts, ",") + "}"
+}
+
+// sanitizeFamily maps arbitrary name bytes into the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:].
+func sanitizeFamily(s string) string {
+	ok := true
+	for i := 0; i < len(s); i++ {
+		if !isPromNameByte(s[i]) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if !isPromNameByte(c) {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func isPromNameByte(c byte) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// escapeLabel escapes a label value per the text format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// fmtFloat renders a sample value the way Prometheus clients do: shortest
+// round-trip representation.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

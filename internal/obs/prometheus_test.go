@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full text exposition of a small
+// registry: family grouping with TYPE lines, label splitting and quoting,
+// histogram cumulative buckets with elided zero buckets, sum/count rows,
+// and deterministic ordering.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fleet_completed{tenant=text}").Add(7)
+	r.Counter("fleet_completed{tenant=video}").Add(3)
+	r.Counter("fleet_rejected").Add(1)
+	r.Gauge("fleet_in_flight").Set(2)
+	h := r.Histogram("fleet_latency_s{tenant=video}")
+	h.Observe(0.25)  // exponent -2 → bucket le=0.5
+	h.Observe(0.375) // exponent -2 → bucket le=0.5
+	h.Observe(3)     // exponent 1  → bucket le=4
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE fleet_completed counter
+fleet_completed{tenant="text"} 7
+fleet_completed{tenant="video"} 3
+# TYPE fleet_rejected counter
+fleet_rejected 1
+# TYPE fleet_in_flight gauge
+fleet_in_flight 2
+# TYPE fleet_latency_s histogram
+fleet_latency_s_bucket{tenant="video",le="0.5"} 2
+fleet_latency_s_bucket{tenant="video",le="4"} 3
+fleet_latency_s_bucket{tenant="video",le="+Inf"} 3
+fleet_latency_s_sum{tenant="video"} 3.625
+fleet_latency_s_count{tenant="video"} 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusSanitizes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`weird.name{key=va"lue}`).Add(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.Contains(got, `weird_name{key="va\"lue"} 1`) {
+		t.Fatalf("sanitization drifted:\n%s", got)
+	}
+}
+
+func TestCollectHookRuns(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("synced")
+	r.OnCollect(func() { g.Set(99) })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "synced 99") {
+		t.Fatalf("collect hook did not run before render:\n%s", b.String())
+	}
+	if v := r.Vars(); v["gauges"].(map[string]float64)["synced"] != 99 {
+		t.Fatal("collect hook did not run before Vars")
+	}
+}
+
+func TestExpvarDocRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Histogram("h").Observe(0.5)
+	raw := r.Expvar().String()
+	var doc struct {
+		Counters   map[string]float64       `json:"counters"`
+		Histograms map[string]histogramVars `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatalf("expvar doc is not JSON: %v\n%s", err, raw)
+	}
+	if doc.Counters["c"] != 2 {
+		t.Fatalf("counters = %v", doc.Counters)
+	}
+	if hv := doc.Histograms["h"]; hv.Count != 1 || hv.Sum != 0.5 {
+		t.Fatalf("histograms = %+v", doc.Histograms)
+	}
+}
