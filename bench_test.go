@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"deep"
+	"deep/internal/appgraph"
 	"deep/internal/bench"
 	"deep/internal/costmodel"
 	"deep/internal/game"
@@ -271,13 +272,16 @@ func BenchmarkSimRun(b *testing.B) {
 }
 
 // BenchmarkCompileShape times the cold (app, cluster) compile path — the
-// first sight of a request shape — in both forms: legacy builds the cost
+// first sight of a request shape — in four forms. legacy builds the cost
 // model and the simulator plan from scratch (each rebuilding the cluster's
-// name tables and dense link tables), while shared compiles both on a warm
-// topo.ClusterTable, the fleet's steady state where the cluster-side
-// substrate is cached per cluster digest and only the app-side pass runs.
-// The shared rows are what the second (and every later) app arriving on an
-// already-seen cluster pays. BENCH_compile.json records ns/op and allocs/op;
+// name tables and dense link tables). shared compiles both on a warm
+// topo.ClusterTable but still runs the two app-side passes split, each
+// re-walking the DAG (validation, stages, topo order, per-microservice
+// scalars). fused compiles one appgraph.AppTable and then emits the model
+// and plan in a single walk (costmodel.CompileShapeOn) — the fleet's cold
+// path since the app substrate landed. fused_warmapp starts from a cached
+// AppTable — what a known app arriving on a new cluster pays, the fleet's
+// app-digest cache hit. BENCH_compile.json records ns/op and allocs/op;
 // CI's allocguard gates the alloc counts.
 func BenchmarkCompileShape(b *testing.B) {
 	cfg := workload.DefaultGeneratorConfig(12, 42)
@@ -318,6 +322,45 @@ func BenchmarkCompileShape(b *testing.B) {
 				}
 			}
 		})
+		b.Run(c.name+"/fused", func(b *testing.B) {
+			table := sim.CompileClusterTable(c.cluster)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at := appgraph.Compile(c.app)
+				model, plan := costmodel.CompileShapeOn(at, c.cluster, table)
+				if model == nil || plan == nil {
+					b.Fatal("compile failed")
+				}
+			}
+		})
+		b.Run(c.name+"/fused_warmapp", func(b *testing.B) {
+			table := sim.CompileClusterTable(c.cluster)
+			at := appgraph.Compile(c.app)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				model, plan := costmodel.CompileShapeOn(at, c.cluster, table)
+				if model == nil || plan == nil {
+					b.Fatal("compile failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileAppTable times appgraph.Compile alone on the paper's
+// video case study: the one-time per-app-digest cost the fleet pays before
+// every per-cluster fused compile becomes a cache hit. The app is rebuilt
+// each iteration so the dag memo cannot amortize the structural walks the
+// table compile is meant to capture.
+func BenchmarkCompileAppTable(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		app := workload.VideoProcessing()
+		if at := appgraph.Compile(app); at.NumMicroservices() == 0 {
+			b.Fatal("empty table")
+		}
 	}
 }
 

@@ -34,6 +34,7 @@ package deep
 import (
 	"context"
 
+	"deep/internal/appgraph"
 	"deep/internal/core"
 	"deep/internal/costmodel"
 	"deep/internal/dag"
@@ -85,6 +86,13 @@ type (
 	// per-application compile against one cluster; build it once with
 	// CompileClusterTable and feed it to CompileSimPlanOn.
 	ClusterTable = topo.ClusterTable
+	// AppTable is the compiled application-side substrate: validated
+	// structure, interned microservice names, dense topo order / stage
+	// partition / dataflow edge rows, and per-microservice scalars
+	// (image sizes, external inputs, architecture masks). Build it once
+	// per application with CompileAppTable and compile against any number
+	// of clusters — the fleet caches one per app digest.
+	AppTable = appgraph.AppTable
 
 	// Scheduler produces placements.
 	Scheduler = sched.Scheduler
@@ -222,6 +230,23 @@ func CompileSimPlanOn(app *App, cluster *Cluster, table *ClusterTable) *SimPlan 
 	return sim.CompilePlanOn(app, cluster, table)
 }
 
+// CompileAppTable compiles the application-side substrate every per-cluster
+// compile builds on: validated structure, interned microservice names, dense
+// topo/stage/edge rows, and per-microservice scalars. It is immutable, safe
+// to share across goroutines, and reusable for any number of clusters — the
+// one-app-many-clusters mirror of CompileClusterTable (see
+// examples/customapp). Validation errors are captured, not returned: a table
+// compiled from a broken DAG reports them through the compiled model and
+// plan exactly as the direct compile paths do.
+func CompileAppTable(app *App) *AppTable { return appgraph.Compile(app) }
+
+// CompileSimPlanOnTables compiles a simulation plan over both substrates —
+// a shared AppTable and a shared ClusterTable — so neither side of the
+// (app, cluster) pair is re-derived. This is the fleet's cold compile path.
+func CompileSimPlanOnTables(at *AppTable, cluster *Cluster, table *ClusterTable) *SimPlan {
+	return sim.CompilePlanOnTables(at, cluster, table)
+}
+
 // NewSimExec returns a reusable simulator executor. Exec.Run(plan,
 // placement, opts) returns a Result owned by the executor (valid until the
 // next Run; Clone it to keep it), and allocates nothing once the layer
@@ -243,6 +268,19 @@ func ScheduleOn(s Scheduler, app *App, cluster *Cluster, table *ClusterTable) (P
 		return ms.ScheduleModel(costmodel.CompileOn(app, cluster, table))
 	}
 	return s.Schedule(app, cluster)
+}
+
+// ScheduleOnTables computes a placement over both shared substrates: the
+// cost model compiles as a thin pass over (AppTable, ClusterTable) with no
+// DAG or topology re-derivation — the cheapest cold path for scheduling one
+// app across many clusters (or many apps on one cluster). Schedulers that
+// cannot read a model fall back to Schedule. The tables must come from the
+// same app and an identically-shaped cluster.
+func ScheduleOnTables(s Scheduler, at *AppTable, cluster *Cluster, table *ClusterTable) (Placement, error) {
+	if ms, ok := s.(sched.ModelScheduler); ok {
+		return ms.ScheduleModel(costmodel.CompileOnTables(at, cluster, table))
+	}
+	return s.Schedule(at.App(), cluster)
 }
 
 // Fleet errors, re-exported for errors.Is checks against Submit results.

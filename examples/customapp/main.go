@@ -3,7 +3,9 @@
 // three-device cluster, swept across regional-registry bandwidths to find
 // where the hybrid strategy stops mattering — then deploys several
 // application variants onto one cluster over a single compiled
-// deep.ClusterTable, the multi-app-per-cluster fast path.
+// deep.ClusterTable (the multi-app-per-cluster fast path), and finally one
+// application across several sites over a single compiled deep.AppTable
+// (the mirror image: one-app-many-clusters).
 package main
 
 import (
@@ -132,6 +134,7 @@ func main() {
 	}
 
 	multiAppOneCluster()
+	oneAppManyClusters()
 }
 
 // multiAppOneCluster deploys several application variants onto one cluster
@@ -171,5 +174,35 @@ func multiAppOneCluster() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-16s %12.1f %12.3f\n", scale.name, res.Makespan, res.TotalEnergy.Kilojoules())
+	}
+}
+
+// oneAppManyClusters is the mirror of multiAppOneCluster: one pipeline
+// rolled out across several sites. The application-side substrate —
+// validated structure, interned names, topo/stage/edge rows, per-service
+// scalars — is compiled once with CompileAppTable; each site then pays only
+// its own cluster-side compile, and scheduling plus simulation run as thin
+// passes over the (AppTable, ClusterTable) pair. The fleet gets the same
+// reuse automatically from its app-digest-keyed table cache.
+func oneAppManyClusters() {
+	at := deep.CompileAppTable(buildApp())
+	exec := deep.NewSimExec()
+	scheduler := deep.NewDEEPScheduler()
+
+	fmt.Println("\nMulti-cluster reuse: one AppTable, four sites")
+	fmt.Printf("%-14s %12s %12s\n", "site BW", "makespan [s]", "energy [kJ]")
+	for _, bw := range []units.Bandwidth{5 * units.MBps, 15 * units.MBps, 30 * units.MBps, 60 * units.MBps} {
+		cluster := buildCluster(bw)
+		table := deep.CompileClusterTable(cluster)
+		placement, err := deep.ScheduleOnTables(scheduler, at, cluster, table)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan := deep.CompileSimPlanOnTables(at, cluster, table)
+		res, err := exec.Run(plan, placement, deep.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %12.1f %12.3f\n", bw, res.Makespan, res.TotalEnergy.Kilojoules())
 	}
 }

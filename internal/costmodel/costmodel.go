@@ -28,9 +28,9 @@ package costmodel
 
 import (
 	"math"
-	"slices"
 	"sort"
 
+	"deep/internal/appgraph"
 	"deep/internal/dag"
 	"deep/internal/energy"
 	"deep/internal/game"
@@ -44,13 +44,6 @@ import (
 type Option struct {
 	Device   int32
 	Registry int32
-}
-
-// msInput is one incoming dataflow in compiled form, in DAG declaration
-// order (the order the estimator accumulates transfer times in).
-type msInput struct {
-	from int32
-	size units.Bytes
 }
 
 // Model is the compiled cost model for one (application, cluster) pair.
@@ -83,9 +76,9 @@ type Model struct {
 	srcLink   []topo.Link
 	hasSource bool
 
-	imageSize []units.Bytes // per microservice
-	extInput  []units.Bytes // per microservice
-	inputs    [][]msInput   // per microservice, in dataflow order
+	imageSize []units.Bytes     // per microservice (the app table's)
+	extInput  []units.Bytes     // per microservice (the app table's)
+	inputs    [][]appgraph.Edge // per microservice, in dataflow order (the app table's)
 
 	// Per-(microservice, device) tables, indexed ms*numDev+dev.
 	tp    []float64
@@ -127,20 +120,52 @@ func Compile(app *dag.App, cluster *sim.Cluster) *Model {
 }
 
 // CompileOn builds the model's application-side pass over a shared cluster
-// table, skipping the topology scan entirely. tab must describe cluster's
-// shape (same devices, registries, topology routes — the fleet guarantees
-// this by keying tables on the cluster digest).
+// table, compiling a private app table on the fly. tab must describe
+// cluster's shape (same devices, registries, topology routes — the fleet
+// guarantees this by keying tables on the cluster digest). Callers that
+// hold both substrates should use CompileOnTables, and callers that also
+// need the simulator plan should use CompileShapeOn, which emits both in a
+// single fused walk.
 func CompileOn(app *dag.App, cluster *sim.Cluster, tab *topo.ClusterTable) *Model {
-	m := &Model{App: app, Cluster: cluster, tab: tab}
+	return CompileOnTables(appgraph.Compile(app), cluster, tab)
+}
 
-	m.msNames = make([]string, 0, len(app.Microservices))
-	for _, ms := range app.Microservices {
-		m.msNames = append(m.msNames, ms.Name)
-	}
-	sort.Strings(m.msNames)
-	m.msNames = slices.Compact(m.msNames)
-	m.msIndex = indexOf(m.msNames)
+// CompileOnTables is the model's real compile: a thin option-enumeration
+// pass over the app-side substrate (at) and the cluster-side substrate
+// (tab). Everything app-only — name table, edge rows, image sizes, stages,
+// topological order, validation errors — is referenced from the app table;
+// everything cluster-only from the cluster table; only the cross product
+// (feasible options, per-(microservice, device) pricing) is computed here.
+func CompileOnTables(at *appgraph.AppTable, cluster *sim.Cluster, tab *topo.ClusterTable) *Model {
+	return compileModel(at, cluster, tab, nil)
+}
 
+// CompileShapeOn fuses the cost-model and simulator compiles into a single
+// walk over (at, tab): the simulator plan prices every (microservice,
+// device) pair once, and the model layers its option tables over those same
+// rows instead of re-querying the pure per-pair functions (ProcessingTime,
+// the three phase power draws, feasibility). One fused call replaces the
+// back-to-back CompileOn + CompilePlanOn pair on the fleet's cold path and
+// is pinned bit-identical to it (the fused equivalence corpus in
+// internal/sched).
+func CompileShapeOn(at *appgraph.AppTable, cluster *sim.Cluster, tab *topo.ClusterTable) (*Model, *sim.Plan) {
+	plan := sim.CompilePlanOnTables(at, cluster, tab)
+	return compileModel(at, cluster, tab, plan), plan
+}
+
+// compileModel builds the model over the two substrates. When plan is
+// non-nil (the fused path) the per-(microservice, device) rows are shared
+// with the plan — already priced over the same tables — and its feasibility
+// row drives option enumeration; otherwise the rows are computed here.
+// Either way the populated values are identical: the pricing functions are
+// pure per (device shape, microservice), and the only divergence — the
+// plan prices infeasible pairs while the standalone path leaves them zero —
+// is unobservable, because options only ever name feasible devices.
+func compileModel(at *appgraph.AppTable, cluster *sim.Cluster, tab *topo.ClusterTable, plan *sim.Plan) *Model {
+	m := &Model{App: at.App(), Cluster: cluster, tab: tab}
+
+	m.msNames = at.MSNames()
+	m.msIndex = at.MSIndex()
 	m.devNames = tab.DevNames()
 	m.devIndex = tab.DevIndex()
 	m.regNames = tab.RegNames()
@@ -156,40 +181,39 @@ func CompileOn(app *dag.App, cluster *sim.Cluster, tab *topo.ClusterTable) *Mode
 	m.srcLink = tab.SrcLinks()
 	m.hasSource = tab.HasSource()
 
-	m.imageSize = make([]units.Bytes, nm)
-	m.extInput = make([]units.Bytes, nm)
-	m.inputs = make([][]msInput, nm)
-	m.tp = make([]float64, nm*nd)
-	m.pullW = make([]units.Watts, nm*nd)
-	m.recvW = make([]units.Watts, nm*nd)
-	m.procW = make([]units.Watts, nm*nd)
+	m.imageSize = at.ImageSizes()
+	m.extInput = at.ExtInputs()
+	m.inputs = at.Inputs()
+
+	var feasible []bool
+	if plan != nil {
+		feasible, m.tp, m.pullW, m.recvW, m.procW = plan.MSRows()
+	} else {
+		m.tp = make([]float64, nm*nd)
+		m.pullW = make([]units.Watts, nm*nd)
+		m.recvW = make([]units.Watts, nm*nd)
+		m.procW = make([]units.Watts, nm*nd)
+	}
 	m.opts = make([][]Option, nm)
 	m.assigns = make([][]sim.Assignment, nm)
 	m.soloCells = make([][]int32, nm)
 	m.soloDevs = make([][]int32, nm)
 	m.soloRegs = make([][]int32, nm)
 
-	// Intern each compiled microservice's definition first (first
-	// occurrence wins on duplicate names, matching the name-table
-	// compaction and the simulator plan), then fill the per-microservice
-	// tables in id order.
-	msPtr := make([]*dag.Microservice, nm)
-	for _, ms := range app.Microservices {
-		if i, ok := m.msIndex[ms.Name]; ok && msPtr[i] == nil {
-			msPtr[i] = ms
-		}
-	}
+	msPtr := at.Microservices()
 	for mi := 0; mi < nm; mi++ {
 		ms := msPtr[mi]
-		m.imageSize[mi] = ms.ImageSize
-		m.extInput[mi] = ms.ExternalInput
 		var opts []Option
 		var regSeen int64 // bitset over registries reachable from a feasible device
 		for d := 0; d < nd; d++ {
-			if !tab.Feasible(int32(d), ms) {
+			base := mi*nd + d
+			if plan != nil {
+				if !feasible[base] {
+					continue
+				}
+			} else if !tab.Feasible(int32(d), ms) {
 				continue
 			}
-			di := devices[d]
 			first := true
 			for r := 0; r < nr; r++ {
 				if !m.regLink[r*nd+d].OK {
@@ -206,11 +230,13 @@ func CompileOn(app *dag.App, cluster *sim.Cluster, tab *topo.ClusterTable) *Mode
 					m.soloRegs[mi] = append(m.soloRegs[mi], int32(r))
 				}
 			}
-			base := mi*nd + d
-			m.tp[base] = di.ProcessingTime(ms.Req.CPU)
-			m.pullW[base] = di.Power.Power(energy.Pulling, ms.Name)
-			m.recvW[base] = di.Power.Power(energy.Receiving, ms.Name)
-			m.procW[base] = di.Power.Power(energy.Processing, ms.Name)
+			if plan == nil {
+				di := devices[d]
+				m.tp[base] = di.ProcessingTime(ms.Req.CPU)
+				m.pullW[base] = di.Power.Power(energy.Pulling, ms.Name)
+				m.recvW[base] = di.Power.Power(energy.Receiving, ms.Name)
+				m.procW[base] = di.Power.Power(energy.Processing, ms.Name)
+			}
 		}
 		if nr <= 64 {
 			for r := 0; r < nr; r++ {
@@ -252,33 +278,17 @@ func CompileOn(app *dag.App, cluster *sim.Cluster, tab *topo.ClusterTable) *Mode
 		m.soloCells[mi] = cells
 	}
 
-	for _, e := range app.Dataflows {
-		to, okTo := m.msIndex[e.To]
-		from, okFrom := m.msIndex[e.From]
-		if !okTo || !okFrom {
-			// A dangling edge cannot alter costs: the string-keyed estimator
-			// priced it as a zero-cost loopback transfer.
-			continue
-		}
-		m.inputs[to] = append(m.inputs[to], msInput{from: from, size: e.Size})
+	// Structure was captured when the app table compiled; map it the way
+	// the schedulers expect — a failed validation surfaces from both Stages
+	// and Topo, the individual walk errors otherwise — so the model stays
+	// genuinely immutable and concurrent ScheduleModel calls never write.
+	if err := at.ValidateErr(); err != nil {
+		m.stagesErr, m.topoErr = err, err
+	} else {
+		m.stages, m.stagesErr = at.Stages()
+		m.topo, m.topoErr = at.Topo()
 	}
-
-	// Memoize stages and topological order now so the model is genuinely
-	// immutable afterwards — concurrent ScheduleModel calls on a shared
-	// model never write to it. Structural errors stay stored and surface
-	// from Stages/Topo, where the schedulers report them.
-	m.memoStructure()
 	return m
-}
-
-func indexOf(names []string) map[string]int32 {
-	idx := make(map[string]int32, len(names))
-	for i, n := range names {
-		if _, dup := idx[n]; !dup {
-			idx[n] = int32(i)
-		}
-	}
-	return idx
 }
 
 func contains(s []int32, v int32) bool {
@@ -359,34 +369,6 @@ func (m *Model) LinkOK(reg, dev int32) bool {
 
 // Table returns the cluster-side table the model was compiled on.
 func (m *Model) Table() *topo.ClusterTable { return m.tab }
-
-func (m *Model) memoStructure() {
-	if err := m.App.Validate(); err != nil {
-		m.stagesErr, m.topoErr = err, err
-		return
-	}
-	if stages, err := m.App.Stages(); err != nil {
-		m.stagesErr = err
-	} else {
-		m.stages = make([][]int32, len(stages))
-		for i, stage := range stages {
-			ids := make([]int32, len(stage))
-			for k, n := range stage {
-				ids[k] = m.msIndex[n]
-			}
-			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-			m.stages[i] = ids
-		}
-	}
-	if order, err := m.App.TopoOrder(); err != nil {
-		m.topoErr = err
-	} else {
-		m.topo = make([]int32, len(order))
-		for i, n := range order {
-			m.topo[i] = m.msIndex[n]
-		}
-	}
-}
 
 // Stages returns the barrier stages as microservice ids, each stage
 // ascending (= lexicographic name order, the order the schedulers visit).
@@ -524,12 +506,12 @@ func (s *State) transferTime(ms int32, dev int32) float64 {
 	tc := 0.0
 	for _, in := range m.inputs[ms] {
 		from := dev // unplaced upstream defaults to co-location
-		if pd := s.placed[in.from]; pd >= 0 {
+		if pd := s.placed[in.MS]; pd >= 0 {
 			from = pd
 		}
 		dl := m.devLink[int(from)*nd+int(dev)]
 		if dl.OK {
-			tc += dl.RTT + dl.BW.Seconds(in.size)
+			tc += dl.RTT + dl.BW.Seconds(in.Size)
 		} else {
 			tc += math.Inf(1)
 		}

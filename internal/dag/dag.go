@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"deep/internal/units"
 )
@@ -74,12 +75,47 @@ type Dataflow struct {
 }
 
 // App is a dataflow processing application A = (M, E).
+//
+// Validate, TopoOrder, and Stages are memoized: the first call after a
+// mutation walks the graph, later calls return the cached result (TopoOrder
+// and Stages return shared slices — callers must not modify them). The memo
+// is invalidated by the mutation methods (AddMicroservice, AddDataflow) and,
+// as a safety net for code that writes the exported slices directly, by a
+// length check on Microservices/Dataflows at each read. Mutations that keep
+// both lengths (editing a vertex or edge in place) bypass the memo and are
+// not supported once any of the three has been called. The memo is
+// mutex-guarded, so concurrent Validate/TopoOrder/Stages calls on one App
+// are safe.
 type App struct {
 	Name          string
 	Microservices []*Microservice
 	Dataflows     []Dataflow
 
 	byName map[string]*Microservice
+
+	mu   sync.Mutex
+	memo appMemo
+}
+
+// appMemo caches the graph-walk results between mutations. The done flags
+// (not nil-ness) record completion, so error results memoize too. numMS and
+// numDF record the graph shape the memo was computed against; a mismatch at
+// read time means the exported slices were reassigned directly, and the
+// memo self-invalidates.
+type appMemo struct {
+	numMS int
+	numDF int
+
+	validDone bool
+	validErr  error
+
+	topoDone bool
+	topo     []string
+	topoErr  error
+
+	stagesDone bool
+	stages     [][]string
+	stagesErr  error
 }
 
 // NewApp constructs an empty application.
@@ -101,6 +137,7 @@ func (a *App) AddMicroservice(m *Microservice) error {
 	}
 	a.Microservices = append(a.Microservices, m)
 	a.byName[m.Name] = m
+	a.invalidate()
 	return nil
 }
 
@@ -119,7 +156,25 @@ func (a *App) AddDataflow(from, to string, size units.Bytes) error {
 		return fmt.Errorf("dag: %s: negative dataflow size %s->%s", a.Name, from, to)
 	}
 	a.Dataflows = append(a.Dataflows, Dataflow{From: from, To: to, Size: size})
+	a.invalidate()
 	return nil
+}
+
+// invalidate drops the memoized graph walks after a mutation.
+func (a *App) invalidate() {
+	a.mu.Lock()
+	a.memo = appMemo{}
+	a.mu.Unlock()
+}
+
+// memoFreshLocked drops the memo when the graph shape no longer matches the
+// one it was computed against — the safety net for callers that reassign
+// the exported Microservices/Dataflows slices without going through the
+// mutation methods — and stamps the shape the next fills are valid for.
+func (a *App) memoFreshLocked() {
+	if a.memo.numMS != len(a.Microservices) || a.memo.numDF != len(a.Dataflows) {
+		a.memo = appMemo{numMS: len(a.Microservices), numDF: len(a.Dataflows)}
+	}
 }
 
 // Microservice returns the named microservice, or nil.
@@ -149,8 +204,19 @@ func (a *App) Outputs(name string) []Dataflow {
 
 // Validate checks structural invariants: at least one microservice, no
 // duplicate edges, acyclicity, and (for multi-vertex apps) weak
-// connectivity.
+// connectivity. The result is memoized until the next mutation.
 func (a *App) Validate() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.memoFreshLocked()
+	if !a.memo.validDone {
+		a.memo.validErr = a.validateLocked()
+		a.memo.validDone = true
+	}
+	return a.memo.validErr
+}
+
+func (a *App) validateLocked() error {
 	if len(a.Microservices) == 0 {
 		return fmt.Errorf("dag: %s: no microservices", a.Name)
 	}
@@ -162,7 +228,7 @@ func (a *App) Validate() error {
 		}
 		seen[k] = true
 	}
-	if _, err := a.TopoOrder(); err != nil {
+	if _, err := a.topoOrderLocked(); err != nil {
 		return err
 	}
 	if len(a.Microservices) > 1 && !a.weaklyConnected() {
@@ -196,8 +262,25 @@ func (a *App) weaklyConnected() bool {
 
 // TopoOrder returns a deterministic topological order of the microservice
 // names (Kahn's algorithm with lexicographic tie-breaking), or an error when
-// the graph has a cycle.
+// the graph has a cycle. The returned slice is memoized until the next
+// mutation and shared between callers — treat it as read-only.
 func (a *App) TopoOrder() ([]string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.topoOrderLocked()
+}
+
+func (a *App) topoOrderLocked() ([]string, error) {
+	a.memoFreshLocked()
+	if a.memo.topoDone {
+		return a.memo.topo, a.memo.topoErr
+	}
+	a.memo.topo, a.memo.topoErr = a.topoOrder()
+	a.memo.topoDone = true
+	return a.memo.topo, a.memo.topoErr
+}
+
+func (a *App) topoOrder() ([]string, error) {
 	indeg := make(map[string]int, len(a.Microservices))
 	for _, m := range a.Microservices {
 		indeg[m.Name] = 0
@@ -256,9 +339,23 @@ func mergeSorted(a, b []string) []string {
 // Stages groups the microservices into synchronization-barrier levels: stage
 // k contains every microservice whose longest path from a source has length
 // k. All microservices in a stage may only start after every microservice in
-// the previous stage finished — the paper's "synchronization barriers".
+// the previous stage finished — the paper's "synchronization barriers". The
+// returned slices are memoized until the next mutation and shared between
+// callers — treat them as read-only.
 func (a *App) Stages() ([][]string, error) {
-	order, err := a.TopoOrder()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.memoFreshLocked()
+	if a.memo.stagesDone {
+		return a.memo.stages, a.memo.stagesErr
+	}
+	a.memo.stages, a.memo.stagesErr = a.stages()
+	a.memo.stagesDone = true
+	return a.memo.stages, a.memo.stagesErr
+}
+
+func (a *App) stages() ([][]string, error) {
+	order, err := a.topoOrderLocked()
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"deep/internal/appgraph"
 	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/sim"
@@ -402,19 +403,23 @@ type compiledShape struct {
 	plan  *sim.Plan
 }
 
-// sharedModelCache is the fleet-wide two-level compiled-shape cache.
+// sharedModelCache is the fleet-wide three-level compiled-shape cache.
 //
-// The outer level holds cluster tables (topo.ClusterTable): the cluster-side
-// substrate — sorted name tables, interned devices, the dense link tables —
-// keyed by cluster digest with a singleflight fill, so N applications
-// arriving on one cluster pay the O(devices²) topology scan once instead of
-// once per (app, compiler). The inner level holds compiled shapes (cost
-// model + simulator plan), read-mostly, sharded by fingerprint across
-// independently locked shards so workers rarely contend, also
-// singleflight-filled — the first worker to miss a key compiles (on the
-// shared cluster table) while every other worker asking for the same key
-// blocks on that one compilation instead of redundantly compiling its own
-// copy. Hot tenants therefore compile once per fleet, not once per worker.
+// Two outer levels hold the two substrates. Cluster tables
+// (topo.ClusterTable) — sorted name tables, interned devices, the dense link
+// tables — are keyed by cluster digest with a singleflight fill, so N
+// applications arriving on one cluster pay the O(devices²) topology scan
+// once instead of once per (app, compiler). App tables (appgraph.AppTable) —
+// the validated DAG structure, topo order, stages, edge rows — are keyed by
+// app digest the same way, so N clusters × 1 app pay the DAG walks once
+// instead of once per (cluster, compiler). The inner level holds compiled
+// shapes (cost model + simulator plan), read-mostly, sharded by fingerprint
+// across independently locked shards so workers rarely contend, also
+// singleflight-filled — the first worker to miss a key compiles (fused, over
+// the two shared substrates) while every other worker asking for the same
+// key blocks on that one compilation instead of redundantly compiling its
+// own copy. Hot tenants therefore compile once per fleet, not once per
+// worker.
 //
 // Compiled tables, models, and plans are immutable and safe for concurrent
 // ScheduleModel and Exec.Run calls, which is what makes sharing them across
@@ -432,6 +437,12 @@ type sharedModelCache struct {
 	tables     map[string]*tableEntry
 	tableOrder []string
 
+	// App-table level, keyed by app digest. Apps churn faster than clusters
+	// (one per tenant shape), so the FIFO bound is wider.
+	appsMu   sync.Mutex
+	apps     map[Fingerprint]*appEntry
+	appOrder []Fingerprint
+
 	hits     atomic.Int64
 	misses   atomic.Int64
 	compiles atomic.Int64
@@ -439,6 +450,10 @@ type sharedModelCache struct {
 	tableHits     atomic.Int64
 	tableMisses   atomic.Int64
 	tableCompiles atomic.Int64
+
+	appHits     atomic.Int64
+	appMisses   atomic.Int64
+	appCompiles atomic.Int64
 }
 
 // tableEntry is a singleflight cell for one cluster table.
@@ -449,6 +464,15 @@ type tableEntry struct {
 
 // clusterTableCap bounds the cluster-table level.
 const clusterTableCap = 64
+
+// appEntry is a singleflight cell for one compiled app table.
+type appEntry struct {
+	once  sync.Once
+	table *appgraph.AppTable
+}
+
+// appTableCap bounds the app-table level.
+const appTableCap = 256
 
 // modelShard is one lock domain: a FIFO-bounded map of fill entries.
 type modelShard struct {
@@ -484,6 +508,7 @@ func newSharedModelCache(capacity int) *sharedModelCache {
 		}
 	}
 	c.tables = make(map[string]*tableEntry)
+	c.apps = make(map[Fingerprint]*appEntry)
 	return c
 }
 
@@ -519,6 +544,44 @@ func (c *sharedModelCache) tableFor(cd ClusterDigest, compile func() *topo.Clust
 	// of other clusters, only callers of this digest.
 	e.once.Do(func() {
 		c.tableCompiles.Add(1)
+		e.table = compile()
+	})
+	return e.table
+}
+
+// appTableFor returns the compiled app table for the digest, running compile
+// at most once per cached digest fleet-wide: concurrent callers for the same
+// app all block on the first caller's compilation and share its result —
+// the DAG walks run once even when N workers compile the app against N
+// distinct clusters simultaneously. With the cache disabled every caller
+// compiles a private table.
+func (c *sharedModelCache) appTableFor(ad Fingerprint, compile func() *appgraph.AppTable) *appgraph.AppTable {
+	if !c.enabled() {
+		c.appCompiles.Add(1)
+		return compile()
+	}
+	c.appsMu.Lock()
+	e, ok := c.apps[ad]
+	if !ok {
+		e = &appEntry{}
+		if len(c.appOrder) >= appTableCap {
+			oldest := c.appOrder[0]
+			c.appOrder = c.appOrder[1:]
+			delete(c.apps, oldest)
+		}
+		c.apps[ad] = e
+		c.appOrder = append(c.appOrder, ad)
+	}
+	c.appsMu.Unlock()
+	if ok {
+		c.appHits.Add(1)
+	} else {
+		c.appMisses.Add(1)
+	}
+	// Fill outside the lock: a slow app compilation never blocks lookups of
+	// other apps, only callers of this digest.
+	e.once.Do(func() {
+		c.appCompiles.Add(1)
 		e.table = compile()
 	})
 	return e.table
@@ -582,7 +645,9 @@ func (c *sharedModelCache) getOrCompile(key Fingerprint, compile func() compiled
 // instead of recompiling); Compiles counts actual compilations, so Misses ==
 // Compiles when caching is on means the singleflight never duplicated work.
 // The Cluster* counters track the cluster-table level the same way: with N
-// workers on one shared cluster shape, ClusterCompiles stays at 1.
+// workers on one shared cluster shape, ClusterCompiles stays at 1. The App*
+// counters track the app-table level: with N workers compiling one app
+// against N distinct clusters, AppCompiles stays at 1.
 type ModelCacheStats struct {
 	Hits     int64 `json:"hits"`
 	Misses   int64 `json:"misses"`
@@ -593,6 +658,11 @@ type ModelCacheStats struct {
 	ClusterMisses   int64 `json:"cluster_misses"`
 	ClusterCompiles int64 `json:"cluster_compiles"`
 	ClusterEntries  int   `json:"cluster_entries"`
+
+	AppHits     int64 `json:"app_hits"`
+	AppMisses   int64 `json:"app_misses"`
+	AppCompiles int64 `json:"app_compiles"`
+	AppEntries  int   `json:"app_entries"`
 }
 
 // Stats snapshots the cache counters.
@@ -604,6 +674,9 @@ func (c *sharedModelCache) Stats() ModelCacheStats {
 		ClusterHits:     c.tableHits.Load(),
 		ClusterMisses:   c.tableMisses.Load(),
 		ClusterCompiles: c.tableCompiles.Load(),
+		AppHits:         c.appHits.Load(),
+		AppMisses:       c.appMisses.Load(),
+		AppCompiles:     c.appCompiles.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -614,5 +687,8 @@ func (c *sharedModelCache) Stats() ModelCacheStats {
 	c.tablesMu.Lock()
 	s.ClusterEntries = len(c.tables)
 	c.tablesMu.Unlock()
+	c.appsMu.Lock()
+	s.AppEntries = len(c.apps)
+	c.appsMu.Unlock()
 	return s
 }

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deep/internal/appgraph"
 	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/monitor"
@@ -252,6 +253,8 @@ func (f *Fleet) collectGauges() {
 	reg.Gauge("fleet_shape_cache_misses").Set(float64(s.ModelCache.Misses))
 	reg.Gauge("fleet_shape_cache_compiles").Set(float64(s.ModelCache.Compiles))
 	reg.Gauge("fleet_cluster_table_compiles").Set(float64(s.ModelCache.ClusterCompiles))
+	reg.Gauge("fleet_app_table_compiles").Set(float64(s.ModelCache.AppCompiles))
+	reg.Gauge("fleet_app_table_entries").Set(float64(s.ModelCache.AppEntries))
 	reg.Gauge("fleet_slow_requests_captured").Set(float64(f.slow.Captured()))
 	reg.Gauge("fleet_slow_threshold_s").Set(f.slow.Threshold().Seconds())
 }
@@ -479,12 +482,20 @@ func (f *Fleet) shape(w *workerState, app *dag.App, appDigest Fingerprint) compi
 	_, modelScheduler := w.scheduler.(sched.ModelScheduler)
 	needModel := modelScheduler && f.models.enabled()
 	return f.models.getOrCompile(w.dig.fingerprint(w.clusterDigest, appDigest, ""), func() compiledShape {
-		// App-side passes only: the cluster-side tables come precompiled
-		// from the worker's shared cluster table, so a cold shape costs
-		// O(app) work instead of two O(devices²) topology scans.
-		s := compiledShape{plan: sim.CompilePlanOn(app, w.cluster, w.table)}
+		// Cross-product passes only: the cluster-side tables come
+		// precompiled from the worker's shared cluster table and the
+		// app-side structure from the digest-keyed shared app table, so a
+		// cold shape pays neither the O(devices²) topology scans nor the
+		// DAG validation walks — one fused pricing walk emits the model
+		// and the plan together.
+		at := f.models.appTableFor(appDigest, func() *appgraph.AppTable {
+			return appgraph.Compile(app)
+		})
+		var s compiledShape
 		if needModel {
-			s.model = costmodel.CompileOn(app, w.cluster, w.table)
+			s.model, s.plan = costmodel.CompileShapeOn(at, w.cluster, w.table)
+		} else {
+			s.plan = sim.CompilePlanOnTables(at, w.cluster, w.table)
 		}
 		return s
 	})

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"deep/internal/appgraph"
 	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/device"
@@ -392,5 +393,132 @@ func TestModelCacheEviction(t *testing.T) {
 	}
 	if compiled != len(keys) {
 		t.Fatalf("expected %d compilations, got %d", len(keys), compiled)
+	}
+}
+
+// TestAppTableSingleflight hammers the app-table level from many goroutines
+// (run under -race in CI) and asserts each app digest compiled exactly once
+// with every caller handed the same table.
+func TestAppTableSingleflight(t *testing.T) {
+	const (
+		goroutines = 16
+		rounds     = 50
+	)
+	c := newSharedModelCache(64)
+	apps := []*dag.App{workload.VideoProcessing(), workload.TextProcessing()}
+	digests := make([]Fingerprint, len(apps))
+	dg := newDigester()
+	for i, app := range apps {
+		digests[i] = dg.appDigest(app)
+	}
+
+	var compiles [2]atomic.Int64
+	got := make([][]*appgraph.AppTable, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]*appgraph.AppTable, len(apps))
+			for r := 0; r < rounds; r++ {
+				k := (g + r) % len(apps)
+				tab := c.appTableFor(digests[k], func() *appgraph.AppTable {
+					compiles[k].Add(1)
+					time.Sleep(time.Millisecond) // widen the race window
+					return appgraph.Compile(apps[k])
+				})
+				if got[g][k] == nil {
+					got[g][k] = tab
+				} else if got[g][k] != tab {
+					t.Errorf("goroutine %d digest %d: table changed identity", g, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for k := range compiles {
+		if n := compiles[k].Load(); n != 1 {
+			t.Errorf("app %d compiled %d times, want exactly 1", k, n)
+		}
+	}
+	for g := 1; g < goroutines; g++ {
+		for k := range got[0] {
+			if got[g][k] != got[0][k] {
+				t.Errorf("goroutine %d app %d: different table than goroutine 0", g, k)
+			}
+		}
+	}
+	s := c.Stats()
+	if s.AppCompiles != int64(len(apps)) {
+		t.Errorf("stats report %d app compiles, want %d", s.AppCompiles, len(apps))
+	}
+	if s.AppMisses != int64(len(apps)) {
+		t.Errorf("stats report %d app misses, want %d", s.AppMisses, len(apps))
+	}
+	if want := int64(goroutines*rounds - len(apps)); s.AppHits != want {
+		t.Errorf("stats report %d app hits, want %d", s.AppHits, want)
+	}
+	if s.AppEntries != len(apps) {
+		t.Errorf("stats report %d app entries, want %d", s.AppEntries, len(apps))
+	}
+}
+
+// TestFleetCompilesAppOnce pins the three-level cache's app level: 8 workers
+// each holding a *distinct* cluster (so nothing else is shared — every
+// worker's shape key and cluster table differ) submit the same app, and the
+// whole fleet performs exactly one appgraph.Compile: the DAG validation,
+// topo order, and stage partition run once and every per-cluster shape
+// compile layers over that one table.
+func TestFleetCompilesAppOnce(t *testing.T) {
+	const workers = 8
+	var next atomic.Int64
+	f := testFleet(t, Config{
+		Workers:    workers,
+		QueueDepth: 256,
+		CacheSize:  -1,
+		NewCluster: func() *sim.Cluster {
+			// Distinct scale per worker: 8 different cluster digests.
+			return workload.ScaledTestbed(int(next.Add(1)))
+		},
+	})
+
+	app := workload.VideoProcessing()
+	var wg sync.WaitGroup
+	for i := 0; i < 320; i++ {
+		ch, err := f.Submit(Request{Tenant: fmt.Sprintf("t%d", i%4), App: app, Seed: int64(i)})
+		if err != nil {
+			continue // bounded queue; coverage doesn't need every request
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if resp := <-ch; resp.Err != nil {
+				t.Error(resp.Err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := f.Stats().ModelCache
+	if s.AppCompiles != 1 {
+		t.Errorf("%d appgraph.Compile runs across %d workers, want exactly 1 (stats: %+v)",
+			s.AppCompiles, workers, s)
+	}
+	if s.AppEntries != 1 {
+		t.Errorf("%d app-table entries, want 1", s.AppEntries)
+	}
+	// Workers resolve their cluster tables at startup: 8 distinct digests,
+	// 8 compiles, no sharing on the cluster side.
+	if s.ClusterCompiles != workers {
+		t.Errorf("%d cluster-table compilations, want %d (distinct clusters)", s.ClusterCompiles, workers)
+	}
+	// Every shape compile asked the app level for the same digest: one miss
+	// (the compile), the rest hits.
+	if s.AppMisses != 1 {
+		t.Errorf("%d app-table misses, want 1", s.AppMisses)
+	}
+	if want := s.Compiles - 1; s.AppHits != want {
+		t.Errorf("%d app-table hits, want %d (one per shape compile after the first)", s.AppHits, want)
 	}
 }

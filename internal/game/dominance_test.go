@@ -1,0 +1,164 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// iteratedGame is dominance-solvable only through iteration: no column is
+// dominated until row 2 dies, and row 1 / col 1 only fall in the second
+// round. Solving it pins the fixed-point loop, not just one sweep.
+//
+//	A (row payoffs)        B (col payoffs)
+//	 5.0  5.0   0           5  4  3
+//	 4.5  4.5  10           5  6  4
+//	 4.0  4.0  -1           0  0  9
+//
+// Round 1: row 2 < row 0 everywhere; then col 2 < col 0 on rows {0,1}.
+// Round 2: row 1 < row 0 on cols {0,1}; then col 1 < col 0 on row {0}.
+func iteratedGame() *Game {
+	a := MatrixFrom([][]float64{
+		{5.0, 5.0, 0},
+		{4.5, 4.5, 10},
+		{4.0, 4.0, -1},
+	})
+	b := MatrixFrom([][]float64{
+		{5, 4, 3},
+		{5, 6, 4},
+		{0, 0, 9},
+	})
+	return New(a, b)
+}
+
+func TestEliminateDominatedIterates(t *testing.T) {
+	g := iteratedGame()
+	r := g.EliminateDominated()
+	if rows, cols := r.Game.Shape(); rows != 1 || cols != 1 {
+		t.Fatalf("iterated game should reduce to 1x1, got %dx%d", rows, cols)
+	}
+	if r.RowOrig[0] != 0 || r.ColOrig[0] != 0 {
+		t.Fatalf("wrong survivors: rows %v cols %v (want [0] [0])", r.RowOrig, r.ColOrig)
+	}
+	if got := r.Game.A.At(0, 0); got != 5.0 {
+		t.Errorf("reduced A = %v, want 5", got)
+	}
+	if got := r.Game.B.At(0, 0); got != 5.0 {
+		t.Errorf("reduced B = %v, want 5", got)
+	}
+}
+
+// Weak dominance (a tie in any alive cell) and sub-tolerance advantages
+// (≤ 1e-12) must not eliminate a strategy: IESDS is only sound for strict
+// dominance.
+func TestEliminateDominatedStrictOnly(t *testing.T) {
+	ties := New(
+		MatrixFrom([][]float64{{1, 1}, {1, 0}}), // row 1 only weakly dominated
+		MatrixFrom([][]float64{{2, 2}, {3, 3}}), // columns tie for the col player
+	)
+	if r := ties.EliminateDominated(); len(r.RowOrig) != 2 || len(r.ColOrig) != 2 {
+		t.Fatalf("weak dominance eliminated a strategy: rows %v cols %v", r.RowOrig, r.ColOrig)
+	}
+
+	eps := 1e-13 // below the 1e-12 comparison tolerance
+	tiny := New(
+		MatrixFrom([][]float64{{1 + eps, 1 + eps}, {1, 1}}),
+		MatrixFrom([][]float64{{2, 2}, {3, 3}}),
+	)
+	if r := tiny.EliminateDominated(); len(r.RowOrig) != 2 {
+		t.Fatalf("sub-tolerance advantage eliminated a row: %v", r.RowOrig)
+	}
+
+	clear := New(
+		MatrixFrom([][]float64{{1 + 1e-9, 1 + 1e-9}, {1, 1}}),
+		MatrixFrom([][]float64{{2, 2}, {3, 3}}),
+	)
+	if r := clear.EliminateDominated(); len(r.RowOrig) != 1 || r.RowOrig[0] != 0 {
+		t.Fatalf("clear strict dominance not applied: %v", r.RowOrig)
+	}
+}
+
+// Each player always keeps at least one strategy, even in degenerate
+// single-strategy games where the dominance scan has nothing to compare.
+func TestEliminateDominatedKeepsLastStrategy(t *testing.T) {
+	// 1x3: the lone row must survive; cols 0 and 1 fall to col 2.
+	g := New(
+		MatrixFrom([][]float64{{7, 7, 7}}),
+		MatrixFrom([][]float64{{1, 2, 3}}),
+	)
+	r := g.EliminateDominated()
+	if rows, cols := r.Game.Shape(); rows != 1 || cols != 1 {
+		t.Fatalf("got %dx%d, want 1x1", rows, cols)
+	}
+	if r.RowOrig[0] != 0 || r.ColOrig[0] != 2 {
+		t.Fatalf("survivors rows %v cols %v, want [0] [2]", r.RowOrig, r.ColOrig)
+	}
+
+	// Fully dominance-solvable games stop at 1x1, never 0x0.
+	r = iteratedGame().EliminateDominated()
+	if len(r.RowOrig) == 0 || len(r.ColOrig) == 0 {
+		t.Fatalf("eliminated a player's last strategy: rows %v cols %v", r.RowOrig, r.ColOrig)
+	}
+}
+
+// A game with no strictly dominated strategies reduces to itself with
+// identity index maps.
+func TestEliminateDominatedIdentityOnMatchingPennies(t *testing.T) {
+	g := MatchingPennies()
+	r := g.EliminateDominated()
+	if rows, cols := r.Game.Shape(); rows != 2 || cols != 2 {
+		t.Fatalf("matching pennies reduced to %dx%d", rows, cols)
+	}
+	for i, orig := range r.RowOrig {
+		if orig != i {
+			t.Fatalf("RowOrig = %v, want identity", r.RowOrig)
+		}
+	}
+	for j, orig := range r.ColOrig {
+		if orig != j {
+			t.Fatalf("ColOrig = %v, want identity", r.ColOrig)
+		}
+	}
+}
+
+// Expand puts reduced-game probabilities back at their original indices and
+// exactly zero everywhere that was eliminated.
+func TestReducedExpandZeroFill(t *testing.T) {
+	r := iteratedGame().EliminateDominated()
+	exp := r.Expand(Profile{Row: []float64{1}, Col: []float64{1}}, 3, 3)
+	wantRow := []float64{1, 0, 0}
+	wantCol := []float64{1, 0, 0}
+	for i := range wantRow {
+		if exp.Row[i] != wantRow[i] {
+			t.Fatalf("Expand row = %v, want %v", exp.Row, wantRow)
+		}
+		if exp.Col[i] != wantCol[i] {
+			t.Fatalf("Expand col = %v, want %v", exp.Col, wantCol)
+		}
+	}
+}
+
+// The reduced payoff matrices are exact (bit-equal) submatrices of the
+// originals at RowOrig x ColOrig — elimination copies, never recomputes.
+func TestEliminateDominatedExactSubmatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		rows := 2 + rng.Intn(4)
+		cols := 2 + rng.Intn(4)
+		a := NewMatrix(rows, cols)
+		b := NewMatrix(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+			b.Data[i] = rng.NormFloat64()
+		}
+		g := New(a, b)
+		r := g.EliminateDominated()
+		for ri, i := range r.RowOrig {
+			for cj, j := range r.ColOrig {
+				if r.Game.A.At(ri, cj) != g.A.At(i, j) || r.Game.B.At(ri, cj) != g.B.At(i, j) {
+					t.Fatalf("trial %d: reduced payoff at (%d,%d) is not the original at (%d,%d)",
+						trial, ri, cj, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package sched
+
+// Fused-compile equivalence: costmodel.CompileShapeOn emits the cost model
+// and the simulator plan in one walk over the shared (AppTable,
+// ClusterTable) substrates, with the model's per-(microservice, device)
+// rows aliased to the plan's. This file pins that fusion bit-identical to
+// the legacy wrappers (costmodel.Compile, sim.CompilePlan) — which the
+// corpora in this package and internal/sim in turn pin to the original
+// string-keyed implementations — so the fleet's fused cold path provably
+// changes nothing but time: byte-identical placements from all seven
+// schedulers, bit-identical simulation results (exact float equality),
+// and verbatim error parity on structurally invalid applications.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"deep/internal/appgraph"
+	"deep/internal/costmodel"
+	"deep/internal/dag"
+	"deep/internal/sim"
+	"deep/internal/workload"
+)
+
+// fusedCorpus mirrors equivalenceCorpus but keeps the cluster constructor:
+// simulation mutates device layer caches, so the legacy and fused sides
+// must each run on a private, identically-built cluster.
+func fusedCorpus(t *testing.T) []struct {
+	name string
+	app  *dag.App
+	mk   func() *sim.Cluster
+} {
+	t.Helper()
+	type tc = struct {
+		name string
+		app  *dag.App
+		mk   func() *sim.Cluster
+	}
+	var cases []tc
+	clusters := []struct {
+		name string
+		mk   func() *sim.Cluster
+	}{
+		{"testbed", workload.Testbed},
+		{"scaled4", func() *sim.Cluster { return workload.ScaledTestbed(4) }},
+	}
+	for _, cl := range clusters {
+		cases = append(cases,
+			tc{"video/" + cl.name, workload.VideoProcessing(), cl.mk},
+			tc{"text/" + cl.name, workload.TextProcessing(), cl.mk},
+		)
+		for _, size := range []int{5, 9, 13} {
+			for seed := int64(1); seed <= 2; seed++ {
+				cfg := workload.DefaultGeneratorConfig(size, seed)
+				cfg.StageWidth = 4
+				app, err := workload.Generate(cfg)
+				if err != nil {
+					t.Fatalf("generate size=%d seed=%d: %v", size, seed, err)
+				}
+				cases = append(cases, tc{fmt.Sprintf("synthetic%d-%d/%s", size, seed, cl.name), app, cl.mk})
+			}
+		}
+	}
+	return cases
+}
+
+// TestFusedCompileMatchesLegacyWrappers pins the fused compile against the
+// legacy wrappers across the corpus: every scheduler's placement
+// byte-identical on the fused model, and the simulator bit-identical on the
+// fused plan over jitter-off, jitter-on, and warm-cache runs.
+func TestFusedCompileMatchesLegacyWrappers(t *testing.T) {
+	const seed = 99
+	for _, c := range fusedCorpus(t) {
+		t.Run(c.name, func(t *testing.T) {
+			clusterL, clusterF := c.mk(), c.mk()
+
+			legacyModel := costmodel.Compile(c.app, clusterL)
+			legacyPlan := sim.CompilePlan(c.app, clusterL)
+
+			at := appgraph.Compile(c.app)
+			fusedModel, fusedPlan := costmodel.CompileShapeOn(at, clusterF, sim.CompileClusterTable(clusterF))
+
+			legacyScheds, fusedScheds := All(seed), All(seed)
+			var placement sim.Placement
+			for i, ls := range legacyScheds {
+				lm, ok := ls.(ModelScheduler)
+				if !ok {
+					t.Fatalf("%s is not a ModelScheduler", ls.Name())
+				}
+				fm := fusedScheds[i].(ModelScheduler)
+				want, errL := lm.ScheduleModel(legacyModel)
+				got, errF := fm.ScheduleModel(fusedModel)
+				if (errL == nil) != (errF == nil) {
+					t.Fatalf("%s: error mismatch: legacy %v, fused %v", ls.Name(), errL, errF)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("%s: fused placement diverges\nlegacy: %v\nfused:  %v", ls.Name(), want, got)
+				}
+				if placement == nil {
+					placement = want
+				}
+			}
+
+			execL, execF := sim.NewExec(), sim.NewExec()
+			for run, opts := range []sim.Options{
+				{},
+				{Seed: 7, Jitter: 0.02},
+				{Seed: 7, Jitter: 0.02, WarmCaches: true},
+			} {
+				want, errL := execL.Run(legacyPlan, placement, opts)
+				got, errF := execF.Run(fusedPlan, placement, opts)
+				if errL != nil || errF != nil {
+					t.Fatalf("run %d: legacy err %v, fused err %v", run, errL, errF)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("run %d (opts %+v): fused result diverges\nlegacy: %+v\nfused:  %+v", run, opts, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestFusedCompileInvalidAppParity: structurally broken applications surface
+// the same error values from the fused compile as from the legacy wrappers
+// — schedulers and simulator alike.
+func TestFusedCompileInvalidAppParity(t *testing.T) {
+	mkCyclic := func() *dag.App {
+		a := dag.NewApp("cyclic")
+		for _, n := range []string{"x", "y"} {
+			if err := a.AddMicroservice(&dag.Microservice{Name: n}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, e := range [][2]string{{"x", "y"}, {"y", "x"}} {
+			if err := a.AddDataflow(e[0], e[1], 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return a
+	}
+	mkDisconnected := func() *dag.App {
+		a := dag.NewApp("split")
+		for _, n := range []string{"a", "b", "c"} {
+			if err := a.AddMicroservice(&dag.Microservice{Name: n}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.AddDataflow("a", "b", 0); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	mkDupNames := func() *dag.App {
+		return &dag.App{Name: "dups", Microservices: []*dag.Microservice{
+			{Name: "dup"}, {Name: "dup"},
+		}}
+	}
+
+	for _, bad := range []struct {
+		name string
+		mk   func() *dag.App
+	}{
+		{"cyclic", mkCyclic},
+		{"disconnected", mkDisconnected},
+		{"duplicate-names", mkDupNames},
+	} {
+		t.Run(bad.name, func(t *testing.T) {
+			app := bad.mk()
+			cluster := workload.Testbed()
+
+			legacyModel := costmodel.Compile(app, cluster)
+			legacyPlan := sim.CompilePlan(app, cluster)
+			fusedModel, fusedPlan := costmodel.CompileShapeOn(
+				appgraph.Compile(app), cluster, sim.CompileClusterTable(cluster))
+
+			_, wantStagesErr := legacyModel.Stages()
+			_, gotStagesErr := fusedModel.Stages()
+			if wantStagesErr == nil || gotStagesErr != wantStagesErr {
+				t.Fatalf("Stages error not verbatim: legacy %v, fused %v", wantStagesErr, gotStagesErr)
+			}
+			_, wantTopoErr := legacyModel.Topo()
+			_, gotTopoErr := fusedModel.Topo()
+			if wantTopoErr == nil || gotTopoErr != wantTopoErr {
+				t.Fatalf("Topo error not verbatim: legacy %v, fused %v", wantTopoErr, gotTopoErr)
+			}
+
+			for i, s := range All(1) {
+				ms := s.(ModelScheduler)
+				_, errL := ms.ScheduleModel(legacyModel)
+				_, errF := All(1)[i].(ModelScheduler).ScheduleModel(fusedModel)
+				if errL == nil || errF == nil {
+					t.Fatalf("%s scheduled a broken app: legacy %v, fused %v", s.Name(), errL, errF)
+				}
+				if errL.Error() != errF.Error() {
+					t.Fatalf("%s error diverges: legacy %q, fused %q", s.Name(), errL, errF)
+				}
+			}
+
+			exec := sim.NewExec()
+			_, errL := exec.Run(legacyPlan, sim.Placement{}, sim.Options{})
+			_, errF := exec.Run(fusedPlan, sim.Placement{}, sim.Options{})
+			if errL == nil || errF != errL {
+				t.Fatalf("sim error not verbatim: legacy %v, fused %v", errL, errF)
+			}
+		})
+	}
+}

@@ -197,9 +197,9 @@ func (e *Exec) Run(p *Plan, placement Placement, opts Options) (*Result, error) 
 
 			tc := 0.0
 			for _, in := range p.inputs[ms] {
-				dl := p.devLink[int(e.assignDev[in.from])*nd+int(d)]
+				dl := p.devLink[int(e.assignDev[in.MS])*nd+int(d)]
 				if dl.OK {
-					tc += dl.RTT + dl.BW.Seconds(in.size)
+					tc += dl.RTT + dl.BW.Seconds(in.Size)
 				} else {
 					tc += math.Inf(1)
 				}

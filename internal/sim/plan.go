@@ -2,9 +2,8 @@ package sim
 
 import (
 	"fmt"
-	"slices"
-	"sort"
 
+	"deep/internal/appgraph"
 	"deep/internal/dag"
 	"deep/internal/device"
 	"deep/internal/energy"
@@ -71,9 +70,9 @@ type Plan struct {
 	// validation is allocation-free.
 	feasible []bool
 
-	layers   [][]Layer     // per ms: interned image layers (LayersOf order)
-	inputs   [][]planInput // per ms: incoming dataflows in DAG order
-	extInput []units.Bytes // per ms
+	layers   [][]Layer         // per ms: interned image layers (LayersOf order)
+	inputs   [][]appgraph.Edge // per ms: incoming dataflows in DAG order
+	extInput []units.Bytes     // per ms
 
 	// Per-(microservice, device) tables, indexed ms*numDev+dev. The act*
 	// tables hold the draw above idle, precomputed so the executor prices
@@ -101,17 +100,11 @@ type Plan struct {
 	jitterTag [3][][]byte
 }
 
-// planInput is one incoming dataflow in compiled form.
-type planInput struct {
-	from int32
-	size units.Bytes
-}
-
-// Jitter phase indices into Plan.jitterTag.
+// Jitter phase indices into Plan.jitterTag (the app table's layout).
 const (
-	phaseDeploy = iota
-	phaseTransfer
-	phaseProcess
+	phaseDeploy   = appgraph.PhaseDeploy
+	phaseTransfer = appgraph.PhaseTransfer
+	phaseProcess  = appgraph.PhaseProcess
 )
 
 // CompileClusterTable compiles the cluster-side substrate shared by this
@@ -142,26 +135,29 @@ func CompilePlan(app *dag.App, cluster *Cluster) *Plan {
 }
 
 // CompilePlanOn builds the plan's application-side pass over a shared
-// cluster table, skipping the topology scan entirely. tab must describe
-// cluster's shape (same devices, registries, topology routes — the fleet
-// guarantees this by keying tables on the cluster digest); the plan's device
-// handles are re-interned from cluster itself, so a table compiled from a
-// digest-identical sibling cluster never leaks that sibling's layer caches
-// into this plan's runs.
+// cluster table, compiling a private app table on the fly. Callers that hold
+// both substrates (the fleet, the fused shape compile) should use
+// CompilePlanOnTables.
 func CompilePlanOn(app *dag.App, cluster *Cluster, tab *topo.ClusterTable) *Plan {
+	return CompilePlanOnTables(appgraph.Compile(app), cluster, tab)
+}
+
+// CompilePlanOnTables is the real compile: a thin per-(microservice, device)
+// pricing pass over the app-side substrate (at) and the cluster-side
+// substrate (tab). Everything app-only — name table, edge rows, stages,
+// topological order, validation errors, jitter tags — is referenced from the
+// app table; everything cluster-only from the cluster table; only the cross
+// product is computed here. tab must describe cluster's shape (same devices,
+// registries, topology routes — the fleet guarantees this by keying tables
+// on the cluster digest); the plan's device handles are re-interned from
+// cluster itself, so a table compiled from a digest-identical sibling
+// cluster never leaks that sibling's layer caches into this plan's runs.
+func CompilePlanOnTables(at *appgraph.AppTable, cluster *Cluster, tab *topo.ClusterTable) *Plan {
+	app := at.App()
 	p := &Plan{app: app, cluster: cluster, tab: tab}
 
-	// The application-side name table is deduplicated like the cluster
-	// table's: sorted, compacted, first occurrence wins, and the parallel
-	// id-indexed tables stay fully populated.
-	p.msNames = make([]string, 0, len(app.Microservices))
-	for _, m := range app.Microservices {
-		p.msNames = append(p.msNames, m.Name)
-	}
-	sort.Strings(p.msNames)
-	p.msNames = slices.Compact(p.msNames)
-	p.msIndex = planIndexOf(p.msNames)
-
+	p.msNames = at.MSNames()
+	p.msIndex = at.MSIndex()
 	p.devNames = tab.DevNames()
 	p.devIndex = tab.DevIndex()
 	p.regNames = tab.RegNames()
@@ -169,12 +165,7 @@ func CompilePlanOn(app *dag.App, cluster *Cluster, tab *topo.ClusterTable) *Plan
 
 	nm, nd := len(p.msNames), len(p.devNames)
 
-	p.ms = make([]*dag.Microservice, nm)
-	for _, m := range app.Microservices {
-		if i, ok := p.msIndex[m.Name]; ok && p.ms[i] == nil {
-			p.ms[i] = m
-		}
-	}
+	p.ms = at.Microservices()
 	// Re-intern device handles from the plan's own cluster (first
 	// occurrence wins, matching Cluster.Device). A name the cluster cannot
 	// resolve falls back to the table's handle — only reachable when the
@@ -196,10 +187,12 @@ func CompilePlanOn(app *dag.App, cluster *Cluster, tab *topo.ClusterTable) *Plan
 	p.hasSource = tab.HasSource()
 	p.idleW = tab.IdleW()
 
+	p.inputs = at.Inputs()
+	p.extInput = at.ExtInputs()
+	p.jitterTag = at.PhaseTags()
+
 	p.feasible = make([]bool, nm*nd)
 	p.layers = make([][]Layer, nm)
-	p.inputs = make([][]planInput, nm)
-	p.extInput = make([]units.Bytes, nm)
 	p.tp = make([]float64, nm*nd)
 	p.pullW = make([]units.Watts, nm*nd)
 	p.recvW = make([]units.Watts, nm*nd)
@@ -211,7 +204,6 @@ func CompilePlanOn(app *dag.App, cluster *Cluster, tab *topo.ClusterTable) *Plan
 	for i := 0; i < nm; i++ {
 		m := p.ms[i]
 		p.layers[i] = cluster.LayersOf(m)
-		p.extInput[i] = m.ExternalInput
 		for d := 0; d < nd; d++ {
 			dev := p.devices[d]
 			base := i*nd + d
@@ -226,56 +218,16 @@ func CompilePlanOn(app *dag.App, cluster *Cluster, tab *topo.ClusterTable) *Plan
 		}
 	}
 
-	for _, e := range app.Dataflows {
-		to, okTo := p.msIndex[e.To]
-		from, okFrom := p.msIndex[e.From]
-		if !okTo || !okFrom {
-			continue
-		}
-		p.inputs[to] = append(p.inputs[to], planInput{from: from, size: e.Size})
-	}
-
-	for phase, tag := range []string{"deploy", "transfer", "process"} {
-		p.jitterTag[phase] = make([][]byte, nm)
-		for i, name := range p.msNames {
-			p.jitterTag[phase][i] = []byte("|" + app.Name + "|" + name + "|" + tag)
-		}
-	}
-
-	// Capture structural validation now so runs never re-walk the DAG. The
-	// errors surface from Exec.Run in the same order the legacy executor
-	// reported them: app validation, placement checks, then stages.
-	p.appErr = app.Validate()
-	if stages, err := app.Stages(); err != nil {
-		p.stagesErr = err
-	} else {
-		p.stages = make([][]int32, len(stages))
-		for i, stage := range stages {
-			ids := make([]int32, len(stage))
-			for k, n := range stage {
-				ids[k] = p.msIndex[n]
-			}
-			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-			p.stages[i] = ids
-		}
-	}
-	if order, err := app.TopoOrder(); err == nil {
-		p.topo = make([]int32, len(order))
-		for i, n := range order {
-			p.topo[i] = p.msIndex[n]
-		}
+	// Structural validation was captured when the app table compiled, so
+	// runs never re-walk the DAG. The errors surface from Exec.Run in the
+	// same order the legacy executor reported them: app validation,
+	// placement checks, then stages.
+	p.appErr = at.ValidateErr()
+	p.stages, p.stagesErr = at.Stages()
+	if order, err := at.Topo(); err == nil {
+		p.topo = order
 	}
 	return p
-}
-
-func planIndexOf(names []string) map[string]int32 {
-	idx := make(map[string]int32, len(names))
-	for i, n := range names {
-		if _, dup := idx[n]; !dup {
-			idx[n] = int32(i)
-		}
-	}
-	return idx
 }
 
 // Rebind returns a view of the plan that executes against an equivalent
@@ -322,6 +274,15 @@ func (p *Plan) Cluster() *Cluster { return p.cluster }
 
 // Table returns the cluster-side table the plan was compiled on.
 func (p *Plan) Table() *topo.ClusterTable { return p.tab }
+
+// MSRows exposes the plan's per-(microservice, device) base tables —
+// feasibility, processing time, and the three phase power draws, all
+// indexed ms*NumDevices()+dev — so the fused cost-model compile can layer
+// the scheduler's option tables over the same rows instead of re-pricing
+// the identical pure-function lookups. Shared slices; read-only.
+func (p *Plan) MSRows() (feasible []bool, tp []float64, pullW, recvW, procW []units.Watts) {
+	return p.feasible, p.tp, p.pullW, p.recvW, p.procW
+}
 
 // validate checks the placement the way the legacy executor's
 // cluster.Validate did — same walk order, same errors — but against the
