@@ -12,6 +12,7 @@ package deep_test
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"deep/internal/registry"
 	"deep/internal/sched"
 	"deep/internal/sim"
+	"deep/internal/topo"
 	"deep/internal/workload"
 )
 
@@ -429,6 +431,136 @@ func BenchmarkFullPipeline(b *testing.B) {
 		if _, err := sys.Deploy(deep.TextProcessing()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkClusterPatch measures incremental recompilation under churn on
+// the scaled50 testbed (100 devices): compiling the post-crash cluster table
+// from scratch versus patching the pre-crash table for a single-device
+// removal. Patch recompiles only the crashed device's incident link rows
+// (O(Δ·devices)) and copies everything else, so it must beat the full
+// O(devices²) topology scan by a wide margin — the property that makes live
+// churn affordable (BENCH_churn.json records the ratio).
+func BenchmarkClusterPatch(b *testing.B) {
+	cluster := workload.ScaledTestbed(50)
+	base := sim.CompileClusterTable(cluster)
+	regs := make([]topo.Registry, len(cluster.Registries))
+	for i, r := range cluster.Registries {
+		regs[i] = topo.Registry{Name: r.Name, Node: r.Node, Shared: r.Shared}
+	}
+	// The post-crash view: the first device removed, everything else as-is.
+	after := topo.View{
+		Devices:    cluster.Devices[1:],
+		Registries: regs,
+		Topology:   cluster.Topology,
+		SourceNode: cluster.SourceNode,
+	}
+	b.Run("full-compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if topo.Compile(after) == nil {
+				b.Fatal("nil table")
+			}
+		}
+	})
+	b.Run("patch-single-device", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if base.Patch(after, topo.Delta{}) == nil {
+				b.Fatal("nil table")
+			}
+		}
+	})
+}
+
+// BenchmarkFleetChurn measures the request path with churn machinery live:
+// the steady row is the warm cached path on a quiet cluster (it must stay at
+// the BENCH_fleet.json 14-15 allocs/req — churn awareness is one atomic load
+// and one pointer compare); the churning row runs the same closed loop while
+// a background goroutine crashes and recovers devices continuously, forcing
+// epoch adoptions, cache invalidations, and re-schedules.
+func BenchmarkFleetChurn(b *testing.B) {
+	apps := []*deep.App{deep.VideoProcessing(), deep.TextProcessing()}
+	for _, churning := range []bool{false, true} {
+		name := "steady"
+		if churning {
+			name = "churning"
+		}
+		b.Run(name, func(b *testing.B) {
+			f := deep.NewFleet(deep.FleetConfig{
+				Workers:    4,
+				QueueDepth: 256,
+				NewCluster: func() *deep.Cluster { return deep.ScaledTestbed(4) },
+			})
+			defer f.Close()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			if churning {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					devs := []string{"medium-01", "small-01", "medium-02", "small-02"}
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						d := devs[i%len(devs)]
+						if _, _, err := f.ApplyChurn(deep.ChurnDelta{FailDevices: []string{d}}); err != nil {
+							b.Error(err)
+							return
+						}
+						// Hold the down window open so in-flight placements
+						// can actually go stale before the recovery.
+						time.Sleep(100 * time.Microsecond)
+						if _, _, err := f.ApplyChurn(deep.ChurnDelta{RecoverDevices: []string{d}}); err != nil {
+							b.Error(err)
+							return
+						}
+						time.Sleep(100 * time.Microsecond)
+					}
+				}()
+			}
+			failed := 0
+			b.ResetTimer()
+			pending := make([]<-chan *deep.FleetResponse, 0, b.N)
+			for i := 0; i < b.N; i++ {
+				req := deep.FleetRequest{App: apps[i%len(apps)], Seed: int64(i)}
+				for {
+					ch, err := f.Submit(req)
+					if err == nil {
+						pending = append(pending, ch)
+						break
+					}
+					if !errors.Is(err, deep.ErrFleetQueueFull) {
+						b.Fatal(err)
+					}
+					if resp := <-pending[0]; resp.Err != nil {
+						failed++
+					}
+					pending = pending[1:]
+				}
+			}
+			for _, ch := range pending {
+				if resp := <-ch; resp.Err != nil {
+					failed++
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			if !churning && failed > 0 {
+				b.Fatalf("%d requests failed on a quiet cluster", failed)
+			}
+			// Bounded-retry exhaustion under saturation churn is legal but
+			// must stay rare.
+			if failed*100 > b.N {
+				b.Fatalf("%d of %d requests failed under churn", failed, b.N)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			st := f.Stats().Churn
+			b.ReportMetric(float64(st.EpochsApplied), "epochs")
+			b.ReportMetric(float64(st.Reschedules), "reschedules")
+		})
 	}
 }
 

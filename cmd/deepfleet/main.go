@@ -6,6 +6,7 @@
 //	deepfleet -workers 8 -arrivals poisson -rate 200 -requests 2000
 //	deepfleet -workers 4 -arrivals bursty -rate 100 -duration 5s -mix synthetic -tenants 8
 //	deepfleet -workers 8 -arrivals diurnal -rate 150 -requests 1000 -cluster 4 -scheduler min-ct
+//	deepfleet -workers 8 -rate 200 -requests 2000 -cluster 4 -churn -churn-crash-rate 5
 //
 // With -debug-addr a debug HTTP listener serves live observability while the
 // run is in flight:
@@ -78,6 +79,11 @@ func main() {
 	appsPer := flag.Int("apps-per-tenant", 2, "synthetic mix: distinct app shapes per tenant")
 	appSize := flag.Int("app-size", 6, "synthetic mix: microservices per app")
 	seed := flag.Int64("seed", 1, "randomness seed (arrivals, mix sampling, synthetic DAGs)")
+	churn := flag.Bool("churn", false, "inject a seeded fault schedule (device crashes, registry outages, link degradation) during the run")
+	crashRate := flag.Float64("churn-crash-rate", 2, "churn: mean device crashes per second")
+	downtime := flag.Duration("churn-downtime", 500*time.Millisecond, "churn: mean device downtime")
+	outageRate := flag.Float64("churn-outage-rate", 0.5, "churn: mean registry outages per second")
+	degradeRate := flag.Float64("churn-degrade-rate", 0.5, "churn: mean link degradations per second")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics (Prometheus), /debug/vars, /debug/pprof, and /debug/slow on this address (empty disables)")
 	slowThreshold := flag.Duration("slow-threshold", 0, "capture requests slower than this in the slow ring (0 = rolling p99)")
 	slowRing := flag.Int("slow-ring", 0, "slow-request ring capacity (0 = default 64, negative disables)")
@@ -127,6 +133,46 @@ func main() {
 		fail(fmt.Errorf("unknown mix %q (want casestudy|synthetic)", *mixKind))
 	}
 
+	// The chaos schedule is generated against the same cluster shape the
+	// fleet will build, so every event names real hardware. The horizon
+	// covers the session: the -duration bound (scaled back to schedule time
+	// under -speedup), or the expected length of a -requests bound.
+	var chaosSchedule *deep.ChaosSchedule
+	if *churn {
+		sample := deep.ScaledTestbed(*clusterSize)
+		var devs []string
+		var links [][2]string
+		for _, d := range sample.Devices {
+			devs = append(devs, d.Name)
+			links = append(links, [2]string{"hub", d.Name})
+		}
+		horizon := *duration
+		if horizon > 0 {
+			horizon = time.Duration(float64(horizon) * *speedup)
+		} else {
+			horizon = time.Duration(float64(*requests) / *rate * float64(time.Second))
+		}
+		chaosSchedule, err = deep.GenerateChaos(deep.ChaosConfig{
+			Seed:           *seed,
+			Horizon:        horizon,
+			Devices:        devs,
+			MinLiveDevices: (len(devs) + 1) / 2,
+			CrashRate:      *crashRate,
+			MeanDowntime:   *downtime,
+			Registries:     []string{"regional"},
+			OutageRate:     *outageRate,
+			MeanOutage:     *downtime,
+			Links:          links,
+			DegradeRate:    *degradeRate,
+			MeanDegrade:    *downtime,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("deepfleet: churn enabled: %d chaos events over %s (seed %d)\n",
+			chaosSchedule.Len(), horizon, *seed)
+	}
+
 	f := deep.NewFleet(deep.FleetConfig{
 		Workers:      *workers,
 		QueueDepth:   *queue,
@@ -169,6 +215,7 @@ func main() {
 		Duration: *duration,
 		Speedup:  *speedup,
 		Seed:     *seed,
+		Chaos:    chaosSchedule,
 	})
 	if err != nil {
 		fail(err)

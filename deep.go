@@ -17,6 +17,12 @@
 //   - The multi-tenant deployment service: NewFleet(...) runs concurrent
 //     deployment requests through a scheduler worker pool with memoized
 //     placements, and DriveFleet generates open-loop load against it.
+//   - Robustness: GenerateChaos builds seeded fault schedules (device
+//     crashes, registry outages, link degradation) that TrafficConfig.Chaos
+//     replays against a live fleet; Fleet.ApplyChurn patches the compiled
+//     cluster substrate incrementally, stale placements are detected and
+//     re-scheduled, and deadline-pressed requests degrade to best-response
+//     dynamics instead of failing.
 //   - Observability: every fleet carries a Metrics registry of sharded
 //     lock-free instruments (NewMetrics), per-request stage timing
 //     (StageTrace on each FleetResponse, per-stage quantiles in the
@@ -35,6 +41,7 @@ import (
 	"context"
 
 	"deep/internal/appgraph"
+	"deep/internal/chaos"
 	"deep/internal/core"
 	"deep/internal/costmodel"
 	"deep/internal/dag"
@@ -126,6 +133,27 @@ type (
 	MixEntry = fleet.MixEntry
 	// TrafficConfig drives an open-loop load-generation run.
 	TrafficConfig = fleet.TrafficConfig
+
+	// ChaosSchedule is a deterministic seeded fault-injection schedule,
+	// replayed against a fleet during a DriveFleet session via
+	// TrafficConfig.Chaos (or manually with Fleet.ApplyChaosEvent).
+	ChaosSchedule = chaos.Schedule
+	// ChaosEvent is one fault-injection event (device crash/recover,
+	// registry outage/recover, link degrade/restore).
+	ChaosEvent = chaos.Event
+	// ChaosConfig parameterizes GenerateChaos: per-fault-class Poisson
+	// rates, mean downtimes, and minimum-liveness floors.
+	ChaosConfig = chaos.Config
+	// ChurnDelta is one batch of live cluster changes for Fleet.ApplyChurn:
+	// devices and registries failing or recovering, links degrading.
+	ChurnDelta = fleet.ChurnDelta
+	// LinkChange is one link-bandwidth change inside a ChurnDelta.
+	LinkChange = fleet.LinkChange
+	// ChurnStats snapshots the fleet's churn machinery (current epoch, down
+	// sets, invalidation/re-schedule/downgrade counters); part of FleetStats.
+	ChurnStats = fleet.ChurnStats
+	// ChurnReport summarizes one chaos session inside a FleetReport.
+	ChurnReport = fleet.ChurnReport
 
 	// Metrics is the string-keyed instrument registry a Fleet reports into
 	// (counters, gauges, histograms, a bounded event log, JSON export).
@@ -289,6 +317,9 @@ var (
 	ErrFleetQueueFull = fleet.ErrQueueFull
 	// ErrFleetClosed reports a submission after Close.
 	ErrFleetClosed = fleet.ErrClosed
+	// ErrFleetDeadline reports a request whose deadline expired before it
+	// could be scheduled or simulated (FleetRequest.Deadline).
+	ErrFleetDeadline = fleet.ErrDeadline
 )
 
 // NewFleet starts a multi-tenant deployment service: a bounded admission
@@ -325,3 +356,8 @@ func SyntheticMix(tenants, appsPerTenant, size int, seed int64) ([]MixEntry, err
 // ScaledTestbed replicates the calibrated testbed's device pair n times
 // behind the shared hub and regional registries.
 func ScaledTestbed(n int) *Cluster { return workload.ScaledTestbed(n) }
+
+// GenerateChaos builds a deterministic fault-injection schedule from
+// per-class Poisson rates; the same config and seed always yield the same
+// schedule, so chaos runs are exactly reproducible.
+func GenerateChaos(cfg ChaosConfig) (*ChaosSchedule, error) { return chaos.Generate(cfg) }

@@ -1,0 +1,294 @@
+// Package chaos is a deterministic fault injector for cluster churn
+// scenarios: seeded schedules of device crash/recover, registry outage, and
+// link degradation events that a driver replays against a running fleet.
+// Everything is derived from a single seed, so a chaos run is exactly
+// reproducible — the property that makes churn a measurable benchmark
+// scenario rather than flaky noise.
+//
+// The package only describes faults; applying them is the consumer's job
+// (internal/fleet translates events into churn deltas and patches its
+// compiled cluster substrate incrementally).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Kind classifies one fault event.
+type Kind uint8
+
+const (
+	// DeviceCrash takes a device out of the cluster: placements must stop
+	// landing on it until the matching DeviceRecover.
+	DeviceCrash Kind = iota
+	// DeviceRecover returns a crashed device to service.
+	DeviceRecover
+	// RegistryOutage takes an image registry out: placements must stop
+	// deploying from it.
+	RegistryOutage
+	// RegistryRecover returns a registry to service.
+	RegistryRecover
+	// LinkDegrade multiplies a link's bandwidth by Factor (0 < Factor < 1).
+	LinkDegrade
+	// LinkRestore returns a degraded link to its original bandwidth.
+	LinkRestore
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"device-crash", "device-recover", "registry-outage", "registry-recover",
+	"link-degrade", "link-restore",
+}
+
+// String returns the kind's report label.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one fault at an offset from the start of the run.
+type Event struct {
+	// At is the event's offset on the driver clock.
+	At   time.Duration `json:"at"`
+	Kind Kind          `json:"kind"`
+	// Target is the device or registry name for device/registry events.
+	Target string `json:"target,omitempty"`
+	// A, B are the link endpoints for link events.
+	A string `json:"a,omitempty"`
+	B string `json:"b,omitempty"`
+	// Factor is the bandwidth multiplier for LinkDegrade.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case LinkDegrade:
+		return fmt.Sprintf("%s %s %s<->%s x%.2f", e.At, e.Kind, e.A, e.B, e.Factor)
+	case LinkRestore:
+		return fmt.Sprintf("%s %s %s<->%s", e.At, e.Kind, e.A, e.B)
+	default:
+		return fmt.Sprintf("%s %s %s", e.At, e.Kind, e.Target)
+	}
+}
+
+// Schedule is an ordered fault sequence. Build one by hand for targeted
+// scenarios or with Generate for seeded random churn.
+type Schedule struct {
+	Seed   int64   `json:"seed"`
+	Events []Event `json:"events"`
+}
+
+// Sort orders the events by offset, preserving the relative order of
+// simultaneous events (crash-before-recover pairs generated at one instant
+// stay causal).
+func (s *Schedule) Sort() {
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+}
+
+// Len returns the number of events.
+func (s *Schedule) Len() int { return len(s.Events) }
+
+// Config tunes Generate. Rates are events per second of schedule time; mean
+// durations shape the exponential downtime draws.
+type Config struct {
+	// Seed drives every random draw; equal configs generate equal schedules.
+	Seed int64
+	// Horizon bounds event start times; recoveries may land past it (the
+	// consumer decides whether to replay them).
+	Horizon time.Duration
+
+	// Devices that may crash. MinLiveDevices (default 1) bounds concurrent
+	// crashes: the generator never takes the live count below it.
+	Devices        []string
+	MinLiveDevices int
+	// CrashRate is mean device crashes per second; MeanDowntime the mean
+	// crash-to-recover gap (default 500ms).
+	CrashRate    float64
+	MeanDowntime time.Duration
+
+	// Registries that may suffer outages. MinLiveRegistries (default 1)
+	// keeps at least that many serving, so schedules cannot make every
+	// placement infeasible unless explicitly asked to.
+	Registries        []string
+	MinLiveRegistries int
+	OutageRate        float64
+	MeanOutage        time.Duration
+
+	// Links that may degrade, as endpoint pairs; DegradeFactor (default
+	// 0.1) multiplies bandwidth while degraded.
+	Links         [][2]string
+	DegradeRate   float64
+	MeanDegrade   time.Duration
+	DegradeFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinLiveDevices <= 0 {
+		c.MinLiveDevices = 1
+	}
+	if c.MinLiveRegistries <= 0 {
+		c.MinLiveRegistries = 1
+	}
+	if c.MeanDowntime <= 0 {
+		c.MeanDowntime = 500 * time.Millisecond
+	}
+	if c.MeanOutage <= 0 {
+		c.MeanOutage = c.MeanDowntime
+	}
+	if c.MeanDegrade <= 0 {
+		c.MeanDegrade = c.MeanDowntime
+	}
+	if c.DegradeFactor <= 0 || c.DegradeFactor >= 1 {
+		c.DegradeFactor = 0.1
+	}
+	return c
+}
+
+// Generate builds a seeded random schedule: each fault class is an
+// independent Poisson process over the horizon, each fault picks a uniform
+// target among the currently healthy candidates (respecting the MinLive
+// floors), and every fault schedules its own recovery after an exponential
+// downtime. Deterministic in Config.
+func Generate(cfg Config) (*Schedule, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("chaos: generate needs a positive horizon")
+	}
+	if cfg.CrashRate > 0 && len(cfg.Devices) == 0 {
+		return nil, fmt.Errorf("chaos: crash rate without crashable devices")
+	}
+	if cfg.OutageRate > 0 && len(cfg.Registries) == 0 {
+		return nil, fmt.Errorf("chaos: outage rate without registries")
+	}
+	if cfg.DegradeRate > 0 && len(cfg.Links) == 0 {
+		return nil, fmt.Errorf("chaos: degrade rate without links")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Schedule{Seed: cfg.Seed}
+
+	// outageWalk runs one fault class: exponential gaps at rate, uniform
+	// target among healthy candidates with a floor on the healthy count,
+	// exponential downtime, paired down/up events.
+	outageWalk := func(rate float64, candidates []string, minLive int, meanDown time.Duration, down, up Kind) {
+		if rate <= 0 || len(candidates) == 0 {
+			return
+		}
+		healthyAt := make(map[string]time.Duration, len(candidates))
+		for _, c := range candidates {
+			healthyAt[c] = 0
+		}
+		for t := time.Duration(rng.ExpFloat64() / rate * float64(time.Second)); t < cfg.Horizon; t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second)) {
+			var healthy []string
+			for _, c := range candidates {
+				if healthyAt[c] <= t {
+					healthy = append(healthy, c)
+				}
+			}
+			if len(healthy) <= minLive {
+				continue // dropping another would break the floor
+			}
+			target := healthy[rng.Intn(len(healthy))]
+			downFor := time.Duration(rng.ExpFloat64() * float64(meanDown))
+			if downFor <= 0 {
+				downFor = time.Millisecond
+			}
+			healthyAt[target] = t + downFor
+			s.Events = append(s.Events,
+				Event{At: t, Kind: down, Target: target},
+				Event{At: t + downFor, Kind: up, Target: target})
+		}
+	}
+
+	outageWalk(cfg.CrashRate, cfg.Devices, cfg.MinLiveDevices, cfg.MeanDowntime, DeviceCrash, DeviceRecover)
+	outageWalk(cfg.OutageRate, cfg.Registries, cfg.MinLiveRegistries, cfg.MeanOutage, RegistryOutage, RegistryRecover)
+
+	if cfg.DegradeRate > 0 {
+		healthyAt := make(map[int]time.Duration, len(cfg.Links))
+		rate := cfg.DegradeRate
+		for t := time.Duration(rng.ExpFloat64() / rate * float64(time.Second)); t < cfg.Horizon; t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second)) {
+			var healthy []int
+			for i := range cfg.Links {
+				if healthyAt[i] <= t {
+					healthy = append(healthy, i)
+				}
+			}
+			if len(healthy) == 0 {
+				continue
+			}
+			li := healthy[rng.Intn(len(healthy))]
+			downFor := time.Duration(rng.ExpFloat64() * float64(cfg.MeanDegrade))
+			if downFor <= 0 {
+				downFor = time.Millisecond
+			}
+			healthyAt[li] = t + downFor
+			l := cfg.Links[li]
+			s.Events = append(s.Events,
+				Event{At: t, Kind: LinkDegrade, A: l[0], B: l[1], Factor: cfg.DegradeFactor},
+				Event{At: t + downFor, Kind: LinkRestore, A: l[0], B: l[1]})
+		}
+	}
+
+	s.Sort()
+	return s, nil
+}
+
+// Validate checks structural sanity: ordered events, crash/recover pairing
+// per target (no double crash, no recovery of a healthy target), factors in
+// range. Generate's output always validates.
+func (s *Schedule) Validate() error {
+	var last time.Duration
+	downDev := map[string]bool{}
+	downReg := map[string]bool{}
+	downLink := map[[2]string]bool{}
+	for i, e := range s.Events {
+		if e.At < last {
+			return fmt.Errorf("chaos: event %d out of order (%s before %s)", i, e.At, last)
+		}
+		last = e.At
+		switch e.Kind {
+		case DeviceCrash:
+			if downDev[e.Target] {
+				return fmt.Errorf("chaos: event %d crashes already-down device %q", i, e.Target)
+			}
+			downDev[e.Target] = true
+		case DeviceRecover:
+			if !downDev[e.Target] {
+				return fmt.Errorf("chaos: event %d recovers healthy device %q", i, e.Target)
+			}
+			delete(downDev, e.Target)
+		case RegistryOutage:
+			if downReg[e.Target] {
+				return fmt.Errorf("chaos: event %d outages already-down registry %q", i, e.Target)
+			}
+			downReg[e.Target] = true
+		case RegistryRecover:
+			if !downReg[e.Target] {
+				return fmt.Errorf("chaos: event %d recovers healthy registry %q", i, e.Target)
+			}
+			delete(downReg, e.Target)
+		case LinkDegrade:
+			if e.Factor <= 0 || e.Factor >= 1 {
+				return fmt.Errorf("chaos: event %d degrade factor %v out of (0,1)", i, e.Factor)
+			}
+			if downLink[[2]string{e.A, e.B}] {
+				return fmt.Errorf("chaos: event %d degrades already-degraded link %s<->%s", i, e.A, e.B)
+			}
+			downLink[[2]string{e.A, e.B}] = true
+		case LinkRestore:
+			if !downLink[[2]string{e.A, e.B}] {
+				return fmt.Errorf("chaos: event %d restores healthy link %s<->%s", i, e.A, e.B)
+			}
+			delete(downLink, [2]string{e.A, e.B})
+		default:
+			return fmt.Errorf("chaos: event %d has unknown kind %d", i, e.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func genConfig(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		Horizon:     10 * time.Second,
+		Devices:     []string{"dev-00", "dev-01", "dev-02", "dev-03", "dev-04"},
+		CrashRate:   2,
+		Registries:  []string{"hub", "regional"},
+		OutageRate:  0.5,
+		Links:       [][2]string{{"hub", "dev-00"}, {"regional", "dev-03"}},
+		DegradeRate: 0.5,
+	}
+}
+
+// TestGenerateDeterministic pins the reproducibility contract: same config,
+// same schedule, byte for byte; a different seed diverges.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(genConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(genConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed generated different schedules")
+	}
+	c, err := Generate(genConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds generated identical schedules")
+	}
+	if a.Len() == 0 {
+		t.Fatal("10s at crash rate 2 generated no events")
+	}
+}
+
+// TestGenerateInvariants pins the structural guarantees across many seeds:
+// schedules validate (ordered, paired down/up, sane factors), every crash
+// has a recovery, and the MinLive floors hold at every instant.
+func TestGenerateInvariants(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		cfg := genConfig(seed)
+		cfg.MinLiveDevices = 3
+		s, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		downDev, downReg := 0, 0
+		crashes, recovers := 0, 0
+		for _, e := range s.Events {
+			switch e.Kind {
+			case DeviceCrash:
+				crashes++
+				downDev++
+				if live := len(cfg.Devices) - downDev; live < cfg.MinLiveDevices {
+					t.Fatalf("seed %d: live devices fell to %d (< floor %d) at %s", seed, live, cfg.MinLiveDevices, e.At)
+				}
+			case DeviceRecover:
+				recovers++
+				downDev--
+			case RegistryOutage:
+				downReg++
+				if live := len(cfg.Registries) - downReg; live < 1 {
+					t.Fatalf("seed %d: live registries fell below 1 at %s", seed, e.At)
+				}
+			case RegistryRecover:
+				downReg--
+			}
+		}
+		if crashes != recovers {
+			t.Fatalf("seed %d: %d crashes but %d recoveries", seed, crashes, recovers)
+		}
+	}
+}
+
+// TestGenerateErrors pins the config validation: rates without candidates
+// and a missing horizon are rejected.
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Horizon: time.Second, CrashRate: 1}); err == nil {
+		t.Fatal("crash rate without devices accepted")
+	}
+	if _, err := Generate(Config{Horizon: time.Second, OutageRate: 1}); err == nil {
+		t.Fatal("outage rate without registries accepted")
+	}
+	if _, err := Generate(Config{Horizon: time.Second, DegradeRate: 1}); err == nil {
+		t.Fatal("degrade rate without links accepted")
+	}
+	if _, err := Generate(Config{CrashRate: 1, Devices: []string{"d"}}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+// TestValidateRejects pins Validate's negative cases: unordered events,
+// double crashes, orphan recoveries, out-of-range factors.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schedule
+	}{
+		{"out of order", Schedule{Events: []Event{
+			{At: 2 * time.Second, Kind: DeviceCrash, Target: "d"},
+			{At: time.Second, Kind: DeviceRecover, Target: "d"},
+		}}},
+		{"double crash", Schedule{Events: []Event{
+			{At: 1, Kind: DeviceCrash, Target: "d"},
+			{At: 2, Kind: DeviceCrash, Target: "d"},
+		}}},
+		{"orphan recover", Schedule{Events: []Event{
+			{At: 1, Kind: DeviceRecover, Target: "d"},
+		}}},
+		{"orphan registry recover", Schedule{Events: []Event{
+			{At: 1, Kind: RegistryRecover, Target: "r"},
+		}}},
+		{"bad factor", Schedule{Events: []Event{
+			{At: 1, Kind: LinkDegrade, A: "a", B: "b", Factor: 1.5},
+		}}},
+		{"orphan restore", Schedule{Events: []Event{
+			{At: 1, Kind: LinkRestore, A: "a", B: "b"},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.s.Validate(); err == nil {
+				t.Fatal("invalid schedule accepted")
+			}
+		})
+	}
+}
+
+// TestEventString smoke-tests the log rendering for each kind.
+func TestEventString(t *testing.T) {
+	e := Event{At: time.Second, Kind: DeviceCrash, Target: "dev-01"}
+	if got := e.String(); got != "1s device-crash dev-01" {
+		t.Fatalf("unexpected rendering %q", got)
+	}
+	l := Event{At: time.Second, Kind: LinkDegrade, A: "a", B: "b", Factor: 0.1}
+	if got := l.String(); got != "1s link-degrade a<->b x0.10" {
+		t.Fatalf("unexpected rendering %q", got)
+	}
+}

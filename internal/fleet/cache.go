@@ -361,6 +361,47 @@ func (c *placementCache) Put(key Fingerprint, p sim.Placement) {
 	}
 }
 
+// InvalidateIf drops every entry whose compiled assignments satisfy pred and
+// returns how many were dropped. ApplyChurn uses it to evict placements that
+// reference newly crashed hardware; the scan is O(entries) but runs only on
+// churn events, never on the request path.
+func (c *placementCache) InvalidateIf(pred func(assigns []sim.Assignment) bool) int {
+	if c.capacity <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if pred(e.assigns) {
+			c.order.Remove(el)
+			delete(c.byKey, e.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// Remove drops one entry by key, reporting whether it existed. The request
+// path uses it to purge a placement caught stale at the response gate.
+func (c *placementCache) Remove(key Fingerprint) bool {
+	if c.capacity <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.byKey, key)
+	return true
+}
+
 // Len returns the number of cached placements.
 func (c *placementCache) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,605 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deep/internal/chaos"
+	"deep/internal/costmodel"
+	"deep/internal/sched"
+	"deep/internal/sim"
+	"deep/internal/workload"
+)
+
+func scaled2() *sim.Cluster { return workload.ScaledTestbed(2) }
+
+// TestApplyChurnEpochsAndInvalidation pins the ApplyChurn contract: every
+// call bumps the epoch, crashing the devices a memoized placement uses drops
+// that entry, unknown names are rejected without advancing the epoch, and a
+// full recovery restores the base digest so pre-churn cache keys come back.
+func TestApplyChurnEpochsAndInvalidation(t *testing.T) {
+	f := testFleet(t, Config{Workers: 1, NewCluster: scaled2})
+	app := workload.VideoProcessing()
+
+	cold, err := f.Do(context.Background(), Request{App: app})
+	if err != nil || cold.Err != nil {
+		t.Fatal(err, cold.Err)
+	}
+	if cold.Epoch != 0 {
+		t.Fatalf("pre-churn epoch %d, want 0", cold.Epoch)
+	}
+
+	// Crash every device the memoized placement references.
+	used := map[string]bool{}
+	for _, a := range cold.Placement {
+		used[a.Device] = true
+	}
+	var fail []string
+	for d := range used {
+		fail = append(fail, d)
+	}
+	epoch, invalidated, err := f.ApplyChurn(ChurnDelta{FailDevices: fail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("epoch %d after first churn, want 1", epoch)
+	}
+	if invalidated < 1 {
+		t.Fatal("crashing the placement's devices invalidated no cache entries")
+	}
+	st := f.Stats().Churn
+	if st.Epoch != 1 || st.DownDevices != len(fail) || st.EpochsApplied != 1 || st.Invalidated < 1 {
+		t.Fatalf("unexpected churn stats %+v", st)
+	}
+
+	// The next request must re-schedule (entry gone) onto surviving devices.
+	warm, err := f.Do(context.Background(), Request{App: app})
+	if err != nil || warm.Err != nil {
+		t.Fatal(err, warm.Err)
+	}
+	if warm.CacheHit {
+		t.Fatal("request after invalidation still hit the cache")
+	}
+	if warm.Epoch != 1 {
+		t.Fatalf("post-churn epoch %d, want 1", warm.Epoch)
+	}
+	for _, a := range warm.Placement {
+		if used[a.Device] {
+			t.Fatalf("placement landed on crashed device %s", a.Device)
+		}
+	}
+
+	// Unknown names are configuration errors and must not advance the epoch.
+	if _, _, err := f.ApplyChurn(ChurnDelta{FailDevices: []string{"no-such-device"}}); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, _, err := f.ApplyChurn(ChurnDelta{FailRegistries: []string{"no-such-registry"}}); err == nil {
+		t.Fatal("unknown registry accepted")
+	}
+	if _, _, err := f.ApplyChurn(ChurnDelta{Links: []LinkChange{{A: "nowhere", B: "medium-00", Factor: 0.5}}}); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+	if got := f.Stats().Churn.Epoch; got != 1 {
+		t.Fatalf("failed churn advanced the epoch to %d", got)
+	}
+
+	// Full recovery is pristine: the base digest returns by identity, so the
+	// placement memoized at epoch 1... is keyed by the churned digest; the
+	// original pre-churn entry was invalidated, but the post-recovery
+	// schedule re-fills the base key and repeats hit again.
+	if _, _, err := f.ApplyChurn(ChurnDelta{RecoverDevices: fail}); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats().Churn; st.DownDevices != 0 || st.Epoch != 2 {
+		t.Fatalf("recovery left churn stats %+v", st)
+	}
+	first, err := f.Do(context.Background(), Request{App: app})
+	if err != nil || first.Err != nil {
+		t.Fatal(err, first.Err)
+	}
+	again, err := f.Do(context.Background(), Request{App: app})
+	if err != nil || again.Err != nil {
+		t.Fatal(err, again.Err)
+	}
+	if !again.CacheHit {
+		t.Fatal("recovered fleet does not serve its cache")
+	}
+	if !reflect.DeepEqual(again.Placement, cold.Placement) {
+		t.Fatal("recovered fleet schedules differently from the pristine fleet")
+	}
+}
+
+// TestRegistryOutageSteersPlacements pins graceful degradation around a
+// registry outage: with the regional registry down, fresh placements pull
+// everything from the hub, and recovery restores regional pulls.
+func TestRegistryOutageSteersPlacements(t *testing.T) {
+	f := testFleet(t, Config{Workers: 1, NewCluster: scaled2})
+	app := workload.VideoProcessing()
+
+	if _, _, err := f.ApplyChurn(ChurnDelta{FailRegistries: []string{"regional"}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.Do(context.Background(), Request{App: app})
+	if err != nil || resp.Err != nil {
+		t.Fatal(err, resp.Err)
+	}
+	for ms, a := range resp.Placement {
+		if a.Registry == "regional" {
+			t.Fatalf("placement pulls %s from the downed regional registry", ms)
+		}
+	}
+	if _, _, err := f.ApplyChurn(ChurnDelta{RecoverRegistries: []string{"regional"}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats().Churn; st.DownRegistries != 0 {
+		t.Fatalf("recovery left %d registries down", st.DownRegistries)
+	}
+}
+
+// TestLinkDegradationChangesDigest pins the cache-key semantics of link
+// churn: degrading a link re-keys the placement cache (the effective cluster
+// changed even though no hardware left), and restoring it brings the
+// pre-churn entries back by digest identity.
+func TestLinkDegradationChangesDigest(t *testing.T) {
+	f := testFleet(t, Config{Workers: 1, NewCluster: scaled2})
+	app := workload.TextProcessing()
+
+	if r, err := f.Do(context.Background(), Request{App: app}); err != nil || r.Err != nil {
+		t.Fatal(err, r.Err)
+	}
+	warm, err := f.Do(context.Background(), Request{App: app})
+	if err != nil || warm.Err != nil || !warm.CacheHit {
+		t.Fatal("pre-churn warm request missed the cache")
+	}
+
+	if _, _, err := f.ApplyChurn(ChurnDelta{Links: []LinkChange{{A: "hub", B: "medium-00", Factor: 0.1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats().Churn; st.DegradedLinks != 1 {
+		t.Fatalf("degraded links %d, want 1", st.DegradedLinks)
+	}
+	degraded, err := f.Do(context.Background(), Request{App: app})
+	if err != nil || degraded.Err != nil {
+		t.Fatal(err, degraded.Err)
+	}
+	if degraded.CacheHit {
+		t.Fatal("degraded cluster served the pristine cluster's placement")
+	}
+
+	if _, _, err := f.ApplyChurn(ChurnDelta{Links: []LinkChange{{A: "hub", B: "medium-00"}}}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := f.Do(context.Background(), Request{App: app})
+	if err != nil || restored.Err != nil {
+		t.Fatal(err, restored.Err)
+	}
+	if !restored.CacheHit {
+		t.Fatal("restored cluster did not recover its pre-churn cache entries")
+	}
+	if !reflect.DeepEqual(restored.Placement, warm.Placement) {
+		t.Fatal("restored cluster serves a different placement")
+	}
+}
+
+// TestChurnStressStaleNeverServed is the acceptance test for the stale
+// gate, doubling as the -race stress test: 8 workers serve concurrent load
+// while a chaos goroutine crashes and recovers devices (plus registry
+// outages and link wobble) as fast as it can. Every successful response
+// carries the epoch it was validated against; replaying the recorded
+// per-epoch down sets proves no placement was ever served onto hardware
+// that was down at its epoch.
+func TestChurnStressStaleNeverServed(t *testing.T) {
+	f := testFleet(t, Config{Workers: 8, QueueDepth: 512, NewCluster: func() *sim.Cluster {
+		return workload.ScaledTestbed(4)
+	}})
+	devices := []string{
+		"medium-00", "small-00", "medium-01", "small-01",
+		"medium-02", "small-02", "medium-03", "small-03",
+	}
+
+	// Per-epoch ground truth, recorded as each churn lands. Epoch 0 is the
+	// pristine state.
+	type epochState struct{ devs, regs map[string]bool }
+	states := map[int64]epochState{0: {}}
+	var mu sync.Mutex
+	record := func(epoch int64, devs, regs map[string]bool) {
+		d := make(map[string]bool, len(devs))
+		for k := range devs {
+			d[k] = true
+		}
+		r := make(map[string]bool, len(regs))
+		for k := range regs {
+			r[k] = true
+		}
+		mu.Lock()
+		states[epoch] = epochState{devs: d, regs: r}
+		mu.Unlock()
+	}
+
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		rng := rand.New(rand.NewSource(7))
+		down := map[string]bool{}
+		regionalDown := false
+		degraded := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var delta ChurnDelta
+			switch {
+			case len(down) >= 4 || (len(down) > 0 && rng.Intn(2) == 0):
+				// Recover a random down device.
+				for d := range down {
+					delta.RecoverDevices = []string{d}
+					delete(down, d)
+					break
+				}
+			default:
+				// Crash a random healthy device.
+				for {
+					d := devices[rng.Intn(len(devices))]
+					if !down[d] {
+						delta.FailDevices = []string{d}
+						down[d] = true
+						break
+					}
+				}
+			}
+			if rng.Intn(8) == 0 {
+				if regionalDown {
+					delta.RecoverRegistries = []string{"regional"}
+				} else {
+					delta.FailRegistries = []string{"regional"}
+				}
+				regionalDown = !regionalDown
+			}
+			if rng.Intn(8) == 0 {
+				lc := LinkChange{A: "hub", B: "medium-00", Factor: 0.2}
+				if degraded {
+					lc.Factor = 0 // restore
+				}
+				delta.Links = []LinkChange{lc}
+				degraded = !degraded
+			}
+			epoch, _, err := f.ApplyChurn(delta)
+			if err != nil {
+				t.Errorf("churn: %v", err)
+				return
+			}
+			regs := map[string]bool{}
+			if regionalDown {
+				regs["regional"] = true
+			}
+			record(epoch, down, regs)
+			time.Sleep(300 * time.Microsecond)
+		}
+	}()
+
+	const loaders = 8
+	const perLoader = 25
+	responses := make(chan *Response, loaders*perLoader)
+	var loadWG sync.WaitGroup
+	loadWG.Add(loaders)
+	for g := 0; g < loaders; g++ {
+		go func(g int) {
+			defer loadWG.Done()
+			for i := 0; i < perLoader; i++ {
+				app := workload.VideoProcessing()
+				if (g+i)%2 == 1 {
+					app = workload.TextProcessing()
+				}
+				resp, err := f.Do(context.Background(), Request{
+					Tenant: "stress", App: app, Seed: int64(g*perLoader + i),
+				})
+				if err != nil {
+					t.Errorf("loader %d: %v", g, err)
+					return
+				}
+				responses <- resp
+			}
+		}(g)
+	}
+	loadWG.Wait()
+	close(stop)
+	churnWG.Wait()
+	close(responses)
+
+	completed, failed := 0, 0
+	for resp := range responses {
+		if resp.Err != nil {
+			// Under saturated churn the only acceptable failures are the
+			// bounded-retry exhaustion and deadline expiry; anything else is
+			// a broken pipeline.
+			if !strings.Contains(resp.Err.Error(), "stale after") && !errors.Is(resp.Err, ErrDeadline) {
+				t.Fatalf("unexpected failure under churn: %v", resp.Err)
+			}
+			failed++
+			continue
+		}
+		completed++
+		mu.Lock()
+		st, ok := states[resp.Epoch]
+		mu.Unlock()
+		if !ok {
+			t.Fatalf("response validated at unrecorded epoch %d", resp.Epoch)
+		}
+		for _, a := range resp.Placement {
+			if st.devs[a.Device] {
+				t.Fatalf("epoch %d served a placement onto crashed device %s", resp.Epoch, a.Device)
+			}
+			if st.regs[a.Registry] {
+				t.Fatalf("epoch %d served a placement pulling from downed registry %s", resp.Epoch, a.Registry)
+			}
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no requests completed under churn")
+	}
+	if st := f.Stats().Churn; st.EpochsApplied == 0 {
+		t.Fatal("stress run applied no churn")
+	}
+	t.Logf("completed=%d failed=%d churn=%+v", completed, failed, f.Stats().Churn)
+}
+
+// TestDriveWithChaos pins the traffic-driver integration: a generated chaos
+// schedule replays against the fleet during an open-loop session and the
+// report carries the churn section.
+func TestDriveWithChaos(t *testing.T) {
+	f := testFleet(t, Config{Workers: 4, QueueDepth: 512, NewCluster: func() *sim.Cluster {
+		return workload.ScaledTestbed(2)
+	}})
+	schedule, err := chaos.Generate(chaos.Config{
+		Seed:           3,
+		Horizon:        300 * time.Millisecond,
+		Devices:        []string{"medium-00", "small-00", "medium-01", "small-01"},
+		MinLiveDevices: 2,
+		CrashRate:      40,
+		MeanDowntime:   30 * time.Millisecond,
+		Registries:     []string{"regional"},
+		OutageRate:     10,
+		MeanOutage:     30 * time.Millisecond,
+		Links:          [][2]string{{"hub", "medium-00"}},
+		DegradeRate:    10,
+		MeanDegrade:    30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedule.Len() == 0 {
+		t.Fatal("empty chaos schedule")
+	}
+	report, err := Drive(context.Background(), f, TrafficConfig{
+		Arrivals: NewPoisson(300),
+		Mix:      CaseStudyMix(),
+		Duration: 400 * time.Millisecond,
+		Seed:     1,
+		Chaos:    schedule,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Churn == nil {
+		t.Fatal("chaos session produced no churn report")
+	}
+	if report.Churn.Events == 0 {
+		t.Fatal("no chaos events fired during the session")
+	}
+	if report.Churn.EpochsApplied != int64(report.Churn.Events) {
+		t.Fatalf("events=%d but epochs=%d", report.Churn.Events, report.Churn.EpochsApplied)
+	}
+	if report.Completed == 0 {
+		t.Fatal("no requests completed under chaos")
+	}
+	if !strings.Contains(report.String(), "churn:") {
+		t.Fatal("report rendering lost the churn section")
+	}
+}
+
+// TestSubmitCtxCancelWhileBlocked pins satellite behavior: a SubmitCtx
+// blocked on a full admission queue honors context cancellation instead of
+// waiting forever, and counts the rejection.
+func TestSubmitCtxCancelWhileBlocked(t *testing.T) {
+	block := make(chan struct{})
+	f := New(Config{Workers: 1, QueueDepth: 1, NewCluster: func() *sim.Cluster {
+		<-block // stall worker startup so nothing drains the queue
+		return workload.Testbed()
+	}})
+	defer func() {
+		close(block)
+		f.Close()
+	}()
+
+	app := workload.TextProcessing()
+	if _, err := f.SubmitCtx(context.Background(), Request{App: app}); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.SubmitCtx(ctx, Request{App: app})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked SubmitCtx returned %v, want context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("cancellation took %s", waited)
+	}
+	if got := f.Stats().Rejected; got != 1 {
+		t.Fatalf("rejection counter %d, want 1", got)
+	}
+	// An already-cancelled context never enqueues.
+	done, cancelled := context.WithCancel(context.Background())
+	cancelled()
+	if _, err := f.SubmitCtx(done, Request{App: app}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SubmitCtx returned %v", err)
+	}
+}
+
+// TestSubmitCtxAbandonedInQueue pins the accepted-then-abandoned path: a
+// request whose submitter cancels while it still sits in the queue is
+// answered with the context error instead of being scheduled.
+func TestSubmitCtxAbandonedInQueue(t *testing.T) {
+	block := make(chan struct{})
+	f := New(Config{Workers: 1, QueueDepth: 4, NewCluster: func() *sim.Cluster {
+		<-block
+		return workload.Testbed()
+	}})
+	defer f.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := f.SubmitCtx(ctx, Request{App: workload.TextProcessing()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()     // abandon while queued
+	close(block) // now let the worker start and drain
+	resp := <-ch
+	if !errors.Is(resp.Err, context.Canceled) {
+		t.Fatalf("abandoned request completed with %v, want context.Canceled", resp.Err)
+	}
+	if resp.Result != nil {
+		t.Fatal("abandoned request was simulated anyway")
+	}
+}
+
+// TestRequestDeadline pins ErrDeadline: a request whose deadline expires in
+// the queue fails typed, and the counter records it.
+func TestRequestDeadline(t *testing.T) {
+	block := make(chan struct{})
+	f := New(Config{Workers: 1, QueueDepth: 4, NewCluster: func() *sim.Cluster {
+		<-block
+		return workload.Testbed()
+	}})
+	defer f.Close()
+
+	ch, err := f.Submit(Request{App: workload.TextProcessing(), Deadline: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the deadline lapse in-queue
+	close(block)
+	resp := <-ch
+	if !errors.Is(resp.Err, ErrDeadline) {
+		t.Fatalf("expired request failed with %v, want ErrDeadline", resp.Err)
+	}
+	if got := f.Stats().Churn.DeadlineExceeded; got != 1 {
+		t.Fatalf("deadline counter %d, want 1", got)
+	}
+	// A generous deadline sails through.
+	resp2, err := f.Do(context.Background(), Request{App: workload.TextProcessing(), Deadline: time.Minute})
+	if err != nil || resp2.Err != nil {
+		t.Fatal(err, resp2.Err)
+	}
+}
+
+// TestDegradationLadder pins scheduleAttempt's rungs directly: attempt 0
+// runs the exact scheduler, any retry falls back to best-response dynamics
+// (degraded), and non-pass schedulers never downgrade.
+func TestDegradationLadder(t *testing.T) {
+	f := New(Config{Workers: 1})
+	defer f.Close()
+	cluster := workload.Testbed()
+	w := &workerState{
+		scheduler:  sched.NewDEEP(),
+		cluster:    cluster,
+		effCluster: cluster,
+		dig:        newDigester(),
+		exec:       sim.NewExec(),
+		passes:     make(map[*costmodel.Model]*sched.Pass),
+	}
+	app := workload.VideoProcessing()
+	model := costmodel.Compile(app, cluster)
+
+	exact, degraded, err := f.scheduleAttempt(w, app, model, 0, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded {
+		t.Fatal("attempt 0 with no deadline ran degraded")
+	}
+	if w.exactDur <= 0 {
+		t.Fatal("exact schedule did not record its duration")
+	}
+
+	retry, degraded, err := f.scheduleAttempt(w, app, model, 1, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded {
+		t.Fatal("retry attempt did not fall back to the degraded rung")
+	}
+	if len(retry) != len(exact) {
+		t.Fatalf("degraded placement covers %d microservices, exact covers %d", len(retry), len(exact))
+	}
+
+	// Best-response reference: the degraded rung must equal DEEP with pair
+	// games capped to one cell.
+	want, err := (&sched.DEEP{MaxPairCells: 1}).ScheduleModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(retry, want) {
+		t.Fatal("degraded rung diverges from best-response dynamics")
+	}
+
+	// Deadline pressure steers attempt 0 onto the degraded rung when the
+	// remaining budget is below the last exact duration.
+	w.exactDur = time.Hour
+	pressed, degraded, err := f.scheduleAttempt(w, app, model, 0, time.Now().Add(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded {
+		t.Fatal("deadline pressure did not downgrade")
+	}
+	if len(pressed) != len(exact) {
+		t.Fatal("pressed placement incomplete")
+	}
+
+	// A non-pass scheduler has no cheaper rung: retries stay exact.
+	w2 := &workerState{
+		scheduler:  sched.NewRoundRobin(),
+		cluster:    cluster,
+		effCluster: cluster,
+		dig:        newDigester(),
+		exec:       sim.NewExec(),
+		passes:     make(map[*costmodel.Model]*sched.Pass),
+	}
+	if _, degraded, err := f.scheduleAttempt(w2, app, nil, 1, time.Time{}); err != nil {
+		t.Fatal(err)
+	} else if degraded {
+		t.Fatal("non-pass scheduler reported a downgrade")
+	}
+}
+
+// TestDeltaForEvent pins the chaos-event translation table.
+func TestDeltaForEvent(t *testing.T) {
+	cases := []struct {
+		ev   chaos.Event
+		want ChurnDelta
+	}{
+		{chaos.Event{Kind: chaos.DeviceCrash, Target: "d"}, ChurnDelta{FailDevices: []string{"d"}}},
+		{chaos.Event{Kind: chaos.DeviceRecover, Target: "d"}, ChurnDelta{RecoverDevices: []string{"d"}}},
+		{chaos.Event{Kind: chaos.RegistryOutage, Target: "r"}, ChurnDelta{FailRegistries: []string{"r"}}},
+		{chaos.Event{Kind: chaos.RegistryRecover, Target: "r"}, ChurnDelta{RecoverRegistries: []string{"r"}}},
+		{chaos.Event{Kind: chaos.LinkDegrade, A: "a", B: "b", Factor: 0.5}, ChurnDelta{Links: []LinkChange{{A: "a", B: "b", Factor: 0.5}}}},
+		{chaos.Event{Kind: chaos.LinkRestore, A: "a", B: "b"}, ChurnDelta{Links: []LinkChange{{A: "a", B: "b"}}}},
+	}
+	for _, tc := range cases {
+		if got := DeltaForEvent(tc.ev); !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("DeltaForEvent(%v) = %+v, want %+v", tc.ev, got, tc.want)
+		}
+	}
+}

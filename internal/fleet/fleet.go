@@ -11,6 +11,7 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"deep/internal/costmodel"
 	"deep/internal/dag"
 	"deep/internal/monitor"
+	"deep/internal/netsim"
 	"deep/internal/obs"
 	"deep/internal/sched"
 	"deep/internal/sim"
@@ -36,6 +38,9 @@ var (
 	ErrQueueFull = errors.New("fleet: admission queue full")
 	// ErrClosed is returned by Submit after Close began.
 	ErrClosed = errors.New("fleet: closed")
+	// ErrDeadline is wrapped into a Response.Err when the request's deadline
+	// expired before its placement could be scheduled or simulated.
+	ErrDeadline = errors.New("fleet: deadline exceeded")
 )
 
 // Config tunes a Fleet.
@@ -138,6 +143,13 @@ type Request struct {
 	// Seed perturbs this request's simulation jitter (combined with
 	// Config.SimOptions).
 	Seed int64
+	// Deadline bounds the request's total service time, measured from
+	// enqueue. A request whose deadline expires before scheduling or
+	// simulation fails with ErrDeadline; deadline pressure also steers
+	// schedulable requests onto the degraded (best-response) ladder rung
+	// when the exact game is expected to blow the budget. Zero means no
+	// deadline.
+	Deadline time.Duration
 }
 
 // Response is the outcome of one deployment request.
@@ -156,8 +168,17 @@ type Response struct {
 	Latency time.Duration
 	// Stages is the per-stage wall-time breakdown of this request (queue
 	// wait, fingerprint, shape compile, placement-cache lookup, schedule,
-	// simulate). Stages past a failure point are zero.
+	// simulate). Stages past a failure point are zero; under churn retries
+	// the compile/lookup/schedule stages accumulate across attempts.
 	Stages obs.StageTrace
+	// Epoch is the cluster epoch this response's placement was validated
+	// against: the placement references no device or registry that was down
+	// at that epoch.
+	Epoch int64
+	// Degraded is true when the placement came from the best-response
+	// fallback instead of the exact scheduler (deadline pressure or churn
+	// retry).
+	Degraded bool
 	// Err is non-nil when scheduling or simulation failed.
 	Err error
 }
@@ -171,6 +192,7 @@ type Stats struct {
 	InFlight   int64           `json:"in_flight"`
 	Cache      CacheStats      `json:"cache"`
 	ModelCache ModelCacheStats `json:"model_cache"`
+	Churn      ChurnStats      `json:"churn"`
 }
 
 // Fleet is a concurrent multi-tenant deployment service. Create with New,
@@ -204,12 +226,41 @@ type Fleet struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	inFlight  atomic.Int64
+
+	// Churn machinery. base is the fleet's canonical cluster (one more
+	// Config.NewCluster call, made lazily by the first ApplyChurn) whose
+	// device handles intern every churn epoch's patched table;
+	// baseTable/baseDigest are its compiled substrate and digest, shared
+	// through the model cache with workers whose private clusters digest
+	// identically. All three are written under churnMu and published to
+	// workers through the churn pointer's release/acquire edge. chaosTopo
+	// is a lazy clone of the base topology that accumulates link
+	// degradations (mutated only under churnMu; the base topology is never
+	// touched, so restores read base bandwidths). churn is the published
+	// epoch state workers adopt with one atomic load per request.
+	base       *sim.Cluster
+	baseDigest ClusterDigest
+	baseTable  *topo.ClusterTable
+	churnMu    sync.Mutex
+	chaosTopo  *netsim.Topology
+	churn      atomic.Pointer[churnState]
+
+	churnEpochs      atomic.Int64
+	churnInvalidated atomic.Int64
+	staleRejected    atomic.Int64
+	reschedules      atomic.Int64
+	downgrades       atomic.Int64
+	deadlineExceeded atomic.Int64
 }
 
 type job struct {
 	req      Request
 	enqueued time.Time
 	done     chan *Response
+	// ctx is the submitter's context when it came through SubmitCtx (nil
+	// from plain Submit): a request whose submitter has already given up is
+	// answered with its context error instead of being scheduled.
+	ctx context.Context
 }
 
 // New starts a fleet with the given config, spinning up the worker pool.
@@ -226,6 +277,11 @@ func New(cfg Config) *Fleet {
 	f.latency = reg.Histogram("fleet_request_latency_s")
 	f.slow = obs.NewSlowRing(cfg.SlowRingSize, cfg.SlowThreshold, f.latency)
 	reg.OnCollect(f.collectGauges)
+	// Epoch 0 is the pristine pre-churn state: nil table and digest mean
+	// "every worker keeps its own substrate". The fleet's canonical base
+	// cluster is built lazily on the first ApplyChurn (ensureBase), so a
+	// fleet that never churns never pays for it.
+	f.churn.Store(&churnState{})
 	f.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go f.worker(i)
@@ -257,6 +313,16 @@ func (f *Fleet) collectGauges() {
 	reg.Gauge("fleet_app_table_entries").Set(float64(s.ModelCache.AppEntries))
 	reg.Gauge("fleet_slow_requests_captured").Set(float64(f.slow.Captured()))
 	reg.Gauge("fleet_slow_threshold_s").Set(f.slow.Threshold().Seconds())
+	reg.Gauge("fleet_churn_epoch").Set(float64(s.Churn.Epoch))
+	reg.Gauge("fleet_churn_down_devices").Set(float64(s.Churn.DownDevices))
+	reg.Gauge("fleet_churn_down_registries").Set(float64(s.Churn.DownRegistries))
+	reg.Gauge("fleet_churn_degraded_links").Set(float64(s.Churn.DegradedLinks))
+	reg.Gauge("fleet_churn_epochs_applied").Set(float64(s.Churn.EpochsApplied))
+	reg.Gauge("fleet_churn_invalidated").Set(float64(s.Churn.Invalidated))
+	reg.Gauge("fleet_churn_stale_rejected").Set(float64(s.Churn.StaleRejected))
+	reg.Gauge("fleet_churn_reschedules").Set(float64(s.Churn.Reschedules))
+	reg.Gauge("fleet_churn_downgrades").Set(float64(s.Churn.Downgrades))
+	reg.Gauge("fleet_churn_deadline_exceeded").Set(float64(s.Churn.DeadlineExceeded))
 }
 
 // SlowRequests returns the slow-request ring's current contents, oldest
@@ -272,6 +338,7 @@ func (f *Fleet) Metrics() *monitor.Metrics { return f.cfg.Metrics }
 
 // Stats snapshots the fleet counters.
 func (f *Fleet) Stats() Stats {
+	st := f.churn.Load()
 	return Stats{
 		Submitted:  f.submitted.Load(),
 		Rejected:   f.rejected.Load(),
@@ -280,6 +347,18 @@ func (f *Fleet) Stats() Stats {
 		InFlight:   f.inFlight.Load(),
 		Cache:      f.cache.Stats(),
 		ModelCache: f.models.Stats(),
+		Churn: ChurnStats{
+			Epoch:            st.epoch,
+			DownDevices:      len(st.downDevs),
+			DownRegistries:   len(st.downRegs),
+			DegradedLinks:    len(st.degraded),
+			EpochsApplied:    f.churnEpochs.Load(),
+			Invalidated:      f.churnInvalidated.Load(),
+			StaleRejected:    f.staleRejected.Load(),
+			Reschedules:      f.reschedules.Load(),
+			Downgrades:       f.downgrades.Load(),
+			DeadlineExceeded: f.deadlineExceeded.Load(),
+		},
 	}
 }
 
@@ -311,6 +390,47 @@ func (f *Fleet) Submit(req Request) (<-chan *Response, error) {
 	default:
 		f.rejected.Add(1)
 		return nil, ErrQueueFull
+	}
+}
+
+// SubmitCtx enqueues a request, blocking on a full admission queue until
+// space frees, the context is cancelled, or the fleet closes — the
+// cooperative alternative to Submit's immediate ErrQueueFull. Cancellation
+// while blocked returns ctx.Err() and counts as a rejection; once accepted,
+// the request also remembers the context, so a submitter that gives up while
+// its request is still queued gets the context error back instead of paying
+// for a schedule.
+func (f *Fleet) SubmitCtx(ctx context.Context, req Request) (<-chan *Response, error) {
+	if req.App == nil {
+		return nil, fmt.Errorf("fleet: request without app")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	j := &job{req: req, enqueued: time.Now(), done: make(chan *Response, 1), ctx: ctx}
+
+	// Holding the read lock across the blocking send is deadlock-free:
+	// workers keep draining the queue until Close closes it, and Close's
+	// write lock cannot be acquired until this send (or cancellation)
+	// releases the read side — so the send always completes or cancels, and
+	// can never hit a closed channel.
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		f.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	select {
+	case f.queue <- j:
+		f.submitted.Add(1)
+		f.inFlight.Add(1)
+		return j.done, nil
+	case <-ctx.Done():
+		f.rejected.Add(1)
+		return nil, ctx.Err()
 	}
 }
 
@@ -374,6 +494,79 @@ type workerState struct {
 	// each worker must execute against its private devices even when the
 	// compiled tables are shared fleet-wide.
 	plans map[*sim.Plan]*sim.Plan
+
+	// Churn adoption. churn is the last-adopted epoch state (one pointer
+	// compare per request decides whether anything changed); ownDigest is
+	// the private cluster's immutable digest, kept so adoption can check
+	// compatibility with the fleet's base — when they differ (a
+	// non-deterministic Config.NewCluster) the worker keeps its own
+	// substrate and only the stale-placement gate protects it. effCluster
+	// is the churn-filtered view of the private cluster handed to legacy
+	// (non-model) schedulers; fallback is the lazily built best-response
+	// scheduler for the degradation ladder; exactDur tracks the last exact
+	// schedule's duration for deadline triage; rng seeds the retry backoff
+	// jitter.
+	churn      *churnState
+	ownDigest  ClusterDigest
+	effCluster *sim.Cluster
+	fallback   sched.Scheduler
+	exactDur   time.Duration
+	rng        uint64
+}
+
+// adopt installs a published churn state on the worker: the patched cluster
+// table, the effective digest every cache key folds in, and the filtered
+// cluster view for legacy schedulers. Runs only when the epoch pointer
+// changed, so the steady-state request path pays one atomic load and one
+// compare. Reading the fleet's base fields here is safe without churnMu:
+// they are written before the state pointer is published and read only
+// after it is observed.
+func (w *workerState) adopt(f *Fleet, st *churnState) {
+	w.churn = st
+	if st.table == nil {
+		// The pristine epoch-0 state: the worker's own substrate is already
+		// exactly right.
+		return
+	}
+	if !bytes.Equal(w.ownDigest, f.baseDigest) {
+		return
+	}
+	w.table = st.table
+	w.clusterDigest = st.digest
+	if len(st.downDevs) == 0 && len(st.downRegs) == 0 {
+		w.effCluster = w.cluster
+		return
+	}
+	// Filter the worker's own devices (the handles whose layer caches its
+	// simulations drive). The topology is left as the private cluster's
+	// base: only non-model custom schedulers read it, and link degradation
+	// is advisory for them.
+	eff := &sim.Cluster{
+		Topology:   w.cluster.Topology,
+		SourceNode: w.cluster.SourceNode,
+		Layers:     w.cluster.Layers,
+	}
+	for _, d := range w.cluster.Devices {
+		if !st.downDevs[d.Name] {
+			eff.Devices = append(eff.Devices, d)
+		}
+	}
+	for _, r := range w.cluster.Registries {
+		if !st.downRegs[r.Name] {
+			eff.Registries = append(eff.Registries, r)
+		}
+	}
+	w.effCluster = eff
+}
+
+// fallbackScheduler returns the degraded-rung scheduler: DEEP with every
+// pair game capped down to best-response dynamics — the cheap, always-fast
+// approximation the paper's own large-stage path uses.
+func (w *workerState) fallbackScheduler() sched.Scheduler {
+	if w.fallback == nil {
+		w.fallback = &sched.DEEP{MaxPairCells: 1}
+	}
+	return w.fallback
 }
 
 // defaultModelCacheSize bounds the fleet-wide compiled-shape cache. Models
@@ -412,12 +605,18 @@ func (f *Fleet) worker(i int) {
 		exec:          sim.NewExec(),
 		passes:        make(map[*costmodel.Model]*sched.Pass),
 		plans:         make(map[*sim.Plan]*sim.Plan),
+		rng:           uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
 	}
 	// Resolve the cluster-side compiled substrate once per worker lifetime:
 	// the first worker per cluster digest compiles it, the rest share it.
+	// (With a deterministic Config.NewCluster this is the fleet's own base
+	// table, pre-filled in New.)
 	w.table = f.models.tableFor(w.clusterDigest, func() *topo.ClusterTable {
 		return sim.CompileClusterTable(cluster)
 	})
+	w.ownDigest = w.clusterDigest
+	w.effCluster = cluster
+	w.adopt(f, f.churn.Load())
 	for j := range f.queue {
 		resp := f.process(w, j)
 		f.inFlight.Add(-1)
@@ -434,18 +633,19 @@ func (f *Fleet) worker(i int) {
 	}
 }
 
-// schedule computes a placement for the job on the shared compiled model.
-// Schedulers that support reusable passes (sched.PassScheduler — DEEP) run
-// on a pooled Pass keyed by model, so warm scheduling allocates only the
-// materialized placement map; plain ModelSchedulers run on the shared model
-// with fresh scratch, and everything else falls back to the string-keyed
-// Schedule path.
-func (f *Fleet) schedule(w *workerState, app *dag.App, model *costmodel.Model) (sim.Placement, error) {
+// scheduleOn computes a placement for the job with the given scheduler on
+// the shared compiled model. Schedulers that support reusable passes
+// (sched.PassScheduler — DEEP) run on a pooled Pass keyed by model — the
+// pool is scheduler-independent, so the exact scheduler and the degraded
+// fallback share passes; plain ModelSchedulers run on the shared model with
+// fresh scratch, and everything else falls back to the string-keyed Schedule
+// path against the churn-filtered cluster view.
+func (f *Fleet) scheduleOn(w *workerState, scheduler sched.Scheduler, app *dag.App, model *costmodel.Model) (sim.Placement, error) {
 	if model == nil {
 		// The shape was compiled without a model (non-model scheduler).
-		return w.scheduler.Schedule(app, w.cluster)
+		return scheduler.Schedule(app, w.effCluster)
 	}
-	switch s := w.scheduler.(type) {
+	switch s := scheduler.(type) {
 	case sched.PassScheduler:
 		p := w.passes[model]
 		if p == nil {
@@ -462,8 +662,32 @@ func (f *Fleet) schedule(w *workerState, app *dag.App, model *costmodel.Model) (
 	case sched.ModelScheduler:
 		return s.ScheduleModel(model)
 	default:
-		return w.scheduler.Schedule(app, w.cluster)
+		return scheduler.Schedule(app, w.effCluster)
 	}
+}
+
+// scheduleAttempt runs one rung of the degradation ladder: the exact
+// scheduler normally, or the best-response fallback when this is a churn
+// retry or when the deadline cannot absorb another exact game (estimated by
+// the worker's last exact schedule duration). The fallback applies only to
+// PassSchedulers (the exact DEEP family) — other schedulers have no cheaper
+// rung to fall to. Returns the placement and whether it is degraded.
+func (f *Fleet) scheduleAttempt(w *workerState, app *dag.App, model *costmodel.Model, attempt int, deadline time.Time) (sim.Placement, bool, error) {
+	if model != nil {
+		if _, exact := w.scheduler.(sched.PassScheduler); exact {
+			pressed := !deadline.IsZero() && w.exactDur > 0 && time.Until(deadline) < w.exactDur
+			if attempt > 0 || pressed {
+				p, err := f.scheduleOn(w, w.fallbackScheduler(), app, model)
+				return p, err == nil, err
+			}
+		}
+	}
+	t0 := time.Now()
+	p, err := f.scheduleOn(w, w.scheduler, app, model)
+	if err == nil {
+		w.exactDur = time.Since(t0)
+	}
+	return p, false, err
 }
 
 // shape returns the request's compiled model and executor plan from the
@@ -531,9 +755,16 @@ func (w *workerState) planFor(app *dag.App, shared *sim.Plan) *sim.Plan {
 // one job on the worker's private scheduler and cluster, stamping each
 // stage's wall time into the worker's reusable trace as it goes. In steady
 // state — shape cache hot, placement memoized or pass pooled, layer caches
-// warm — the whole path allocates only the response plumbing and the
-// caller-owned placement and result copies; the stamping itself is
-// monotonic-clock reads into a fixed array, alloc-free.
+// warm, no churn in flight — the whole path allocates only the response
+// plumbing and the caller-owned placement and result copies; the stamping
+// itself is monotonic-clock reads into a fixed array, alloc-free, and churn
+// awareness costs one atomic load and one pointer compare.
+//
+// Under churn the path loops: every computed or cached placement is
+// re-validated against the latest published epoch before it is served, and a
+// placement caught referencing crashed hardware is purged and re-scheduled
+// (bounded retries, jittered backoff, degraded-scheduler rung on retry).
+// Stage stamps accumulate across attempts.
 func (f *Fleet) process(w *workerState, j *job) *Response {
 	start := time.Now()
 	w.trace.Reset()
@@ -544,37 +775,96 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 		QueueWait: w.trace.D[obs.StageQueue],
 	}
 
+	// A submitter that gave up while the request sat in the queue gets its
+	// context error back without paying for a schedule.
+	if j.ctx != nil && j.ctx.Err() != nil {
+		resp.Err = j.ctx.Err()
+		return f.finish(w, resp, j)
+	}
+	var deadline time.Time
+	if j.req.Deadline > 0 {
+		deadline = j.enqueued.Add(j.req.Deadline)
+	}
+
+	if st := f.churn.Load(); st != w.churn {
+		w.adopt(f, st)
+	}
+
 	appDigest := w.dig.appDigest(j.req.App)
-	key := w.dig.fingerprint(w.clusterDigest, appDigest, w.scheduler.Name())
 	mark := time.Now()
 	w.trace.D[obs.StageFingerprint] = mark.Sub(start)
 
-	shape := f.shape(w, j.req.App, appDigest)
-	now := time.Now()
-	w.trace.D[obs.StageCompile] = now.Sub(mark)
-	mark = now
-
-	placement, hit := f.cache.Get(key)
-	now = time.Now()
-	w.trace.D[obs.StageCacheLookup] = now.Sub(mark)
-	mark = now
-	if !hit {
-		var err error
-		placement, err = f.schedule(w, j.req.App, shape.model)
-		if err == nil {
-			f.cache.Put(key, placement)
-		}
-		now = time.Now()
-		w.trace.D[obs.StageSchedule] = now.Sub(mark)
+	var shape compiledShape
+	var placement sim.Placement
+	var hit bool
+	for attempt := 0; ; attempt++ {
+		key := w.dig.fingerprint(w.clusterDigest, appDigest, w.scheduler.Name())
+		shape = f.shape(w, j.req.App, appDigest)
+		now := time.Now()
+		w.trace.D[obs.StageCompile] += now.Sub(mark)
 		mark = now
-		if err != nil {
-			resp.Err = fmt.Errorf("fleet: scheduling %s: %w", j.req.App.Name, err)
-			return f.finish(w, resp, j)
-		}
-	}
-	resp.CacheHit = hit
-	resp.Placement = placement
 
+		placement, hit = f.cache.Get(key)
+		now = time.Now()
+		w.trace.D[obs.StageCacheLookup] += now.Sub(mark)
+		mark = now
+		degraded := false
+		if !hit {
+			if !deadline.IsZero() && !now.Before(deadline) {
+				f.deadlineExceeded.Add(1)
+				resp.Err = fmt.Errorf("fleet: scheduling %s: %w", j.req.App.Name, ErrDeadline)
+				return f.finish(w, resp, j)
+			}
+			var err error
+			placement, degraded, err = f.scheduleAttempt(w, j.req.App, shape.model, attempt, deadline)
+			if err == nil && !degraded {
+				// Degraded placements stay out of the memo: once the
+				// pressure passes, the shape deserves its exact placement.
+				f.cache.Put(key, placement)
+			}
+			now = time.Now()
+			w.trace.D[obs.StageSchedule] += now.Sub(mark)
+			mark = now
+			if err != nil {
+				resp.Err = fmt.Errorf("fleet: scheduling %s: %w", j.req.App.Name, err)
+				return f.finish(w, resp, j)
+			}
+		}
+
+		// Stale-placement gate: churn may have advanced since this worker
+		// adopted its epoch (or since the placement was memoized), so
+		// validate against the latest published state before serving.
+		latest := f.churn.Load()
+		if latest.stale(placement) {
+			f.staleRejected.Add(1)
+			if hit {
+				f.cache.Remove(key)
+			}
+			if attempt+1 >= churnMaxAttempts {
+				resp.Err = fmt.Errorf("fleet: scheduling %s: placement stale after %d attempts under churn", j.req.App.Name, attempt+1)
+				return f.finish(w, resp, j)
+			}
+			f.reschedules.Add(1)
+			w.backoff(attempt)
+			w.adopt(f, f.churn.Load())
+			mark = time.Now()
+			continue
+		}
+		resp.Epoch = latest.epoch
+		resp.Degraded = degraded
+		if degraded {
+			f.downgrades.Add(1)
+		}
+		resp.CacheHit = hit
+		resp.Placement = placement
+		break
+	}
+
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		f.deadlineExceeded.Add(1)
+		resp.Err = fmt.Errorf("fleet: simulating %s: %w", j.req.App.Name, ErrDeadline)
+		return f.finish(w, resp, j)
+	}
 	opts := f.cfg.SimOptions
 	opts.Seed += j.req.Seed
 	result, err := w.exec.Run(w.planFor(j.req.App, shape.plan), placement, opts)

@@ -23,11 +23,12 @@ func TestWorkerPassPool(t *testing.T) {
 	defer f.Close()
 	cluster := workload.Testbed()
 	w := &workerState{
-		scheduler: sched.NewDEEP(),
-		cluster:   cluster,
-		dig:       newDigester(),
-		exec:      sim.NewExec(),
-		passes:    make(map[*costmodel.Model]*sched.Pass),
+		scheduler:  sched.NewDEEP(),
+		cluster:    cluster,
+		effCluster: cluster,
+		dig:        newDigester(),
+		exec:       sim.NewExec(),
+		passes:     make(map[*costmodel.Model]*sched.Pass),
 	}
 	video := costmodel.Compile(workload.VideoProcessing(), cluster)
 	text := costmodel.Compile(workload.TextProcessing(), cluster)
@@ -38,14 +39,14 @@ func TestWorkerPassPool(t *testing.T) {
 	}
 	var videoPass *sched.Pass
 	for round := 0; round < 3; round++ {
-		got, err := f.schedule(w, workload.VideoProcessing(), video)
+		got, err := f.scheduleOn(w, w.scheduler, workload.VideoProcessing(), video)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("round %d: pooled pass placement diverges: %v vs %v", round, got, want)
 		}
-		if _, err := f.schedule(w, workload.TextProcessing(), text); err != nil {
+		if _, err := f.scheduleOn(w, w.scheduler, workload.TextProcessing(), text); err != nil {
 			t.Fatal(err)
 		}
 		if p := w.passes[video]; videoPass == nil {
@@ -66,16 +67,17 @@ func TestWorkerPassPoolBounded(t *testing.T) {
 	defer f.Close()
 	cluster := workload.Testbed()
 	w := &workerState{
-		scheduler: sched.NewDEEP(),
-		cluster:   cluster,
-		dig:       newDigester(),
-		exec:      sim.NewExec(),
-		passes:    make(map[*costmodel.Model]*sched.Pass),
+		scheduler:  sched.NewDEEP(),
+		cluster:    cluster,
+		effCluster: cluster,
+		dig:        newDigester(),
+		exec:       sim.NewExec(),
+		passes:     make(map[*costmodel.Model]*sched.Pass),
 	}
 	app := workload.VideoProcessing()
 	for i := 0; i < passPoolCap+10; i++ {
 		model := costmodel.Compile(app, cluster) // fresh identity each time
-		if _, err := f.schedule(w, app, model); err != nil {
+		if _, err := f.scheduleOn(w, w.scheduler, app, model); err != nil {
 			t.Fatal(err)
 		}
 		if len(w.passes) > passPoolCap {

@@ -77,6 +77,40 @@ type Report struct {
 	TotalEnergy units.Joules `json:"total_energy_j"`
 
 	PerTenant map[string]TenantStats `json:"per_tenant"`
+
+	// Churn summarizes fault-injection activity when the session ran with a
+	// chaos schedule (TrafficConfig.Chaos); nil otherwise.
+	Churn *ChurnReport `json:"churn,omitempty"`
+}
+
+// ChurnReport aggregates one session's fault-injection activity: how many
+// chaos events landed, how much recompilation and re-placement they forced,
+// and what the first request after each cluster epoch paid in latency.
+type ChurnReport struct {
+	// Events counts chaos events that applied successfully this session.
+	Events int `json:"events"`
+	// EpochsApplied counts ApplyChurn calls (each bumps the cluster epoch).
+	EpochsApplied int64 `json:"epochs_applied"`
+	// Invalidated counts placement-cache entries dropped because their
+	// placements referenced hardware that went down.
+	Invalidated int64 `json:"invalidated"`
+	// StaleRejected counts placements (cached or fresh) rejected by the
+	// stale gate because churn landed between schedule and validation.
+	StaleRejected int64 `json:"stale_rejected"`
+	// Reschedules counts retry attempts triggered by stale rejections.
+	Reschedules int64 `json:"reschedules"`
+	// Downgrades counts requests served by the best-response fallback
+	// scheduler instead of the exact pass scheduler.
+	Downgrades int64 `json:"downgrades"`
+	// DeadlineExceeded counts requests that ran out of deadline mid-pipeline.
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// DegradedResponses counts completed responses flagged Degraded.
+	DegradedResponses int `json:"degraded_responses"`
+	// FirstPostChurnMean / FirstPostChurnMax summarize the latency of the
+	// first completed request at each distinct post-churn epoch — the
+	// requests that paid the incremental-recompile and re-placement cost.
+	FirstPostChurnMean time.Duration `json:"first_post_churn_mean"`
+	FirstPostChurnMax  time.Duration `json:"first_post_churn_max"`
 }
 
 // buildReport folds a drained response set into a Report. cache holds this
@@ -202,6 +236,14 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "placement cache: %.1f%% hit rate (%d hits, %d misses, %d evictions, %d entries)\n",
 		100*r.Cache.HitRate(), r.Cache.Hits, r.Cache.Misses, r.Cache.Evictions, r.Cache.Entries)
 	fmt.Fprintf(&b, "simulated energy: %s\n", r.TotalEnergy)
+	if c := r.Churn; c != nil {
+		fmt.Fprintf(&b, "churn: events=%d epochs=%d invalidated=%d stale-rejected=%d reschedules=%d downgrades=%d degraded=%d deadline-exceeded=%d\n",
+			c.Events, c.EpochsApplied, c.Invalidated, c.StaleRejected, c.Reschedules, c.Downgrades, c.DegradedResponses, c.DeadlineExceeded)
+		if c.FirstPostChurnMax > 0 {
+			fmt.Fprintf(&b, "churn: first-post-churn latency mean=%s max=%s\n",
+				c.FirstPostChurnMean.Round(time.Microsecond), c.FirstPostChurnMax.Round(time.Microsecond))
+		}
+	}
 	tenants := make([]string, 0, len(r.PerTenant))
 	for t := range r.PerTenant {
 		tenants = append(tenants, t)

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"sync"
 	"time"
 
+	"deep/internal/chaos"
 	"deep/internal/dag"
 	"deep/internal/workload"
 )
@@ -78,6 +81,11 @@ type TrafficConfig struct {
 	Speedup float64
 	// Seed drives arrival randomness and mix sampling.
 	Seed int64
+	// Chaos interleaves a fault schedule with the load: each event fires at
+	// its offset (divided by Speedup, like arrivals) as an ApplyChurn
+	// against the fleet, turning re-placement storms into a measured
+	// scenario. Nil disables churn.
+	Chaos *chaos.Schedule
 }
 
 // Drive runs an open-loop load generation session against the fleet and
@@ -129,9 +137,52 @@ func Drive(ctx context.Context, f *Fleet, cfg TrafficConfig) (*Report, error) {
 
 	start := time.Now()
 	cacheBefore := f.cache.Stats()
+	churnBefore := f.Stats().Churn
 	deadline := time.Time{}
 	if cfg.Duration > 0 {
 		deadline = start.Add(cfg.Duration)
+	}
+
+	// Chaos replay runs beside the arrival loop on the same sped-up clock:
+	// each event sleeps until its offset and applies its churn delta. The
+	// goroutine stops at context cancellation or when the drain below is
+	// done (events past the end of the session never fire).
+	chaosDone := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	eventsFired := 0
+	var eventsMu sync.Mutex
+	if cfg.Chaos != nil {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			timer := time.NewTimer(0)
+			defer timer.Stop()
+			if !timer.Stop() {
+				<-timer.C
+			}
+			for _, ev := range cfg.Chaos.Events {
+				at := start.Add(time.Duration(float64(ev.At) / cfg.Speedup))
+				if wait := time.Until(at); wait > 0 {
+					timer.Reset(wait)
+					select {
+					case <-timer.C:
+					case <-ctx.Done():
+						return
+					case <-chaosDone:
+						return
+					}
+				}
+				if _, _, err := f.ApplyChurn(DeltaForEvent(ev)); err != nil {
+					// A schedule naming unknown hardware is a configuration
+					// bug; surface it without killing the session.
+					fmt.Fprintf(os.Stderr, "fleet: chaos event %s: %v\n", ev, err)
+					continue
+				}
+				eventsMu.Lock()
+				eventsFired++
+				eventsMu.Unlock()
+			}
+		}()
 	}
 
 	var pending []<-chan *Response
@@ -196,6 +247,8 @@ drive:
 	for _, ch := range pending {
 		responses = append(responses, <-ch)
 	}
+	close(chaosDone)
+	chaosWG.Wait()
 	elapsed := time.Since(start)
 	// Report cache activity for this session only, not the fleet's
 	// lifetime (a fleet may serve several Drive sessions).
@@ -205,5 +258,52 @@ drive:
 	cache.Evictions -= cacheBefore.Evictions
 	report := buildReport(cfg.Arrivals.Name(), attempts, rejected, elapsed, responses, cache)
 	report.SimWarm = f.cfg.SimOptions.WarmCaches
+	if cfg.Chaos != nil {
+		report.Churn = buildChurnReport(eventsFired, churnBefore, f.Stats().Churn, responses)
+	}
 	return report, nil
+}
+
+// buildChurnReport deltas the fleet's churn counters over the session and
+// derives the post-churn latency picture from the drained responses: for
+// every epoch observed in the session's responses, the first completed
+// request validated at that epoch is the one that paid the re-placement
+// cost, so the worst and mean of those firsts measure how hard churn hits
+// the tail.
+func buildChurnReport(events int, before, after ChurnStats, responses []*Response) *ChurnReport {
+	r := &ChurnReport{
+		Events:           events,
+		EpochsApplied:    after.EpochsApplied - before.EpochsApplied,
+		Invalidated:      after.Invalidated - before.Invalidated,
+		StaleRejected:    after.StaleRejected - before.StaleRejected,
+		Reschedules:      after.Reschedules - before.Reschedules,
+		Downgrades:       after.Downgrades - before.Downgrades,
+		DeadlineExceeded: after.DeadlineExceeded - before.DeadlineExceeded,
+	}
+	firstByEpoch := make(map[int64]time.Duration)
+	for _, resp := range responses {
+		if resp.Err != nil {
+			continue
+		}
+		if resp.Degraded {
+			r.DegradedResponses++
+		}
+		if resp.Epoch == 0 {
+			continue
+		}
+		if _, seen := firstByEpoch[resp.Epoch]; !seen {
+			firstByEpoch[resp.Epoch] = resp.Latency
+		}
+	}
+	var sum time.Duration
+	for _, lat := range firstByEpoch {
+		sum += lat
+		if lat > r.FirstPostChurnMax {
+			r.FirstPostChurnMax = lat
+		}
+	}
+	if n := len(firstByEpoch); n > 0 {
+		r.FirstPostChurnMean = sum / time.Duration(n)
+	}
+	return r
 }

@@ -92,6 +92,12 @@ type ClusterTable struct {
 	hasSource bool
 
 	idleW []units.Watts
+
+	// regNodes[r] is registry r's topology node and srcNode the compiled
+	// source node — recorded so Patch can tell which of this table's link
+	// rows are still valid for an incrementally changed cluster view.
+	regNodes []string
+	srcNode  string
 }
 
 // Compile builds the cluster table. It performs the full topology scan —
@@ -126,7 +132,8 @@ func Compile(v View) *ClusterTable {
 	}
 
 	t.regShared = make([]bool, nr)
-	regNodes := make([]string, nr)
+	t.regNodes = make([]string, nr)
+	regNodes := t.regNodes
 	regSet := make([]bool, nr)
 	for _, r := range v.Registries {
 		// First occurrence wins on duplicate names, matching
@@ -151,6 +158,7 @@ func Compile(v View) *ClusterTable {
 		}
 	}
 	t.hasSource = v.SourceNode != ""
+	t.srcNode = v.SourceNode
 	t.srcLink = make([]Link, nd)
 	if t.hasSource {
 		for d := 0; d < nd; d++ {
