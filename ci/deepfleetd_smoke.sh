@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end smoke for cmd/deepfleetd: boot the daemon on a random port with
+# a tiny queue and a 1 req/s tenant budget, deploy a testbed app and assert a
+# placement, force a 429 with Retry-After, scrape the per-tenant HTTP
+# counters off /metrics, then SIGTERM and require a clean bounded drain.
+#
+# Deterministic by construction: the second deploy trades on an empty token
+# bucket (rate=1 burst=1), so the 429 does not depend on timing. The
+# queue-full and quota 429 paths are pinned by internal/fleetd's Go tests;
+# this script proves the same contract end to end over a real socket.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/deepfleetd" ./cmd/deepfleetd
+
+log="$workdir/daemon.log"
+"$workdir/deepfleetd" -addr 127.0.0.1:0 -workers 1 -queue 1 \
+  -rate 1 -burst 1 -drain-timeout 20s >"$log" 2>&1 &
+pid=$!
+
+# The daemon prints "deepfleetd: listening on HOST:PORT" (format pinned in
+# cmd/deepfleetd/main.go) — poll for it to learn the random port.
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^deepfleetd: listening on //p' "$log" | head -1)
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "daemon died at startup:" >&2; cat "$log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "daemon never printed its address" >&2; cat "$log" >&2; exit 1; }
+base="http://$addr"
+echo "smoke: daemon at $base"
+
+curl -fsS "$base/readyz" >/dev/null
+curl -fsS "$base/healthz" >/dev/null
+
+deploy="$workdir/deploy.json"
+cat >"$deploy" <<'EOF'
+{
+  "tenant": "smoke",
+  "app": {
+    "version": 1,
+    "name": "smoke-pipeline",
+    "microservices": [
+      {"name": "ingest", "image_size_bytes": 50000000, "cpu_mi": 500, "external_input_bytes": 1000000},
+      {"name": "infer", "image_size_bytes": 80000000, "cpu_mi": 800}
+    ],
+    "dataflows": [
+      {"from": "ingest", "to": "infer", "size_bytes": 500000}
+    ]
+  }
+}
+EOF
+
+# First deploy: the token bucket is full, so this must succeed and return a
+# placement for every microservice.
+resp=$(curl -fsS -X POST "$base/v1/deploy" -d @"$deploy")
+echo "smoke: deploy -> $resp"
+for ms in ingest infer; do
+  device=$(echo "$resp" | jq -re ".placement[\"$ms\"].device")
+  [ -n "$device" ] || { echo "no placement for $ms" >&2; exit 1; }
+done
+
+# Second deploy, immediately: the bucket is empty (rate=1 burst=1), so the
+# daemon must shed with 429 rate_limited and a Retry-After hint.
+headers="$workdir/reject.headers"
+status=$(curl -sS -o "$workdir/reject.json" -D "$headers" -w '%{http_code}' \
+  -X POST "$base/v1/deploy" -d @"$deploy")
+[ "$status" = 429 ] || { echo "second deploy returned $status, want 429" >&2; cat "$workdir/reject.json" >&2; exit 1; }
+code=$(jq -re '.error.code' <"$workdir/reject.json")
+[ "$code" = rate_limited ] || { echo "429 code $code, want rate_limited" >&2; exit 1; }
+grep -qi '^retry-after: [0-9]' "$headers" || { echo "429 without Retry-After:" >&2; cat "$headers" >&2; exit 1; }
+echo "smoke: second deploy shed with 429 rate_limited, Retry-After present"
+
+# The per-tenant HTTP counters must be live on /metrics.
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q 'fleetd_http_accepted{tenant="smoke"} 1' || {
+  echo "missing accepted counter for tenant smoke:" >&2
+  echo "$metrics" | grep fleetd_http >&2 || true
+  exit 1
+}
+echo "$metrics" | grep -q 'fleetd_http_rejected{tenant="smoke"} 1' || {
+  echo "missing rejected counter for tenant smoke:" >&2
+  echo "$metrics" | grep fleetd_http >&2 || true
+  exit 1
+}
+echo "smoke: per-tenant counters present on /metrics"
+
+# SIGTERM must drain cleanly well inside -drain-timeout: readiness flips,
+# accepted work completes, the process exits 0 and says so.
+kill -TERM "$pid"
+for _ in $(seq 1 200); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "daemon still running 20s after SIGTERM" >&2
+  cat "$log" >&2
+  exit 1
+fi
+set +e
+wait "$pid"
+exit_code=$?
+set -e
+[ "$exit_code" = 0 ] || { echo "daemon exited $exit_code after SIGTERM" >&2; cat "$log" >&2; exit 1; }
+grep -q 'drained cleanly' "$log" || { echo "no clean-drain line in log:" >&2; cat "$log" >&2; exit 1; }
+echo "smoke: SIGTERM drained cleanly"
+echo "smoke: OK"

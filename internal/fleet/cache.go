@@ -524,10 +524,14 @@ type modelShard struct {
 }
 
 // modelEntry is a singleflight cell: once guards the one compilation, and
-// shape is safe to read after once.Do returns.
+// shape is safe to read after once.Do returns. cd tags the entry with the
+// cluster digest its key folded in (written once at insertion, under the
+// shard lock) so churn-epoch hygiene can purge every shape of an abandoned
+// epoch without being able to invert the fingerprint.
 type modelEntry struct {
 	once  sync.Once
 	shape compiledShape
+	cd    string
 }
 
 // modelCacheShards balances lock contention against shard-capacity
@@ -646,8 +650,10 @@ func (c *sharedModelCache) shard(key Fingerprint) *modelShard {
 
 // getOrCompile returns the compiled shape for the key, running compile at
 // most once per cached key fleet-wide: concurrent callers for the same key
-// all block on the first caller's compilation and share its result.
-func (c *sharedModelCache) getOrCompile(key Fingerprint, compile func() compiledShape) compiledShape {
+// all block on the first caller's compilation and share its result. cd is
+// the cluster digest the key folded in; it tags the entry for churn-epoch
+// purging and costs an allocation only on insertion, never on a hit.
+func (c *sharedModelCache) getOrCompile(key Fingerprint, cd ClusterDigest, compile func() compiledShape) compiledShape {
 	sh := c.shard(key)
 	if sh.capacity <= 0 {
 		c.compiles.Add(1)
@@ -656,7 +662,7 @@ func (c *sharedModelCache) getOrCompile(key Fingerprint, compile func() compiled
 	sh.mu.Lock()
 	e, ok := sh.byKey[key]
 	if !ok {
-		e = &modelEntry{}
+		e = &modelEntry{cd: string(cd)}
 		if len(sh.order) >= sh.capacity {
 			oldest := sh.order[0]
 			sh.order = sh.order[1:]
@@ -678,6 +684,38 @@ func (c *sharedModelCache) getOrCompile(key Fingerprint, compile func() compiled
 		e.shape = compile()
 	})
 	return e.shape
+}
+
+// purgeForCluster drops every compiled shape tagged with the given cluster
+// digest and returns how many were dropped. ApplyChurn calls it when an epoch
+// is abandoned (superseded or recovered from) so the dead epoch's shapes stop
+// occupying cache slots until FIFO pressure happens to evict them. A caller
+// already holding an entry keeps using it safely (entries are immutable after
+// fill); a worker racing this purge on the old epoch may re-insert one stray
+// shape, which the next purge or FIFO eviction reclaims — the stale-placement
+// gate keeps it from ever serving a wrong answer.
+func (c *sharedModelCache) purgeForCluster(cd ClusterDigest) int {
+	if !c.enabled() || len(cd) == 0 {
+		return 0
+	}
+	tag := string(cd)
+	purged := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		kept := sh.order[:0]
+		for _, k := range sh.order {
+			if e, ok := sh.byKey[k]; ok && e.cd == tag {
+				delete(sh.byKey, k)
+				purged++
+				continue
+			}
+			kept = append(kept, k)
+		}
+		sh.order = kept
+		sh.mu.Unlock()
+	}
+	return purged
 }
 
 // ModelCacheStats is a point-in-time view of the shared compiled-shape

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"fmt"
 	"sort"
@@ -101,9 +102,12 @@ type ChurnStats struct {
 	DownRegistries int `json:"down_registries"`
 	DegradedLinks  int `json:"degraded_links"`
 	// EpochsApplied counts ApplyChurn calls; Invalidated the placement-cache
-	// entries dropped because they referenced newly crashed hardware.
+	// entries dropped because they referenced newly crashed hardware;
+	// ShapesPurged the compiled shapes dropped because their churn epoch was
+	// abandoned (superseded by a new digest or recovered to pristine).
 	EpochsApplied int64 `json:"epochs_applied"`
 	Invalidated   int64 `json:"invalidated"`
+	ShapesPurged  int64 `json:"shapes_purged"`
 	// StaleRejected counts placements caught referencing down hardware at
 	// the response gate; Reschedules the retry attempts those rejections
 	// triggered; Downgrades the responses served by the best-response
@@ -256,6 +260,19 @@ func (f *Fleet) ApplyChurn(delta ChurnDelta) (epoch int64, invalidated int, err 
 
 	f.churnEpochs.Add(1)
 	f.churn.Store(next)
+
+	// Epoch hygiene: the previous epoch's digest is now unreachable — no
+	// worker will ever key a lookup by it again — unless it is the base
+	// digest (pristine recovery must keep pre-churn caches warm) or the new
+	// state re-derived the identical digest (a no-op delta). Purging after
+	// the store keeps the window in which a worker still on the old epoch
+	// re-inserts a stray shape as small as possible; such a stray is
+	// harmless and reclaimed by the next purge or FIFO eviction.
+	if len(prev.digest) > 0 && !bytes.Equal(prev.digest, f.baseDigest) && !bytes.Equal(prev.digest, next.digest) {
+		if n := f.models.purgeForCluster(prev.digest); n > 0 {
+			f.shapesPurged.Add(int64(n))
+		}
+	}
 	return next.epoch, invalidated, nil
 }
 

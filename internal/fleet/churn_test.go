@@ -603,3 +603,60 @@ func TestDeltaForEvent(t *testing.T) {
 		}
 	}
 }
+
+// TestChurnEpochShapeHygiene pins the eviction half of the churn story: when
+// an epoch is abandoned — superseded by further churn or recovered from — the
+// compiled shapes keyed by its digest leave the shape cache immediately
+// instead of lingering until FIFO pressure evicts them, while the base
+// epoch's shapes survive recovery warm.
+func TestChurnEpochShapeHygiene(t *testing.T) {
+	f := testFleet(t, Config{Workers: 1, NewCluster: scaled2})
+	app := workload.VideoProcessing()
+	do := func() {
+		t.Helper()
+		resp, err := f.Do(context.Background(), Request{App: app})
+		if err != nil || resp.Err != nil {
+			t.Fatal(err, resp.Err)
+		}
+	}
+	do() // base-epoch shape
+	base := f.Stats().ModelCache.Entries
+
+	if _, _, err := f.ApplyChurn(ChurnDelta{FailDevices: []string{"medium-00"}}); err != nil {
+		t.Fatal(err)
+	}
+	do() // epoch-1 shape, keyed by the churned digest
+	if got := f.Stats().ModelCache.Entries; got != base+1 {
+		t.Fatalf("churned shape not cached: %d entries, want %d", got, base+1)
+	}
+
+	// Further churn abandons epoch 1: its shape must be purged even though
+	// nothing evicted it.
+	if _, _, err := f.ApplyChurn(ChurnDelta{FailDevices: []string{"medium-01"}}); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Churn.ShapesPurged < 1 {
+		t.Fatalf("superseded epoch purged no shapes: %+v", st.Churn)
+	}
+	if got := st.ModelCache.Entries; got != base {
+		t.Fatalf("after supersede purge: %d entries, want %d", got, base)
+	}
+
+	do() // epoch-2 shape
+	compiles := f.Stats().ModelCache.Compiles
+
+	// Pristine recovery abandons epoch 2 and restores the base digest by
+	// identity: the epoch-2 shape is purged and the base shape serves warm,
+	// with no recompilation.
+	if _, _, err := f.ApplyChurn(ChurnDelta{RecoverDevices: []string{"medium-00", "medium-01"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().ModelCache.Entries; got != base {
+		t.Fatalf("after recovery purge: %d entries, want %d", got, base)
+	}
+	do()
+	if got := f.Stats().ModelCache.Compiles; got != compiles {
+		t.Fatalf("recovered fleet recompiled the base shape (%d -> %d compiles)", compiles, got)
+	}
+}

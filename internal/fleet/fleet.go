@@ -247,6 +247,7 @@ type Fleet struct {
 
 	churnEpochs      atomic.Int64
 	churnInvalidated atomic.Int64
+	shapesPurged     atomic.Int64
 	staleRejected    atomic.Int64
 	reschedules      atomic.Int64
 	downgrades       atomic.Int64
@@ -319,6 +320,7 @@ func (f *Fleet) collectGauges() {
 	reg.Gauge("fleet_churn_degraded_links").Set(float64(s.Churn.DegradedLinks))
 	reg.Gauge("fleet_churn_epochs_applied").Set(float64(s.Churn.EpochsApplied))
 	reg.Gauge("fleet_churn_invalidated").Set(float64(s.Churn.Invalidated))
+	reg.Gauge("fleet_churn_shapes_purged").Set(float64(s.Churn.ShapesPurged))
 	reg.Gauge("fleet_churn_stale_rejected").Set(float64(s.Churn.StaleRejected))
 	reg.Gauge("fleet_churn_reschedules").Set(float64(s.Churn.Reschedules))
 	reg.Gauge("fleet_churn_downgrades").Set(float64(s.Churn.Downgrades))
@@ -354,6 +356,7 @@ func (f *Fleet) Stats() Stats {
 			DegradedLinks:    len(st.degraded),
 			EpochsApplied:    f.churnEpochs.Load(),
 			Invalidated:      f.churnInvalidated.Load(),
+			ShapesPurged:     f.shapesPurged.Load(),
 			StaleRejected:    f.staleRejected.Load(),
 			Reschedules:      f.reschedules.Load(),
 			Downgrades:       f.downgrades.Load(),
@@ -433,6 +436,54 @@ func (f *Fleet) SubmitCtx(ctx context.Context, req Request) (<-chan *Response, e
 		return nil, ctx.Err()
 	}
 }
+
+// TrySubmitCtx enqueues a request without blocking — Submit's immediate
+// ErrQueueFull backpressure — while remembering the context the way
+// SubmitCtx does, so a submitter that gives up while its request is still
+// queued gets the context error back instead of paying for a schedule. This
+// is the serving front-end's admission call: reject-fast on overload, but
+// never schedule for a caller that already hung up.
+func (f *Fleet) TrySubmitCtx(ctx context.Context, req Request) (<-chan *Response, error) {
+	if req.App == nil {
+		return nil, fmt.Errorf("fleet: request without app")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	j := &job{req: req, enqueued: time.Now(), done: make(chan *Response, 1), ctx: ctx}
+
+	// The read lock lets many submitters race each other but excludes
+	// Close, so a send can never hit a closed channel.
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		f.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	select {
+	case f.queue <- j:
+		f.submitted.Add(1)
+		f.inFlight.Add(1)
+		return j.done, nil
+	default:
+		f.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// QueueLen returns the number of requests currently waiting in the admission
+// queue (not yet picked up by a worker). Serving layers use it to derive
+// Retry-After hints.
+func (f *Fleet) QueueLen() int { return len(f.queue) }
+
+// QueueCap returns the admission queue's capacity.
+func (f *Fleet) QueueCap() int { return cap(f.queue) }
+
+// Workers returns the scheduler/simulator pool size.
+func (f *Fleet) Workers() int { return f.cfg.Workers }
 
 // Do submits a request and blocks for its response (or ctx cancellation).
 func (f *Fleet) Do(ctx context.Context, req Request) (*Response, error) {
@@ -705,7 +756,7 @@ func (f *Fleet) scheduleAttempt(w *workerState, app *dag.App, model *costmodel.M
 func (f *Fleet) shape(w *workerState, app *dag.App, appDigest Fingerprint) compiledShape {
 	_, modelScheduler := w.scheduler.(sched.ModelScheduler)
 	needModel := modelScheduler && f.models.enabled()
-	return f.models.getOrCompile(w.dig.fingerprint(w.clusterDigest, appDigest, ""), func() compiledShape {
+	return f.models.getOrCompile(w.dig.fingerprint(w.clusterDigest, appDigest, ""), w.clusterDigest, func() compiledShape {
 		// Cross-product passes only: the cluster-side tables come
 		// precompiled from the worker's shared cluster table and the
 		// app-side structure from the digest-keyed shared app table, so a

@@ -53,7 +53,7 @@ func TestSharedModelCacheSingleflight(t *testing.T) {
 			got[g] = make([]*costmodel.Model, keys)
 			for r := 0; r < rounds; r++ {
 				k := (g + r) % keys
-				m := c.getOrCompile(fps[k], func() compiledShape {
+				m := c.getOrCompile(fps[k], nil, func() compiledShape {
 					compiles[k].Add(1)
 					time.Sleep(time.Millisecond) // widen the race window
 					return compiledShape{model: costmodel.Compile(apps[k], cluster)}
@@ -319,10 +319,10 @@ func TestModelKeyChangesWithCluster(t *testing.T) {
 	}
 
 	c := newSharedModelCache(16)
-	m1 := c.getOrCompile(k1, func() compiledShape {
+	m1 := c.getOrCompile(k1, nil, func() compiledShape {
 		return compiledShape{model: costmodel.Compile(app, workload.Testbed())}
 	}).model
-	m2 := c.getOrCompile(k2, func() compiledShape {
+	m2 := c.getOrCompile(k2, nil, func() compiledShape {
 		return compiledShape{model: costmodel.Compile(app, workload.ScaledTestbed(2))}
 	}).model
 	if m1 == m2 {
@@ -331,7 +331,7 @@ func TestModelKeyChangesWithCluster(t *testing.T) {
 	if n1, n2 := m1.NumDevices(), m2.NumDevices(); n1 == n2 {
 		t.Fatalf("expected different device counts, got %d and %d", n1, n2)
 	}
-	if got := c.getOrCompile(k1, func() compiledShape {
+	if got := c.getOrCompile(k1, nil, func() compiledShape {
 		t.Fatal("unexpected recompilation of a cached key")
 		return compiledShape{}
 	}).model; got != m1 {
@@ -348,7 +348,7 @@ func TestModelCacheDisabled(t *testing.T) {
 	key := cd.ModelKey(app)
 	var n int
 	for i := 0; i < 3; i++ {
-		c.getOrCompile(key, func() compiledShape {
+		c.getOrCompile(key, nil, func() compiledShape {
 			n++
 			return compiledShape{model: costmodel.Compile(app, workload.Testbed())}
 		})
@@ -380,7 +380,7 @@ func TestModelCacheEviction(t *testing.T) {
 	}
 	compiled := 0
 	fill := func(i int) {
-		c.getOrCompile(keys[i], func() compiledShape {
+		c.getOrCompile(keys[i], nil, func() compiledShape {
 			compiled++
 			return compiledShape{model: costmodel.Compile(apps[i], cluster)}
 		})

@@ -1,0 +1,39 @@
+// Package fleetd is the HTTP serving layer in front of internal/fleet: a
+// router over typed handlers over a Backend seam. The fleet stays a plain
+// in-process library; everything network-shaped — wire-format decoding,
+// per-tenant rate limits and in-flight quotas, 429 backpressure with
+// Retry-After hints, body-size limits, readiness, graceful drain — lives
+// here, so overload and shutdown policies can evolve without touching the
+// scheduling core.
+package fleetd
+
+import (
+	"context"
+
+	"deep/internal/fleet"
+	"deep/internal/obs"
+)
+
+// Backend is what the HTTP layer needs from a fleet. *fleet.Fleet satisfies
+// it directly; tests substitute stubs to pin handler behavior (error
+// mapping, Retry-After derivation) without spinning up worker pools.
+type Backend interface {
+	// TrySubmitCtx admits a request without blocking: ErrQueueFull on a full
+	// admission queue (the handler turns it into a 429), ErrClosed once the
+	// fleet is draining. The context rides along so a client that hangs up
+	// while queued never costs a schedule.
+	TrySubmitCtx(ctx context.Context, req fleet.Request) (<-chan *fleet.Response, error)
+	// ApplyChurn applies one live cluster delta.
+	ApplyChurn(delta fleet.ChurnDelta) (epoch int64, invalidated int, err error)
+	// Stats snapshots the fleet counters.
+	Stats() fleet.Stats
+	// SlowRequests returns the slow-request ring contents.
+	SlowRequests() []obs.SlowRequest
+	// QueueLen, QueueCap, and Workers describe the admission queue; the
+	// handlers derive Retry-After hints from them.
+	QueueLen() int
+	QueueCap() int
+	Workers() int
+}
+
+var _ Backend = (*fleet.Fleet)(nil)

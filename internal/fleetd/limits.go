@@ -1,0 +1,110 @@
+package fleetd
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tenantGate is one tenant's admission state: a token bucket for sustained
+// rate and an in-flight count for concurrency. The bucket is lazy — tokens
+// accrue on read from the elapsed time, so an idle tenant costs nothing.
+type tenantGate struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	inFlight atomic.Int64
+}
+
+// takeToken consumes one token if available; otherwise it reports how long
+// until the bucket refills one, which the handler surfaces as Retry-After.
+func (g *tenantGate) takeToken(now time.Time, rate, burst float64) (bool, time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.last.IsZero() {
+		g.tokens = burst
+	} else if dt := now.Sub(g.last).Seconds(); dt > 0 {
+		g.tokens += dt * rate
+		if g.tokens > burst {
+			g.tokens = burst
+		}
+	}
+	g.last = now
+	if g.tokens >= 1 {
+		g.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - g.tokens) / rate * float64(time.Second))
+}
+
+// tenantGateCap bounds the per-tenant gate map, mirroring the fleet's tenant
+// label interning: past the cap, new tenant names share one overflow gate, so
+// a submitter churning through unbounded tenant names cannot grow server
+// memory (it only throttles itself harder).
+const tenantGateCap = 1024
+
+// limiter applies per-tenant token-bucket rate limits and in-flight
+// concurrency quotas. Zero rate disables rate limiting; zero maxInFlight
+// disables the quota.
+type limiter struct {
+	rate        float64
+	burst       float64
+	maxInFlight int64
+
+	mu       sync.Mutex
+	gates    map[string]*tenantGate
+	overflow tenantGate
+}
+
+func newLimiter(rate float64, burst int, maxInFlight int) *limiter {
+	b := float64(burst)
+	if b < 1 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &limiter{
+		rate:        rate,
+		burst:       b,
+		maxInFlight: int64(maxInFlight),
+		gates:       make(map[string]*tenantGate),
+	}
+}
+
+// gate returns the tenant's admission gate, interning up to tenantGateCap.
+func (l *limiter) gate(tenant string) *tenantGate {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	g, ok := l.gates[tenant]
+	if !ok {
+		if len(l.gates) >= tenantGateCap {
+			return &l.overflow
+		}
+		g = &tenantGate{}
+		l.gates[tenant] = g
+	}
+	return g
+}
+
+// admit runs both checks for one request. On success it returns a release
+// function the handler must call when the request finishes; on failure it
+// returns the rejection code and a Retry-After hint.
+func (l *limiter) admit(tenant string, now time.Time, quotaRetry time.Duration) (release func(), code string, retry time.Duration) {
+	g := l.gate(tenant)
+	if l.rate > 0 {
+		ok, wait := g.takeToken(now, l.rate, l.burst)
+		if !ok {
+			return nil, codeRateLimited, wait
+		}
+	}
+	if l.maxInFlight > 0 {
+		if g.inFlight.Add(1) > l.maxInFlight {
+			g.inFlight.Add(-1)
+			return nil, codeQuotaExceeded, quotaRetry
+		}
+		return func() { g.inFlight.Add(-1) }, "", 0
+	}
+	return func() {}, "", 0
+}

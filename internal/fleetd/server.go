@@ -1,0 +1,524 @@
+package fleetd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deep/internal/fleet"
+	"deep/internal/obs"
+	"deep/internal/sim"
+	"deep/internal/wire"
+)
+
+// Structured error codes. Every non-2xx response carries
+// {"error":{"code":...,"message":...}} so clients can branch on code without
+// parsing prose.
+const (
+	codeInvalidRequest = "invalid_request"
+	codeBodyTooLarge   = "body_too_large"
+	codeRateLimited    = "rate_limited"
+	codeQuotaExceeded  = "quota_exceeded"
+	codeQueueFull      = "queue_full"
+	codeDraining       = "draining"
+	codeDeadline       = "deadline_exceeded"
+	codeScheduleFailed = "schedule_failed"
+	codeNotFound       = "not_found"
+	codeMethod         = "method_not_allowed"
+)
+
+// defaultMaxBodyBytes bounds request bodies: app specs are a few KiB, so one
+// MiB is generous without letting a hostile client buffer gigabytes.
+const defaultMaxBodyBytes = 1 << 20
+
+// Config tunes a Server.
+type Config struct {
+	// Backend is the fleet (or a test stub). Required.
+	Backend Backend
+	// Registry receives the per-tenant HTTP counters and serves /metrics.
+	// Point it at the fleet's own registry (Metrics().Obs()) so one scrape
+	// exposes the whole process. Required.
+	Registry *obs.Registry
+	// Cluster, when set, is served as its wire spec on GET /v1/cluster —
+	// clients can discover the infrastructure they are deploying onto.
+	Cluster *sim.Cluster
+	// RatePerSec is the per-tenant sustained deploy rate; Burst the bucket
+	// size (default: max(RatePerSec, 1)). Zero RatePerSec disables rate
+	// limiting.
+	RatePerSec float64
+	Burst      int
+	// MaxInFlight bounds each tenant's concurrent deploys. Zero disables.
+	MaxInFlight int
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxDeadline caps client-requested deadlines (default 30s): a client
+	// cannot pin a worker slot for minutes by asking politely.
+	MaxDeadline time.Duration
+	// ExpvarName, when non-empty, publishes the registry under this expvar
+	// name and mounts /debug/vars. Publish panics on duplicate names, so
+	// tests leave it empty.
+	ExpvarName string
+}
+
+// Server is the HTTP front-end. Create with New, mount Handler, flip into
+// drain with StartDrain.
+type Server struct {
+	cfg Config
+	lim *limiter
+
+	draining  atomic.Bool
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	// ewmaNS tracks smoothed end-to-end service time in nanoseconds; the
+	// Retry-After hints for queue-full and quota rejections derive from it.
+	ewmaNS atomic.Int64
+
+	// labels interns per-tenant HTTP counters, bounded like the fleet's own
+	// tenant labels.
+	labels     sync.Map
+	labelCount atomic.Int64
+
+	clusterJSON []byte
+}
+
+// New builds a server. It does not listen; mount Handler on an http.Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("fleetd: config without backend")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("fleetd: config without registry")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 30 * time.Second
+	}
+	s := &Server{cfg: cfg, drainCh: make(chan struct{})}
+	s.lim = newLimiter(cfg.RatePerSec, cfg.Burst, cfg.MaxInFlight)
+	if cfg.Cluster != nil {
+		spec, err := wire.ClusterSpecOf(cfg.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("fleetd: encoding cluster spec: %w", err)
+		}
+		s.clusterJSON, err = json.Marshal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("fleetd: encoding cluster spec: %w", err)
+		}
+	}
+	if cfg.ExpvarName != "" {
+		cfg.Registry.PublishExpvar(cfg.ExpvarName)
+	}
+	return s, nil
+}
+
+// StartDrain flips the server into drain: /readyz goes 503, new deploys are
+// shed with 503 draining, and Draining() fires so the owner can begin
+// shutdown. Idempotent.
+func (s *Server) StartDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// Draining fires once StartDrain has been called (by signal handler or the
+// /v1/drain endpoint).
+func (s *Server) Draining() <-chan struct{} { return s.drainCh }
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/deploy", s.handleDeploy)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/cluster", s.handleCluster)
+	mux.HandleFunc("/v1/churn", s.handleChurn)
+	mux.HandleFunc("/v1/drain", s.handleDrain)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.Handle("/metrics", s.cfg.Registry.MetricsHandler())
+	if s.cfg.ExpvarName != "" {
+		mux.Handle("/debug/vars", expvar.Handler())
+	}
+	mux.HandleFunc("/debug/slow", s.handleSlow)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DeployRequest is the POST /v1/deploy envelope.
+type DeployRequest struct {
+	// Tenant labels the requester (default "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Seed perturbs the simulation jitter.
+	Seed int64 `json:"seed,omitempty"`
+	// DeadlineMS bounds total service time; 0 means the server default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// App is the versioned application spec (wire.AppSpec).
+	App json.RawMessage `json:"app"`
+}
+
+// DeployResponse is the POST /v1/deploy success body.
+type DeployResponse struct {
+	Tenant      string                    `json:"tenant"`
+	App         string                    `json:"app"`
+	Epoch       int64                     `json:"epoch"`
+	CacheHit    bool                      `json:"cache_hit"`
+	Degraded    bool                      `json:"degraded"`
+	QueueWaitMS float64                   `json:"queue_wait_ms"`
+	LatencyMS   float64                   `json:"latency_ms"`
+	Placement   map[string]AssignmentSpec `json:"placement"`
+	MakespanS   float64                   `json:"makespan_s"`
+	EnergyJ     float64                   `json:"total_energy_j"`
+}
+
+// AssignmentSpec is one microservice's placement in a deploy response.
+type AssignmentSpec struct {
+	Device   string `json:"device"`
+	Registry string `json:"registry"`
+}
+
+// ChurnRequest is the POST /v1/churn envelope, mirroring fleet.ChurnDelta.
+type ChurnRequest struct {
+	FailDevices       []string         `json:"fail_devices,omitempty"`
+	RecoverDevices    []string         `json:"recover_devices,omitempty"`
+	FailRegistries    []string         `json:"fail_registries,omitempty"`
+	RecoverRegistries []string         `json:"recover_registries,omitempty"`
+	Links             []LinkChangeSpec `json:"links,omitempty"`
+}
+
+// LinkChangeSpec is one link bandwidth change in a churn request.
+type LinkChangeSpec struct {
+	A      string  `json:"a"`
+	B      string  `json:"b"`
+	Factor float64 `json:"factor"`
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, codeMethod, "POST only", 0)
+		return
+	}
+	if s.draining.Load() {
+		// Tenant is unknown before the body is read; shed under the default
+		// label rather than paying a decode for a request we will not serve.
+		s.labelsFor("default").shed.Add(1)
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is draining", 0)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req DeployRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), 0)
+			return
+		}
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "decoding request: "+err.Error(), 0)
+		return
+	}
+	if len(req.App) == 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "request without app spec", 0)
+		return
+	}
+	spec, err := wire.DecodeAppSpec(req.App)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error(), 0)
+		return
+	}
+	app, err := spec.App()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error(), 0)
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	labels := s.labelsFor(tenant)
+
+	release, code, retry := s.lim.admit(tenant, time.Now(), s.serviceEstimate(1))
+	if release == nil {
+		labels.rejected.Add(1)
+		msg := "per-tenant rate limit exceeded"
+		if code == codeQuotaExceeded {
+			msg = "per-tenant in-flight quota exceeded"
+		}
+		writeError(w, http.StatusTooManyRequests, code, msg, retry)
+		return
+	}
+	defer release()
+
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	if deadline <= 0 || deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	ch, err := s.cfg.Backend.TrySubmitCtx(ctx, fleet.Request{
+		Tenant:   tenant,
+		App:      app,
+		Seed:     req.Seed,
+		Deadline: deadline,
+	})
+	switch {
+	case errors.Is(err, fleet.ErrQueueFull):
+		labels.rejected.Add(1)
+		// Retry-After: how long until the queue backlog ahead of this
+		// request has been served, at the smoothed service rate.
+		writeError(w, http.StatusTooManyRequests, codeQueueFull, "admission queue full",
+			s.serviceEstimate(s.cfg.Backend.QueueLen()+1))
+		return
+	case errors.Is(err, fleet.ErrClosed):
+		labels.shed.Add(1)
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is draining", 0)
+		return
+	case err != nil:
+		labels.rejected.Add(1)
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error(), 0)
+		return
+	}
+	labels.accepted.Add(1)
+
+	// Accepted: the fleet owns the request now and will always answer —
+	// drain (Fleet.Close) completes every accepted request, and an expired
+	// context is answered with its context error. So waiting on the channel
+	// alone cannot hang, and the handler must wait even while draining: that
+	// is what "drain completes accepted requests" means at the HTTP layer.
+	resp := <-ch
+	s.observe(resp)
+	if s.draining.Load() {
+		labels.drained.Add(1)
+	}
+	if resp.Err != nil {
+		switch {
+		case errors.Is(resp.Err, fleet.ErrDeadline), errors.Is(resp.Err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, codeDeadline, resp.Err.Error(), 0)
+		case errors.Is(resp.Err, context.Canceled):
+			// Client went away; 499-style. The exact status is moot (nobody
+			// is listening) but the connection teardown wants one.
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, resp.Err.Error(), 0)
+		default:
+			writeError(w, http.StatusInternalServerError, codeScheduleFailed, resp.Err.Error(), 0)
+		}
+		return
+	}
+	out := DeployResponse{
+		Tenant:      resp.Tenant,
+		App:         resp.App,
+		Epoch:       resp.Epoch,
+		CacheHit:    resp.CacheHit,
+		Degraded:    resp.Degraded,
+		QueueWaitMS: float64(resp.QueueWait) / float64(time.Millisecond),
+		LatencyMS:   float64(resp.Latency) / float64(time.Millisecond),
+		Placement:   make(map[string]AssignmentSpec, len(resp.Placement)),
+		MakespanS:   resp.Result.Makespan,
+		EnergyJ:     float64(resp.Result.TotalEnergy),
+	}
+	for ms, a := range resp.Placement {
+		out.Placement[ms] = AssignmentSpec{Device: a.Device, Registry: a.Registry}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, codeMethod, "GET only", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Backend.Stats())
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, codeMethod, "GET only", 0)
+		return
+	}
+	if s.clusterJSON == nil {
+		writeError(w, http.StatusNotFound, codeNotFound, "no cluster spec configured", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(s.clusterJSON)
+}
+
+func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, codeMethod, "POST only", 0)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req ChurnRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "decoding request: "+err.Error(), 0)
+		return
+	}
+	delta := fleet.ChurnDelta{
+		FailDevices:       req.FailDevices,
+		RecoverDevices:    req.RecoverDevices,
+		FailRegistries:    req.FailRegistries,
+		RecoverRegistries: req.RecoverRegistries,
+	}
+	for _, lc := range req.Links {
+		delta.Links = append(delta.Links, fleet.LinkChange{A: lc.A, B: lc.B, Factor: lc.Factor})
+	}
+	epoch, invalidated, err := s.cfg.Backend.ApplyChurn(delta)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"epoch": epoch, "invalidated": int64(invalidated)})
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, codeMethod, "POST only", 0)
+		return
+	}
+	s.StartDrain()
+	writeJSON(w, http.StatusAccepted, map[string]bool{"draining": true})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.cfg.Backend.SlowRequests())
+}
+
+// serviceEstimate predicts how long n request service times take across the
+// worker pool — the Retry-After hint for backpressure rejections. Before any
+// request completes the EWMA is zero and the floor of one second applies.
+func (s *Server) serviceEstimate(n int) time.Duration {
+	per := time.Duration(s.ewmaNS.Load())
+	workers := s.cfg.Backend.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	est := per * time.Duration((n+workers-1)/workers)
+	if est < time.Second {
+		est = time.Second
+	}
+	return est
+}
+
+// observe folds one completed response into the service-time EWMA
+// (alpha 0.2: smooth enough to ride out cache-hit/miss bimodality, fresh
+// enough to track load shifts within tens of requests).
+func (s *Server) observe(resp *fleet.Response) {
+	lat := int64(resp.Latency)
+	for {
+		old := s.ewmaNS.Load()
+		next := lat
+		if old > 0 {
+			next = old + (lat-old)/5
+		}
+		if s.ewmaNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// httpLabels is one tenant's HTTP counter set: accepted (admitted to the
+// fleet), rejected (429: rate, quota, or queue), shed (503 while draining),
+// drained (accepted requests completed during drain).
+type httpLabels struct {
+	accepted *obs.Counter
+	rejected *obs.Counter
+	shed     *obs.Counter
+	drained  *obs.Counter
+}
+
+// labelsFor interns one tenant's HTTP counters, bounded like the fleet's
+// tenant labels: past the cap new tenants get transient handles, so hostile
+// tenant-name churn cannot grow server memory.
+func (s *Server) labelsFor(tenant string) *httpLabels {
+	if v, ok := s.labels.Load(tenant); ok {
+		return v.(*httpLabels)
+	}
+	reg := s.cfg.Registry
+	l := &httpLabels{
+		accepted: reg.Counter("fleetd_http_accepted{tenant=" + tenant + "}"),
+		rejected: reg.Counter("fleetd_http_rejected{tenant=" + tenant + "}"),
+		shed:     reg.Counter("fleetd_http_shed{tenant=" + tenant + "}"),
+		drained:  reg.Counter("fleetd_http_drained{tenant=" + tenant + "}"),
+	}
+	if s.labelCount.Load() >= tenantGateCap {
+		return l
+	}
+	v, loaded := s.labels.LoadOrStore(tenant, l)
+	if !loaded {
+		s.labelCount.Add(1)
+	}
+	return v.(*httpLabels)
+}
+
+// writeError renders the structured error envelope, with Retry-After (whole
+// seconds, rounded up, floor 1) when the rejection is retryable.
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64(math.Ceil(retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	var body struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	body.Error.Code = code
+	body.Error.Message = msg
+	writeJSON(w, status, body)
+}
+
+// writeJSON renders a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, `{"error":{"code":"internal","message":"encoding response"}}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}

@@ -1,0 +1,468 @@
+package fleetd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deep/internal/dag"
+	"deep/internal/fleet"
+	"deep/internal/obs"
+	"deep/internal/sched"
+	"deep/internal/sim"
+	"deep/internal/wire"
+	"deep/internal/workload"
+)
+
+// slowSched wraps the real scheduler with an artificial delay so tests can
+// hold worker slots long enough to observe queue-full, quota, and drain
+// behavior deterministically.
+type slowSched struct {
+	inner sched.Scheduler
+	delay time.Duration
+}
+
+func (s *slowSched) Name() string { return "slow" }
+func (s *slowSched) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	time.Sleep(s.delay)
+	return s.inner.Schedule(app, cluster)
+}
+
+type testEnv struct {
+	f   *fleet.Fleet
+	s   *Server
+	ts  *httptest.Server
+	url string
+}
+
+func newEnv(t *testing.T, fcfg fleet.Config, scfg Config) *testEnv {
+	t.Helper()
+	f := fleet.New(fcfg)
+	t.Cleanup(f.Close)
+	scfg.Backend = f
+	scfg.Registry = f.Metrics().Obs()
+	s, err := New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &testEnv{f: f, s: s, ts: ts, url: ts.URL}
+}
+
+func deployBody(t *testing.T, tenant string) []byte {
+	t.Helper()
+	app, err := json.Marshal(wire.AppSpecOf(workload.VideoProcessing()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{"tenant": tenant, "app": json.RawMessage(app)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postDeploy(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/deploy", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func errCode(t *testing.T, data []byte) string {
+	t.Helper()
+	var body struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatalf("non-envelope error body %q: %v", data, err)
+	}
+	return body.Error.Code
+}
+
+// TestDeployHappyPath pins the end-to-end serving contract: a wire-encoded
+// app comes back with a placement, simulation results, and the per-tenant
+// accepted counter bumped.
+func TestDeployHappyPath(t *testing.T) {
+	env := newEnv(t, fleet.Config{Workers: 2}, Config{})
+	resp, data := postDeploy(t, env.url, deployBody(t, "acme"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out DeployResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tenant != "acme" || len(out.Placement) == 0 || out.MakespanS <= 0 || out.EnergyJ <= 0 {
+		t.Fatalf("implausible deploy response: %+v", out)
+	}
+	if c, ok := env.s.cfg.Registry.LookupCounter("fleetd_http_accepted{tenant=acme}"); !ok || c.Value() != 1 {
+		t.Fatalf("accepted counter not bumped (found=%v)", ok)
+	}
+
+	// Second identical deploy must hit the placement memo.
+	resp, data = postDeploy(t, env.url, deployBody(t, "acme"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheHit {
+		t.Fatal("second identical deploy missed the placement cache")
+	}
+}
+
+// TestDeployRateLimit pins the token-bucket 429: with rate 1 burst 1, the
+// second immediate request is rejected with Retry-After.
+func TestDeployRateLimit(t *testing.T) {
+	env := newEnv(t, fleet.Config{Workers: 1}, Config{RatePerSec: 1, Burst: 1})
+	body := deployBody(t, "limited")
+	if resp, data := postDeploy(t, env.url, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first deploy: status %d: %s", resp.StatusCode, data)
+	}
+	resp, data := postDeploy(t, env.url, body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second deploy: status %d, want 429", resp.StatusCode)
+	}
+	if code := errCode(t, data); code != codeRateLimited {
+		t.Fatalf("error code %q, want %q", code, codeRateLimited)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	if c, ok := env.s.cfg.Registry.LookupCounter("fleetd_http_rejected{tenant=limited}"); !ok || c.Value() != 1 {
+		t.Fatal("rejected counter not bumped")
+	}
+}
+
+// TestDeployQuotaAndQueueFull pins the two load-shedding 429s: a tenant over
+// its in-flight quota, and a full admission queue — both with Retry-After.
+func TestDeployQuotaAndQueueFull(t *testing.T) {
+	env := newEnv(t, fleet.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		NewScheduler: func() sched.Scheduler {
+			return &slowSched{inner: sched.NewDEEP(), delay: 300 * time.Millisecond}
+		},
+		CacheSize: -1, // every request schedules: keeps the worker busy
+	}, Config{MaxInFlight: 2})
+	body := deployBody(t, "busy")
+
+	var mu sync.Mutex
+	codes := map[string]int{}
+	statuses := map[int]int{}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postDeploy(t, env.url, body)
+			mu.Lock()
+			defer mu.Unlock()
+			statuses[resp.StatusCode]++
+			if resp.StatusCode == http.StatusTooManyRequests {
+				codes[errCode(t, data)]++
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if statuses[http.StatusOK] == 0 {
+		t.Fatalf("no request succeeded: %v", statuses)
+	}
+	if statuses[http.StatusTooManyRequests] == 0 {
+		t.Fatalf("no request was shed: %v", statuses)
+	}
+	if codes[codeQuotaExceeded]+codes[codeQueueFull] != statuses[http.StatusTooManyRequests] {
+		t.Fatalf("429s carried unexpected codes: %v", codes)
+	}
+}
+
+// TestDeployDecodeLimits pins the body-size and strict-decode errors.
+func TestDeployDecodeLimits(t *testing.T) {
+	env := newEnv(t, fleet.Config{Workers: 1}, Config{MaxBodyBytes: 256})
+
+	big := append([]byte(`{"tenant":"`), bytes.Repeat([]byte("x"), 512)...)
+	big = append(big, []byte(`"}`)...)
+	resp, data := postDeploy(t, env.url, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || errCode(t, data) != codeBodyTooLarge {
+		t.Fatalf("oversized body: status %d code %s", resp.StatusCode, data)
+	}
+
+	resp, data = postDeploy(t, env.url, []byte(`{"bogus":1}`))
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, data) != codeInvalidRequest {
+		t.Fatalf("unknown field: status %d body %s", resp.StatusCode, data)
+	}
+
+	resp, data = postDeploy(t, env.url, []byte(`{"app":{"version":99,"name":"a"}}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("future version: status %d body %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "unsupported") {
+		t.Fatalf("future version error does not mention the version gate: %s", data)
+	}
+
+	resp, data = postDeploy(t, env.url, []byte(`{"tenant":"a"}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing app: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// TestChurnEndpoint pins the churn route: a fail delta bumps the epoch, an
+// unknown device is a 400, and recovery returns to epoch N+1.
+func TestChurnEndpoint(t *testing.T) {
+	env := newEnv(t, fleet.Config{Workers: 1, NewCluster: func() *sim.Cluster {
+		return workload.ScaledTestbed(2)
+	}}, Config{})
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(env.url+"/v1/churn", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, data
+	}
+	resp, data := post(`{"fail_devices":["medium-00"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("churn: status %d: %s", resp.StatusCode, data)
+	}
+	var out map[string]int64
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["epoch"] != 1 {
+		t.Fatalf("epoch %d, want 1", out["epoch"])
+	}
+	if resp, data = post(`{"fail_devices":["no-such"]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown device: status %d: %s", resp.StatusCode, data)
+	}
+	if resp, _ = post(`{"recover_devices":["medium-00"]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovery: status %d", resp.StatusCode)
+	}
+}
+
+// TestStatsAndMetricsAndHealth pins the observability surface: /v1/stats
+// decodes, /metrics carries the per-tenant HTTP counters, /healthz is always
+// 200, /readyz flips to 503 under drain.
+func TestStatsAndMetricsAndHealth(t *testing.T) {
+	env := newEnv(t, fleet.Config{Workers: 1}, Config{})
+	if resp, data := postDeploy(t, env.url, deployBody(t, "obs")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy: status %d: %s", resp.StatusCode, data)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(env.url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(data)
+	}
+
+	status, body := get("/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/stats: %d", status)
+	}
+	var stats fleet.Stats
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 1 {
+		t.Fatalf("stats completed %d, want 1", stats.Completed)
+	}
+
+	status, body = get("/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: %d", status)
+	}
+	for _, want := range []string{"fleetd_http_accepted", "fleet_requests_completed"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	if status, _ = get("/healthz"); status != http.StatusOK {
+		t.Fatalf("/healthz: %d", status)
+	}
+	if status, _ = get("/readyz"); status != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d", status)
+	}
+	env.s.StartDrain()
+	if status, _ = get("/healthz"); status != http.StatusOK {
+		t.Fatalf("/healthz during drain: %d", status)
+	}
+	if status, _ = get("/readyz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: %d, want 503", status)
+	}
+	if resp, data := postDeploy(t, env.url, deployBody(t, "obs")); resp.StatusCode != http.StatusServiceUnavailable || errCode(t, data) != codeDraining {
+		t.Fatalf("deploy during drain: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// TestClusterEndpoint pins /v1/cluster: the configured cluster round-trips
+// through its wire spec.
+func TestClusterEndpoint(t *testing.T) {
+	env := newEnv(t, fleet.Config{Workers: 1}, Config{Cluster: workload.Testbed()})
+	resp, err := http.Get(env.url + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	spec, err := wire.DecodeClusterSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Cluster(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainCompletesAcceptedRequests is the PR's headline robustness pin:
+// requests accepted before drain all complete with 200 even though drain
+// began while they were queued or in flight, new requests are shed with 503,
+// and the whole shutdown sequence (server drain, fleet close) finishes well
+// inside the hard deadline.
+func TestDrainCompletesAcceptedRequests(t *testing.T) {
+	const inflight = 4
+	env := newEnv(t, fleet.Config{
+		Workers:    2,
+		QueueDepth: inflight,
+		NewScheduler: func() sched.Scheduler {
+			return &slowSched{inner: sched.NewDEEP(), delay: 150 * time.Millisecond}
+		},
+		CacheSize: -1,
+	}, Config{})
+
+	// Saturate: every request schedules slowly, so all of these are still in
+	// the queue or on a worker when drain starts.
+	results := make(chan int, inflight)
+	for i := 0; i < inflight; i++ {
+		go func() {
+			resp, _ := postDeploy(t, env.url, deployBody(t, "drain"))
+			results <- resp.StatusCode
+		}()
+	}
+	// Wait until the fleet has actually accepted them.
+	deadline := time.Now().Add(2 * time.Second)
+	for env.f.Stats().Submitted < inflight {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet accepted only %d/%d requests", env.f.Stats().Submitted, inflight)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	env.s.StartDrain()
+	shedResp, shedData := postDeploy(t, env.url, deployBody(t, "drain"))
+	if shedResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain deploy: status %d body %s", shedResp.StatusCode, shedData)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		env.f.Close() // completes every accepted request
+		close(done)
+	}()
+	for i := 0; i < inflight; i++ {
+		select {
+		case status := <-results:
+			if status != http.StatusOK {
+				t.Errorf("accepted request finished with status %d, want 200", status)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("accepted request %d never completed under drain", i)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Fleet.Close hung after drain")
+	}
+	if c, ok := env.s.cfg.Registry.LookupCounter("fleetd_http_drained{tenant=drain}"); !ok || c.Value() < 1 {
+		t.Error("drained counter not bumped")
+	}
+	if st := env.f.Stats(); st.Completed != inflight {
+		t.Fatalf("fleet completed %d, want %d", st.Completed, inflight)
+	}
+}
+
+// TestBackendStub pins the handler/backend seam itself: handlers speak only
+// through the interface, so a stub can fake queue state and the Retry-After
+// derivation is observable without a real fleet.
+type stubBackend struct {
+	submitErr error
+	queueLen  int
+	queueCap  int
+	workers   int
+}
+
+func (s *stubBackend) TrySubmitCtx(ctx context.Context, req fleet.Request) (<-chan *fleet.Response, error) {
+	if s.submitErr != nil {
+		return nil, s.submitErr
+	}
+	ch := make(chan *fleet.Response, 1)
+	ch <- &fleet.Response{Tenant: req.Tenant, App: req.App.Name, Placement: sim.Placement{}, Result: &sim.Result{}}
+	return ch, nil
+}
+func (s *stubBackend) ApplyChurn(fleet.ChurnDelta) (int64, int, error) {
+	return 0, 0, fmt.Errorf("stub: no churn")
+}
+func (s *stubBackend) Stats() fleet.Stats              { return fleet.Stats{} }
+func (s *stubBackend) SlowRequests() []obs.SlowRequest { return nil }
+func (s *stubBackend) QueueLen() int                   { return s.queueLen }
+func (s *stubBackend) QueueCap() int                   { return s.queueCap }
+func (s *stubBackend) Workers() int                    { return s.workers }
+
+func TestBackendStub(t *testing.T) {
+	stub := &stubBackend{submitErr: fleet.ErrQueueFull, queueLen: 8, queueCap: 8, workers: 2}
+	reg := obs.NewRegistry()
+	s, err := New(Config{Backend: stub, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := postDeploy(t, ts.URL, deployBody(t, "stub"))
+	if resp.StatusCode != http.StatusTooManyRequests || errCode(t, data) != codeQueueFull {
+		t.Fatalf("queue-full stub: status %d body %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("queue-full 429 without Retry-After")
+	}
+
+	stub.submitErr = nil
+	if resp, data = postDeploy(t, ts.URL, deployBody(t, "stub")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stub deploy: status %d body %s", resp.StatusCode, data)
+	}
+}

@@ -77,6 +77,103 @@ func (g *Game) EliminateDominated() Reduced {
 	return Reduced{Game: New(a, b), RowOrig: rowOrig, ColOrig: colOrig}
 }
 
+// ReduceDominatedInPlace runs the same iterated elimination as
+// EliminateDominated but without building a fresh game: the surviving
+// payoffs are compacted into the top-left corner of A and B and the shapes
+// updated, so arena-backed games reduce without allocating. rowOrig and
+// colOrig are caller-provided scratch with capacity at least the game's
+// original dimensions; on return rowOrig[:rows] and colOrig[:cols] map each
+// surviving index back to its original one. Strict dominance never removes
+// a Nash equilibrium and the compaction preserves strategy order, so
+// solving the reduced game yields equilibria of the original, in the same
+// scan order.
+func (g *Game) ReduceDominatedInPlace(rowOrig, colOrig []int) (rows, cols int) {
+	nr, nc := g.Shape()
+	rowOrig = rowOrig[:nr]
+	colOrig = colOrig[:nc]
+	// The scratch doubles as alive flags during elimination, then is
+	// rewritten into the surviving-index maps.
+	for i := range rowOrig {
+		rowOrig[i] = 1
+	}
+	for j := range colOrig {
+		colOrig[j] = 1
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < nr; i++ {
+			if rowOrig[i] == 0 || countNonzero(rowOrig) == 1 {
+				continue
+			}
+			for k := 0; k < nr; k++ {
+				if k == i || rowOrig[k] == 0 {
+					continue
+				}
+				if strictlyBetterRowFlags(g.A, k, i, colOrig) {
+					rowOrig[i] = 0
+					changed = true
+					break
+				}
+			}
+		}
+		for j := 0; j < nc; j++ {
+			if colOrig[j] == 0 || countNonzero(colOrig) == 1 {
+				continue
+			}
+			for l := 0; l < nc; l++ {
+				if l == j || colOrig[l] == 0 {
+					continue
+				}
+				if strictlyBetterColFlags(g.B, l, j, rowOrig) {
+					colOrig[j] = 0
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	rows, cols = countNonzero(rowOrig), countNonzero(colOrig)
+	// Compact survivors toward the top-left. In-place is safe because every
+	// write lands at or before its read: ri <= i, cj <= j, cols <= nc.
+	ri := 0
+	for i := 0; i < nr; i++ {
+		if rowOrig[i] == 0 {
+			continue
+		}
+		cj := 0
+		for j := 0; j < nc; j++ {
+			if colOrig[j] == 0 {
+				continue
+			}
+			g.A.Data[ri*cols+cj] = g.A.Data[i*nc+j]
+			g.B.Data[ri*cols+cj] = g.B.Data[i*nc+j]
+			cj++
+		}
+		ri++
+	}
+	// Rewrite the alive flags into index maps; writes trail reads here too.
+	ri = 0
+	for i, f := range rowOrig {
+		if f != 0 {
+			rowOrig[ri] = i
+			ri++
+		}
+	}
+	cj := 0
+	for j, f := range colOrig {
+		if f != 0 {
+			colOrig[cj] = j
+			cj++
+		}
+	}
+	g.A.Rows, g.A.Cols, g.A.Data = rows, cols, g.A.Data[:rows*cols]
+	g.B.Rows, g.B.Cols, g.B.Data = rows, cols, g.B.Data[:rows*cols]
+	return rows, cols
+}
+
 // Expand maps a profile of the reduced game back to the original strategy
 // space, assigning zero probability to eliminated strategies.
 func (r Reduced) Expand(p Profile, origRows, origCols int) Profile {
@@ -115,10 +212,47 @@ func strictlyBetterCol(b *Matrix, l, j int, rowAlive []bool) bool {
 	return true
 }
 
+// strictlyBetterRowFlags and strictlyBetterColFlags mirror the []bool
+// variants for the in-place reduction's int-flag scratch; the comparison
+// semantics (strict, 1e-12 tolerance) must stay identical.
+func strictlyBetterRowFlags(a *Matrix, k, i int, colAlive []int) bool {
+	for j := 0; j < a.Cols; j++ {
+		if colAlive[j] == 0 {
+			continue
+		}
+		if a.At(k, j) <= a.At(i, j)+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func strictlyBetterColFlags(b *Matrix, l, j int, rowAlive []int) bool {
+	for i := 0; i < b.Rows; i++ {
+		if rowAlive[i] == 0 {
+			continue
+		}
+		if b.At(i, l) <= b.At(i, j)+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
 func countTrue(v []bool) int {
 	n := 0
 	for _, b := range v {
 		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func countNonzero(v []int) int {
+	n := 0
+	for _, f := range v {
+		if f != 0 {
 			n++
 		}
 	}

@@ -1,0 +1,116 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// dominanceBiasedGame draws payoffs with a bias toward dominance structure:
+// mixing a per-row/per-column quality offset into the noise makes some
+// strategies dominated across the board, so the elimination loop gets real
+// work (pure noise, as in arena_test's randomGame, rarely eliminates).
+func dominanceBiasedGame(rng *rand.Rand, rows, cols int) *Game {
+	a := NewMatrix(rows, cols)
+	b := NewMatrix(rows, cols)
+	rowQ := make([]float64, rows)
+	colQ := make([]float64, cols)
+	for i := range rowQ {
+		rowQ[i] = rng.NormFloat64() * 2
+	}
+	for j := range colQ {
+		colQ[j] = rng.NormFloat64() * 2
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			a.Set(i, j, rowQ[i]+rng.NormFloat64())
+			b.Set(i, j, colQ[j]+rng.NormFloat64())
+		}
+	}
+	return New(a, b)
+}
+
+// The in-place reduction must agree with EliminateDominated exactly — same
+// survivors in the same order, same (bit-equal) payoffs — across random
+// games of varied shape. EliminateDominated is the pinned reference
+// (dominance_test.go); ReduceDominatedInPlace is the arena-friendly twin the
+// scheduler uses.
+func TestReduceDominatedInPlaceMatchesEliminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		rows := 1 + rng.Intn(8)
+		cols := 1 + rng.Intn(8)
+		g := dominanceBiasedGame(rng, rows, cols)
+		want := g.EliminateDominated() // copies; leaves g intact
+
+		rowOrig := make([]int, rows)
+		colOrig := make([]int, cols)
+		nr, nc := g.ReduceDominatedInPlace(rowOrig, colOrig)
+
+		if wr, wc := want.Game.Shape(); nr != wr || nc != wc {
+			t.Fatalf("trial %d (%dx%d): reduced to %dx%d, EliminateDominated to %dx%d",
+				trial, rows, cols, nr, nc, wr, wc)
+		}
+		for ri := 0; ri < nr; ri++ {
+			if rowOrig[ri] != want.RowOrig[ri] {
+				t.Fatalf("trial %d: rowOrig %v, want %v", trial, rowOrig[:nr], want.RowOrig)
+			}
+		}
+		for cj := 0; cj < nc; cj++ {
+			if colOrig[cj] != want.ColOrig[cj] {
+				t.Fatalf("trial %d: colOrig %v, want %v", trial, colOrig[:nc], want.ColOrig)
+			}
+		}
+		for ri := 0; ri < nr; ri++ {
+			for cj := 0; cj < nc; cj++ {
+				if g.A.At(ri, cj) != want.Game.A.At(ri, cj) || g.B.At(ri, cj) != want.Game.B.At(ri, cj) {
+					t.Fatalf("trial %d: payoff mismatch at (%d,%d)", trial, ri, cj)
+				}
+			}
+		}
+	}
+}
+
+// The compacted game's shape must be fully consistent: Rows/Cols updated,
+// Data truncated to exactly rows*cols, and the iterated 3x3 example (pinned
+// by dominance_test.go) collapsing to its 1x1 solution in place.
+func TestReduceDominatedInPlaceCompactsShape(t *testing.T) {
+	g := iteratedGame()
+	rowOrig := make([]int, 3)
+	colOrig := make([]int, 3)
+	nr, nc := g.ReduceDominatedInPlace(rowOrig, colOrig)
+	if nr != 1 || nc != 1 {
+		t.Fatalf("iterated game reduced to %dx%d, want 1x1", nr, nc)
+	}
+	if rowOrig[0] != 0 || colOrig[0] != 0 {
+		t.Fatalf("survivors rows %v cols %v, want [0] [0]", rowOrig[:nr], colOrig[:nc])
+	}
+	if g.A.Rows != 1 || g.A.Cols != 1 || len(g.A.Data) != 1 ||
+		g.B.Rows != 1 || g.B.Cols != 1 || len(g.B.Data) != 1 {
+		t.Fatalf("shapes not compacted: A %dx%d/%d B %dx%d/%d",
+			g.A.Rows, g.A.Cols, len(g.A.Data), g.B.Rows, g.B.Cols, len(g.B.Data))
+	}
+	if g.A.At(0, 0) != 5.0 || g.B.At(0, 0) != 5.0 {
+		t.Fatalf("reduced payoffs (%v, %v), want (5, 5)", g.A.At(0, 0), g.B.At(0, 0))
+	}
+}
+
+// Reduction on an arena-backed game must not allocate: the whole point of
+// the in-place variant is that the scheduler's mid-size pair rescue stays on
+// the warm zero-alloc path.
+func TestReduceDominatedInPlaceAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := dominanceBiasedGame(rng, 12, 10)
+	ar := NewArena()
+	rowOrig := make([]int, 12)
+	colOrig := make([]int, 10)
+	allocs := testing.AllocsPerRun(100, func() {
+		ar.Reset()
+		g := NewFromArena(ar, 12, 10)
+		copy(g.A.Data, src.A.Data)
+		copy(g.B.Data, src.B.Data)
+		g.ReduceDominatedInPlace(rowOrig, colOrig)
+	})
+	if allocs != 0 {
+		t.Fatalf("in-place reduction allocates %.1f objects per run", allocs)
+	}
+}

@@ -23,10 +23,15 @@ import (
 //     plays a bimatrix game whose strategies are full (device, registry)
 //     assignments; the payoff coupling captures shared-registry contention.
 //     The welfare-maximal pure equilibrium is chosen. Pair games larger
-//     than MaxPairCells payoff cells fall back to best-response dynamics
-//     instead — on scaled clusters the full O(|o1|·|o2|) game prices tens
-//     of thousands of cells for the same congestion-style potential game
-//     whose iterative dynamics converge to an equilibrium directly.
+//     than MaxPairCells payoff cells first get one rescue attempt up to
+//     DominancePairCells: price the full bimatrix and shrink it by iterated
+//     elimination of strictly dominated strategies (IESDS, which never
+//     removes a Nash equilibrium) — if the survivors fit under the cap the
+//     reduced game is solved exactly, matching the uncapped answer. Games
+//     that stay over the cap fall back to best-response dynamics — on
+//     scaled clusters the full O(|o1|·|o2|) game prices tens of thousands
+//     of cells for the same congestion-style potential game whose iterative
+//     dynamics converge to an equilibrium directly.
 //
 //   - Larger stages run best-response dynamics, which converge for these
 //     congestion-style payoffs.
@@ -42,6 +47,17 @@ type DEEP struct {
 	// Zero means uncapped (always play the full pair game — the historical
 	// behavior); NewDEEP sets DefaultMaxPairCells.
 	MaxPairCells int
+
+	// DominancePairCells widens the exact window for pair games over
+	// MaxPairCells: a game of at most this many cells is priced in full and
+	// reduced by IESDS; if the survivors fit under MaxPairCells the reduced
+	// game is solved exactly — strict dominance never removes a Nash
+	// equilibrium and the reduction preserves strategy order, so the answer
+	// is the uncapped game's — and otherwise best-response dynamics run as
+	// before. Zero disables the window (the pure cap/fallback split), which
+	// is also the right setting for latency-critical degraded modes like the
+	// fleet's MaxPairCells=1 fallback rung.
+	DominancePairCells int
 }
 
 // DefaultMaxPairCells is the pair-game cap NewDEEP installs: testbed-sized
@@ -50,11 +66,26 @@ type DEEP struct {
 // scheduling pass — take the convergent dynamics instead.
 const DefaultMaxPairCells = 4096
 
+// DefaultDominancePairCells is the IESDS rescue window NewDEEP installs:
+// pair games up to 2x the cap try dominance reduction before surrendering to
+// best-response dynamics. The factor is deliberately modest — pricing the
+// full bimatrix plus the elimination sweeps is O(cells) + O((|o1|+|o2|)·
+// cells) worst case, and the biggest scaled-cluster games (100x100 options,
+// 10k cells) are exactly the ones whose best-response routing bought the
+// game layer its throughput, so they stay on the dynamics.
+const DefaultDominancePairCells = 2 * DefaultMaxPairCells
+
 // DEEP supports the fleet's pooled-pass scheduling path.
 var _ PassScheduler = (*DEEP)(nil)
 
-// NewDEEP returns the Nash scheduler with the default pair-game cap.
-func NewDEEP() *DEEP { return &DEEP{MaxPairCells: DefaultMaxPairCells} }
+// NewDEEP returns the Nash scheduler with the default pair-game cap and
+// IESDS rescue window.
+func NewDEEP() *DEEP {
+	return &DEEP{
+		MaxPairCells:       DefaultMaxPairCells,
+		DominancePairCells: DefaultDominancePairCells,
+	}
+}
 
 // NewDEEPUncapped returns the Nash scheduler with the pair-game cap
 // disabled: every two-microservice stage plays the exact bimatrix game
@@ -148,6 +179,21 @@ func (s *DEEP) ScheduleInto(p *Pass) error {
 			if err != nil {
 				return err
 			}
+		case len(stage) == 2 && s.DominancePairCells > 0 && len(opts[0])*len(opts[1]) <= s.DominancePairCells:
+			// Mid-size pair games (over the cap, within the dominance
+			// window): try IESDS reduction for an exact answer; games that
+			// stay over the cap join the best-response fallback below.
+			var solved bool
+			assigned[0], assigned[1], solved, err = schedulePairReduced(model, st, stage[0], stage[1], s.MaxPairCells)
+			if err != nil {
+				return err
+			}
+			if !solved {
+				for k := range stage {
+					assigned[k] = opts[k][0]
+				}
+				bestResponse(st, stage, opts, assigned)
+			}
 		default:
 			// Wide stages — and pair stages over the cap — converge by
 			// best-response dynamics.
@@ -236,11 +282,32 @@ func schedulePair(model *costmodel.Model, st *costmodel.State, m1, m2 int32) (co
 	ar := st.Arena()
 	ar.Reset()
 	g := game.NewFromArena(ar, len(o1), len(o2))
+	pricePairGame(st, g, m1, m2, o1, o2)
+
+	// Prefer pure equilibria (deployable directly); among them take the
+	// welfare-maximal one, i.e. minimum combined energy.
+	if best, ok := g.BestPureNash(); ok {
+		return o1[best.Row], o2[best.Col], nil
+	}
+	// Degenerate case: take any equilibrium and round each player to the
+	// highest-probability strategy.
+	p, err := g.LemkeHowsonAny()
+	if err != nil {
+		return costmodel.Option{}, costmodel.Option{}, err
+	}
+	return o1[argmax(p.Row)], o2[argmax(p.Col)], nil
+}
+
+// pricePairGame fills g's bimatrix for the (m1, m2) pair game over option
+// sets o1 x o2: the row player's payoffs one column at a time and the column
+// player's one row at a time, each by a single EnergyRow call. The price
+// scratch comes from the state's arena, which must own g.
+func pricePairGame(st *costmodel.State, g *game.Game, m1, m2 int32, o1, o2 []costmodel.Option) {
 	coMS := [2]int32{m1, m2}
 	var coOpt [2]costmodel.Option
 
 	cols := len(o2)
-	colBuf := ar.Floats(len(o1))
+	colBuf := st.Arena().Floats(len(o1))
 	for j, y := range o2 {
 		coOpt[1] = y
 		st.EnergyRow(m1, o1, coMS[:], coOpt[:], colBuf)
@@ -256,19 +323,45 @@ func schedulePair(model *costmodel.Model, st *costmodel.State, m1, m2 int32) (co
 			row[k] = -c
 		}
 	}
+}
 
-	// Prefer pure equilibria (deployable directly); among them take the
-	// welfare-maximal one, i.e. minimum combined energy.
-	if best, ok := g.BestPureNash(); ok {
-		return o1[best.Row], o2[best.Col], nil
+// schedulePairReduced is the mid-size rung between the exact pair game and
+// best-response dynamics: price the full bimatrix, shrink it by iterated
+// elimination of strictly dominated strategies, and if the survivors fit
+// under maxCells solve the reduced game exactly, translating the equilibrium
+// back through the surviving-index maps. IESDS never removes a Nash
+// equilibrium and the in-place compaction preserves strategy order, so a
+// solved=true result is exactly what the uncapped game would return.
+// solved=false means the game stayed over the cap; the caller falls back to
+// best-response dynamics (which reset the arena and reprice from the dense
+// tables — nothing priced here is reused).
+func schedulePairReduced(model *costmodel.Model, st *costmodel.State, m1, m2 int32, maxCells int) (costmodel.Option, costmodel.Option, bool, error) {
+	o1 := model.Options(m1)
+	o2 := model.Options(m2)
+	if len(o1) == 0 {
+		return costmodel.Option{}, costmodel.Option{}, false, infeasibleError{ms: model.MSName(m1)}
 	}
-	// Degenerate case: take any equilibrium and round each player to the
-	// highest-probability strategy.
+	if len(o2) == 0 {
+		return costmodel.Option{}, costmodel.Option{}, false, infeasibleError{ms: model.MSName(m2)}
+	}
+	ar := st.Arena()
+	ar.Reset()
+	g := game.NewFromArena(ar, len(o1), len(o2))
+	rowOrig := ar.Ints(len(o1))
+	colOrig := ar.Ints(len(o2))
+	pricePairGame(st, g, m1, m2, o1, o2)
+
+	if nr, nc := g.ReduceDominatedInPlace(rowOrig, colOrig); nr*nc > maxCells {
+		return costmodel.Option{}, costmodel.Option{}, false, nil
+	}
+	if best, ok := g.BestPureNash(); ok {
+		return o1[rowOrig[best.Row]], o2[colOrig[best.Col]], true, nil
+	}
 	p, err := g.LemkeHowsonAny()
 	if err != nil {
-		return costmodel.Option{}, costmodel.Option{}, err
+		return costmodel.Option{}, costmodel.Option{}, false, err
 	}
-	return o1[argmax(p.Row)], o2[argmax(p.Col)], nil
+	return o1[rowOrig[argmax(p.Row)]], o2[colOrig[argmax(p.Col)]], true, nil
 }
 
 // bestResponse runs synchronous best-response dynamics over a stage until a

@@ -1,0 +1,42 @@
+// Package wire defines the versioned JSON wire formats the deepfleetd
+// serving front-end speaks: application and cluster specifications decoupled
+// from the in-memory DAG and simulator types. The in-memory types (dag.App,
+// sim.Cluster) are built for scheduling speed — interned pointers, memoized
+// graph walks, lazy indices — none of which belongs on the network. A spec
+// is plain data: every field is a JSON scalar, map, or slice, so it can be
+// produced by any client, diffed, and stored.
+//
+// Versioning rule: every spec carries a Version field. Version 1 is current
+// for both specs. A decoder accepts any version from 1 through its current
+// version and rejects 0 (missing) and anything newer — adding a field
+// requires bumping the version, so an old server never silently drops data a
+// newer client relied on. Unknown fields are rejected at the HTTP decode
+// layer (json.Decoder.DisallowUnknownFields), which is what makes the
+// version gate trustworthy.
+//
+// Decoded specs feed straight into the fleet's canonical digest machinery:
+// a decoded app hashes identically to a natively built one with the same
+// content, so wire-submitted requests share placement-cache and shape-cache
+// entries with in-process traffic.
+package wire
+
+import "fmt"
+
+// Current wire-format versions.
+const (
+	// AppSpecVersion is the current application wire-format version.
+	AppSpecVersion = 1
+	// ClusterSpecVersion is the current cluster wire-format version.
+	ClusterSpecVersion = 1
+)
+
+// checkVersion validates a spec's version against the decoder's current one.
+func checkVersion(kind string, got, current int) error {
+	if got == 0 {
+		return fmt.Errorf("wire: %s spec missing version (current is %d)", kind, current)
+	}
+	if got < 0 || got > current {
+		return fmt.Errorf("wire: unsupported %s spec version %d (decoder speaks 1..%d)", kind, got, current)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"deep/internal/dag"
+	"deep/internal/fleet"
+	"deep/internal/sim"
+	"deep/internal/wire"
+	"deep/internal/workload"
+)
+
+// TestAppRoundTripDigest pins the decoupling contract: an app encoded to the
+// wire and decoded back hashes to the same canonical fingerprint as the
+// original, so wire-submitted requests share every digest-keyed cache with
+// in-process traffic.
+func TestAppRoundTripDigest(t *testing.T) {
+	cluster := workload.Testbed()
+	cases := []struct {
+		name string
+		app  *dag.App
+	}{
+		{"video", workload.VideoProcessing()},
+		{"text", workload.TextProcessing()},
+	}
+	for _, tc := range cases {
+		raw, err := json.Marshal(wire.AppSpecOf(tc.app))
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.name, err)
+		}
+		decoded, err := wire.DecodeAppSpec(raw)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		app, err := decoded.App()
+		if err != nil {
+			t.Fatalf("%s: materialize: %v", tc.name, err)
+		}
+		want := fleet.FingerprintOf(tc.app, cluster, "deep")
+		if got := fleet.FingerprintOf(app, cluster, "deep"); got != want {
+			t.Errorf("%s: wire round trip changed the canonical fingerprint", tc.name)
+		}
+	}
+}
+
+// TestClusterRoundTripDigest pins the same for clusters: the testbed and a
+// scaled cluster survive the wire with their canonical digests intact.
+func TestClusterRoundTripDigest(t *testing.T) {
+	cases := []struct {
+		name    string
+		cluster *sim.Cluster
+	}{
+		{"testbed", workload.Testbed()},
+		{"scaled4", workload.ScaledTestbed(4)},
+	}
+	for _, tc := range cases {
+		spec, err := wire.ClusterSpecOf(tc.cluster)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.name, err)
+		}
+		decoded, err := wire.DecodeClusterSpec(raw)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		back, err := decoded.Cluster()
+		if err != nil {
+			t.Fatalf("%s: materialize: %v", tc.name, err)
+		}
+		want := fleet.DigestCluster(tc.cluster)
+		got := fleet.DigestCluster(back)
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: wire round trip changed the canonical cluster digest", tc.name)
+		}
+	}
+}
+
+// TestVersionGate pins the versioning rule: 0 (missing) and future versions
+// are rejected, current is accepted.
+func TestVersionGate(t *testing.T) {
+	if _, err := wire.DecodeAppSpec([]byte(`{"name":"a","microservices":[{"name":"m","image_size_bytes":1}]}`)); err == nil || !strings.Contains(err.Error(), "missing version") {
+		t.Errorf("missing app version accepted: %v", err)
+	}
+	if _, err := wire.DecodeAppSpec([]byte(`{"version":99,"name":"a"}`)); err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Errorf("future app version accepted: %v", err)
+	}
+	if _, err := wire.DecodeClusterSpec([]byte(`{"version":99}`)); err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Errorf("future cluster version accepted: %v", err)
+	}
+	if _, err := wire.DecodeAppSpec([]byte(`{"version":1,"name":"a","microservices":[{"name":"m","image_size_bytes":1}]}`)); err != nil {
+		t.Errorf("current app version rejected: %v", err)
+	}
+}
+
+// TestUnknownFieldsRejected pins decode strictness, which is what makes the
+// version gate trustworthy.
+func TestUnknownFieldsRejected(t *testing.T) {
+	if _, err := wire.DecodeAppSpec([]byte(`{"version":1,"name":"a","bogus":true}`)); err == nil {
+		t.Error("unknown app field accepted")
+	}
+	if _, err := wire.DecodeClusterSpec([]byte(`{"version":1,"bogus":true}`)); err == nil {
+		t.Error("unknown cluster field accepted")
+	}
+}
+
+// TestStructuralErrorsSurface pins that DAG validation errors travel through
+// the codec with the dag package's own messages.
+func TestStructuralErrorsSurface(t *testing.T) {
+	spec := &wire.AppSpec{
+		Version: wire.AppSpecVersion,
+		Name:    "cyclic",
+		Microservices: []wire.MicroserviceSpec{
+			{Name: "a", ImageSizeBytes: 1},
+			{Name: "b", ImageSizeBytes: 1},
+		},
+		Dataflows: []wire.DataflowSpec{
+			{From: "a", To: "b", SizeBytes: 1},
+			{From: "b", To: "a", SizeBytes: 1},
+		},
+	}
+	if _, err := spec.App(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not surfaced: %v", err)
+	}
+	spec = &wire.AppSpec{
+		Version:       wire.AppSpecVersion,
+		Name:          "dup",
+		Microservices: []wire.MicroserviceSpec{{Name: "a"}, {Name: "a"}},
+	}
+	if _, err := spec.App(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate not surfaced: %v", err)
+	}
+	if _, err := (&wire.AppSpec{Version: 1, Name: "x", Microservices: []wire.MicroserviceSpec{{Name: "m", Arches: []string{"riscv"}}}}).App(); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if _, err := (&wire.ClusterSpec{Version: 1, Devices: []wire.DeviceSpec{{Name: "d", Arch: "amd64", Power: wire.PowerSpec{Kind: "quadratic"}}}}).Cluster(); err == nil {
+		t.Error("unknown power kind accepted")
+	}
+}
