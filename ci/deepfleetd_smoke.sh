@@ -17,7 +17,7 @@ trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 go build -o "$workdir/deepfleetd" ./cmd/deepfleetd
 
 log="$workdir/daemon.log"
-"$workdir/deepfleetd" -addr 127.0.0.1:0 -workers 1 -queue 1 \
+"$workdir/deepfleetd" -addr 127.0.0.1:0 -admin-addr 127.0.0.1:0 -workers 1 -queue 1 \
   -rate 1 -burst 1 -drain-timeout 20s >"$log" 2>&1 &
 pid=$!
 
@@ -34,8 +34,28 @@ done
 base="http://$addr"
 echo "smoke: daemon at $base"
 
+admin_addr=""
+for _ in $(seq 1 100); do
+  admin_addr=$(sed -n 's/^deepfleetd: admin on //p' "$log" | head -1)
+  [ -n "$admin_addr" ] && break
+  sleep 0.1
+done
+[ -n "$admin_addr" ] || { echo "daemon never printed its admin address" >&2; cat "$log" >&2; exit 1; }
+admin="http://$admin_addr"
+echo "smoke: admin at $admin"
+
 curl -fsS "$base/readyz" >/dev/null
 curl -fsS "$base/healthz" >/dev/null
+
+# The operator surface must be absent from the public port and live on the
+# admin one: clients cannot drain, churn, or profile-pin the daemon.
+for path in /v1/drain /v1/churn /debug/pprof/ /debug/slow /debug/vars; do
+  status=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$base$path")
+  [ "$status" = 404 ] || { echo "public $path returned $status, want 404" >&2; exit 1; }
+done
+curl -fsS "$admin/debug/vars" >/dev/null
+curl -fsS "$admin/debug/slow" >/dev/null
+echo "smoke: admin endpoints split off the public port"
 
 deploy="$workdir/deploy.json"
 cat >"$deploy" <<'EOF'

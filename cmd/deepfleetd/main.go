@@ -7,15 +7,22 @@
 //
 // Usage:
 //
-//	deepfleetd -addr :8080 -workers 8 -queue 256
+//	deepfleetd -addr :8080 -admin-addr 127.0.0.1:9091 -workers 8 -queue 256
 //	deepfleetd -addr :0 -cluster 4 -rate 50 -burst 100 -max-inflight 32
 //
 //	curl -s localhost:8080/readyz
 //	curl -s -X POST localhost:8080/v1/deploy -d @deploy.json
 //	curl -s localhost:8080/v1/stats
-//	curl -s -X POST localhost:8080/v1/drain
+//	curl -s -X POST localhost:9091/v1/drain
 //
-// On SIGTERM (or POST /v1/drain) the daemon stops admission (/readyz goes
+// The public address serves only deploy, read-only introspection, and
+// probes. Operator endpoints — /v1/churn, /v1/drain, /debug/vars,
+// /debug/pprof/*, /debug/slow — live on -admin-addr (keep it loopback-only;
+// empty disables them entirely), so an internet-facing deployment cannot be
+// drained, churned, or profile-pinned by its clients.
+//
+// On SIGTERM (or POST /v1/drain on the admin listener) the daemon stops
+// admission (/readyz goes
 // 503, deploys are shed with 503 draining), waits for every in-flight
 // handler, closes the fleet (completing every accepted request), and exits —
 // all bounded by -drain-timeout.
@@ -41,6 +48,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (:0 picks a random port, printed on stdout)")
+	adminAddr := flag.String("admin-addr", "", "admin listener for /v1/churn, /v1/drain, and /debug/* — keep it loopback-only (empty disables)")
 	workers := flag.Int("workers", 4, "scheduler/simulator worker pool size")
 	queue := flag.Int("queue", 256, "admission queue depth")
 	cacheSize := flag.Int("cache", 1024, "placement cache entries (0 disables)")
@@ -110,6 +118,18 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fail(err)
+		}
+		// Parsed by the smoke harness like the public line; keep the format.
+		fmt.Printf("deepfleetd: admin on %s\n", aln.Addr())
+		adminSrv = &http.Server{Handler: srv.AdminHandler()}
+		go func() { _ = adminSrv.Serve(aln) }()
+	}
+
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	select {
@@ -132,6 +152,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fail(fmt.Errorf("drain exceeded %s waiting for in-flight requests: %w", *drainTimeout, err))
+	}
+	if adminSrv != nil {
+		_ = adminSrv.Shutdown(ctx)
 	}
 	closed := make(chan struct{})
 	go func() { f.Close(); close(closed) }()

@@ -217,9 +217,11 @@ type Fleet struct {
 	wg     sync.WaitGroup
 
 	// labels interns per-tenant metric names, capped at tenantLabelCap
-	// entries (see labelsFor).
-	labels     sync.Map
-	labelCount atomic.Int64
+	// entries; past the cap new tenants share overflowLabels (see
+	// labelsFor).
+	labels         sync.Map
+	labelCount     atomic.Int64
+	overflowLabels *tenantLabels
 
 	submitted atomic.Int64
 	rejected  atomic.Int64
@@ -274,6 +276,7 @@ func New(cfg Config) *Fleet {
 		queue:  make(chan *job, cfg.QueueDepth),
 	}
 	reg := cfg.Metrics.Obs()
+	f.overflowLabels = newTenantLabels(reg, "other")
 	f.stages = obs.NewStageSet(reg, "fleet_stage_seconds")
 	f.latency = reg.Histogram("fleet_request_latency_s")
 	f.slow = obs.NewSlowRing(cfg.SlowRingSize, cfg.SlowThreshold, f.latency)
@@ -954,20 +957,15 @@ type tenantLabels struct {
 	energy    *obs.Histogram
 }
 
-// tenantLabelCap bounds the interned label set: past it, labels for new
-// tenants are resolved transiently instead of cached, so a submitter
-// churning through unbounded tenant names cannot grow worker memory without
-// bound. (The instruments themselves still intern in the registry; the cap
-// only bounds this lookup-avoidance layer.)
+// tenantLabelCap bounds the interned label set: past it, new tenants record
+// under the shared tenant="other" instruments, so a submitter churning
+// through unbounded tenant names cannot grow worker memory — or the backing
+// registry, which interns instrument names forever — without bound.
 const tenantLabelCap = 1024
 
-// labelsFor returns the tenant's resolved instrument handles.
-func (f *Fleet) labelsFor(tenant string) *tenantLabels {
-	if v, ok := f.labels.Load(tenant); ok {
-		return v.(*tenantLabels)
-	}
-	reg := f.cfg.Metrics.Obs()
-	l := &tenantLabels{
+// newTenantLabels interns one tenant's instrument set in the registry.
+func newTenantLabels(reg *obs.Registry, tenant string) *tenantLabels {
+	return &tenantLabels{
 		failed:    reg.Counter("fleet_failed{tenant=" + tenant + "}"),
 		completed: reg.Counter("fleet_completed{tenant=" + tenant + "}"),
 		cacheHits: reg.Counter("fleet_cache_hits{tenant=" + tenant + "}"),
@@ -976,10 +974,19 @@ func (f *Fleet) labelsFor(tenant string) *tenantLabels {
 		makespan:  reg.Histogram("fleet_makespan_s{tenant=" + tenant + "}"),
 		energy:    reg.Histogram("fleet_energy_j{tenant=" + tenant + "}"),
 	}
-	if f.labelCount.Load() >= tenantLabelCap {
-		return l // transient: the intern set is full
+}
+
+// labelsFor returns the tenant's resolved instrument handles. The cap check
+// precedes any registry interning: the registry has no eviction, so a
+// not-yet-interned tenant past the cap must not mint new instrument names.
+func (f *Fleet) labelsFor(tenant string) *tenantLabels {
+	if v, ok := f.labels.Load(tenant); ok {
+		return v.(*tenantLabels)
 	}
-	v, loaded := f.labels.LoadOrStore(tenant, l)
+	if f.labelCount.Load() >= tenantLabelCap {
+		return f.overflowLabels
+	}
+	v, loaded := f.labels.LoadOrStore(tenant, newTenantLabels(f.cfg.Metrics.Obs(), tenant))
 	if !loaded {
 		f.labelCount.Add(1)
 	}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -38,6 +39,40 @@ func TestWarmRequestInstrumentationAllocationFree(t *testing.T) {
 	// noise without letting an instrumentation regression hide.
 	if allocs > 16 {
 		t.Fatalf("warm instrumented request = %v allocs, want <= 16", allocs)
+	}
+}
+
+// TestTenantLabelOverflowBounded pins the bounded-memory guarantee of the
+// per-tenant aggregates: the registry interns instrument names forever, so
+// past tenantLabelCap unseen tenants must share the fixed tenant="other"
+// instruments instead of minting seven new registry entries per name.
+func TestTenantLabelOverflowBounded(t *testing.T) {
+	f := testFleet(t, Config{Workers: 1})
+	reg := f.cfg.Metrics.Obs()
+	baseCounters := len(reg.CounterNames())
+	baseHists := len(reg.HistogramNames())
+	const extra = 64
+	for i := 0; i < tenantLabelCap+extra; i++ {
+		f.labelsFor(fmt.Sprintf("tenant-%d", i)).completed.Add(1)
+	}
+	// 3 counters + 4 histograms per interned tenant; the overflow set was
+	// already interned at construction, so nothing else may have grown.
+	if got, want := len(reg.CounterNames()), baseCounters+3*tenantLabelCap; got != want {
+		t.Fatalf("registry holds %d counters after tenant churn, want %d", got, want)
+	}
+	if got, want := len(reg.HistogramNames()), baseHists+4*tenantLabelCap; got != want {
+		t.Fatalf("registry holds %d histograms after tenant churn, want %d", got, want)
+	}
+	if l := f.labelsFor("one-more-fresh-tenant"); l != f.overflowLabels {
+		t.Fatal("past-cap tenant did not get the shared overflow labels")
+	}
+	c, ok := reg.LookupCounter("fleet_completed{tenant=other}")
+	if !ok || c.Value() != extra {
+		v := -1.0
+		if ok {
+			v = c.Value()
+		}
+		t.Fatalf("overflow completed counter = %v, want %d", v, extra)
 	}
 }
 

@@ -91,20 +91,27 @@ func (l *limiter) gate(tenant string) *tenantGate {
 // admit runs both checks for one request. On success it returns a release
 // function the handler must call when the request finishes; on failure it
 // returns the rejection code and a Retry-After hint.
+//
+// The in-flight quota is checked before the token bucket: a tenant pinned at
+// its concurrency quota must not also burn bucket tokens on every 429, which
+// would push recovery out past the Retry-After hint. A rate rejection, in
+// turn, returns the in-flight slot it optimistically took, so a rejected
+// request of either kind consumes nothing.
 func (l *limiter) admit(tenant string, now time.Time, quotaRetry time.Duration) (release func(), code string, retry time.Duration) {
 	g := l.gate(tenant)
-	if l.rate > 0 {
-		ok, wait := g.takeToken(now, l.rate, l.burst)
-		if !ok {
-			return nil, codeRateLimited, wait
-		}
-	}
+	release = func() {}
 	if l.maxInFlight > 0 {
 		if g.inFlight.Add(1) > l.maxInFlight {
 			g.inFlight.Add(-1)
 			return nil, codeQuotaExceeded, quotaRetry
 		}
-		return func() { g.inFlight.Add(-1) }, "", 0
+		release = func() { g.inFlight.Add(-1) }
 	}
-	return func() {}, "", 0
+	if l.rate > 0 {
+		if ok, wait := g.takeToken(now, l.rate, l.burst); !ok {
+			release()
+			return nil, codeRateLimited, wait
+		}
+	}
+	return release, "", 0
 }

@@ -41,6 +41,12 @@ const (
 // MiB is generous without letting a hostile client buffer gigabytes.
 const defaultMaxBodyBytes = 1 << 20
 
+// maxTenantLen bounds tenant names at decode time. Tenant names become
+// metric label values and rate-limiter keys, so they must stay short: a
+// megabyte-long name would otherwise ride into /metrics output and gate-map
+// keys verbatim.
+const maxTenantLen = 128
+
 // Config tunes a Server.
 type Config struct {
 	// Backend is the fleet (or a test stub). Required.
@@ -84,10 +90,12 @@ type Server struct {
 	// Retry-After hints for queue-full and quota rejections derive from it.
 	ewmaNS atomic.Int64
 
-	// labels interns per-tenant HTTP counters, bounded like the fleet's own
-	// tenant labels.
+	// labels interns per-tenant HTTP counters, bounded by tenantGateCap;
+	// past the cap, unseen tenants share the fixed overflow set so neither
+	// this map nor the registry grows with tenant-name churn.
 	labels     sync.Map
 	labelCount atomic.Int64
+	overflow   *httpLabels
 
 	clusterJSON []byte
 }
@@ -108,6 +116,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, drainCh: make(chan struct{})}
 	s.lim = newLimiter(cfg.RatePerSec, cfg.Burst, cfg.MaxInFlight)
+	s.overflow = newHTTPLabels(cfg.Registry, "other")
 	if cfg.Cluster != nil {
 		spec, err := wire.ClusterSpecOf(cfg.Cluster)
 		if err != nil {
@@ -138,16 +147,29 @@ func (s *Server) StartDrain() {
 // /v1/drain endpoint).
 func (s *Server) Draining() <-chan struct{} { return s.drainCh }
 
-// Handler builds the route table.
+// Handler builds the public route table: deploy, read-only introspection,
+// and probes. Mutating cluster state (/v1/churn, /v1/drain) and the debug
+// surface (pprof exposes blocking profile/trace captures) live on
+// AdminHandler — mounting them here would let any client fail devices,
+// drain the daemon, or pin CPUs with profile requests.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/deploy", s.handleDeploy)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/cluster", s.handleCluster)
-	mux.HandleFunc("/v1/churn", s.handleChurn)
-	mux.HandleFunc("/v1/drain", s.handleDrain)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.Handle("/metrics", s.cfg.Registry.MetricsHandler())
+	return mux
+}
+
+// AdminHandler builds the operator route table: churn injection, drain, and
+// the debug endpoints. Serve it on a loopback-only (or otherwise
+// access-controlled) listener, never on the public address.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/churn", s.handleChurn)
+	mux.HandleFunc("/v1/drain", s.handleDrain)
 	mux.Handle("/metrics", s.cfg.Registry.MetricsHandler())
 	if s.cfg.ExpvarName != "" {
 		mux.Handle("/debug/vars", expvar.Handler())
@@ -239,6 +261,11 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, "request without app spec", 0)
 		return
 	}
+	if len(req.Tenant) > maxTenantLen {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+			fmt.Sprintf("tenant name exceeds %d bytes", maxTenantLen), 0)
+		return
+	}
 	spec, err := wire.DecodeAppSpec(req.App)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error(), 0)
@@ -253,11 +280,12 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = "default"
 	}
-	labels := s.labelsFor(tenant)
 
+	// Admission runs before labelsFor: a rejected request must not be the
+	// thing that interns a new tenant's counters.
 	release, code, retry := s.lim.admit(tenant, time.Now(), s.serviceEstimate(1))
 	if release == nil {
-		labels.rejected.Add(1)
+		s.labelsFor(tenant).rejected.Add(1)
 		msg := "per-tenant rate limit exceeded"
 		if code == codeQuotaExceeded {
 			msg = "per-tenant in-flight quota exceeded"
@@ -266,6 +294,7 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	labels := s.labelsFor(tenant)
 
 	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
 	if deadline <= 0 || deadline > s.cfg.MaxDeadline {
@@ -292,9 +321,21 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		labels.shed.Add(1)
 		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is draining", 0)
 		return
-	case err != nil:
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, fleet.ErrDeadline):
+		// The deadline expired at admission (e.g. a client-supplied budget
+		// already spent): a timeout, not a malformed request.
+		labels.rejected.Add(1)
+		writeError(w, http.StatusGatewayTimeout, codeDeadline, err.Error(), 0)
+		return
+	case errors.Is(err, context.Canceled):
 		labels.rejected.Add(1)
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error(), 0)
+		return
+	case err != nil:
+		// Anything else is a backend fault, not a client spec error —
+		// mirror the post-response switch's default.
+		labels.rejected.Add(1)
+		writeError(w, http.StatusInternalServerError, codeScheduleFailed, err.Error(), 0)
 		return
 	}
 	labels.accepted.Add(1)
@@ -466,24 +507,29 @@ type httpLabels struct {
 	drained  *obs.Counter
 }
 
-// labelsFor interns one tenant's HTTP counters, bounded like the fleet's
-// tenant labels: past the cap new tenants get transient handles, so hostile
-// tenant-name churn cannot grow server memory.
-func (s *Server) labelsFor(tenant string) *httpLabels {
-	if v, ok := s.labels.Load(tenant); ok {
-		return v.(*httpLabels)
-	}
-	reg := s.cfg.Registry
-	l := &httpLabels{
+// newHTTPLabels interns one tenant's counter set in the registry.
+func newHTTPLabels(reg *obs.Registry, tenant string) *httpLabels {
+	return &httpLabels{
 		accepted: reg.Counter("fleetd_http_accepted{tenant=" + tenant + "}"),
 		rejected: reg.Counter("fleetd_http_rejected{tenant=" + tenant + "}"),
 		shed:     reg.Counter("fleetd_http_shed{tenant=" + tenant + "}"),
 		drained:  reg.Counter("fleetd_http_drained{tenant=" + tenant + "}"),
 	}
-	if s.labelCount.Load() >= tenantGateCap {
-		return l
+}
+
+// labelsFor returns one tenant's HTTP counters, bounded like the fleet's
+// tenant labels. The cap check precedes any Registry.Counter call: the
+// registry interns forever (no eviction), so past the cap unseen tenants
+// record under the shared tenant="other" set rather than minting four new
+// registry entries per hostile tenant name.
+func (s *Server) labelsFor(tenant string) *httpLabels {
+	if v, ok := s.labels.Load(tenant); ok {
+		return v.(*httpLabels)
 	}
-	v, loaded := s.labels.LoadOrStore(tenant, l)
+	if s.labelCount.Load() >= tenantGateCap {
+		return s.overflow
+	}
+	v, loaded := s.labels.LoadOrStore(tenant, newHTTPLabels(s.cfg.Registry, tenant))
 	if !loaded {
 		s.labelCount.Add(1)
 	}

@@ -38,10 +38,11 @@ func (s *slowSched) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement,
 }
 
 type testEnv struct {
-	f   *fleet.Fleet
-	s   *Server
-	ts  *httptest.Server
-	url string
+	f        *fleet.Fleet
+	s        *Server
+	ts       *httptest.Server
+	url      string
+	adminURL string
 }
 
 func newEnv(t *testing.T, fcfg fleet.Config, scfg Config) *testEnv {
@@ -56,7 +57,9 @@ func newEnv(t *testing.T, fcfg fleet.Config, scfg Config) *testEnv {
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
-	return &testEnv{f: f, s: s, ts: ts, url: ts.URL}
+	admin := httptest.NewServer(s.AdminHandler())
+	t.Cleanup(admin.Close)
+	return &testEnv{f: f, s: s, ts: ts, url: ts.URL, adminURL: admin.URL}
 }
 
 func deployBody(t *testing.T, tenant string) []byte {
@@ -239,7 +242,7 @@ func TestChurnEndpoint(t *testing.T) {
 	}}, Config{})
 	post := func(body string) (*http.Response, []byte) {
 		t.Helper()
-		resp, err := http.Post(env.url+"/v1/churn", "application/json", strings.NewReader(body))
+		resp, err := http.Post(env.adminURL+"/v1/churn", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -464,5 +467,166 @@ func TestBackendStub(t *testing.T) {
 	stub.submitErr = nil
 	if resp, data = postDeploy(t, ts.URL, deployBody(t, "stub")); resp.StatusCode != http.StatusOK {
 		t.Fatalf("stub deploy: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// TestAdminSplit pins the public/admin route separation: the operator
+// surface (churn, drain, debug) is absent from the public handler, so an
+// internet-facing listener cannot be drained, churned, or profile-pinned by
+// its clients, while AdminHandler serves all of it.
+func TestAdminSplit(t *testing.T) {
+	env := newEnv(t, fleet.Config{Workers: 1}, Config{})
+	do := func(base, method, path string) int {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	adminOnly := []struct{ method, path string }{
+		{http.MethodPost, "/v1/churn"},
+		{http.MethodPost, "/v1/drain"},
+		{http.MethodGet, "/debug/slow"},
+		{http.MethodGet, "/debug/pprof/"},
+	}
+	for _, p := range adminOnly {
+		if status := do(env.url, p.method, p.path); status != http.StatusNotFound {
+			t.Errorf("public %s %s: status %d, want 404", p.method, p.path, status)
+		}
+	}
+	if status := do(env.adminURL, http.MethodGet, "/debug/slow"); status != http.StatusOK {
+		t.Errorf("admin /debug/slow: status %d", status)
+	}
+	if status := do(env.adminURL, http.MethodGet, "/debug/pprof/"); status != http.StatusOK {
+		t.Errorf("admin /debug/pprof/: status %d", status)
+	}
+	if status := do(env.adminURL, http.MethodPost, "/v1/drain"); status != http.StatusAccepted {
+		t.Errorf("admin /v1/drain: status %d, want 202", status)
+	}
+	if !env.s.draining.Load() {
+		t.Error("admin drain did not flip the server into draining")
+	}
+}
+
+// TestTenantLabelOverflowBounded pins the bounded-memory guarantee of the
+// per-tenant HTTP counters: the registry interns instrument names forever,
+// so past tenantGateCap unseen tenants must share the fixed tenant="other"
+// set instead of minting four new registry entries per hostile name.
+func TestTenantLabelOverflowBounded(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(Config{Backend: &stubBackend{}, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const extra = 256
+	for i := 0; i < tenantGateCap+extra; i++ {
+		s.labelsFor(fmt.Sprintf("tenant-%d", i)).accepted.Add(1)
+	}
+	// 4 counters per interned tenant, plus the 4 shared overflow counters.
+	want := 4*tenantGateCap + 4
+	if got := len(reg.CounterNames()); got != want {
+		t.Fatalf("registry holds %d counters after tenant churn, want %d", got, want)
+	}
+	if l := s.labelsFor("one-more-fresh-tenant"); l != s.overflow {
+		t.Fatal("past-cap tenant did not get the shared overflow labels")
+	}
+	c, ok := reg.LookupCounter("fleetd_http_accepted{tenant=other}")
+	if !ok || c.Value() != extra {
+		v := -1.0
+		if ok {
+			v = c.Value()
+		}
+		t.Fatalf("overflow accepted counter = %v, want %d", v, extra)
+	}
+}
+
+// TestTenantNameLengthCap pins the decode-time bound on tenant names:
+// they become metric label values and limiter keys, so a near-MiB name is
+// rejected as a 400 before touching either.
+func TestTenantNameLengthCap(t *testing.T) {
+	env := newEnv(t, fleet.Config{Workers: 1}, Config{})
+	app, err := json.Marshal(wire.AppSpecOf(workload.VideoProcessing()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"tenant": strings.Repeat("x", maxTenantLen+1),
+		"app":    json.RawMessage(app),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postDeploy(t, env.url, body)
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, data) != codeInvalidRequest {
+		t.Fatalf("oversized tenant: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// TestRejectionsConsumeNothing pins admit's check order: a tenant at its
+// in-flight quota is rejected before the token bucket is touched (no token
+// burnt, so recovery matches the Retry-After hint), and a rate rejection
+// returns the in-flight slot it optimistically took.
+func TestRejectionsConsumeNothing(t *testing.T) {
+	now := time.Unix(1000, 0)
+
+	l := newLimiter(1, 2, 1) // 1 token/s, burst 2, 1 in flight
+	release, code, _ := l.admit("t", now, time.Second)
+	if release == nil {
+		t.Fatalf("first admit rejected with %s", code)
+	}
+	if rel, code, _ := l.admit("t", now, time.Second); rel != nil || code != codeQuotaExceeded {
+		t.Fatalf("admit at quota: rejected=%v code=%q, want quota_exceeded", rel == nil, code)
+	}
+	release()
+	// Same instant, one token left: it must still be there — the quota
+	// rejection above must not have burnt it.
+	if rel, code, _ := l.admit("t", now, time.Second); rel == nil {
+		t.Fatalf("admit after release rejected with %s: quota rejection burnt a token", code)
+	}
+
+	l2 := newLimiter(1, 1, 1) // burst 1: drain the bucket with one admit
+	rel, code, _ := l2.admit("t", now, time.Second)
+	if rel == nil {
+		t.Fatalf("first admit rejected with %s", code)
+	}
+	rel()
+	if rel, code, _ := l2.admit("t", now, time.Second); rel != nil || code != codeRateLimited {
+		t.Fatalf("admit on empty bucket: rejected=%v code=%q, want rate_limited", rel == nil, code)
+	}
+	// After refill the tenant must get back in: a leaked in-flight slot from
+	// the rate rejection would trip the quota instead.
+	if rel, code, _ := l2.admit("t", now.Add(2*time.Second), time.Second); rel == nil {
+		t.Fatalf("admit after refill rejected with %s: rate rejection leaked an in-flight slot", code)
+	}
+}
+
+// TestSubmitErrorMapping pins the admission error translation: a deadline
+// already spent at admission is a 504 timeout, not a 400 client fault, and
+// an unknown backend error is a 500 — mirroring the post-response switch.
+func TestSubmitErrorMapping(t *testing.T) {
+	stub := &stubBackend{submitErr: context.DeadlineExceeded, workers: 1}
+	s, err := New(Config{Backend: stub, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := postDeploy(t, ts.URL, deployBody(t, "map"))
+	if resp.StatusCode != http.StatusGatewayTimeout || errCode(t, data) != codeDeadline {
+		t.Fatalf("expired-deadline submit: status %d body %s, want 504 %s", resp.StatusCode, data, codeDeadline)
+	}
+
+	stub.submitErr = fmt.Errorf("backend exploded")
+	resp, data = postDeploy(t, ts.URL, deployBody(t, "map"))
+	if resp.StatusCode != http.StatusInternalServerError || errCode(t, data) != codeScheduleFailed {
+		t.Fatalf("unknown submit error: status %d body %s, want 500 %s", resp.StatusCode, data, codeScheduleFailed)
 	}
 }
