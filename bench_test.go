@@ -10,6 +10,7 @@ package deep_test
 // The printed rows/series (via -v or cmd/deepbench) mirror the paper's.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -473,8 +474,8 @@ func BenchmarkClusterPatch(b *testing.B) {
 
 // BenchmarkFleetChurn measures the request path with churn machinery live:
 // the steady row is the warm cached path on a quiet cluster (it must stay at
-// the BENCH_fleet.json 14-15 allocs/req — churn awareness is one atomic load
-// and one pointer compare); the churning row runs the same closed loop while
+// the BENCH_fleet.json pooled-path baseline — churn awareness is one atomic
+// load and one pointer compare); the churning row runs the same closed loop while
 // a background goroutine crashes and recovers devices continuously, forcing
 // epoch adoptions, cache invalidations, and re-schedules.
 func BenchmarkFleetChurn(b *testing.B) {
@@ -534,16 +535,20 @@ func BenchmarkFleetChurn(b *testing.B) {
 					if !errors.Is(err, deep.ErrFleetQueueFull) {
 						b.Fatal(err)
 					}
-					if resp := <-pending[0]; resp.Err != nil {
+					resp := <-pending[0]
+					if resp.Err != nil {
 						failed++
 					}
+					resp.Release()
 					pending = pending[1:]
 				}
 			}
 			for _, ch := range pending {
-				if resp := <-ch; resp.Err != nil {
+				resp := <-ch
+				if resp.Err != nil {
 					failed++
 				}
+				resp.Release()
 			}
 			b.StopTimer()
 			close(stop)
@@ -608,21 +613,147 @@ func BenchmarkFleetThroughput(b *testing.B) {
 							if !errors.Is(err, deep.ErrFleetQueueFull) {
 								b.Fatal(err)
 							}
-							if resp := <-pending[0]; resp.Err != nil {
+							resp := <-pending[0]
+							if resp.Err != nil {
 								b.Fatal(resp.Err)
 							}
+							resp.Release()
 							pending = pending[1:]
 						}
 					}
 					for _, ch := range pending {
-						if resp := <-ch; resp.Err != nil {
+						resp := <-ch
+						if resp.Err != nil {
 							b.Fatal(resp.Err)
 						}
+						resp.Release()
 					}
 					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkSubmitBatch measures the amortized admission path: requests enter
+// 16 at a time through Fleet.SubmitBatch, which charges one handoff, one
+// time.Now(), and one shard slot per batch instead of per request. b.N counts
+// requests, so allocs/op here is allocs *per request* and is directly
+// comparable to the single-submit rows — the BENCH_fleet.json baseline pins
+// it at the amortized (≤2 allocs/req) level.
+func BenchmarkSubmitBatch(b *testing.B) {
+	const batchSize = 16
+	apps := []*deep.App{deep.VideoProcessing(), deep.TextProcessing()}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d/batch=%d", workers, batchSize), func(b *testing.B) {
+			f := deep.NewFleet(deep.FleetConfig{
+				Workers:    workers,
+				QueueDepth: 64,
+				CacheSize:  1024,
+			})
+			defer f.Close()
+			ctx := context.Background()
+			reqs := make([]deep.FleetRequest, batchSize)
+			type inflight struct {
+				ch <-chan *deep.FleetResponse
+				n  int
+			}
+			b.ResetTimer()
+			pending := make([]inflight, 0, b.N/batchSize+1)
+			for submitted := 0; submitted < b.N; {
+				n := batchSize
+				if rest := b.N - submitted; rest < n {
+					n = rest
+				}
+				for i := 0; i < n; i++ {
+					reqs[i] = deep.FleetRequest{App: apps[(submitted+i)%len(apps)], Seed: int64(submitted + i)}
+				}
+				for {
+					ch, err := f.SubmitBatch(ctx, reqs[:n])
+					if err == nil {
+						pending = append(pending, inflight{ch, n})
+						break
+					}
+					if !errors.Is(err, deep.ErrFleetQueueFull) {
+						b.Fatal(err)
+					}
+					head := pending[0]
+					for j := 0; j < head.n; j++ {
+						resp := <-head.ch
+						if resp.Err != nil {
+							b.Fatal(resp.Err)
+						}
+						resp.Release()
+					}
+					pending = pending[1:]
+				}
+				submitted += n
+			}
+			for _, fl := range pending {
+				for j := 0; j < fl.n; j++ {
+					resp := <-fl.ch
+					if resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+					resp.Release()
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
+// BenchmarkShardedQueue compares admission-queue sharding levels under the
+// same closed feedback loop as BenchmarkFleetThroughput: shards=1 is the
+// pre-sharding single-channel queue, shards=4 spreads the same capacity over
+// four channels keyed by tenant so producers and the work-stealing consumers
+// contend on disjoint locks. Eight tenants keep every shard populated.
+func BenchmarkShardedQueue(b *testing.B) {
+	apps := []*deep.App{deep.VideoProcessing(), deep.TextProcessing()}
+	tenants := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			f := deep.NewFleet(deep.FleetConfig{
+				Workers:     4,
+				QueueDepth:  256,
+				QueueShards: shards,
+				CacheSize:   1024,
+			})
+			defer f.Close()
+			b.ResetTimer()
+			pending := make([]<-chan *deep.FleetResponse, 0, b.N)
+			for i := 0; i < b.N; i++ {
+				req := deep.FleetRequest{
+					Tenant: tenants[i%len(tenants)],
+					App:    apps[i%len(apps)],
+					Seed:   int64(i),
+				}
+				for {
+					ch, err := f.Submit(req)
+					if err == nil {
+						pending = append(pending, ch)
+						break
+					}
+					if !errors.Is(err, deep.ErrFleetQueueFull) {
+						b.Fatal(err)
+					}
+					resp := <-pending[0]
+					if resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+					resp.Release()
+					pending = pending[1:]
+				}
+			}
+			for _, ch := range pending {
+				resp := <-ch
+				if resp.Err != nil {
+					b.Fatal(resp.Err)
+				}
+				resp.Release()
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
 	}
 }
 

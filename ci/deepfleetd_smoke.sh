@@ -109,6 +109,35 @@ echo "$metrics" | grep -q 'fleetd_http_rejected{tenant="smoke"} 1' || {
 }
 echo "smoke: per-tenant counters present on /metrics"
 
+# Batched admission, on a fresh tenant so the exact-count greps above stay
+# untouched. A 2-item batch needs 2 tokens against burst=1, so it can NEVER
+# pass — a deterministic whole-batch 429 rate_limited regardless of timing —
+# and because a rejected batch consumes nothing, the 1-item batch right after
+# still finds the tenant's single token and must deploy.
+batch2="$workdir/batch2.json"
+jq '{tenant: "smoke-batch", items: [{app: .app}, {app: .app}]}' "$deploy" >"$batch2"
+bheaders="$workdir/batch_reject.headers"
+status=$(curl -sS -o "$workdir/batch_reject.json" -D "$bheaders" -w '%{http_code}' \
+  -X POST "$base/v1/deploy:batch" -d @"$batch2")
+[ "$status" = 429 ] || { echo "2-item batch returned $status, want 429" >&2; cat "$workdir/batch_reject.json" >&2; exit 1; }
+code=$(jq -re '.error.code' <"$workdir/batch_reject.json")
+[ "$code" = rate_limited ] || { echo "batch 429 code $code, want rate_limited" >&2; exit 1; }
+grep -qi '^retry-after: [0-9]' "$bheaders" || { echo "batch 429 without Retry-After:" >&2; cat "$bheaders" >&2; exit 1; }
+
+batch1="$workdir/batch1.json"
+jq '{tenant: "smoke-batch", items: [{app: .app}]}' "$deploy" >"$batch1"
+bresp=$(curl -fsS -X POST "$base/v1/deploy:batch" -d @"$batch1")
+echo "smoke: batch deploy -> $bresp"
+count=$(echo "$bresp" | jq -re '.results | length')
+[ "$count" = 1 ] || { echo "batch returned $count results, want 1" >&2; exit 1; }
+idx=$(echo "$bresp" | jq -re '.results[0].index')
+[ "$idx" = 0 ] || { echo "batch result index $idx, want 0" >&2; exit 1; }
+for ms in ingest infer; do
+  device=$(echo "$bresp" | jq -re ".results[0].deploy.placement[\"$ms\"].device")
+  [ -n "$device" ] || { echo "batch result has no placement for $ms" >&2; exit 1; }
+done
+echo "smoke: oversized batch shed atomically, 1-item batch deployed per-item"
+
 # SIGTERM must drain cleanly well inside -drain-timeout: readiness flips,
 # accepted work completes, the process exits 0 and says so.
 kill -TERM "$pid"

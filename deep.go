@@ -121,8 +121,12 @@ type (
 	FleetConfig = fleet.Config
 	// FleetRequest is one tenant's deployment request.
 	FleetRequest = fleet.Request
-	// FleetResponse is the outcome of one deployment request.
+	// FleetResponse is the outcome of one deployment request. Responses are
+	// pooled: call Release once done reading one (see fleet.Response).
 	FleetResponse = fleet.Response
+	// FleetPlacementView is the indexed, read-only placement carried by a
+	// FleetResponse (Materialize copies it into a mutable Placement).
+	FleetPlacementView = fleet.PlacementView
 	// FleetStats snapshots the fleet's admission/cache counters.
 	FleetStats = fleet.Stats
 	// FleetReport aggregates one open-loop load-generation session.
@@ -326,6 +330,10 @@ var (
 // queue feeding a pool of scheduler/simulator workers with an LRU of
 // memoized placements. Close it to drain.
 func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
+
+// NewFleetPlacementView compiles a placement map into the indexed read-only
+// form FleetResponse carries.
+func NewFleetPlacementView(p Placement) FleetPlacementView { return fleet.NewPlacementView(p) }
 
 // NewMetrics returns an empty instrument registry (pass it to several
 // fleets via FleetConfig.Metrics to aggregate them into one exposition).

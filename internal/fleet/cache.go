@@ -337,6 +337,28 @@ func (c *placementCache) Get(key Fingerprint) (sim.Placement, bool) {
 	return el.Value.(*cacheEntry).materialize(), true
 }
 
+// GetView returns the memoized placement's compiled view without
+// materializing a map: the returned view aliases the entry's immutable
+// slices, which stay valid even past eviction (evicting drops the cache's
+// reference, never mutates the slices). This is the request path's lookup —
+// a hit costs zero allocations.
+func (c *placementCache) GetView(key Fingerprint) (PlacementView, bool) {
+	if c.capacity <= 0 {
+		return PlacementView{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return PlacementView{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return PlacementView{names: e.names, assigns: e.assigns}, true
+}
+
 // Put memoizes a placement, evicting the least recently used entry when
 // full.
 func (c *placementCache) Put(key Fingerprint, p sim.Placement) {
@@ -352,6 +374,37 @@ func (c *placementCache) Put(key Fingerprint, p sim.Placement) {
 	}
 	entry := &cacheEntry{key: key}
 	entry.compile(p)
+	c.byKey[key] = c.order.PushFront(entry)
+	for c.order.Len() > c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// PutView memoizes a placement already in view form. The entry gets its own
+// copies of the slices — a view handed in may alias request-pooled scratch,
+// and entries must stay immutable for the lifetime of every view ever served
+// from them.
+func (c *placementCache) PutView(key Fingerprint, v PlacementView) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.names = append([]string(nil), v.names...)
+		e.assigns = append([]sim.Assignment(nil), v.assigns...)
+		c.order.MoveToFront(el)
+		return
+	}
+	entry := &cacheEntry{
+		key:     key,
+		names:   append([]string(nil), v.names...),
+		assigns: append([]sim.Assignment(nil), v.assigns...),
+	}
 	c.byKey[key] = c.order.PushFront(entry)
 	for c.order.Len() > c.capacity {
 		back := c.order.Back()

@@ -92,6 +92,20 @@ func (st *churnState) stale(p sim.Placement) bool {
 	return false
 }
 
+// staleAssigns is stale for placements in compiled view form — the request
+// path's gate, which never sees a placement map anymore.
+func (st *churnState) staleAssigns(assigns []sim.Assignment) bool {
+	if len(st.downDevs) == 0 && len(st.downRegs) == 0 {
+		return false
+	}
+	for _, a := range assigns {
+		if st.downDevs[a.Device] || st.downRegs[a.Registry] {
+			return true
+		}
+	}
+	return false
+}
+
 // ChurnStats is a point-in-time view of the fleet's churn machinery.
 type ChurnStats struct {
 	// Epoch is the current cluster epoch (0 = the base cluster, bumped once

@@ -37,7 +37,7 @@ func TestApplyChurnEpochsAndInvalidation(t *testing.T) {
 
 	// Crash every device the memoized placement references.
 	used := map[string]bool{}
-	for _, a := range cold.Placement {
+	for _, a := range cold.Placement.All() {
 		used[a.Device] = true
 	}
 	var fail []string
@@ -70,7 +70,7 @@ func TestApplyChurnEpochsAndInvalidation(t *testing.T) {
 	if warm.Epoch != 1 {
 		t.Fatalf("post-churn epoch %d, want 1", warm.Epoch)
 	}
-	for _, a := range warm.Placement {
+	for _, a := range warm.Placement.All() {
 		if used[a.Device] {
 			t.Fatalf("placement landed on crashed device %s", a.Device)
 		}
@@ -130,7 +130,7 @@ func TestRegistryOutageSteersPlacements(t *testing.T) {
 	if err != nil || resp.Err != nil {
 		t.Fatal(err, resp.Err)
 	}
-	for ms, a := range resp.Placement {
+	for ms, a := range resp.Placement.All() {
 		if a.Registry == "regional" {
 			t.Fatalf("placement pulls %s from the downed regional registry", ms)
 		}
@@ -336,7 +336,7 @@ func TestChurnStressStaleNeverServed(t *testing.T) {
 		if !ok {
 			t.Fatalf("response validated at unrecorded epoch %d", resp.Epoch)
 		}
-		for _, a := range resp.Placement {
+		for _, a := range resp.Placement.All() {
 			if st.devs[a.Device] {
 				t.Fatalf("epoch %d served a placement onto crashed device %s", resp.Epoch, a.Device)
 			}

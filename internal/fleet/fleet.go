@@ -15,6 +15,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,8 +52,20 @@ type Config struct {
 	// never contend on scheduler state or device layer caches.
 	Workers int
 	// QueueDepth bounds the admission queue (default 64). A Submit against
-	// a full queue is rejected with ErrQueueFull and counted.
+	// a full queue is rejected with ErrQueueFull and counted. The depth is
+	// split across QueueShards bounded queues (rounding the per-shard
+	// capacity up, so the aggregate QueueCap may slightly exceed this).
 	QueueDepth int
+	// QueueShards is the number of independent admission queues (default
+	// min(Workers, GOMAXPROCS)). Submitters pick a shard by hashing
+	// (tenant, app name) — the same keys that dominate the request
+	// fingerprint — so a hot tenant's requests land on one worker's home
+	// shard and keep its digester, pass pool, and the 8-way model cache
+	// shard warm. Workers drain their home shard first and work-steal from
+	// siblings, so skewed tenant traffic can never strand idle workers. On
+	// a single-core box the default collapses to one shard — exactly the
+	// pre-sharding queue.
+	QueueShards int
 	// NewScheduler constructs one scheduler per worker (default
 	// sched.NewDEEP). Any method from sched.All works.
 	NewScheduler func() sched.Scheduler
@@ -105,6 +119,15 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.QueueShards <= 0 {
+		c.QueueShards = c.Workers
+		if p := runtime.GOMAXPROCS(0); p < c.QueueShards {
+			c.QueueShards = p
+		}
+		if c.QueueShards < 1 {
+			c.QueueShards = 1
+		}
+	}
 	if c.NewScheduler == nil {
 		c.NewScheduler = func() sched.Scheduler { return sched.NewDEEP() }
 	}
@@ -153,11 +176,24 @@ type Request struct {
 }
 
 // Response is the outcome of one deployment request.
+//
+// Responses are pool-managed: the fleet recycles the response, its Result
+// buffers, and the job plumbing that carried it once the receiver calls
+// Release. Until Release, every field is the receiver's to read; after
+// Release, none may be touched — copy Placement (Materialize) or Result
+// (Clone) first to keep them. Calling Release is optional (an unreleased
+// response is simply garbage collected, at the cost of a pool miss later),
+// but the warm path only stays allocation-free when responses are returned.
 type Response struct {
-	Tenant    string
-	App       string
-	Placement sim.Placement
-	Result    *sim.Result
+	Tenant string
+	App    string
+	// Placement is the indexed view of the placement; on a cache hit it
+	// aliases the memo's immutable compiled entry, so serving it allocates
+	// nothing. Valid until Release.
+	Placement PlacementView
+	// Result points at a pool-owned buffer, valid until Release; nil when
+	// Err is set.
+	Result *sim.Result
 	// CacheHit is true when the placement came from the memo instead of a
 	// scheduling pass.
 	CacheHit bool
@@ -179,8 +215,37 @@ type Response struct {
 	// fallback instead of the exact scheduler (deadline pressure or churn
 	// retry).
 	Degraded bool
+	// Index is the request's position within its SubmitBatch call; 0 for
+	// single-request submissions.
+	Index int
 	// Err is non-nil when scheduling or simulation failed.
 	Err error
+
+	// owner is the pooled job this response recycles on Release; nil for
+	// responses the pool does not manage (test fixtures) and after Release.
+	owner *job
+	// pooled stays true after Release so race builds can detect a double
+	// Release (owner alone cannot distinguish released from unmanaged).
+	pooled bool
+}
+
+// Release returns the response and its job plumbing to the fleet's pool.
+// After Release the response, its Placement view, and its Result must not be
+// touched: the buffers will be overwritten by a future request. Releasing a
+// response the pool does not manage is a no-op; releasing the same response
+// twice is a caller bug that panics under the race detector (and is ignored
+// in normal builds — by the second call the job may already be live again,
+// so corrupting it quietly would be far worse than the leak).
+func (r *Response) Release() {
+	j := r.owner
+	if j == nil {
+		if raceEnabled && r.pooled {
+			panic("fleet: Response released twice")
+		}
+		return
+	}
+	r.owner = nil
+	j.f.putJob(j)
 }
 
 // Stats is a point-in-time view of the fleet's counters.
@@ -201,7 +266,20 @@ type Fleet struct {
 	cfg    Config
 	cache  *placementCache
 	models *sharedModelCache
-	queue  chan *job
+	// queues are the sharded bounded admission queues (Config.QueueShards).
+	// Submitters enqueue on their hash-picked home shard and spill over to
+	// siblings when it is full; workers drain home-first and steal. queued
+	// tracks the aggregate backlog in requests (a batch counts each item),
+	// which is what serving layers size Retry-After hints from.
+	queues []chan *job
+	queued atomic.Int64
+	qcap   int
+	// jobPool recycles the whole per-request chain — job, Response, Result
+	// buffers, placement-view scratch, and the cap-1 done channel — via the
+	// Response.Release contract. A job re-enters the pool only after its
+	// response was released, which proves the done channel was drained, so
+	// reusing the channel can never cross-deliver between submitters.
+	jobPool sync.Pool
 
 	// Telemetry, interned in the Metrics' backing obs registry: per-stage
 	// latency histograms, the end-to-end request-latency histogram the
@@ -257,6 +335,7 @@ type Fleet struct {
 }
 
 type job struct {
+	f        *Fleet
 	req      Request
 	enqueued time.Time
 	done     chan *Response
@@ -264,6 +343,60 @@ type job struct {
 	// from plain Submit): a request whose submitter has already given up is
 	// answered with its context error instead of being scheduled.
 	ctx context.Context
+
+	// Batch plumbing: a non-nil items marks a batch head occupying one
+	// queue slot for the whole batch; items[0] is the head itself, and
+	// every item's response is delivered on the shared bdone channel
+	// (capacity len(items)) in submission order. Workers copy both fields
+	// into locals before processing: an early item's response can be
+	// received and Released — recycling its job, the head included — while
+	// later items are still being scheduled.
+	items []*job
+	bdone chan *Response
+
+	// Pool-owned response buffers, recycled by Response.Release: the
+	// response itself, the detached copy of the Exec's result, and the
+	// scratch backing cache-miss placement views. In steady state a request
+	// touches none of the allocator.
+	resp    Response
+	result  sim.Result
+	names   []string
+	assigns []sim.Assignment
+}
+
+// weight is the number of admission slots the job accounts for in QueueLen:
+// each batch item counts, since each is one request a worker must serve.
+func (j *job) weight() int64 {
+	if j.items != nil {
+		return int64(len(j.items))
+	}
+	return 1
+}
+
+// getJob draws a job from the pool (or mints one with its done channel).
+func (f *Fleet) getJob() *job {
+	j := f.jobPool.Get().(*job)
+	j.f = f
+	return j
+}
+
+// putJob clears a job's references and returns it to the pool. Buffers with
+// reusable capacity — the result's slices and maps, the placement-view
+// scratch, the done channel — are kept; everything that pins caller memory
+// (the app, the context, batch plumbing, view aliases) is dropped.
+func (f *Fleet) putJob(j *job) {
+	j.req = Request{}
+	j.ctx = nil
+	j.items = nil
+	j.bdone = nil
+	j.enqueued = time.Time{}
+	r := &j.resp
+	r.Tenant, r.App = "", ""
+	r.Placement = PlacementView{}
+	r.Result = nil
+	r.Err = nil
+	r.owner = nil
+	f.jobPool.Put(j)
 }
 
 // New starts a fleet with the given config, spinning up the worker pool.
@@ -273,8 +406,14 @@ func New(cfg Config) *Fleet {
 		cfg:    cfg,
 		cache:  newPlacementCache(cfg.CacheSize),
 		models: newSharedModelCache(cfg.ModelCacheSize),
-		queue:  make(chan *job, cfg.QueueDepth),
 	}
+	per := (cfg.QueueDepth + cfg.QueueShards - 1) / cfg.QueueShards
+	f.queues = make([]chan *job, cfg.QueueShards)
+	for i := range f.queues {
+		f.queues[i] = make(chan *job, per)
+	}
+	f.qcap = per * cfg.QueueShards
+	f.jobPool.New = func() any { return &job{done: make(chan *Response, 1)} }
 	reg := cfg.Metrics.Obs()
 	f.overflowLabels = newTenantLabels(reg, "other")
 	f.stages = obs.NewStageSet(reg, "fleet_stage_seconds")
@@ -368,6 +507,52 @@ func (f *Fleet) Stats() Stats {
 	}
 }
 
+// shardFor hashes (tenant, app name) — FNV-1a, no allocation — onto a home
+// shard. The same keys dominate the request fingerprint, so one tenant's hot
+// shape keeps landing on one worker's home shard: its digester scratch, pass
+// pool, and model-cache shard stay warm. The full app digest would be the
+// exact affinity key, but it is a sha256 pass the submitter should not pay;
+// the name is free and wrong only for same-named structurally distinct apps,
+// where affinity is a performance hint, not a correctness input.
+func (f *Fleet) shardFor(req *Request) int {
+	n := len(f.queues)
+	if n == 1 {
+		return 0
+	}
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(req.Tenant); i++ {
+		h = (h ^ uint64(req.Tenant[i])) * fnvPrime
+	}
+	h = (h ^ '/') * fnvPrime
+	name := req.App.Name
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime
+	}
+	return int(h % uint64(n))
+}
+
+// tryEnqueue offers the job to its home shard, spilling over to siblings
+// when it is full: a request is only rejected when every shard is at
+// capacity, so the aggregate QueueDepth bound holds regardless of hash skew.
+// Must be called under f.mu.RLock with f.closed already checked.
+func (f *Fleet) tryEnqueue(j *job, home int) bool {
+	qs := f.queues
+	n := len(qs)
+	for i := 0; i < n; i++ {
+		select {
+		case qs[(home+i)%n] <- j:
+			f.queued.Add(j.weight())
+			return true
+		default:
+		}
+	}
+	return false
+}
+
 // Submit enqueues a request without blocking. The returned channel delivers
 // exactly one Response when the request completes. A full queue rejects the
 // request with ErrQueueFull; a closed fleet rejects with ErrClosed.
@@ -378,25 +563,27 @@ func (f *Fleet) Submit(req Request) (<-chan *Response, error) {
 	if req.Tenant == "" {
 		req.Tenant = "default"
 	}
-	j := &job{req: req, enqueued: time.Now(), done: make(chan *Response, 1)}
+	j := f.getJob()
+	j.req = req
+	j.enqueued = time.Now()
 
 	// The read lock lets many submitters race each other but excludes
 	// Close, so a send can never hit a closed channel.
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if f.closed {
+		f.putJob(j)
 		f.rejected.Add(1)
 		return nil, ErrClosed
 	}
-	select {
-	case f.queue <- j:
+	if f.tryEnqueue(j, f.shardFor(&j.req)) {
 		f.submitted.Add(1)
 		f.inFlight.Add(1)
 		return j.done, nil
-	default:
-		f.rejected.Add(1)
-		return nil, ErrQueueFull
 	}
+	f.putJob(j)
+	f.rejected.Add(1)
+	return nil, ErrQueueFull
 }
 
 // SubmitCtx enqueues a request, blocking on a full admission queue until
@@ -416,25 +603,38 @@ func (f *Fleet) SubmitCtx(ctx context.Context, req Request) (<-chan *Response, e
 	if req.Tenant == "" {
 		req.Tenant = "default"
 	}
-	j := &job{req: req, enqueued: time.Now(), done: make(chan *Response, 1), ctx: ctx}
+	j := f.getJob()
+	j.req = req
+	j.enqueued = time.Now()
+	j.ctx = ctx
 
 	// Holding the read lock across the blocking send is deadlock-free:
-	// workers keep draining the queue until Close closes it, and Close's
-	// write lock cannot be acquired until this send (or cancellation)
-	// releases the read side — so the send always completes or cancels, and
-	// can never hit a closed channel.
+	// workers keep draining every shard until Close closes them, and
+	// Close's write lock cannot be acquired until this send (or
+	// cancellation) releases the read side — so the send always completes
+	// or cancels, and can never hit a closed channel. Blocking on the home
+	// shard alone is enough: work stealing guarantees it drains.
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if f.closed {
+		f.putJob(j)
 		f.rejected.Add(1)
 		return nil, ErrClosed
 	}
+	home := f.shardFor(&j.req)
+	if f.tryEnqueue(j, home) {
+		f.submitted.Add(1)
+		f.inFlight.Add(1)
+		return j.done, nil
+	}
 	select {
-	case f.queue <- j:
+	case f.queues[home] <- j:
+		f.queued.Add(1)
 		f.submitted.Add(1)
 		f.inFlight.Add(1)
 		return j.done, nil
 	case <-ctx.Done():
+		f.putJob(j)
 		f.rejected.Add(1)
 		return nil, ctx.Err()
 	}
@@ -456,34 +656,115 @@ func (f *Fleet) TrySubmitCtx(ctx context.Context, req Request) (<-chan *Response
 	if req.Tenant == "" {
 		req.Tenant = "default"
 	}
-	j := &job{req: req, enqueued: time.Now(), done: make(chan *Response, 1), ctx: ctx}
+	j := f.getJob()
+	j.req = req
+	j.enqueued = time.Now()
+	j.ctx = ctx
 
 	// The read lock lets many submitters race each other but excludes
 	// Close, so a send can never hit a closed channel.
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if f.closed {
+		f.putJob(j)
 		f.rejected.Add(1)
 		return nil, ErrClosed
 	}
-	select {
-	case f.queue <- j:
+	if f.tryEnqueue(j, f.shardFor(&j.req)) {
 		f.submitted.Add(1)
 		f.inFlight.Add(1)
 		return j.done, nil
-	default:
-		f.rejected.Add(1)
+	}
+	f.putJob(j)
+	f.rejected.Add(1)
+	return nil, ErrQueueFull
+}
+
+// SubmitBatch admits a batch of requests as one unit: one queue handoff, one
+// enqueue timestamp, and one worker pass over the whole batch, with
+// consecutive items that share an *dag.App pointer digested once. The
+// returned channel delivers exactly len(reqs) responses in submission order,
+// each tagged with its Index; every response follows the Release contract.
+// Admission is all-or-nothing and non-blocking: the batch occupies a single
+// shard slot, and a fleet with no free slot rejects the whole batch with
+// ErrQueueFull (counting len(reqs) rejections). The context, if non-nil,
+// covers every item the way TrySubmitCtx's does. The reqs slice itself is
+// not retained.
+func (f *Fleet) SubmitBatch(ctx context.Context, reqs []Request) (<-chan *Response, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("fleet: empty batch")
+	}
+	for i := range reqs {
+		if reqs[i].App == nil {
+			return nil, fmt.Errorf("fleet: batch request %d without app", i)
+		}
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	now := time.Now()
+	items := make([]*job, len(reqs))
+	for i, req := range reqs {
+		if req.Tenant == "" {
+			req.Tenant = "default"
+		}
+		it := f.getJob()
+		it.req = req
+		it.enqueued = now
+		it.ctx = ctx
+		items[i] = it
+	}
+	head := items[0]
+	head.items = items
+	head.bdone = make(chan *Response, len(reqs))
+
+	n := int64(len(reqs))
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		f.recycleBatch(items)
+		f.rejected.Add(n)
+		return nil, ErrClosed
+	}
+	if !f.tryEnqueue(head, f.shardFor(&head.req)) {
+		f.recycleBatch(items)
+		f.rejected.Add(n)
 		return nil, ErrQueueFull
+	}
+	f.submitted.Add(n)
+	f.inFlight.Add(n)
+	return head.bdone, nil
+}
+
+// recycleBatch returns a rejected batch's jobs to the pool (the head's batch
+// plumbing is cleared by putJob).
+func (f *Fleet) recycleBatch(items []*job) {
+	for _, it := range items {
+		f.putJob(it)
 	}
 }
 
 // QueueLen returns the number of requests currently waiting in the admission
-// queue (not yet picked up by a worker). Serving layers use it to derive
-// Retry-After hints.
-func (f *Fleet) QueueLen() int { return len(f.queue) }
+// queues (not yet picked up by a worker), summed across shards; each batch
+// item counts as one request. Serving layers use it to derive Retry-After
+// hints.
+func (f *Fleet) QueueLen() int {
+	if n := f.queued.Load(); n > 0 {
+		return int(n)
+	}
+	// A worker's decrement can land between a submitter's send and its
+	// increment; clamp the transient negative to empty.
+	return 0
+}
 
-// QueueCap returns the admission queue's capacity.
-func (f *Fleet) QueueCap() int { return cap(f.queue) }
+// QueueCap returns the aggregate admission capacity across all shards
+// (QueueDepth rounded up to a multiple of QueueShards).
+func (f *Fleet) QueueCap() int { return f.qcap }
+
+// QueueShards returns the number of admission queue shards.
+func (f *Fleet) QueueShards() int { return len(f.queues) }
 
 // Workers returns the scheduler/simulator pool size.
 func (f *Fleet) Workers() int { return f.cfg.Workers }
@@ -512,7 +793,9 @@ func (f *Fleet) Close() {
 		return
 	}
 	f.closed = true
-	close(f.queue)
+	for _, q := range f.queues {
+		close(q)
+	}
 	f.mu.Unlock()
 	f.wg.Wait()
 }
@@ -531,6 +814,18 @@ type workerState struct {
 	// shard is this worker's obs shard index: each worker records its
 	// counters and histogram observations on its own cache line.
 	shard int
+	// home is the admission queue shard this worker drains first; siblings
+	// are stolen from only when it is empty, preserving the submit-side
+	// tenant affinity. selCases is the prebuilt blocking-select set over
+	// every shard (nil with one shard), used only when all shards are empty.
+	home     int
+	selCases []reflect.SelectCase
+	// batchApp/batchDigest memoize the app digest across one batch's items
+	// (valid only while inBatch): consecutive items sharing an *dag.App
+	// pointer pay the sha256 pass once.
+	inBatch     bool
+	batchApp    *dag.App
+	batchDigest Fingerprint
 	// trace is the reusable per-request stage breakdown; process resets it
 	// at the top of every request so failure short-circuits leave the
 	// untouched stages at zero rather than at the prior request's values.
@@ -671,20 +966,104 @@ func (f *Fleet) worker(i int) {
 	w.ownDigest = w.clusterDigest
 	w.effCluster = cluster
 	w.adopt(f, f.churn.Load())
-	for j := range f.queue {
-		resp := f.process(w, j)
-		f.inFlight.Add(-1)
-		if resp.Err != nil {
-			f.failed.Add(1)
-		} else {
-			f.completed.Add(1)
+	w.home = i % len(f.queues)
+	if len(f.queues) > 1 {
+		w.selCases = make([]reflect.SelectCase, len(f.queues))
+		for k, q := range f.queues {
+			w.selCases[k] = reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(q)}
 		}
-		f.stages.RecordAt(w.shard, &w.trace)
-		f.latency.ObserveAt(w.shard, resp.Latency.Seconds())
-		f.slow.Observe(resp.Tenant, resp.App, resp.Latency, &w.trace, resp.CacheHit, resp.Err != nil)
-		f.observe(w.shard, resp)
-		j.done <- resp
 	}
+	for {
+		j := f.dequeue(w)
+		if j == nil {
+			return
+		}
+		f.queued.Add(-j.weight())
+		if j.items != nil {
+			f.processBatch(w, j)
+			continue
+		}
+		resp := f.process(w, j)
+		f.deliver(w, j.done, resp)
+	}
+}
+
+// dequeue returns the next job for the worker, or nil when the fleet is
+// closed and fully drained. The worker scans its home shard first and then
+// steals from siblings (non-blocking), so submit-side affinity holds under
+// load but a single hot shard fans out across the whole pool. When every
+// shard is empty it blocks on all of them at once — a reflect.Select on the
+// idle path only, where its allocations cost nothing that matters.
+func (f *Fleet) dequeue(w *workerState) *job {
+	qs := f.queues
+	n := len(qs)
+	if n == 1 {
+		j, ok := <-qs[0]
+		if !ok {
+			return nil
+		}
+		return j
+	}
+	for {
+		sawClosed := false
+		for i := 0; i < n; i++ {
+			select {
+			case j, ok := <-qs[(w.home+i)%n]:
+				if ok {
+					return j
+				}
+				sawClosed = true
+			default:
+			}
+		}
+		if sawClosed {
+			// Channels close only in Close, after f.closed stopped all
+			// admission — so every send happened before the close we just
+			// observed, and a scan that found nothing means every shard is
+			// drained for good.
+			return nil
+		}
+		if _, recv, ok := reflect.Select(w.selCases); ok {
+			return recv.Interface().(*job)
+		}
+		// A shard closed while we were blocked: rescan to drain stragglers
+		// from the other shards before exiting.
+	}
+}
+
+// deliver closes out one processed request: fleet counters, the per-stage
+// and per-tenant telemetry, and the response send (done is the job's own
+// channel, or the shared batch channel — both buffered, so the send never
+// blocks a worker).
+func (f *Fleet) deliver(w *workerState, done chan<- *Response, resp *Response) {
+	f.inFlight.Add(-1)
+	if resp.Err != nil {
+		f.failed.Add(1)
+	} else {
+		f.completed.Add(1)
+	}
+	f.stages.RecordAt(w.shard, &w.trace)
+	f.latency.ObserveAt(w.shard, resp.Latency.Seconds())
+	f.slow.Observe(resp.Tenant, resp.App, resp.Latency, &w.trace, resp.CacheHit, resp.Err != nil)
+	f.observe(w.shard, resp)
+	done <- resp
+}
+
+// processBatch serves one batch head: every item processed back to back on
+// this worker, responses streamed to the shared channel in submission order.
+// The head's batch fields are copied out first — an early item's response
+// can be Released (recycling its job, the head included) while later items
+// are still in flight.
+func (f *Fleet) processBatch(w *workerState, head *job) {
+	items, bdone := head.items, head.bdone
+	w.inBatch = true
+	for idx, item := range items {
+		resp := f.process(w, item)
+		resp.Index = idx
+		f.deliver(w, bdone, resp)
+	}
+	w.inBatch = false
+	w.batchApp = nil
 }
 
 // scheduleOn computes a placement for the job with the given scheduler on
@@ -823,11 +1202,22 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 	start := time.Now()
 	w.trace.Reset()
 	w.trace.D[obs.StageQueue] = start.Sub(j.enqueued)
-	resp := &Response{
-		Tenant:    j.req.Tenant,
-		App:       j.req.App.Name,
-		QueueWait: w.trace.D[obs.StageQueue],
-	}
+	// The response is the job's pooled buffer: reset every public field a
+	// prior life may have set (finish overwrites Latency and Stages on
+	// every path), wire up the Release plumbing, and keep the buffers.
+	resp := &j.resp
+	resp.Tenant = j.req.Tenant
+	resp.App = j.req.App.Name
+	resp.Placement = PlacementView{}
+	resp.Result = nil
+	resp.CacheHit = false
+	resp.Epoch = 0
+	resp.Degraded = false
+	resp.Index = 0
+	resp.Err = nil
+	resp.QueueWait = w.trace.D[obs.StageQueue]
+	resp.owner = j
+	resp.pooled = true
 
 	// A submitter that gave up while the request sat in the queue gets its
 	// context error back without paying for a schedule.
@@ -844,12 +1234,24 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 		w.adopt(f, st)
 	}
 
-	appDigest := w.dig.appDigest(j.req.App)
+	// One digest pass per batch run of the same app: SubmitBatch's
+	// amortization. Outside a batch the memo is off — a caller could in
+	// principle mutate an app between separate submissions, and correctness
+	// must not hinge on pointer identity there.
+	var appDigest Fingerprint
+	if w.inBatch && w.batchApp == j.req.App {
+		appDigest = w.batchDigest
+	} else {
+		appDigest = w.dig.appDigest(j.req.App)
+		if w.inBatch {
+			w.batchApp, w.batchDigest = j.req.App, appDigest
+		}
+	}
 	mark := time.Now()
 	w.trace.D[obs.StageFingerprint] = mark.Sub(start)
 
 	var shape compiledShape
-	var placement sim.Placement
+	var view PlacementView
 	var hit bool
 	for attempt := 0; ; attempt++ {
 		key := w.dig.fingerprint(w.clusterDigest, appDigest, w.scheduler.Name())
@@ -858,7 +1260,7 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 		w.trace.D[obs.StageCompile] += now.Sub(mark)
 		mark = now
 
-		placement, hit = f.cache.Get(key)
+		view, hit = f.cache.GetView(key)
 		now = time.Now()
 		w.trace.D[obs.StageCacheLookup] += now.Sub(mark)
 		mark = now
@@ -870,11 +1272,18 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 				return f.finish(w, resp, j)
 			}
 			var err error
+			var placement sim.Placement
 			placement, degraded, err = f.scheduleAttempt(w, j.req.App, shape.model, attempt, deadline)
-			if err == nil && !degraded {
-				// Degraded placements stay out of the memo: once the
-				// pressure passes, the shape deserves its exact placement.
-				f.cache.Put(key, placement)
+			if err == nil {
+				// Compile the scheduler's map into the job's pooled view
+				// scratch; the response serves slices, never the map.
+				j.names, j.assigns = view.setFromPlacement(placement, j.names, j.assigns)
+				if !degraded {
+					// Degraded placements stay out of the memo: once the
+					// pressure passes, the shape deserves its exact
+					// placement. The memo copies the scratch.
+					f.cache.PutView(key, view)
+				}
 			}
 			now = time.Now()
 			w.trace.D[obs.StageSchedule] += now.Sub(mark)
@@ -889,7 +1298,7 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 		// adopted its epoch (or since the placement was memoized), so
 		// validate against the latest published state before serving.
 		latest := f.churn.Load()
-		if latest.stale(placement) {
+		if latest.staleAssigns(view.assigns) {
 			f.staleRejected.Add(1)
 			if hit {
 				f.cache.Remove(key)
@@ -910,7 +1319,7 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 			f.downgrades.Add(1)
 		}
 		resp.CacheHit = hit
-		resp.Placement = placement
+		resp.Placement = view
 		break
 	}
 
@@ -921,15 +1330,17 @@ func (f *Fleet) process(w *workerState, j *job) *Response {
 	}
 	opts := f.cfg.SimOptions
 	opts.Seed += j.req.Seed
-	result, err := w.exec.Run(w.planFor(j.req.App, shape.plan), placement, opts)
+	result, err := w.exec.RunIndexed(w.planFor(j.req.App, shape.plan), view.names, view.assigns, opts)
 	w.trace.D[obs.StageSim] = time.Since(mark)
 	if err != nil {
 		resp.Err = fmt.Errorf("fleet: simulating %s: %w", j.req.App.Name, err)
 		return f.finish(w, resp, j)
 	}
 	// The exec's result buffer is reused on the next request; the response
-	// escapes to the submitter, so it gets a detached copy.
-	resp.Result = result.Clone()
+	// escapes to the submitter, so it gets a detached copy — into the job's
+	// pooled buffer, whose slices and maps a warm pool reuses outright.
+	result.CloneInto(&j.result)
+	resp.Result = &j.result
 	return f.finish(w, resp, j)
 }
 

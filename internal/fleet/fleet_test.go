@@ -33,8 +33,8 @@ func TestDoVideoAndText(t *testing.T) {
 		if resp.Err != nil {
 			t.Fatal(resp.Err)
 		}
-		if len(resp.Placement) != len(app.Microservices) {
-			t.Fatalf("%s: placement covers %d of %d microservices", app.Name, len(resp.Placement), len(app.Microservices))
+		if resp.Placement.Len() != len(app.Microservices) {
+			t.Fatalf("%s: placement covers %d of %d microservices", app.Name, resp.Placement.Len(), len(app.Microservices))
 		}
 		if resp.Result == nil || resp.Result.Makespan <= 0 {
 			t.Fatalf("%s: missing simulation result", app.Name)
@@ -70,7 +70,7 @@ func TestCacheHitMatchesColdSchedule(t *testing.T) {
 		if !resp.CacheHit {
 			t.Fatalf("repeat %d missed the cache", i)
 		}
-		if !reflect.DeepEqual(resp.Placement, reference) {
+		if !reflect.DeepEqual(resp.Placement.Materialize(), reference) {
 			t.Fatalf("repeat %d: cached placement %v != cold schedule %v", i, resp.Placement, reference)
 		}
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled is false outside race builds: a double Release is a no-op
+// there (the job was already recycled; panicking in production would turn a
+// caller bug into an outage).
+const raceEnabled = false

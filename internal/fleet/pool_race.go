@@ -1,0 +1,8 @@
+//go:build race
+
+package fleet
+
+// raceEnabled gates the pooled-response double-release panic: in race builds
+// (the CI stress configuration) releasing a pooled Response twice is a
+// loud bug instead of silent pool corruption.
+const raceEnabled = true

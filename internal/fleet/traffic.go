@@ -261,6 +261,11 @@ drive:
 	if cfg.Chaos != nil {
 		report.Churn = buildChurnReport(eventsFired, churnBefore, f.Stats().Churn, responses)
 	}
+	// The report has copied out everything it needs; hand the pooled
+	// responses back so the next session's warm path reuses them.
+	for _, resp := range responses {
+		resp.Release()
+	}
 	return report, nil
 }
 

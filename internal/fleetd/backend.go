@@ -23,6 +23,11 @@ type Backend interface {
 	// fleet is draining. The context rides along so a client that hangs up
 	// while queued never costs a schedule.
 	TrySubmitCtx(ctx context.Context, req fleet.Request) (<-chan *fleet.Response, error)
+	// SubmitBatch admits a whole batch atomically without blocking: either
+	// every request is accepted (responses stream back in submission order,
+	// each carrying its Index) or none is, with the same sentinel errors as
+	// TrySubmitCtx.
+	SubmitBatch(ctx context.Context, reqs []fleet.Request) (<-chan *fleet.Response, error)
 	// ApplyChurn applies one live cluster delta.
 	ApplyChurn(delta fleet.ChurnDelta) (epoch int64, invalidated int, err error)
 	// Stats snapshots the fleet counters.

@@ -17,9 +17,12 @@ type tenantGate struct {
 	inFlight atomic.Int64
 }
 
-// takeToken consumes one token if available; otherwise it reports how long
-// until the bucket refills one, which the handler surfaces as Retry-After.
-func (g *tenantGate) takeToken(now time.Time, rate, burst float64) (bool, time.Duration) {
+// takeTokens consumes n tokens if available; otherwise it reports how long
+// until the bucket refills that many, which the handler surfaces as
+// Retry-After. A batch larger than the burst can never pass — the hint then
+// names the (unreachable) refill time and the caller keeps getting 429s,
+// which is the intended answer to "my batch exceeds my burst allowance".
+func (g *tenantGate) takeTokens(now time.Time, rate, burst, n float64) (bool, time.Duration) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.last.IsZero() {
@@ -31,11 +34,11 @@ func (g *tenantGate) takeToken(now time.Time, rate, burst float64) (bool, time.D
 		}
 	}
 	g.last = now
-	if g.tokens >= 1 {
-		g.tokens--
+	if g.tokens >= n {
+		g.tokens -= n
 		return true, 0
 	}
-	return false, time.Duration((1 - g.tokens) / rate * float64(time.Second))
+	return false, time.Duration((n - g.tokens) / rate * float64(time.Second))
 }
 
 // tenantGateCap bounds the per-tenant gate map, mirroring the fleet's tenant
@@ -98,17 +101,25 @@ func (l *limiter) gate(tenant string) *tenantGate {
 // turn, returns the in-flight slot it optimistically took, so a rejected
 // request of either kind consumes nothing.
 func (l *limiter) admit(tenant string, now time.Time, quotaRetry time.Duration) (release func(), code string, retry time.Duration) {
+	return l.admitN(tenant, now, 1, quotaRetry)
+}
+
+// admitN is admit for a batch of n requests: n in-flight slots and n bucket
+// tokens, taken atomically per check — a batch either fully clears a gate or
+// leaves it untouched, so a rejected batch consumes nothing.
+func (l *limiter) admitN(tenant string, now time.Time, n int, quotaRetry time.Duration) (release func(), code string, retry time.Duration) {
 	g := l.gate(tenant)
+	nn := int64(n)
 	release = func() {}
 	if l.maxInFlight > 0 {
-		if g.inFlight.Add(1) > l.maxInFlight {
-			g.inFlight.Add(-1)
+		if g.inFlight.Add(nn) > l.maxInFlight {
+			g.inFlight.Add(-nn)
 			return nil, codeQuotaExceeded, quotaRetry
 		}
-		release = func() { g.inFlight.Add(-1) }
+		release = func() { g.inFlight.Add(-nn) }
 	}
 	if l.rate > 0 {
-		if ok, wait := g.takeToken(now, l.rate, l.burst); !ok {
+		if ok, wait := g.takeTokens(now, l.rate, l.burst, float64(n)); !ok {
 			release()
 			return nil, codeRateLimited, wait
 		}

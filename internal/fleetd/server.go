@@ -155,6 +155,7 @@ func (s *Server) Draining() <-chan struct{} { return s.drainCh }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/deploy", s.handleDeploy)
+	mux.HandleFunc("/v1/deploy:batch", s.handleDeployBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/cluster", s.handleCluster)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -213,6 +214,53 @@ type DeployResponse struct {
 type AssignmentSpec struct {
 	Device   string `json:"device"`
 	Registry string `json:"registry"`
+}
+
+// maxBatchItems bounds one POST /v1/deploy:batch envelope. A batch holds one
+// admission-queue slot however large it is, so an unbounded batch would let a
+// single tenant turn the shared queue into a private backlog.
+const maxBatchItems = 64
+
+// DeployBatchRequest is the POST /v1/deploy:batch envelope: one tenant, many
+// app deployments, admitted atomically (one queue slot, N rate-limit tokens).
+type DeployBatchRequest struct {
+	// Tenant labels the whole batch (default "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Items are the individual deployments, answered in order.
+	Items []DeployBatchItem `json:"items"`
+}
+
+// DeployBatchItem is one deployment inside a batch envelope.
+type DeployBatchItem struct {
+	// Seed perturbs the simulation jitter for this item.
+	Seed int64 `json:"seed,omitempty"`
+	// DeadlineMS bounds this item's service time; 0 means the server default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// App is the versioned application spec (wire.AppSpec).
+	App json.RawMessage `json:"app"`
+}
+
+// DeployBatchResponse is the POST /v1/deploy:batch success body. The batch
+// being admitted is what the 200 asserts; each item still succeeds or fails
+// on its own, so Results carries either a deploy body or a structured error
+// per item, in submission order.
+type DeployBatchResponse struct {
+	Tenant  string              `json:"tenant"`
+	Results []DeployBatchResult `json:"results"`
+}
+
+// DeployBatchResult is one item's outcome: exactly one of Deploy or Error is
+// set.
+type DeployBatchResult struct {
+	Index  int             `json:"index"`
+	Deploy *DeployResponse `json:"deploy,omitempty"`
+	Error  *BatchItemError `json:"error,omitempty"`
+}
+
+// BatchItemError mirrors the top-level error envelope for one batch item.
+type BatchItemError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 // ChurnRequest is the POST /v1/churn envelope, mirroring fleet.ChurnDelta.
@@ -351,18 +399,30 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		labels.drained.Add(1)
 	}
 	if resp.Err != nil {
+		respErr := resp.Err
+		resp.Release()
 		switch {
-		case errors.Is(resp.Err, fleet.ErrDeadline), errors.Is(resp.Err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, codeDeadline, resp.Err.Error(), 0)
-		case errors.Is(resp.Err, context.Canceled):
+		case errors.Is(respErr, fleet.ErrDeadline), errors.Is(respErr, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, codeDeadline, respErr.Error(), 0)
+		case errors.Is(respErr, context.Canceled):
 			// Client went away; 499-style. The exact status is moot (nobody
 			// is listening) but the connection teardown wants one.
-			writeError(w, http.StatusBadRequest, codeInvalidRequest, resp.Err.Error(), 0)
+			writeError(w, http.StatusBadRequest, codeInvalidRequest, respErr.Error(), 0)
 		default:
-			writeError(w, http.StatusInternalServerError, codeScheduleFailed, resp.Err.Error(), 0)
+			writeError(w, http.StatusInternalServerError, codeScheduleFailed, respErr.Error(), 0)
 		}
 		return
 	}
+	out := deployResponseOf(resp)
+	// Everything the wire response needs is copied out; recycle the pooled
+	// response before the (comparatively slow) encode.
+	resp.Release()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// deployResponseOf copies a successful fleet response into its wire form —
+// after which the caller is free to Release the original.
+func deployResponseOf(resp *fleet.Response) DeployResponse {
 	out := DeployResponse{
 		Tenant:      resp.Tenant,
 		App:         resp.App,
@@ -371,12 +431,165 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		Degraded:    resp.Degraded,
 		QueueWaitMS: float64(resp.QueueWait) / float64(time.Millisecond),
 		LatencyMS:   float64(resp.Latency) / float64(time.Millisecond),
-		Placement:   make(map[string]AssignmentSpec, len(resp.Placement)),
+		Placement:   make(map[string]AssignmentSpec, resp.Placement.Len()),
 		MakespanS:   resp.Result.Makespan,
 		EnergyJ:     float64(resp.Result.TotalEnergy),
 	}
-	for ms, a := range resp.Placement {
+	for ms, a := range resp.Placement.All() {
 		out.Placement[ms] = AssignmentSpec{Device: a.Device, Registry: a.Registry}
+	}
+	return out
+}
+
+func (s *Server) handleDeployBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, codeMethod, "POST only", 0)
+		return
+	}
+	if s.draining.Load() {
+		s.labelsFor("default").shed.Add(1)
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is draining", 0)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req DeployBatchRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), 0)
+			return
+		}
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "decoding request: "+err.Error(), 0)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, "batch without items", 0)
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+			fmt.Sprintf("batch exceeds %d items", maxBatchItems), 0)
+		return
+	}
+	if len(req.Tenant) > maxTenantLen {
+		writeError(w, http.StatusBadRequest, codeInvalidRequest,
+			fmt.Sprintf("tenant name exceeds %d bytes", maxTenantLen), 0)
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	n := len(req.Items)
+
+	// Admission is all-or-nothing: decode every spec before charging the
+	// limiter, so a malformed item rejects the batch without consuming
+	// tokens, and a charged batch is one the fleet will actually take.
+	reqs := make([]fleet.Request, n)
+	var maxDeadline time.Duration
+	for i, item := range req.Items {
+		if len(item.App) == 0 {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest,
+				fmt.Sprintf("items[%d] without app spec", i), 0)
+			return
+		}
+		spec, err := wire.DecodeAppSpec(item.App)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest,
+				fmt.Sprintf("items[%d]: %s", i, err), 0)
+			return
+		}
+		app, err := spec.App()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeInvalidRequest,
+				fmt.Sprintf("items[%d]: %s", i, err), 0)
+			return
+		}
+		deadline := time.Duration(item.DeadlineMS) * time.Millisecond
+		if deadline <= 0 || deadline > s.cfg.MaxDeadline {
+			deadline = s.cfg.MaxDeadline
+		}
+		if deadline > maxDeadline {
+			maxDeadline = deadline
+		}
+		reqs[i] = fleet.Request{Tenant: tenant, App: app, Seed: item.Seed, Deadline: deadline}
+	}
+
+	// One admission check for the whole batch: n in-flight slots, n tokens.
+	release, code, retry := s.lim.admitN(tenant, time.Now(), n, s.serviceEstimate(n))
+	if release == nil {
+		s.labelsFor(tenant).rejected.Add(float64(n))
+		msg := "per-tenant rate limit exceeded"
+		if code == codeQuotaExceeded {
+			msg = "per-tenant in-flight quota exceeded"
+		}
+		writeError(w, http.StatusTooManyRequests, code, msg, retry)
+		return
+	}
+	defer release()
+	labels := s.labelsFor(tenant)
+
+	// The shared context rides the batch's longest per-item deadline; items
+	// with shorter budgets are answered individually with ErrDeadline.
+	ctx, cancel := context.WithTimeout(r.Context(), maxDeadline)
+	defer cancel()
+
+	ch, err := s.cfg.Backend.SubmitBatch(ctx, reqs)
+	switch {
+	case errors.Is(err, fleet.ErrQueueFull):
+		labels.rejected.Add(float64(n))
+		writeError(w, http.StatusTooManyRequests, codeQueueFull, "admission queue full",
+			s.serviceEstimate(s.cfg.Backend.QueueLen()+n))
+		return
+	case errors.Is(err, fleet.ErrClosed):
+		labels.shed.Add(float64(n))
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is draining", 0)
+		return
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, fleet.ErrDeadline):
+		labels.rejected.Add(float64(n))
+		writeError(w, http.StatusGatewayTimeout, codeDeadline, err.Error(), 0)
+		return
+	case errors.Is(err, context.Canceled):
+		labels.rejected.Add(float64(n))
+		writeError(w, http.StatusBadRequest, codeInvalidRequest, err.Error(), 0)
+		return
+	case err != nil:
+		labels.rejected.Add(float64(n))
+		writeError(w, http.StatusInternalServerError, codeScheduleFailed, err.Error(), 0)
+		return
+	}
+	labels.accepted.Add(float64(n))
+
+	// Accepted: the fleet answers every item exactly once, in submission
+	// order — same completion guarantee as the single-deploy path, batch-wide.
+	out := DeployBatchResponse{Tenant: tenant, Results: make([]DeployBatchResult, 0, n)}
+	for range n {
+		resp := <-ch
+		s.observe(resp)
+		if s.draining.Load() {
+			labels.drained.Add(1)
+		}
+		res := DeployBatchResult{Index: resp.Index}
+		if resp.Err != nil {
+			e := &BatchItemError{Message: resp.Err.Error()}
+			switch {
+			case errors.Is(resp.Err, fleet.ErrDeadline), errors.Is(resp.Err, context.DeadlineExceeded):
+				e.Code = codeDeadline
+			case errors.Is(resp.Err, context.Canceled):
+				e.Code = codeInvalidRequest
+			default:
+				e.Code = codeScheduleFailed
+			}
+			res.Error = e
+		} else {
+			d := deployResponseOf(resp)
+			res.Deploy = &d
+		}
+		resp.Release()
+		out.Results = append(out.Results, res)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -434,7 +434,17 @@ func (s *stubBackend) TrySubmitCtx(ctx context.Context, req fleet.Request) (<-ch
 		return nil, s.submitErr
 	}
 	ch := make(chan *fleet.Response, 1)
-	ch <- &fleet.Response{Tenant: req.Tenant, App: req.App.Name, Placement: sim.Placement{}, Result: &sim.Result{}}
+	ch <- &fleet.Response{Tenant: req.Tenant, App: req.App.Name, Placement: fleet.PlacementView{}, Result: &sim.Result{}}
+	return ch, nil
+}
+func (s *stubBackend) SubmitBatch(ctx context.Context, reqs []fleet.Request) (<-chan *fleet.Response, error) {
+	if s.submitErr != nil {
+		return nil, s.submitErr
+	}
+	ch := make(chan *fleet.Response, len(reqs))
+	for i, req := range reqs {
+		ch <- &fleet.Response{Tenant: req.Tenant, App: req.App.Name, Index: i, Placement: fleet.PlacementView{}, Result: &sim.Result{}}
+	}
 	return ch, nil
 }
 func (s *stubBackend) ApplyChurn(fleet.ChurnDelta) (int64, int, error) {
@@ -628,5 +638,218 @@ func TestSubmitErrorMapping(t *testing.T) {
 	resp, data = postDeploy(t, ts.URL, deployBody(t, "map"))
 	if resp.StatusCode != http.StatusInternalServerError || errCode(t, data) != codeScheduleFailed {
 		t.Fatalf("unknown submit error: status %d body %s, want 500 %s", resp.StatusCode, data, codeScheduleFailed)
+	}
+}
+
+// failSched fails any app named "boom" and delegates the rest — a per-item
+// scheduler fault inside an otherwise healthy batch. It is not a
+// PassScheduler, so the fleet has no degraded rung to rescue the failure
+// with; the error must surface as that item's structured result.
+type failSched struct{ inner sched.Scheduler }
+
+func (s *failSched) Name() string { return "fail" }
+func (s *failSched) Schedule(app *dag.App, cluster *sim.Cluster) (sim.Placement, error) {
+	if app.Name == "boom" {
+		return nil, fmt.Errorf("synthetic scheduler failure")
+	}
+	return s.inner.Schedule(app, cluster)
+}
+
+func batchBody(t *testing.T, tenant string, apps ...[]byte) []byte {
+	t.Helper()
+	items := make([]map[string]any, len(apps))
+	for i, app := range apps {
+		items[i] = map[string]any{"seed": int64(i), "app": json.RawMessage(app)}
+	}
+	body, err := json.Marshal(map[string]any{"tenant": tenant, "items": items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postBatch(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/deploy:batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func appJSON(t *testing.T, app *dag.App) []byte {
+	t.Helper()
+	data, err := json.Marshal(wire.AppSpecOf(app))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDeployBatchHappyPath pins the batch serving contract end to end: one
+// envelope, every item answered in submission order with its own placement
+// and simulation results, and the accepted counter bumped once per item.
+func TestDeployBatchHappyPath(t *testing.T) {
+	env := newEnv(t, fleet.Config{Workers: 2}, Config{})
+	video := appJSON(t, workload.VideoProcessing())
+	resp, data := postBatch(t, env.url, batchBody(t, "acme", video, video, video))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out DeployBatchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tenant != "acme" || len(out.Results) != 3 {
+		t.Fatalf("implausible batch response: %+v", out)
+	}
+	for i, res := range out.Results {
+		if res.Index != i {
+			t.Fatalf("results[%d] carries index %d, want %d", i, res.Index, i)
+		}
+		if res.Error != nil {
+			t.Fatalf("results[%d] failed: %+v", i, res.Error)
+		}
+		if res.Deploy == nil || len(res.Deploy.Placement) == 0 || res.Deploy.MakespanS <= 0 {
+			t.Fatalf("results[%d] implausible deploy: %+v", i, res.Deploy)
+		}
+	}
+	if c, ok := env.s.cfg.Registry.LookupCounter("fleetd_http_accepted{tenant=acme}"); !ok || c.Value() != 3 {
+		t.Errorf("accepted counter = %v, want 3 (one per batch item)", c)
+	}
+}
+
+// TestDeployBatchPerItemError pins per-item isolation: a scheduler fault on
+// one item yields a structured error in that slot while its siblings deploy,
+// and the 200 status still reports the batch as admitted.
+func TestDeployBatchPerItemError(t *testing.T) {
+	env := newEnv(t, fleet.Config{
+		Workers:      1,
+		NewScheduler: func() sched.Scheduler { return &failSched{inner: sched.NewDEEP()} },
+	}, Config{})
+	boom := workload.VideoProcessing()
+	boom.Name = "boom"
+	resp, data := postBatch(t, env.url,
+		batchBody(t, "acme", appJSON(t, workload.VideoProcessing()), appJSON(t, boom), appJSON(t, workload.VideoProcessing())))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out DeployBatchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(out.Results))
+	}
+	for i, res := range out.Results {
+		if res.Index != i {
+			t.Fatalf("results[%d] carries index %d, want %d", i, res.Index, i)
+		}
+	}
+	if out.Results[0].Error != nil || out.Results[2].Error != nil {
+		t.Fatalf("healthy items failed: %+v / %+v", out.Results[0].Error, out.Results[2].Error)
+	}
+	if out.Results[1].Error == nil || out.Results[1].Error.Code != codeScheduleFailed {
+		t.Fatalf("boom item: %+v, want error code %s", out.Results[1], codeScheduleFailed)
+	}
+	if out.Results[1].Deploy != nil {
+		t.Fatalf("boom item carries a deploy body: %+v", out.Results[1].Deploy)
+	}
+}
+
+// TestDeployBatchRateLimit pins the N-token charge: with burst 1, a 2-item
+// batch can never clear the bucket (deterministically, not racily — the
+// bucket holds at most one token), while a 1-item batch through the same
+// gate succeeds.
+func TestDeployBatchRateLimit(t *testing.T) {
+	env := newEnv(t, fleet.Config{Workers: 1}, Config{RatePerSec: 1000, Burst: 1})
+	video := appJSON(t, workload.VideoProcessing())
+
+	resp, data := postBatch(t, env.url, batchBody(t, "capped", video, video))
+	if resp.StatusCode != http.StatusTooManyRequests || errCode(t, data) != codeRateLimited {
+		t.Fatalf("2-item batch vs burst 1: status %d body %s, want 429 %s", resp.StatusCode, data, codeRateLimited)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("rate-limited batch without Retry-After")
+	}
+
+	if resp, data = postBatch(t, env.url, batchBody(t, "capped", video)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("1-item batch: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// TestDeployBatchValidation pins the envelope checks: empty batches,
+// oversized batches, and malformed items reject the whole batch before any
+// limiter charge.
+func TestDeployBatchValidation(t *testing.T) {
+	env := newEnv(t, fleet.Config{Workers: 1}, Config{RatePerSec: 1000, Burst: 1})
+
+	body, _ := json.Marshal(map[string]any{"tenant": "val", "items": []any{}})
+	if resp, data := postBatch(t, env.url, body); resp.StatusCode != http.StatusBadRequest || errCode(t, data) != codeInvalidRequest {
+		t.Fatalf("empty batch: status %d body %s", resp.StatusCode, data)
+	}
+
+	video := appJSON(t, workload.VideoProcessing())
+	apps := make([][]byte, maxBatchItems+1)
+	for i := range apps {
+		apps[i] = video
+	}
+	if resp, data := postBatch(t, env.url, batchBody(t, "val", apps...)); resp.StatusCode != http.StatusBadRequest || errCode(t, data) != codeInvalidRequest {
+		t.Fatalf("oversized batch: status %d body %s", resp.StatusCode, data)
+	}
+
+	if resp, data := postBatch(t, env.url, batchBody(t, "val", []byte(`{"nope":true}`))); resp.StatusCode != http.StatusBadRequest || errCode(t, data) != codeInvalidRequest {
+		t.Fatalf("malformed item: status %d body %s", resp.StatusCode, data)
+	}
+
+	// None of the rejections above may have burned the tenant's one token.
+	if resp, data := postBatch(t, env.url, batchBody(t, "val", video)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid batch after rejections: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// TestDeployBatchBackendErrors pins the whole-batch error mapping through
+// the backend seam: queue-full and draining reject the envelope with the
+// same codes and Retry-After derivation as single deploys.
+func TestDeployBatchBackendErrors(t *testing.T) {
+	stub := &stubBackend{submitErr: fleet.ErrQueueFull, queueLen: 8, queueCap: 8, workers: 2}
+	reg := obs.NewRegistry()
+	s, err := New(Config{Backend: stub, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	video := appJSON(t, workload.VideoProcessing())
+
+	resp, data := postBatch(t, ts.URL, batchBody(t, "stub", video, video))
+	if resp.StatusCode != http.StatusTooManyRequests || errCode(t, data) != codeQueueFull {
+		t.Fatalf("queue-full batch: status %d body %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("queue-full 429 without Retry-After")
+	}
+
+	stub.submitErr = fleet.ErrClosed
+	if resp, data = postBatch(t, ts.URL, batchBody(t, "stub", video)); resp.StatusCode != http.StatusServiceUnavailable || errCode(t, data) != codeDraining {
+		t.Fatalf("closed batch: status %d body %s", resp.StatusCode, data)
+	}
+
+	stub.submitErr = nil
+	resp, data = postBatch(t, ts.URL, batchBody(t, "stub", video, video))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stub batch: status %d body %s", resp.StatusCode, data)
+	}
+	var out DeployBatchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 || out.Results[0].Index != 0 || out.Results[1].Index != 1 {
+		t.Fatalf("stub batch results: %+v", out.Results)
 	}
 }

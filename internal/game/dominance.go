@@ -174,6 +174,199 @@ func (g *Game) ReduceDominatedInPlace(rowOrig, colOrig []int) (rows, cols int) {
 	return rows, cols
 }
 
+// ReduceDominatedPrefiltered is ReduceDominatedInPlace with a row/column
+// max-min dominance screen ahead of the full pairwise sweeps. If strategy k
+// strictly dominates i, then evaluating k at i's best (argmax) and k's worst
+// (argmin) alive columns gives two necessary conditions:
+//
+//	min_j A[k][j] > min_j A[i][j] + tol   and   max_j A[k][j] > max_j A[i][j] + tol
+//
+// so any candidate pair failing either can skip the O(cols) strictlyBetter
+// scan outright. The screen runs only on the first sweep: that sweep sees
+// every pair of the full game (the O(rows²·cols) bulk the screen exists
+// for), and within it the stats stay exact for free — a row phase never
+// changes column aliveness, so row extrema computed at its start hold
+// throughout, and the column extrema are taken after it. Later sweeps
+// re-scan only the few survivors, too little work to amortize fresh stats
+// (maintaining them incrementally costs more than it saves — witness chains
+// die repeatedly under mass elimination). The screen only skips pairs
+// strictlyBetter would reject and candidates scan in the same order, so the
+// elimination sequence — and therefore the surviving game, compaction, and
+// index maps — is identical to ReduceDominatedInPlace on every input.
+//
+// fscratch is caller-provided float scratch with capacity at least
+// 2*(rows+cols); arena-backed callers pass arena floats so the screen, like
+// the reduction, allocates nothing.
+func (g *Game) ReduceDominatedPrefiltered(rowOrig, colOrig []int, fscratch []float64) (rows, cols int) {
+	const tol = 1e-12
+	nr, nc := g.Shape()
+	if nr == 0 || nc == 0 {
+		// Degenerate shapes have nothing to screen; keep the pinned
+		// behavior by running the reference reduction.
+		return g.ReduceDominatedInPlace(rowOrig, colOrig)
+	}
+	rowOrig = rowOrig[:nr]
+	colOrig = colOrig[:nc]
+	rowMin := fscratch[:nr]
+	rowMax := fscratch[nr : 2*nr]
+	colMin := fscratch[2*nr : 2*nr+nc]
+	colMax := fscratch[2*nr+nc : 2*nr+2*nc]
+	for i := range rowOrig {
+		rowOrig[i] = 1
+	}
+	for j := range colOrig {
+		colOrig[j] = 1
+	}
+	aliveRows, aliveCols := nr, nc
+
+	// First-sweep row phase: extrema of A over all columns (none eliminated
+	// yet), valid for the whole phase.
+	for i := 0; i < nr; i++ {
+		lo, hi := g.A.At(i, 0), g.A.At(i, 0)
+		for j := 1; j < nc; j++ {
+			v := g.A.At(i, j)
+			if v < lo {
+				lo = v
+			} else if v > hi {
+				hi = v
+			}
+		}
+		rowMin[i], rowMax[i] = lo, hi
+	}
+	for i := 0; i < nr; i++ {
+		if rowOrig[i] == 0 || aliveRows == 1 {
+			continue
+		}
+		for k := 0; k < nr; k++ {
+			if k == i || rowOrig[k] == 0 {
+				continue
+			}
+			if rowMin[k] <= rowMin[i]+tol || rowMax[k] <= rowMax[i]+tol {
+				continue
+			}
+			if strictlyBetterRowFlags(g.A, k, i, colOrig) {
+				rowOrig[i] = 0
+				aliveRows--
+				break
+			}
+		}
+	}
+	// First-sweep column phase: extrema of B over the rows that survived the
+	// phase above.
+	for j := 0; j < nc; j++ {
+		lo, hi := 0.0, 0.0
+		first := true
+		for i := 0; i < nr; i++ {
+			if rowOrig[i] == 0 {
+				continue
+			}
+			v := g.B.At(i, j)
+			if first {
+				lo, hi, first = v, v, false
+			} else if v < lo {
+				lo = v
+			} else if v > hi {
+				hi = v
+			}
+		}
+		colMin[j], colMax[j] = lo, hi
+	}
+	for j := 0; j < nc; j++ {
+		if colOrig[j] == 0 || aliveCols == 1 {
+			continue
+		}
+		for l := 0; l < nc; l++ {
+			if l == j || colOrig[l] == 0 {
+				continue
+			}
+			if colMin[l] <= colMin[j]+tol || colMax[l] <= colMax[j]+tol {
+				continue
+			}
+			if strictlyBetterColFlags(g.B, l, j, rowOrig) {
+				colOrig[j] = 0
+				aliveCols--
+				break
+			}
+		}
+	}
+
+	// Later sweeps: the unscreened fixed-point loop over the survivors. The
+	// first sweep above eliminated at least as much as an unscreened first
+	// sweep's... exactly as much — identical sequence — so entering here
+	// unconditionally reproduces ReduceDominatedInPlace's remaining sweeps.
+	changed := aliveRows < nr || aliveCols < nc
+	for changed {
+		changed = false
+		for i := 0; i < nr; i++ {
+			if rowOrig[i] == 0 || aliveRows == 1 {
+				continue
+			}
+			for k := 0; k < nr; k++ {
+				if k == i || rowOrig[k] == 0 {
+					continue
+				}
+				if strictlyBetterRowFlags(g.A, k, i, colOrig) {
+					rowOrig[i] = 0
+					aliveRows--
+					changed = true
+					break
+				}
+			}
+		}
+		for j := 0; j < nc; j++ {
+			if colOrig[j] == 0 || aliveCols == 1 {
+				continue
+			}
+			for l := 0; l < nc; l++ {
+				if l == j || colOrig[l] == 0 {
+					continue
+				}
+				if strictlyBetterColFlags(g.B, l, j, rowOrig) {
+					colOrig[j] = 0
+					aliveCols--
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	rows, cols = countNonzero(rowOrig), countNonzero(colOrig)
+	ri := 0
+	for i := 0; i < nr; i++ {
+		if rowOrig[i] == 0 {
+			continue
+		}
+		cj := 0
+		for j := 0; j < nc; j++ {
+			if colOrig[j] == 0 {
+				continue
+			}
+			g.A.Data[ri*cols+cj] = g.A.Data[i*nc+j]
+			g.B.Data[ri*cols+cj] = g.B.Data[i*nc+j]
+			cj++
+		}
+		ri++
+	}
+	ri = 0
+	for i, f := range rowOrig {
+		if f != 0 {
+			rowOrig[ri] = i
+			ri++
+		}
+	}
+	cj := 0
+	for j, f := range colOrig {
+		if f != 0 {
+			colOrig[cj] = j
+			cj++
+		}
+	}
+	g.A.Rows, g.A.Cols, g.A.Data = rows, cols, g.A.Data[:rows*cols]
+	g.B.Rows, g.B.Cols, g.B.Data = rows, cols, g.B.Data[:rows*cols]
+	return rows, cols
+}
+
 // Expand maps a profile of the reduced game back to the original strategy
 // space, assigning zero probability to eliminated strategies.
 func (r Reduced) Expand(p Profile, origRows, origCols int) Profile {

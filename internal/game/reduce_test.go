@@ -114,3 +114,102 @@ func TestReduceDominatedInPlaceAllocationFree(t *testing.T) {
 		t.Fatalf("in-place reduction allocates %.1f objects per run", allocs)
 	}
 }
+
+// The prefiltered reduction must be indistinguishable from the plain
+// in-place one — same survivors in the same order, same bit-equal payoffs —
+// across random games of varied shape: the max-min screen may only skip
+// comparisons that strictlyBetter would reject anyway, never change the
+// elimination sequence. Two copies of each game run both variants.
+func TestReduceDominatedPrefilteredMatchesInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		rows := 1 + rng.Intn(10)
+		cols := 1 + rng.Intn(10)
+		g := dominanceBiasedGame(rng, rows, cols)
+		ref := New(g.A.Clone(), g.B.Clone())
+
+		rowOrig := make([]int, rows)
+		colOrig := make([]int, cols)
+		refRowOrig := make([]int, rows)
+		refColOrig := make([]int, cols)
+		fscratch := make([]float64, 2*(rows+cols))
+
+		nr, nc := g.ReduceDominatedPrefiltered(rowOrig, colOrig, fscratch)
+		wr, wc := ref.ReduceDominatedInPlace(refRowOrig, refColOrig)
+
+		if nr != wr || nc != wc {
+			t.Fatalf("trial %d (%dx%d): prefiltered %dx%d, in-place %dx%d",
+				trial, rows, cols, nr, nc, wr, wc)
+		}
+		for ri := 0; ri < nr; ri++ {
+			if rowOrig[ri] != refRowOrig[ri] {
+				t.Fatalf("trial %d: rowOrig %v, want %v", trial, rowOrig[:nr], refRowOrig[:nr])
+			}
+		}
+		for cj := 0; cj < nc; cj++ {
+			if colOrig[cj] != refColOrig[cj] {
+				t.Fatalf("trial %d: colOrig %v, want %v", trial, colOrig[:nc], refColOrig[:nc])
+			}
+		}
+		for ri := 0; ri < nr; ri++ {
+			for cj := 0; cj < nc; cj++ {
+				if g.A.At(ri, cj) != ref.A.At(ri, cj) || g.B.At(ri, cj) != ref.B.At(ri, cj) {
+					t.Fatalf("trial %d: payoff mismatch at (%d,%d)", trial, ri, cj)
+				}
+			}
+		}
+	}
+}
+
+// The prefiltered variant must stay on the zero-alloc path with arena
+// scratch, like the reduction it screens.
+func TestReduceDominatedPrefilteredAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := dominanceBiasedGame(rng, 12, 10)
+	ar := NewArena()
+	rowOrig := make([]int, 12)
+	colOrig := make([]int, 10)
+	fscratch := make([]float64, 2*(12+10))
+	allocs := testing.AllocsPerRun(100, func() {
+		ar.Reset()
+		g := NewFromArena(ar, 12, 10)
+		copy(g.A.Data, src.A.Data)
+		copy(g.B.Data, src.B.Data)
+		g.ReduceDominatedPrefiltered(rowOrig, colOrig, fscratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("prefiltered reduction allocates %.1f objects per run", allocs)
+	}
+}
+
+// BenchmarkReduceDominated compares the plain and prefiltered sweeps on a
+// dominance-heavy 24x20 game (the shape class the scheduler's pair rescue
+// feeds it).
+func BenchmarkReduceDominated(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	src := dominanceBiasedGame(rng, 24, 20)
+	rowOrig := make([]int, 24)
+	colOrig := make([]int, 20)
+	fscratch := make([]float64, 2*(24+20))
+	ar := NewArena()
+	b.Run("inplace", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ar.Reset()
+			g := NewFromArena(ar, 24, 20)
+			copy(g.A.Data, src.A.Data)
+			copy(g.B.Data, src.B.Data)
+			g.ReduceDominatedInPlace(rowOrig, colOrig)
+		}
+	})
+	b.Run("prefiltered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ar.Reset()
+			g := NewFromArena(ar, 24, 20)
+			copy(g.A.Data, src.A.Data)
+			copy(g.B.Data, src.B.Data)
+			g.ReduceDominatedPrefiltered(rowOrig, colOrig, fscratch)
+		}
+	})
+}

@@ -349,9 +349,10 @@ func schedulePairReduced(model *costmodel.Model, st *costmodel.State, m1, m2 int
 	g := game.NewFromArena(ar, len(o1), len(o2))
 	rowOrig := ar.Ints(len(o1))
 	colOrig := ar.Ints(len(o2))
+	fscratch := ar.Floats(2 * (len(o1) + len(o2)))
 	pricePairGame(st, g, m1, m2, o1, o2)
 
-	if nr, nc := g.ReduceDominatedInPlace(rowOrig, colOrig); nr*nc > maxCells {
+	if nr, nc := g.ReduceDominatedPrefiltered(rowOrig, colOrig, fscratch); nr*nc > maxCells {
 		return costmodel.Option{}, costmodel.Option{}, false, nil
 	}
 	if best, ok := g.BestPureNash(); ok {

@@ -94,13 +94,42 @@ func (e *Exec) Run(p *Plan, placement Placement, opts Options) (*Result, error) 
 		return nil, p.stagesErr
 	}
 	e.size(p)
-	nd := len(p.devNames)
-
 	for i, name := range p.msNames {
 		a := placement[name]
 		e.assignDev[i] = p.devIndex[a.Device]
 		e.assignReg[i] = p.regIndex[a.Registry]
 	}
+	return e.run(p, opts)
+}
+
+// RunIndexed is Run for a placement already in compiled parallel-slice form
+// (names sorted ascending, assigns parallel) — the shape placements take in
+// the fleet's memo and response views. Semantics and the returned Result are
+// identical to Run on the materialized map; the point is that no map has to
+// be materialized at all.
+func (e *Exec) RunIndexed(p *Plan, names []string, assigns []Assignment, opts Options) (*Result, error) {
+	if err := p.validateIndexed(names, assigns); err != nil {
+		return nil, err
+	}
+	if p.stagesErr != nil {
+		return nil, p.stagesErr
+	}
+	e.size(p)
+	for i, name := range p.msNames {
+		k := searchSortedNames(names, name)
+		if k < 0 {
+			return nil, fmt.Errorf("sim: placement missing microservice %q", name)
+		}
+		a := assigns[k]
+		e.assignDev[i] = p.devIndex[a.Device]
+		e.assignReg[i] = p.regIndex[a.Registry]
+	}
+	return e.run(p, opts)
+}
+
+// run replays the plan with assignDev/assignReg already filled.
+func (e *Exec) run(p *Plan, opts Options) (*Result, error) {
+	nd := len(p.devNames)
 	if !opts.WarmCaches {
 		for _, d := range p.cluster.Devices {
 			d.Cache().Flush()

@@ -311,3 +311,50 @@ func (p *Plan) validate(placement Placement) error {
 	}
 	return nil
 }
+
+// validateIndexed is validate against a placement already in compiled
+// parallel-slice form (names sorted ascending, assigns parallel): same walk
+// order, same errors, but lookups are binary searches instead of map hits,
+// so no placement map ever has to exist.
+func (p *Plan) validateIndexed(names []string, assigns []Assignment) error {
+	if p.appErr != nil {
+		return p.appErr
+	}
+	nd := len(p.devNames)
+	for _, m := range p.app.Microservices {
+		k := searchSortedNames(names, m.Name)
+		if k < 0 {
+			return fmt.Errorf("sim: placement missing microservice %q", m.Name)
+		}
+		a := assigns[k]
+		d, okD := p.devIndex[a.Device]
+		if !okD {
+			return fmt.Errorf("sim: placement of %q names unknown device %q", m.Name, a.Device)
+		}
+		if _, okR := p.regIndex[a.Registry]; !okR {
+			return fmt.Errorf("sim: placement of %q names unknown registry %q", m.Name, a.Registry)
+		}
+		if i, okM := p.msIndex[m.Name]; okM && !p.feasible[int(i)*nd+int(d)] {
+			return fmt.Errorf("sim: infeasible placement: %w", p.devices[d].CanRun(m))
+		}
+	}
+	return nil
+}
+
+// searchSortedNames binary-searches a sorted name slice, returning the index
+// of name or -1. Hand-rolled so the hot path pays no closure allocation.
+func searchSortedNames(names []string, name string) int {
+	lo, hi := 0, len(names)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if names[mid] < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(names) && names[lo] == name {
+		return lo
+	}
+	return -1
+}
